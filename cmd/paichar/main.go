@@ -1,0 +1,162 @@
+// Command paichar characterizes a cluster trace the way the paper's
+// framework does: workload constitution, execution-time breakdowns at job
+// and cNode level, the PS->AllReduce projection study, and the hardware
+// sweep for a chosen class.
+//
+// Usage:
+//
+//	paichar [-trace trace.json] [-jobs N] [-class PS/Worker]
+//
+// Without -trace a calibrated synthetic trace of -jobs jobs is generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	pai "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paichar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("paichar", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	tracePath := fs.String("trace", "", "trace JSON (default: generate synthetic)")
+	jobs := fs.Int("jobs", 5000, "synthetic trace size when no -trace given")
+	sweepClass := fs.String("class", "PS/Worker", "class for the hardware sweep panel")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var trace *pai.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = pai.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		p := pai.DefaultTraceParams()
+		p.NumJobs = *jobs
+		var err error
+		trace, err = pai.GenerateTrace(p)
+		if err != nil {
+			return err
+		}
+	}
+
+	model, err := pai.NewModel(pai.BaselineConfig())
+	if err != nil {
+		return err
+	}
+
+	// Constitution (Fig. 5).
+	c, err := pai.Constitute(trace.Jobs)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{Title: "Workload constitution",
+		Headers: []string{"class", "jobs", "job share", "cNode share"}}
+	for _, class := range []pai.Class{pai.OneWorkerOneGPU, pai.OneWorkerNGPU, pai.PSWorker} {
+		t.AddRow(class.String(), fmt.Sprintf("%d", c.Jobs[class]),
+			report.Pct(c.JobShare[class]), report.Pct(c.CNodeShare[class]))
+	}
+	if err := t.Render(stdout); err != nil {
+		return err
+	}
+
+	// Breakdowns (Fig. 7).
+	rows, err := pai.Breakdowns(model, trace.Jobs)
+	if err != nil {
+		return err
+	}
+	bt := &report.Table{Title: "Execution-time breakdown (averages)",
+		Headers: []string{"class", "level", "data I/O", "weights", "compute-bound", "memory-bound"}}
+	for _, r := range rows {
+		bt.AddRow(r.Class.String(), r.Level.String(),
+			report.Pct(r.Share[core.CompDataIO]),
+			report.Pct(r.Share[core.CompWeights]),
+			report.Pct(r.Share[core.CompComputeFLOPs]),
+			report.Pct(r.Share[core.CompComputeMem]))
+	}
+	if err := bt.Render(stdout); err != nil {
+		return err
+	}
+	overall, err := pai.OverallBreakdown(model, trace.Jobs, pai.CNodeLevel)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cNode-level overall: weights %s, compute %s, data I/O %s\n\n",
+		report.Pct(overall[pai.CompWeights]),
+		report.Pct(overall[pai.CompComputeFLOPs]+overall[pai.CompComputeMem]),
+		report.Pct(overall[pai.CompDataIO]))
+
+	// Projection (Fig. 9).
+	pr, err := pai.NewProjector(model)
+	if err != nil {
+		return err
+	}
+	ps := pai.FilterClass(trace.Jobs, pai.PSWorker)
+	if len(ps) > 0 {
+		results, err := pr.ProjectAll(ps, pai.ToAllReduceLocal)
+		if err != nil {
+			return err
+		}
+		sum, err := pai.SummarizeProjection(results)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "PS -> AllReduce-Local: %d jobs, %s gain throughput, mean node speedup %.2fx\n\n",
+			sum.N, report.Pct(1-sum.FracThroughputNotSped), sum.MeanNodeSpeedup)
+	}
+
+	// Hardware sweep for the chosen class (Fig. 11 panel).
+	var target pai.Class
+	found := false
+	for _, class := range workload.AllClasses() {
+		if class.String() == *sweepClass {
+			target, found = class, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown class %q", *sweepClass)
+	}
+	subset := pai.FilterClass(trace.Jobs, target)
+	if len(subset) == 0 {
+		return fmt.Errorf("trace has no %s jobs", target)
+	}
+	panel, err := pai.HardwareSweep(model, subset, target.String())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Hardware sweep for %s:\n", target)
+	for _, s := range panel.Series {
+		fmt.Fprintf(stdout, "  %-10s:", s.Resource)
+		for _, pt := range s.Points {
+			fmt.Fprintf(stdout, " x%.1f->%.3f", pt.Normalized, pt.MeanSpeedup)
+		}
+		fmt.Fprintln(stdout)
+	}
+	res, gain, err := panel.MostSensitiveResource()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "  most sensitive resource: %s (max mean speedup %.3f)\n", res, gain)
+	return nil
+}

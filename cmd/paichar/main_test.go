@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	pai "repro"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-jobs", "400"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Workload constitution", "Execution-time breakdown",
+		"AllReduce-Local", "Hardware sweep for PS/Worker", "most sensitive resource"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 200
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-class", "1w1g"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Hardware sweep for 1w1g") {
+		t.Error("missing 1w1g sweep")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", "/does/not/exist.json"}, &buf); err == nil {
+		t.Error("expected error for missing trace")
+	}
+	if err := run([]string{"-jobs", "200", "-class", "Nope"}, &buf); err == nil {
+		t.Error("expected error for unknown class")
+	}
+	if err := run([]string{"-jobs", "200", "-class", "AllReduce-Local"}, &buf); err == nil {
+		t.Error("expected error for class with no jobs in trace")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+	if err := run([]string{"-jobs", "0"}, &buf); err == nil {
+		t.Error("expected error for zero jobs")
+	}
+}

@@ -1,0 +1,134 @@
+// Command paiprof runs the Fig. 4 characterization pipeline for one
+// case-study model: build its operation graph, collect a RunMetadata-style
+// runtime profile, extract the workload feature schema, and evaluate the
+// analytical breakdown.
+//
+// Usage:
+//
+//	paiprof [-model ResNet50] [-profile out.json] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/opgraph"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/roofline"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paiprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("paiprof", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	model := fs.String("model", "ResNet50", "case-study model ("+strings.Join(opgraph.Models(), ", ")+")")
+	out := fs.String("profile", "", "write the raw kernel profile as JSON to this file")
+	top := fs.Int("top", 10, "number of hottest kernels to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := opgraph.Build(*model)
+	if err != nil {
+		return err
+	}
+	cfg := hw.Testbed()
+	eff := workload.DefaultEfficiency()
+	prof, err := profile.Collect(g, cfg, eff)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := prof.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stdout, "profiled %s: %d kernels, step time %.4fs\n", *model, len(prof.Records), prof.StepTime)
+
+	// Hottest kernels.
+	recs := append([]profile.KernelRecord(nil), prof.Records...)
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Duration > recs[b].Duration })
+	t := &report.Table{Title: fmt.Sprintf("top %d kernels", *top),
+		Headers: []string{"op", "kind", "device", "duration", "share"}}
+	n := *top
+	if n > len(recs) {
+		n = len(recs)
+	}
+	for _, r := range recs[:n] {
+		t.AddRow(r.Op, r.Kind.String(), r.Device,
+			fmt.Sprintf("%.4fs", r.Duration), report.Pct(r.Duration/prof.StepTime))
+	}
+	if err := t.Render(stdout); err != nil {
+		return err
+	}
+
+	// Feature extraction + analytical breakdown.
+	meta, err := profile.MetaFor(*model)
+	if err != nil {
+		return err
+	}
+	feats, err := profile.Extract(prof, meta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "extracted features: FLOPs %.4gG, mem %s, input %s, class %s, cNodes %d\n",
+		feats.FLOPs/1e9, report.Bytes(feats.MemAccessBytes), report.Bytes(feats.InputBytes),
+		feats.Class, feats.CNodes)
+
+	m, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	bd, err := m.Breakdown(feats)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "analytical breakdown: data %.4fs, compute %.4fs, weights %.4fs, total %.4fs\n",
+		bd.DataIO, bd.Compute(), bd.Weights, bd.Total())
+	hwc, frac, err := m.Bottleneck(feats)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bottleneck: %s (%s of step time)\n", hwc, report.Pct(frac))
+
+	// Roofline placement: is the computation itself compute- or memory-bound?
+	bound, err := roofline.Classify(feats, cfg.GPU)
+	if err != nil {
+		return err
+	}
+	intensity, err := roofline.Intensity(feats)
+	if err != nil {
+		return err
+	}
+	balance, err := roofline.Balance(cfg.GPU)
+	if err != nil {
+		return err
+	}
+	ceil, err := roofline.ComputeEfficiencyCeiling(feats, cfg.GPU)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "roofline: %s (intensity %.2f FLOP/B vs balance %.2f); compute-efficiency ceiling %s\n",
+		bound, intensity, balance, report.Pct(ceil))
+	return nil
+}

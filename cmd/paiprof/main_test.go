@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestRunAllModels(t *testing.T) {
+	for _, model := range []string{"ResNet50", "NMT", "BERT", "Speech", "Multi-Interests", "GCN"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-model", model, "-top", "3"}, &buf); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"profiled " + model, "top 3 kernels",
+			"extracted features", "bottleneck", "roofline"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q", model, want)
+			}
+		}
+	}
+}
+
+func TestRunWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "GCN", "-profile", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := profile.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model != "GCN" || len(p.Records) == 0 {
+		t.Errorf("bad serialized profile: %s/%d", p.Model, len(p.Records))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "nope"}, &buf); err == nil {
+		t.Error("expected error for unknown model")
+	}
+	if err := run([]string{"-flag-that-does-not-exist"}, &buf); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+	if err := run([]string{"-model", "GCN", "-profile", "/no/such/dir/p.json"}, &buf); err == nil {
+		t.Error("expected error for unwritable profile path")
+	}
+}

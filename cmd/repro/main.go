@@ -1,0 +1,72 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation from the reproduction's substrates.
+//
+// Usage:
+//
+//	repro [-jobs N] [-only "Fig. 9"] [-ext] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	pai "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	jobs := fs.Int("jobs", 20000, "synthetic trace size")
+	only := fs.String("only", "", "regenerate a single artifact (e.g. 'Fig. 9' or 'table1')")
+	ext := fs.Bool("ext", false, "also run the extension experiments (EXT-1..6)")
+	list := fs.Bool("list", false, "list artifact ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(pai.ExperimentIDs(), "\n"))
+		fmt.Fprintln(stdout, strings.Join(pai.ExtensionIDs(), "\n"))
+		return nil
+	}
+
+	suite, err := pai.NewExperimentSuite(*jobs)
+	if err != nil {
+		return err
+	}
+	if *only != "" {
+		a, err := suite.Run(*only)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "=== %s — %s ===\n%s\n", a.ID, a.Title, a.Text)
+		return nil
+	}
+	arts, err := suite.RunAll()
+	if err != nil {
+		return err
+	}
+	for _, a := range arts {
+		fmt.Fprintf(stdout, "=== %s — %s ===\n%s\n", a.ID, a.Title, a.Text)
+	}
+	if *ext {
+		exts, err := suite.RunExtensions()
+		if err != nil {
+			return err
+		}
+		for _, a := range exts {
+			fmt.Fprintf(stdout, "=== %s — %s ===\n%s\n", a.ID, a.Title, a.Text)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Fig. 16", "EXT-1", "EXT-6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-jobs", "300", "-only", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "11 TFLOPs") {
+		t.Errorf("Table I output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-jobs", "300", "-only", "fig99"}, &buf); err == nil {
+		t.Error("expected error for unknown artifact")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+}

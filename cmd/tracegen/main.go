@@ -1,0 +1,58 @@
+// Command tracegen generates a synthetic PAI-style cluster trace calibrated
+// to the paper's published distributions and writes it as JSON.
+//
+// Usage:
+//
+//	tracegen [-jobs N] [-seed S] [-o trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	pai "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jobs := fs.Int("jobs", 20000, "number of jobs to generate")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := pai.DefaultTraceParams()
+	p.NumJobs = *jobs
+	p.Seed = *seed
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "generated %d jobs (%d cNodes) with seed %d\n",
+		len(tr.Jobs), tr.TotalCNodes(), *seed)
+	return nil
+}

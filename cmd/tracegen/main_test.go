@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-jobs", "50", "-seed", "3"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"jobs\"") {
+		t.Error("stdout should carry the JSON trace")
+	}
+	if !strings.Contains(errw.String(), "generated 50 jobs") {
+		t.Errorf("stderr summary wrong: %q", errw.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-jobs", "20", "-o", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("stdout should be empty when -o is given")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-jobs", "0"}, &out, &errw); err == nil {
+		t.Error("expected error for zero jobs")
+	}
+	if err := run([]string{"-bogus"}, &out, &errw); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+	if err := run([]string{"-jobs", "5", "-o", "/nonexistent-dir/x.json"}, &out, &errw); err == nil {
+		t.Error("expected error for unwritable output")
+	}
+}

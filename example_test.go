@@ -1,0 +1,88 @@
+package pai_test
+
+import (
+	"fmt"
+	"log"
+
+	pai "repro"
+)
+
+// Example demonstrates the analytical model on a single PS/Worker job: the
+// Sec. II-B breakdown, the Eq. 2 throughput and the bottleneck.
+func Example() {
+	model, err := pai.NewModel(pai.BaselineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := pai.Features{
+		Name: "reco", Class: pai.PSWorker, CNodes: 16, BatchSize: 512,
+		FLOPs: 0.4e12, MemAccessBytes: 12e9, InputBytes: 80e6,
+		DenseWeightBytes: 1.5e9, WeightTrafficBytes: 2.2e9,
+	}
+	bd, err := model.Breakdown(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw, frac, err := model.Bottleneck(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step %.3fs, weights %.3fs, bottleneck %s (%.0f%%)\n",
+		bd.Total(), bd.Weights, hw, frac*100)
+	// Output:
+	// step 1.401s, weights 1.320s, bottleneck Ethernet (72%)
+}
+
+// ExampleNewProjector shows the Fig. 9 projection of a communication-bound
+// PS job to AllReduce-Local: the Eq. 3 arithmetic gives exactly 21x on the
+// weight-communication time.
+func ExampleNewProjector() {
+	model, err := pai.NewModel(pai.BaselineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := pai.NewProjector(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A purely communication-bound job: node speedup hits the Eq. 3 bound.
+	job := pai.Features{
+		Name: "comm-bound", Class: pai.PSWorker, CNodes: 64, BatchSize: 32,
+		FLOPs: 1e9, MemAccessBytes: 1e6, InputBytes: 1e3,
+		DenseWeightBytes: 1e9, WeightTrafficBytes: 100e9,
+	}
+	r, err := pr.Project(job, pai.ToAllReduceLocal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weight-time ratio %.1fx, cNodes %d -> %d\n",
+		r.OriginalTimes.Weights/r.ProjectedTimes.Weights,
+		r.Original.CNodes, r.Projected.CNodes)
+	// Output:
+	// weight-time ratio 21.0x, cNodes 64 -> 8
+}
+
+// ExampleGenerateTrace characterizes a small synthetic trace at the cNode
+// level, recovering the paper's headline: weight/gradient communication
+// dominates.
+func ExampleGenerateTrace() {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 2000
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := pai.NewModel(pai.BaselineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	overall, err := pai.OverallBreakdown(model, trace.Jobs, pai.CNodeLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm := overall[pai.CompWeights]
+	compute := overall[pai.CompComputeFLOPs] + overall[pai.CompComputeMem]
+	fmt.Printf("communication dominates: %v\n", comm > compute)
+	// Output:
+	// communication dominates: true
+}

@@ -1,0 +1,68 @@
+// Quickstart: characterize a single training workload with the analytical
+// model — time breakdown, throughput (Eq. 2) and bottleneck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pai "repro"
+)
+
+func main() {
+	// The Table I cluster configuration: 11 TFLOPS GPUs, 1 TB/s memory,
+	// 25 Gbps Ethernet, 10 GB/s PCIe, 50 GB/s NVLink.
+	cfg := pai.BaselineConfig()
+	model, err := pai.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A PS/Worker recommendation job: 16 workers, heavy gradient traffic.
+	job := pai.Features{
+		Name:               "reco-ps-16w",
+		Class:              pai.PSWorker,
+		CNodes:             16,
+		BatchSize:          512,
+		FLOPs:              0.4e12, // per step per replica
+		MemAccessBytes:     12e9,   // element-wise memory traffic
+		InputBytes:         80e6,   // training samples over PCIe
+		DenseWeightBytes:   1.5e9,  // dense parameters + optimizer state
+		WeightTrafficBytes: 2.2e9,  // measured per-step gradient volume
+	}
+
+	bd, err := model.Breakdown(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s on %s\n", job.Name, job.Class)
+	fmt.Printf("  data I/O        %8.4fs\n", bd.DataIO)
+	fmt.Printf("  compute (FLOPs) %8.4fs\n", bd.ComputeFLOPs)
+	fmt.Printf("  compute (mem)   %8.4fs\n", bd.ComputeMem)
+	fmt.Printf("  weight traffic  %8.4fs\n", bd.Weights)
+	fmt.Printf("  total step      %8.4fs\n", bd.Total())
+
+	tp, err := model.Throughput(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  throughput      %8.0f samples/s (Eq. 2)\n", tp)
+
+	hw, frac, err := model.Bottleneck(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  bottleneck      %s (%.0f%% of step time)\n", hw, frac*100)
+
+	// What would porting this job to AllReduce-Local buy?
+	pr, err := pai.NewProjector(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := pr.Project(job, pai.ToAllReduceLocal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ported to AllReduce-Local (%d cNodes): node speedup %.2fx, throughput speedup %.2fx\n",
+		r.Projected.CNodes, r.NodeSpeedup, r.ThroughputSpeedup)
+}

@@ -1,0 +1,75 @@
+// Trainsync: runnable demonstration that the three synchronization
+// architectures the paper analyzes — PS/Worker, AllReduce (replica mode) and
+// PEARL — train a sparse model to numerically equivalent parameters while
+// putting very different byte volumes on the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/train"
+)
+
+func main() {
+	const vocab, dim, steps, workers = 1500, 12, 60, 4
+	m0, err := train.NewModel(vocab, dim, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batches, err := train.SynthesizeBatches(vocab, 5, 96, steps, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref, err := train.RunReference(m0, batches, train.SGD{LR: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lossBefore, err := m0.Loss(batches[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	lossAfter, err := ref.Loss(batches[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference training: loss %.4f -> %.4f over %d steps\n", lossBefore, lossAfter, steps)
+
+	type result struct {
+		name    string
+		model   *train.Model
+		traffic train.Traffic
+	}
+	var results []result
+
+	ps, psT, err := train.RunPS(m0, batches, workers, train.SGD{LR: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, result{"PS/Worker", ps, psT})
+
+	ar, arT, err := train.RunAllReduce(m0, batches, workers, train.SGD{LR: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, result{"AllReduce (replica)", ar, arT})
+
+	pearl, peT, err := train.RunPEARL(m0, batches, workers, train.SGD{LR: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, result{"PEARL", pearl, peT})
+
+	fmt.Printf("%-22s %-14s %-14s %-14s\n", "strategy", "param diff", "dense KB", "embedding MB")
+	for _, r := range results {
+		diff, err := train.MaxParamDiff(ref, r.model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-14.2e %-14.2f %-14.2f\n", r.name, diff,
+			float64(r.traffic.DenseBytes)/1e3, float64(r.traffic.EmbeddingBytes)/1e6)
+	}
+	fmt.Println("\nall strategies converge to the same parameters; PEARL moves only the")
+	fmt.Println("touched embedding rows, which is why it scales where replica AllReduce cannot.")
+}

@@ -1,0 +1,309 @@
+// Package analyze implements the collective-behavior analysis pipelines of
+// Sec. III: workload constitution (Fig. 5), scale distributions (Fig. 6),
+// execution-time breakdowns at job and cNode level (Figs. 7 and 8),
+// post-projection breakdowns (Fig. 10), hardware-evolution sweeps (Fig. 11),
+// the efficiency-sensitivity study (Fig. 15) and the overlap study (Fig. 16).
+//
+// Every pipeline consumes a slice of workload.Features (a trace) and an
+// analytical model, and produces plain series/rows that the report package
+// renders and the benchmarks regenerate.
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Level selects job-level (each job weighs 1) or cNode-level (each job
+// weighs its cNode count) aggregation — the left/right columns of Fig. 7 and
+// the top/bottom rows of Fig. 8.
+type Level int
+
+const (
+	// JobLevel weighs every job equally.
+	JobLevel Level = iota
+	// CNodeLevel weighs every job by its cNode count.
+	CNodeLevel
+)
+
+// String names the aggregation level.
+func (l Level) String() string {
+	switch l {
+	case JobLevel:
+		return "job-level"
+	case CNodeLevel:
+		return "cNode-level"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+func (l Level) weight(f workload.Features) float64 {
+	if l == CNodeLevel {
+		return float64(f.CNodes)
+	}
+	return 1
+}
+
+// Constitution is the Fig. 5 workload composition: per-class shares of job
+// count and of cNode count.
+type Constitution struct {
+	// JobShare and CNodeShare map class -> fraction; each sums to 1.
+	JobShare, CNodeShare map[workload.Class]float64
+	// Jobs and CNodes are the absolute counts behind the shares.
+	Jobs, CNodes map[workload.Class]int
+	TotalJobs    int
+	TotalCNodes  int
+}
+
+// Constitute computes Fig. 5 over a trace.
+func Constitute(jobs []workload.Features) (Constitution, error) {
+	if len(jobs) == 0 {
+		return Constitution{}, fmt.Errorf("analyze: empty trace")
+	}
+	c := Constitution{
+		JobShare:   map[workload.Class]float64{},
+		CNodeShare: map[workload.Class]float64{},
+		Jobs:       map[workload.Class]int{},
+		CNodes:     map[workload.Class]int{},
+	}
+	for _, j := range jobs {
+		c.Jobs[j.Class]++
+		c.CNodes[j.Class] += j.CNodes
+		c.TotalJobs++
+		c.TotalCNodes += j.CNodes
+	}
+	for class, n := range c.Jobs {
+		c.JobShare[class] = float64(n) / float64(c.TotalJobs)
+	}
+	for class, n := range c.CNodes {
+		c.CNodeShare[class] = float64(n) / float64(c.TotalCNodes)
+	}
+	return c, nil
+}
+
+// ScaleCDFs is the Fig. 6 pair: per-class CDFs of cNode counts and of weight
+// sizes (bytes).
+type ScaleCDFs struct {
+	CNodes  map[workload.Class]*stats.CDF
+	Weights map[workload.Class]*stats.CDF
+}
+
+// Scales computes Fig. 6 over a trace. Classes with no jobs are omitted.
+// The cNode CDF is only meaningful for distributed classes, but is computed
+// for all for completeness.
+func Scales(jobs []workload.Features) (ScaleCDFs, error) {
+	if len(jobs) == 0 {
+		return ScaleCDFs{}, fmt.Errorf("analyze: empty trace")
+	}
+	byClass := map[workload.Class][]workload.Features{}
+	for _, j := range jobs {
+		byClass[j.Class] = append(byClass[j.Class], j)
+	}
+	out := ScaleCDFs{
+		CNodes:  map[workload.Class]*stats.CDF{},
+		Weights: map[workload.Class]*stats.CDF{},
+	}
+	for class, js := range byClass {
+		var ns, ws []float64
+		for _, j := range js {
+			ns = append(ns, float64(j.CNodes))
+			ws = append(ws, j.TotalWeightBytes())
+		}
+		nc, err := stats.NewCDF(ns)
+		if err != nil {
+			return ScaleCDFs{}, fmt.Errorf("analyze: cNode CDF for %v: %w", class, err)
+		}
+		wc, err := stats.NewCDF(ws)
+		if err != nil {
+			return ScaleCDFs{}, fmt.Errorf("analyze: weight CDF for %v: %w", class, err)
+		}
+		out.CNodes[class] = nc
+		out.Weights[class] = wc
+	}
+	return out, nil
+}
+
+// BreakdownRow is one bar of Fig. 7: the average share of each execution-time
+// component for one class at one level.
+type BreakdownRow struct {
+	Class workload.Class
+	Level Level
+	// Share maps component -> mean fraction; sums to 1.
+	Share map[core.Component]float64
+	// N is the number of jobs aggregated.
+	N int
+}
+
+// Breakdowns computes Fig. 7 (average component shares per class, at both
+// levels) over a trace.
+func Breakdowns(m *core.Model, jobs []workload.Features) ([]BreakdownRow, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("analyze: empty trace")
+	}
+	type acc struct {
+		sum map[core.Component]float64
+		w   float64
+		n   int
+	}
+	accs := map[workload.Class]map[Level]*acc{}
+	for _, j := range jobs {
+		bd, err := m.Breakdown(j)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: %s: %w", j.Name, err)
+		}
+		if accs[j.Class] == nil {
+			accs[j.Class] = map[Level]*acc{
+				JobLevel:   {sum: map[core.Component]float64{}},
+				CNodeLevel: {sum: map[core.Component]float64{}},
+			}
+		}
+		for _, lvl := range []Level{JobLevel, CNodeLevel} {
+			a := accs[j.Class][lvl]
+			w := lvl.weight(j)
+			for _, c := range core.Components() {
+				fr, err := bd.Fraction(c)
+				if err != nil {
+					return nil, err
+				}
+				a.sum[c] += fr * w
+			}
+			a.w += w
+			a.n++
+		}
+	}
+	var rows []BreakdownRow
+	for _, class := range workload.AllClasses() {
+		byLevel, ok := accs[class]
+		if !ok {
+			continue
+		}
+		for _, lvl := range []Level{JobLevel, CNodeLevel} {
+			a := byLevel[lvl]
+			row := BreakdownRow{Class: class, Level: lvl,
+				Share: map[core.Component]float64{}, N: a.n}
+			for c, s := range a.sum {
+				row.Share[c] = s / a.w
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// OverallBreakdown aggregates the component shares over all jobs at one
+// level (the "all workloads" summary of Sec. III-D: communication 62%,
+// computation 35% at cNode level).
+func OverallBreakdown(m *core.Model, jobs []workload.Features, lvl Level) (map[core.Component]float64, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("analyze: empty trace")
+	}
+	sum := map[core.Component]float64{}
+	var wTot float64
+	for _, j := range jobs {
+		bd, err := m.Breakdown(j)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: %s: %w", j.Name, err)
+		}
+		w := lvl.weight(j)
+		for _, c := range core.Components() {
+			fr, err := bd.Fraction(c)
+			if err != nil {
+				return nil, err
+			}
+			sum[c] += fr * w
+		}
+		wTot += w
+	}
+	for c := range sum {
+		sum[c] /= wTot
+	}
+	return sum, nil
+}
+
+// ComponentCDFs is one panel of Fig. 8(b-d): per-component CDFs of the
+// time fraction across jobs of one class, at one level.
+type ComponentCDFs struct {
+	Class workload.Class
+	Level Level
+	// CDF maps component -> distribution of its per-job fraction.
+	CDF map[core.Component]*stats.CDF
+}
+
+// BreakdownCDFs computes the Fig. 8(b-d) panels for one class and level. A
+// nil class filter (passing classAll=true) aggregates all jobs.
+func BreakdownCDFs(m *core.Model, jobs []workload.Features, class workload.Class, lvl Level) (ComponentCDFs, error) {
+	vals := map[core.Component][]float64{}
+	var weights []float64
+	for _, j := range jobs {
+		if j.Class != class {
+			continue
+		}
+		bd, err := m.Breakdown(j)
+		if err != nil {
+			return ComponentCDFs{}, fmt.Errorf("analyze: %s: %w", j.Name, err)
+		}
+		for _, c := range core.Components() {
+			fr, err := bd.Fraction(c)
+			if err != nil {
+				return ComponentCDFs{}, err
+			}
+			vals[c] = append(vals[c], fr)
+		}
+		weights = append(weights, lvl.weight(j))
+	}
+	if len(weights) == 0 {
+		return ComponentCDFs{}, fmt.Errorf("analyze: no jobs of class %v", class)
+	}
+	out := ComponentCDFs{Class: class, Level: lvl, CDF: map[core.Component]*stats.CDF{}}
+	for c, xs := range vals {
+		cdf, err := stats.NewWeightedCDF(xs, weights)
+		if err != nil {
+			return ComponentCDFs{}, err
+		}
+		out.CDF[c] = cdf
+	}
+	return out, nil
+}
+
+// HardwareCDFs is the Fig. 8(a) panel: CDFs of the time fraction attributed
+// to each hardware component, over all jobs, at one level.
+type HardwareCDFs struct {
+	Level Level
+	CDF   map[core.HardwareComponent]*stats.CDF
+}
+
+// BreakdownHardwareCDFs computes Fig. 8(a).
+func BreakdownHardwareCDFs(m *core.Model, jobs []workload.Features, lvl Level) (HardwareCDFs, error) {
+	if len(jobs) == 0 {
+		return HardwareCDFs{}, fmt.Errorf("analyze: empty trace")
+	}
+	vals := map[core.HardwareComponent][]float64{}
+	var weights []float64
+	for _, j := range jobs {
+		bd, err := m.Breakdown(j)
+		if err != nil {
+			return HardwareCDFs{}, fmt.Errorf("analyze: %s: %w", j.Name, err)
+		}
+		for _, h := range core.HardwareComponents() {
+			fr, err := bd.HardwareFraction(h)
+			if err != nil {
+				return HardwareCDFs{}, err
+			}
+			vals[h] = append(vals[h], fr)
+		}
+		weights = append(weights, lvl.weight(j))
+	}
+	out := HardwareCDFs{Level: lvl, CDF: map[core.HardwareComponent]*stats.CDF{}}
+	for h, xs := range vals {
+		cdf, err := stats.NewWeightedCDF(xs, weights)
+		if err != nil {
+			return HardwareCDFs{}, err
+		}
+		out.CDF[h] = cdf
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+// Package arch implements the per-architecture weight/gradient traffic
+// models: how many bytes cross which link class in one training step, for
+// each of the Table II workload classes and for PEARL.
+//
+// The paper's analytical model treats a weight volume Sw as crossing every
+// medium in the class's media list serially (Eq. 3 computes the PS/Worker
+// weight time as Sw/Ethernet + Sw/PCIe, and the AllReduce-Local time as
+// Sw/NVLink, yielding the 21x bound for communication-bound jobs). When a
+// measured per-step traffic volume is available (Table V's "Network
+// Traffic"), it is used directly; otherwise the volume is derived from the
+// model's weight sizes:
+//
+//   - centralized (1wng, PS/Worker): pull + push = 2 x weights
+//   - decentralized replica (AllReduce): ring volume 2(n-1)/n x weights
+//   - PEARL: ring on the dense part + AllGatherv on the accessed slice of the
+//     partitioned embeddings.
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Flow is a volume of weight/gradient traffic crossing one link class during
+// a training step, per replica.
+type Flow struct {
+	Link  hw.LinkClass
+	Bytes float64
+}
+
+// Options tune the derived-traffic models; zero value is not valid, use
+// DefaultOptions.
+type Options struct {
+	// RingAllReduce selects the bandwidth-optimal ring volume 2(n-1)/n x S
+	// for AllReduce classes; when false a naive 2 x S volume is used
+	// (ablation: the paper assumes NCCL ring collectives).
+	RingAllReduce bool
+	// SparseAccessFraction is the fraction of the embedding table touched by
+	// one mini-batch, used to derive PEARL's AllGatherv volume when no
+	// measured traffic is available. The paper motivates PEARL exactly by
+	// this sparsity ("only a small subset is accessed").
+	SparseAccessFraction float64
+}
+
+// DefaultOptions returns ring collectives and a 1% sparse access fraction.
+func DefaultOptions() Options {
+	return Options{RingAllReduce: true, SparseAccessFraction: 0.01}
+}
+
+// Validate reports an error for out-of-range options.
+func (o Options) Validate() error {
+	if o.SparseAccessFraction < 0 || o.SparseAccessFraction > 1 {
+		return fmt.Errorf("arch: SparseAccessFraction must be in [0,1], got %v", o.SparseAccessFraction)
+	}
+	return nil
+}
+
+// ringFactor returns the per-replica AllReduce volume multiplier for n
+// replicas.
+func ringFactor(n int, ring bool) float64 {
+	if !ring || n <= 1 {
+		if n <= 1 {
+			return 0 // single replica: nothing to synchronize
+		}
+		return 2
+	}
+	return 2 * float64(n-1) / float64(n)
+}
+
+// WeightVolume returns the per-replica per-step weight/gradient volume Sw for
+// the workload. If the workload carries a measured traffic volume it wins;
+// otherwise the volume is derived from the weight sizes and class.
+func WeightVolume(f workload.Features, opt Options) (float64, error) {
+	if err := opt.Validate(); err != nil {
+		return 0, err
+	}
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if f.WeightTrafficBytes > 0 {
+		return f.WeightTrafficBytes, nil
+	}
+	switch f.Class {
+	case workload.OneWorkerOneGPU:
+		return 0, nil
+	case workload.OneWorkerNGPU, workload.PSWorker:
+		// Pull variables + push gradients.
+		return 2 * f.TotalWeightBytes(), nil
+	case workload.AllReduceLocal, workload.AllReduceCluster:
+		return ringFactor(f.CNodes, opt.RingAllReduce) * f.TotalWeightBytes(), nil
+	case workload.PEARL:
+		dense := ringFactor(f.CNodes, opt.RingAllReduce) * f.DenseWeightBytes
+		// AllGatherv of the touched embedding rows plus their gradients.
+		sparse := 2 * opt.SparseAccessFraction * f.EmbeddingWeightBytes
+		return dense + sparse, nil
+	default:
+		return 0, fmt.Errorf("arch: unknown class %v", f.Class)
+	}
+}
+
+// WeightFlows returns the weight/gradient flows of one training step of one
+// replica: the volume Sw crossing each medium in the class's Table II media
+// list.
+func WeightFlows(f workload.Features, opt Options) ([]Flow, error) {
+	sw, err := WeightVolume(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	if sw == 0 {
+		return nil, nil
+	}
+	traits, err := workload.Traits(f.Class)
+	if err != nil {
+		return nil, err
+	}
+	flows := make([]Flow, 0, len(traits.WeightMedia))
+	for _, m := range traits.WeightMedia {
+		flows = append(flows, Flow{Link: m, Bytes: sw})
+	}
+	return flows, nil
+}
+
+// ColocatedReplicas returns how many model replicas share one server's PCIe
+// complex for the workload — the contention factor on input-data I/O
+// (Sec. III-C: porting to AllReduce-Local slows data I/O because input data
+// is fed to multiple GPUs in one server simultaneously).
+func ColocatedReplicas(f workload.Features, gpusPerServer int) (int, error) {
+	if gpusPerServer <= 0 {
+		return 0, fmt.Errorf("arch: gpusPerServer must be positive, got %d", gpusPerServer)
+	}
+	switch f.Class {
+	case workload.OneWorkerOneGPU:
+		return 1, nil
+	case workload.OneWorkerNGPU:
+		if f.CNodes > gpusPerServer {
+			return 0, fmt.Errorf("arch: 1wng job with %d cNodes exceeds %d GPUs per server",
+				f.CNodes, gpusPerServer)
+		}
+		return f.CNodes, nil
+	case workload.PSWorker:
+		// Each worker node is placed on a separate server (Sec. II-A).
+		return 1, nil
+	case workload.AllReduceLocal:
+		if f.CNodes > gpusPerServer {
+			return 0, fmt.Errorf("arch: AllReduce-Local job with %d cNodes exceeds %d GPUs per server",
+				f.CNodes, gpusPerServer)
+		}
+		return f.CNodes, nil
+	case workload.AllReduceCluster, workload.PEARL:
+		if f.CNodes < gpusPerServer {
+			return f.CNodes, nil
+		}
+		return gpusPerServer, nil
+	default:
+		return 0, fmt.Errorf("arch: unknown class %v", f.Class)
+	}
+}
+
+// ServersUsed returns how many servers the job occupies.
+func ServersUsed(f workload.Features, gpusPerServer int) (int, error) {
+	coloc, err := ColocatedReplicas(f, gpusPerServer)
+	if err != nil {
+		return 0, err
+	}
+	switch f.Class {
+	case workload.PSWorker:
+		// One server per worker (parameter servers not counted as cNodes).
+		return f.CNodes, nil
+	default:
+		// Packed placement.
+		return (f.CNodes + coloc - 1) / coloc, nil
+	}
+}

@@ -1,0 +1,256 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func feat(class workload.Class, cNodes int) workload.Features {
+	return workload.Features{
+		Name: "t", Class: class, CNodes: cNodes, BatchSize: 32,
+		FLOPs: 1e12, MemAccessBytes: 1e9, InputBytes: 1e6,
+		DenseWeightBytes: 100 * hw.MB, EmbeddingWeightBytes: 0,
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Options{SparseAccessFraction: -0.1}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative fraction")
+	}
+	bad = Options{SparseAccessFraction: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for fraction > 1")
+	}
+}
+
+func TestWeightVolumeMeasuredOverride(t *testing.T) {
+	f := feat(workload.PSWorker, 4)
+	f.WeightTrafficBytes = 123 * hw.MB
+	got, err := WeightVolume(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 123*hw.MB {
+		t.Errorf("measured override ignored: got %v", got)
+	}
+}
+
+func TestWeightVolumeDerived(t *testing.T) {
+	opt := DefaultOptions()
+
+	f := workload.Features{Name: "single", Class: workload.OneWorkerOneGPU,
+		CNodes: 1, BatchSize: 1, FLOPs: 1, DenseWeightBytes: 100 * hw.MB}
+	got, err := WeightVolume(f, opt)
+	if err != nil || got != 0 {
+		t.Errorf("1w1g volume = %v, %v; want 0", got, err)
+	}
+
+	// Centralized: 2 x weights.
+	f = feat(workload.PSWorker, 4)
+	got, err = WeightVolume(f, opt)
+	if err != nil || got != 200*hw.MB {
+		t.Errorf("PS volume = %v, %v; want 200MB", got, err)
+	}
+	f = feat(workload.OneWorkerNGPU, 4)
+	got, err = WeightVolume(f, opt)
+	if err != nil || got != 200*hw.MB {
+		t.Errorf("1wng volume = %v, %v; want 200MB", got, err)
+	}
+
+	// Ring AllReduce: 2(n-1)/n x weights.
+	f = feat(workload.AllReduceLocal, 4)
+	got, err = WeightVolume(f, opt)
+	want := 2.0 * 3 / 4 * 100 * hw.MB
+	if err != nil || math.Abs(got-want) > 1 {
+		t.Errorf("AR-Local volume = %v, %v; want %v", got, err, want)
+	}
+
+	// Naive AllReduce ablation: 2 x weights.
+	naive := Options{RingAllReduce: false, SparseAccessFraction: 0.01}
+	got, err = WeightVolume(f, naive)
+	if err != nil || got != 200*hw.MB {
+		t.Errorf("naive AR volume = %v, %v; want 200MB", got, err)
+	}
+
+	// Single-replica AllReduce: no sync traffic.
+	f = feat(workload.AllReduceLocal, 1)
+	got, err = WeightVolume(f, opt)
+	if err != nil || got != 0 {
+		t.Errorf("1-replica AR volume = %v, %v; want 0", got, err)
+	}
+}
+
+func TestWeightVolumePEARL(t *testing.T) {
+	opt := DefaultOptions()
+	f := feat(workload.PEARL, 8)
+	f.DenseWeightBytes = 100 * hw.MB
+	f.EmbeddingWeightBytes = 50 * hw.GB
+	got, err := WeightVolume(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := 2.0 * 7 / 8 * 100 * hw.MB
+	sparse := 2 * 0.01 * 50 * hw.GB
+	if math.Abs(got-(dense+sparse)) > 1 {
+		t.Errorf("PEARL volume = %v, want %v", got, dense+sparse)
+	}
+	// PEARL's sparse-aware volume must be far below naively syncing the full
+	// embedding (the package's reason to exist).
+	if got >= 2*f.EmbeddingWeightBytes {
+		t.Error("PEARL volume should be far below dense full-embedding sync")
+	}
+}
+
+func TestWeightVolumeErrors(t *testing.T) {
+	f := feat(workload.PSWorker, 4)
+	bad := Options{SparseAccessFraction: 2}
+	if _, err := WeightVolume(f, bad); err == nil {
+		t.Error("expected error for bad options")
+	}
+	f.CNodes = 0
+	if _, err := WeightVolume(f, DefaultOptions()); err == nil {
+		t.Error("expected error for invalid features")
+	}
+	f = feat(workload.Class(99), 4)
+	if _, err := WeightVolume(f, DefaultOptions()); err == nil {
+		t.Error("expected error for unknown class")
+	}
+}
+
+func TestWeightFlowsMediaMatchTableII(t *testing.T) {
+	opt := DefaultOptions()
+	cases := []struct {
+		class workload.Class
+		media []hw.LinkClass
+	}{
+		{workload.OneWorkerNGPU, []hw.LinkClass{hw.LinkPCIe}},
+		{workload.PSWorker, []hw.LinkClass{hw.LinkEthernet, hw.LinkPCIe}},
+		{workload.AllReduceLocal, []hw.LinkClass{hw.LinkNVLink}},
+		{workload.AllReduceCluster, []hw.LinkClass{hw.LinkEthernet, hw.LinkNVLink}},
+	}
+	for _, tc := range cases {
+		n := 4
+		if tc.class == workload.AllReduceCluster {
+			n = 16
+		}
+		flows, err := WeightFlows(feat(tc.class, n), opt)
+		if err != nil {
+			t.Errorf("%v: %v", tc.class, err)
+			continue
+		}
+		if len(flows) != len(tc.media) {
+			t.Errorf("%v: %d flows, want %d", tc.class, len(flows), len(tc.media))
+			continue
+		}
+		for i, m := range tc.media {
+			if flows[i].Link != m {
+				t.Errorf("%v flow[%d] link = %v, want %v", tc.class, i, flows[i].Link, m)
+			}
+			if flows[i].Bytes <= 0 {
+				t.Errorf("%v flow[%d] has no volume", tc.class, i)
+			}
+		}
+		// Eq. 3 structure: the same Sw crosses each medium.
+		for i := 1; i < len(flows); i++ {
+			if flows[i].Bytes != flows[0].Bytes {
+				t.Errorf("%v: media volumes differ: %v vs %v", tc.class, flows[i].Bytes, flows[0].Bytes)
+			}
+		}
+	}
+}
+
+func TestWeightFlowsNoTraffic(t *testing.T) {
+	f := workload.Features{Name: "s", Class: workload.OneWorkerOneGPU,
+		CNodes: 1, BatchSize: 1, FLOPs: 1}
+	flows, err := WeightFlows(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 0 {
+		t.Errorf("1w1g should have no weight flows, got %v", flows)
+	}
+}
+
+func TestWeightFlowsError(t *testing.T) {
+	f := feat(workload.PSWorker, 4)
+	f.FLOPs, f.MemAccessBytes = 0, 0
+	if _, err := WeightFlows(f, DefaultOptions()); err == nil {
+		t.Error("expected error from invalid features")
+	}
+}
+
+func TestColocatedReplicas(t *testing.T) {
+	cases := []struct {
+		class workload.Class
+		n     int
+		want  int
+	}{
+		{workload.OneWorkerOneGPU, 1, 1},
+		{workload.OneWorkerNGPU, 4, 4},
+		{workload.PSWorker, 64, 1},
+		{workload.AllReduceLocal, 8, 8},
+		{workload.AllReduceCluster, 32, 8},
+		{workload.AllReduceCluster, 4, 4},
+		{workload.PEARL, 8, 8},
+	}
+	for _, tc := range cases {
+		got, err := ColocatedReplicas(feat(tc.class, tc.n), 8)
+		if err != nil {
+			t.Errorf("%v n=%d: %v", tc.class, tc.n, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%v n=%d coloc = %d, want %d", tc.class, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestColocatedReplicasErrors(t *testing.T) {
+	if _, err := ColocatedReplicas(feat(workload.PSWorker, 4), 0); err == nil {
+		t.Error("expected error for zero gpusPerServer")
+	}
+	if _, err := ColocatedReplicas(feat(workload.OneWorkerNGPU, 16), 8); err == nil {
+		t.Error("expected error for oversubscribed 1wng")
+	}
+	if _, err := ColocatedReplicas(feat(workload.AllReduceLocal, 16), 8); err == nil {
+		t.Error("expected error for oversubscribed AllReduce-Local")
+	}
+	if _, err := ColocatedReplicas(feat(workload.Class(99), 4), 8); err == nil {
+		t.Error("expected error for unknown class")
+	}
+}
+
+func TestServersUsed(t *testing.T) {
+	cases := []struct {
+		class workload.Class
+		n     int
+		want  int
+	}{
+		{workload.OneWorkerOneGPU, 1, 1},
+		{workload.OneWorkerNGPU, 4, 1},
+		{workload.PSWorker, 64, 64},
+		{workload.AllReduceLocal, 8, 1},
+		{workload.AllReduceCluster, 32, 4},
+		{workload.AllReduceCluster, 20, 3},
+	}
+	for _, tc := range cases {
+		got, err := ServersUsed(feat(tc.class, tc.n), 8)
+		if err != nil {
+			t.Errorf("%v n=%d: %v", tc.class, tc.n, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%v n=%d servers = %d, want %d", tc.class, tc.n, got, tc.want)
+		}
+	}
+	if _, err := ServersUsed(feat(workload.Class(99), 4), 8); err == nil {
+		t.Error("expected error for unknown class")
+	}
+}

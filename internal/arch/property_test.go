@@ -1,0 +1,104 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Property: derived weight volume is monotone non-decreasing in weight size
+// for every class.
+func TestWeightVolumeMonotoneProperty(t *testing.T) {
+	opt := DefaultOptions()
+	classes := []workload.Class{
+		workload.OneWorkerNGPU, workload.PSWorker,
+		workload.AllReduceLocal, workload.AllReduceCluster, workload.PEARL,
+	}
+	fn := func(aRaw, bRaw uint32, classRaw, nRaw uint8) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		class := classes[int(classRaw)%len(classes)]
+		n := int(nRaw)%7 + 2
+		mk := func(wt float64) workload.Features {
+			return workload.Features{
+				Name: "p", Class: class, CNodes: n, BatchSize: 8,
+				FLOPs: 1e9, MemAccessBytes: 1e6,
+				DenseWeightBytes: wt, EmbeddingWeightBytes: wt / 2,
+			}
+		}
+		va, err := WeightVolume(mk(a+1), opt)
+		if err != nil {
+			return false
+		}
+		vb, err := WeightVolume(mk(b+1), opt)
+		if err != nil {
+			return false
+		}
+		return vb >= va
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the ring factor 2(n-1)/n never exceeds the naive 2x volume.
+func TestRingNeverExceedsNaiveProperty(t *testing.T) {
+	fn := func(nRaw uint8, wtRaw uint32) bool {
+		n := int(nRaw)%15 + 2
+		wt := float64(wtRaw) + 1
+		f := workload.Features{
+			Name: "p", Class: workload.AllReduceLocal, CNodes: n, BatchSize: 8,
+			FLOPs: 1e9, MemAccessBytes: 1e6, DenseWeightBytes: wt,
+		}
+		if n > 8 {
+			f.Class = workload.AllReduceCluster
+		}
+		ring, err := WeightVolume(f, Options{RingAllReduce: true, SparseAccessFraction: 0.01})
+		if err != nil {
+			return false
+		}
+		naive, err := WeightVolume(f, Options{RingAllReduce: false, SparseAccessFraction: 0.01})
+		if err != nil {
+			return false
+		}
+		return ring <= naive
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for embedding-heavy models, PEARL's derived volume stays below
+// the AllReduce-replica volume of the same model whenever the sparse access
+// fraction times replicas is below the ring factor — the regime PEARL is
+// designed for.
+func TestPEARLBeatsReplicaOnSparseModels(t *testing.T) {
+	opt := DefaultOptions() // 1% access
+	fn := func(embRaw uint32, nRaw uint8) bool {
+		n := int(nRaw)%7 + 2
+		emb := float64(embRaw)*1e3 + 1e9 // >= 1 GB embedding
+		pearl := workload.Features{
+			Name: "p", Class: workload.PEARL, CNodes: n, BatchSize: 8,
+			FLOPs: 1e9, MemAccessBytes: 1e6,
+			DenseWeightBytes: 10 * hw.MB, EmbeddingWeightBytes: emb,
+		}
+		replica := pearl
+		replica.Class = workload.AllReduceLocal
+		vp, err := WeightVolume(pearl, opt)
+		if err != nil {
+			return false
+		}
+		vr, err := WeightVolume(replica, opt)
+		if err != nil {
+			return false
+		}
+		return vp < vr
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// The Table II media lists must agree with the physical paths of the Fig. 1
+// topology model: for each class, the links a weight transfer actually
+// crosses between representative devices equal the class's WeightMedia.
+func TestWeightMediaMatchTopologyPaths(t *testing.T) {
+	cl, err := cluster.New(hw.Baseline(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linkSet := func(links ...hw.LinkClass) map[hw.LinkClass]bool {
+		m := map[hw.LinkClass]bool{}
+		for _, l := range links {
+			m[l] = true
+		}
+		return m
+	}
+	pathLinks := func(pairs ...[2]cluster.DeviceID) map[hw.LinkClass]bool {
+		m := map[hw.LinkClass]bool{}
+		for _, p := range pairs {
+			path, err := cl.PathBetween(p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if path.Link != hw.LinkLocal {
+				m[path.Link] = true
+			}
+		}
+		return m
+	}
+
+	gpu00, _ := cl.GPUDevice(0, 0)
+	gpu01, _ := cl.GPUDevice(0, 1)
+	gpu10, _ := cl.GPUDevice(1, 0)
+	cpu0, _ := cl.CPUDevice(0)
+	cpu1, _ := cl.CPUDevice(1)
+
+	cases := []struct {
+		class workload.Class
+		// pairs are the device hops a weight transfer makes under the class.
+		pairs [][2]cluster.DeviceID
+	}{
+		// 1wng: parameters on the local CPU, replicas on local GPUs.
+		{workload.OneWorkerNGPU, [][2]cluster.DeviceID{{cpu0, gpu00}}},
+		// PS/Worker: worker GPU -> worker CPU (PCIe) -> remote PS CPU
+		// (Ethernet).
+		{workload.PSWorker, [][2]cluster.DeviceID{{gpu00, cpu0}, {cpu0, cpu1}}},
+		// AllReduce-Local: GPU peers on one NVLink server.
+		{workload.AllReduceLocal, [][2]cluster.DeviceID{{gpu00, gpu01}}},
+		// AllReduce-Cluster: intra-server GPU hop plus a cross-server hop.
+		{workload.AllReduceCluster, [][2]cluster.DeviceID{{gpu00, gpu01}, {gpu00, gpu10}}},
+		// PEARL (local deployment): NVLink peers.
+		{workload.PEARL, [][2]cluster.DeviceID{{gpu00, gpu01}}},
+	}
+	for _, tc := range cases {
+		traits, err := workload.Traits(tc.class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linkSet(traits.WeightMedia...)
+		got := pathLinks(tc.pairs...)
+		if len(got) != len(want) {
+			t.Errorf("%v: topology links %v != Table II media %v", tc.class, got, want)
+			continue
+		}
+		for l := range want {
+			if !got[l] {
+				t.Errorf("%v: Table II lists %v but topology path does not cross it", tc.class, l)
+			}
+		}
+	}
+}
+
+// On non-NVLink servers (Fig. 1a) the intra-server GPU hop degrades to PCIe,
+// which is exactly why AllReduce-Local is only deployed on NVLink
+// sub-clusters (Sec. II-A).
+func TestNoNVLinkDegradesToPCIe(t *testing.T) {
+	cl, err := cluster.New(hw.BaselineNoNVLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cl.GPUDevice(0, 0)
+	b, _ := cl.GPUDevice(0, 1)
+	p, err := cl.PathBetween(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Link != hw.LinkPCIe {
+		t.Errorf("GPU peer link on Fig. 1a server = %v, want PCIe", p.Link)
+	}
+}

@@ -1,0 +1,219 @@
+// Package cluster models the physical infrastructure of Fig. 1: multi-GPU
+// servers with or without an NVLink hybrid-mesh grid, assembled into a
+// cluster connected by Ethernet. It provides device inventory and
+// communication-path lookup (which link class a transfer between two devices
+// crosses), which the traffic models and the fabric simulator build on.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// DeviceKind distinguishes CPUs (which host input data and, under PS, the
+// parameter shards) from GPUs (which host model replicas).
+type DeviceKind int
+
+const (
+	// CPU is the host processor with the server's main memory.
+	CPU DeviceKind = iota
+	// GPU is an accelerator device.
+	GPU
+)
+
+// String returns "CPU" or "GPU".
+func (k DeviceKind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("DeviceKind(%d)", int(k))
+	}
+}
+
+// DeviceID identifies a device within a cluster.
+type DeviceID struct {
+	Server int
+	Kind   DeviceKind
+	// Index is the GPU index within the server; 0 for CPUs.
+	Index int
+}
+
+// String renders e.g. "s3:GPU2" or "s0:CPU".
+func (d DeviceID) String() string {
+	if d.Kind == CPU {
+		return fmt.Sprintf("s%d:CPU", d.Server)
+	}
+	return fmt.Sprintf("s%d:GPU%d", d.Server, d.Index)
+}
+
+// Server is one multi-GPU machine (Fig. 1).
+type Server struct {
+	ID        int
+	NumGPUs   int
+	HasNVLink bool
+}
+
+// Cluster is a set of identical servers joined by Ethernet.
+type Cluster struct {
+	cfg     hw.Config
+	servers []Server
+}
+
+// New builds a cluster of n identical servers from the hardware
+// configuration.
+func New(cfg hw.Config, numServers int) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numServers <= 0 {
+		return nil, fmt.Errorf("cluster: numServers must be positive, got %d", numServers)
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < numServers; i++ {
+		c.servers = append(c.servers, Server{
+			ID:        i,
+			NumGPUs:   cfg.GPUsPerServer,
+			HasNVLink: cfg.HasNVLink,
+		})
+	}
+	return c, nil
+}
+
+// Config returns the hardware configuration the cluster was built from.
+func (c *Cluster) Config() hw.Config { return c.cfg }
+
+// NumServers returns the number of servers.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// NumGPUs returns the total number of GPUs in the cluster.
+func (c *Cluster) NumGPUs() int {
+	return len(c.servers) * c.cfg.GPUsPerServer
+}
+
+// Server returns the server with the given id.
+func (c *Cluster) Server(id int) (Server, error) {
+	if id < 0 || id >= len(c.servers) {
+		return Server{}, fmt.Errorf("cluster: server %d out of range [0,%d)", id, len(c.servers))
+	}
+	return c.servers[id], nil
+}
+
+// GPUDevice returns the DeviceID for GPU idx on server srv, validating
+// bounds.
+func (c *Cluster) GPUDevice(srv, idx int) (DeviceID, error) {
+	if srv < 0 || srv >= len(c.servers) {
+		return DeviceID{}, fmt.Errorf("cluster: server %d out of range", srv)
+	}
+	if idx < 0 || idx >= c.cfg.GPUsPerServer {
+		return DeviceID{}, fmt.Errorf("cluster: GPU %d out of range [0,%d)", idx, c.cfg.GPUsPerServer)
+	}
+	return DeviceID{Server: srv, Kind: GPU, Index: idx}, nil
+}
+
+// CPUDevice returns the DeviceID for the CPU of server srv.
+func (c *Cluster) CPUDevice(srv int) (DeviceID, error) {
+	if srv < 0 || srv >= len(c.servers) {
+		return DeviceID{}, fmt.Errorf("cluster: server %d out of range", srv)
+	}
+	return DeviceID{Server: srv, Kind: CPU}, nil
+}
+
+// AllGPUs enumerates every GPU device in server-major order.
+func (c *Cluster) AllGPUs() []DeviceID {
+	out := make([]DeviceID, 0, c.NumGPUs())
+	for s := range c.servers {
+		for g := 0; g < c.cfg.GPUsPerServer; g++ {
+			out = append(out, DeviceID{Server: s, Kind: GPU, Index: g})
+		}
+	}
+	return out
+}
+
+// Path describes the link a point-to-point transfer between two devices
+// crosses. Transfers within a device are LinkLocal; GPU<->GPU within an
+// NVLink server cross NVLink; GPU<->GPU within a non-NVLink server and any
+// CPU<->GPU transfer cross PCIe; anything cross-server crosses Ethernet
+// (plus PCIe hops accounted for by the traffic models, not here).
+type Path struct {
+	Link hw.LinkClass
+	// CrossServer reports whether the endpoints are on different servers.
+	CrossServer bool
+}
+
+// PathBetween resolves the link class between two devices.
+func (c *Cluster) PathBetween(a, b DeviceID) (Path, error) {
+	if err := c.checkDevice(a); err != nil {
+		return Path{}, err
+	}
+	if err := c.checkDevice(b); err != nil {
+		return Path{}, err
+	}
+	if a == b {
+		return Path{Link: hw.LinkLocal}, nil
+	}
+	if a.Server != b.Server {
+		return Path{Link: hw.LinkEthernet, CrossServer: true}, nil
+	}
+	// Same server.
+	if a.Kind == GPU && b.Kind == GPU {
+		if c.servers[a.Server].HasNVLink {
+			return Path{Link: hw.LinkNVLink}, nil
+		}
+		return Path{Link: hw.LinkPCIe}, nil
+	}
+	// CPU<->GPU.
+	return Path{Link: hw.LinkPCIe}, nil
+}
+
+func (c *Cluster) checkDevice(d DeviceID) error {
+	if d.Server < 0 || d.Server >= len(c.servers) {
+		return fmt.Errorf("cluster: device %v: server out of range", d)
+	}
+	switch d.Kind {
+	case CPU:
+		if d.Index != 0 {
+			return fmt.Errorf("cluster: device %v: CPU index must be 0", d)
+		}
+	case GPU:
+		if d.Index < 0 || d.Index >= c.cfg.GPUsPerServer {
+			return fmt.Errorf("cluster: device %v: GPU index out of range", d)
+		}
+	default:
+		return fmt.Errorf("cluster: device %v: unknown kind", d)
+	}
+	return nil
+}
+
+// PlaceReplicas assigns n model replicas to GPUs, packing servers in order
+// (replica i -> server i/GPUsPerServer, GPU i%GPUsPerServer). It errors if
+// the cluster has fewer than n GPUs.
+func (c *Cluster) PlaceReplicas(n int) ([]DeviceID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: replica count must be positive, got %d", n)
+	}
+	if n > c.NumGPUs() {
+		return nil, fmt.Errorf("cluster: %d replicas exceed %d GPUs", n, c.NumGPUs())
+	}
+	out := make([]DeviceID, n)
+	for i := 0; i < n; i++ {
+		out[i] = DeviceID{
+			Server: i / c.cfg.GPUsPerServer,
+			Kind:   GPU,
+			Index:  i % c.cfg.GPUsPerServer,
+		}
+	}
+	return out, nil
+}
+
+// ServersSpanned returns how many distinct servers the device list touches.
+func ServersSpanned(devs []DeviceID) int {
+	seen := map[int]bool{}
+	for _, d := range devs {
+		seen[d.Server] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func mustCluster(t *testing.T, cfg hw.Config, n int) *Cluster {
+	t.Helper()
+	c, err := New(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(hw.Baseline(), 0); err == nil {
+		t.Error("expected error for zero servers")
+	}
+	bad := hw.Baseline()
+	bad.PCIeBandwidth = 0
+	if _, err := New(bad, 1); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}
+
+func TestInventory(t *testing.T) {
+	c := mustCluster(t, hw.Baseline(), 4)
+	if c.NumServers() != 4 {
+		t.Errorf("NumServers = %d, want 4", c.NumServers())
+	}
+	if c.NumGPUs() != 32 {
+		t.Errorf("NumGPUs = %d, want 32", c.NumGPUs())
+	}
+	s, err := c.Server(2)
+	if err != nil || s.ID != 2 || s.NumGPUs != 8 || !s.HasNVLink {
+		t.Errorf("Server(2) = %+v, %v", s, err)
+	}
+	if _, err := c.Server(4); err == nil {
+		t.Error("expected error for out-of-range server")
+	}
+	if _, err := c.Server(-1); err == nil {
+		t.Error("expected error for negative server")
+	}
+	gpus := c.AllGPUs()
+	if len(gpus) != 32 {
+		t.Fatalf("AllGPUs = %d, want 32", len(gpus))
+	}
+	if gpus[0] != (DeviceID{Server: 0, Kind: GPU, Index: 0}) {
+		t.Errorf("first GPU = %v", gpus[0])
+	}
+	if gpus[31] != (DeviceID{Server: 3, Kind: GPU, Index: 7}) {
+		t.Errorf("last GPU = %v", gpus[31])
+	}
+}
+
+func TestDeviceLookup(t *testing.T) {
+	c := mustCluster(t, hw.Baseline(), 2)
+	if _, err := c.GPUDevice(0, 7); err != nil {
+		t.Errorf("GPUDevice(0,7): %v", err)
+	}
+	if _, err := c.GPUDevice(0, 8); err == nil {
+		t.Error("expected error for GPU index 8")
+	}
+	if _, err := c.GPUDevice(2, 0); err == nil {
+		t.Error("expected error for server 2")
+	}
+	if _, err := c.CPUDevice(1); err != nil {
+		t.Error("CPUDevice(1) should work")
+	}
+	if _, err := c.CPUDevice(5); err == nil {
+		t.Error("expected error for CPU on missing server")
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	c := mustCluster(t, hw.Baseline(), 2)
+	gpu00, _ := c.GPUDevice(0, 0)
+	gpu01, _ := c.GPUDevice(0, 1)
+	gpu10, _ := c.GPUDevice(1, 0)
+	cpu0, _ := c.CPUDevice(0)
+
+	cases := []struct {
+		a, b DeviceID
+		link hw.LinkClass
+		xsrv bool
+	}{
+		{gpu00, gpu00, hw.LinkLocal, false},
+		{gpu00, gpu01, hw.LinkNVLink, false},
+		{gpu00, gpu10, hw.LinkEthernet, true},
+		{cpu0, gpu00, hw.LinkPCIe, false},
+		{gpu00, cpu0, hw.LinkPCIe, false},
+	}
+	for _, tc := range cases {
+		p, err := c.PathBetween(tc.a, tc.b)
+		if err != nil {
+			t.Errorf("PathBetween(%v,%v): %v", tc.a, tc.b, err)
+			continue
+		}
+		if p.Link != tc.link || p.CrossServer != tc.xsrv {
+			t.Errorf("PathBetween(%v,%v) = %+v, want link=%v cross=%v",
+				tc.a, tc.b, p, tc.link, tc.xsrv)
+		}
+	}
+}
+
+func TestPathWithoutNVLink(t *testing.T) {
+	c := mustCluster(t, hw.BaselineNoNVLink(), 1)
+	a, _ := c.GPUDevice(0, 0)
+	b, _ := c.GPUDevice(0, 1)
+	p, err := c.PathBetween(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Link != hw.LinkPCIe {
+		t.Errorf("GPU-GPU link without NVLink = %v, want PCIe", p.Link)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	c := mustCluster(t, hw.Baseline(), 1)
+	good, _ := c.GPUDevice(0, 0)
+	badServer := DeviceID{Server: 9, Kind: GPU}
+	badIdx := DeviceID{Server: 0, Kind: GPU, Index: 99}
+	badCPU := DeviceID{Server: 0, Kind: CPU, Index: 1}
+	badKind := DeviceID{Server: 0, Kind: DeviceKind(7)}
+	for _, bad := range []DeviceID{badServer, badIdx, badCPU, badKind} {
+		if _, err := c.PathBetween(good, bad); err == nil {
+			t.Errorf("expected error for device %v", bad)
+		}
+		if _, err := c.PathBetween(bad, good); err == nil {
+			t.Errorf("expected error for device %v (first arg)", bad)
+		}
+	}
+}
+
+func TestPlaceReplicas(t *testing.T) {
+	c := mustCluster(t, hw.Baseline(), 2)
+	devs, err := c.PlaceReplicas(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 10 {
+		t.Fatalf("placed %d, want 10", len(devs))
+	}
+	// First 8 on server 0, next 2 on server 1.
+	if devs[7].Server != 0 || devs[8].Server != 1 {
+		t.Errorf("packing wrong: devs[7]=%v devs[8]=%v", devs[7], devs[8])
+	}
+	if ServersSpanned(devs) != 2 {
+		t.Errorf("ServersSpanned = %d, want 2", ServersSpanned(devs))
+	}
+	if _, err := c.PlaceReplicas(0); err == nil {
+		t.Error("expected error for zero replicas")
+	}
+	if _, err := c.PlaceReplicas(17); err == nil {
+		t.Error("expected error for too many replicas")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if GPU.String() != "GPU" || CPU.String() != "CPU" {
+		t.Error("DeviceKind strings wrong")
+	}
+	if DeviceKind(5).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	d := DeviceID{Server: 3, Kind: GPU, Index: 2}
+	if d.String() != "s3:GPU2" {
+		t.Errorf("DeviceID string = %q", d.String())
+	}
+	cpu := DeviceID{Server: 0, Kind: CPU}
+	if cpu.String() != "s0:CPU" {
+		t.Errorf("CPU DeviceID string = %q", cpu.String())
+	}
+}
+
+func TestServersSpannedEmpty(t *testing.T) {
+	if ServersSpanned(nil) != 0 {
+		t.Error("empty device list spans 0 servers")
+	}
+}

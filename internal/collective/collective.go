@@ -1,0 +1,292 @@
+// Package collective implements the NCCL-style collective operations PEARL
+// and the AllReduce architectures build on — ring AllReduce, ReduceScatter,
+// AllGather, AllGatherv, Broadcast and Reduce — executed for real by SPMD
+// goroutine workers exchanging float32 buffers over in-memory channels.
+//
+// Every worker counts the bytes it puts on the wire, so tests can
+// cross-validate the analytical traffic model of internal/arch against the
+// executable implementation (ring AllReduce moves exactly 2(n-1)/n x S per
+// rank).
+package collective
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Group is a fixed-size communicator. All collective methods are SPMD: every
+// rank must call the same method concurrently with its own rank argument,
+// exactly once per operation, in the same order across ranks.
+type Group struct {
+	n int
+	// mailboxes[dst][src] carries messages from src to dst. Buffered so a
+	// ring step can send before receiving without deadlock.
+	mailboxes [][]chan []float32
+	bytesSent []atomic.Int64
+}
+
+// NewGroup creates a communicator of n ranks (n >= 1).
+func NewGroup(n int) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("collective: group size must be >= 1, got %d", n)
+	}
+	g := &Group{
+		n:         n,
+		mailboxes: make([][]chan []float32, n),
+		bytesSent: make([]atomic.Int64, n),
+	}
+	for dst := 0; dst < n; dst++ {
+		g.mailboxes[dst] = make([]chan []float32, n)
+		for src := 0; src < n; src++ {
+			g.mailboxes[dst][src] = make(chan []float32, 4)
+		}
+	}
+	return g, nil
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.n }
+
+// BytesSent returns the cumulative bytes rank has sent.
+func (g *Group) BytesSent(rank int) (int64, error) {
+	if err := g.checkRank(rank); err != nil {
+		return 0, err
+	}
+	return g.bytesSent[rank].Load(), nil
+}
+
+// TotalBytesSent sums wire bytes over all ranks.
+func (g *Group) TotalBytesSent() int64 {
+	var total int64
+	for i := range g.bytesSent {
+		total += g.bytesSent[i].Load()
+	}
+	return total
+}
+
+func (g *Group) checkRank(rank int) error {
+	if rank < 0 || rank >= g.n {
+		return fmt.Errorf("collective: rank %d out of range [0,%d)", rank, g.n)
+	}
+	return nil
+}
+
+// send transmits a copy of data from rank to dst.
+func (g *Group) send(rank, dst int, data []float32) {
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	g.bytesSent[rank].Add(int64(4 * len(data)))
+	g.mailboxes[dst][rank] <- cp
+}
+
+// recv blocks until a message from src arrives at rank.
+func (g *Group) recv(rank, src int) []float32 {
+	return <-g.mailboxes[rank][src]
+}
+
+// chunkBounds splits length len(n chunks) as evenly as possible; chunk i is
+// [bounds[i], bounds[i+1]).
+func chunkBounds(length, n int) []int {
+	bounds := make([]int, n+1)
+	base, rem := length/n, length%n
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		bounds[i+1] = bounds[i] + sz
+	}
+	return bounds
+}
+
+// AllReduce sums buf element-wise across all ranks, leaving the result in
+// every rank's buf. Implementation is the bandwidth-optimal ring:
+// reduce-scatter followed by all-gather, each n-1 steps over 1/n-sized
+// chunks. All ranks must pass equal-length buffers.
+func (g *Group) AllReduce(rank int, buf []float32) error {
+	if err := g.checkRank(rank); err != nil {
+		return err
+	}
+	if g.n == 1 {
+		return nil
+	}
+	bounds := chunkBounds(len(buf), g.n)
+	next := (rank + 1) % g.n
+	prev := (rank - 1 + g.n) % g.n
+
+	// Reduce-scatter: after step s, rank owns the fully-reduced chunk
+	// (rank+1) mod n at the end.
+	for s := 0; s < g.n-1; s++ {
+		sendChunk := ((rank-s)%g.n + g.n) % g.n
+		recvChunk := ((rank-s-1)%g.n + g.n) % g.n
+		g.send(rank, next, buf[bounds[sendChunk]:bounds[sendChunk+1]])
+		in := g.recv(rank, prev)
+		dst := buf[bounds[recvChunk]:bounds[recvChunk+1]]
+		if len(in) != len(dst) {
+			return fmt.Errorf("collective: AllReduce buffer length mismatch across ranks")
+		}
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// All-gather the reduced chunks.
+	for s := 0; s < g.n-1; s++ {
+		sendChunk := ((rank+1-s)%g.n + g.n) % g.n
+		recvChunk := ((rank-s)%g.n + g.n) % g.n
+		g.send(rank, next, buf[bounds[sendChunk]:bounds[sendChunk+1]])
+		in := g.recv(rank, prev)
+		copy(buf[bounds[recvChunk]:bounds[recvChunk+1]], in)
+	}
+	return nil
+}
+
+// ReduceScatter sums buf across ranks and leaves rank i holding only chunk i
+// of the reduced result (returned slice). buf is clobbered.
+func (g *Group) ReduceScatter(rank int, buf []float32) ([]float32, error) {
+	if err := g.checkRank(rank); err != nil {
+		return nil, err
+	}
+	bounds := chunkBounds(len(buf), g.n)
+	if g.n == 1 {
+		out := make([]float32, len(buf))
+		copy(out, buf)
+		return out, nil
+	}
+	next := (rank + 1) % g.n
+	prev := (rank - 1 + g.n) % g.n
+	for s := 0; s < g.n-1; s++ {
+		sendChunk := ((rank-s)%g.n + g.n) % g.n
+		recvChunk := ((rank-s-1)%g.n + g.n) % g.n
+		g.send(rank, next, buf[bounds[sendChunk]:bounds[sendChunk+1]])
+		in := g.recv(rank, prev)
+		dst := buf[bounds[recvChunk]:bounds[recvChunk+1]]
+		if len(in) != len(dst) {
+			return nil, fmt.Errorf("collective: ReduceScatter buffer length mismatch")
+		}
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	own := ((rank+1)%g.n + g.n) % g.n
+	out := make([]float32, bounds[own+1]-bounds[own])
+	copy(out, buf[bounds[own]:bounds[own+1]])
+	return out, nil
+}
+
+// AllGather concatenates equal-length per-rank chunks into every rank's
+// result: out = chunk_0 || chunk_1 || ... || chunk_{n-1}.
+func (g *Group) AllGather(rank int, chunk []float32) ([]float32, error) {
+	if err := g.checkRank(rank); err != nil {
+		return nil, err
+	}
+	sizes := make([]int, g.n)
+	for i := range sizes {
+		sizes[i] = len(chunk)
+	}
+	return g.allGatherv(rank, chunk, sizes)
+}
+
+// AllGatherv concatenates variable-length per-rank chunks into every rank's
+// result. sizes lists every rank's chunk length and must match across ranks;
+// sizes[rank] must equal len(chunk). This is the operation PEARL uses to
+// exchange partitioned embedding rows and their gradients (Sec. IV-C).
+func (g *Group) AllGatherv(rank int, chunk []float32, sizes []int) ([]float32, error) {
+	if err := g.checkRank(rank); err != nil {
+		return nil, err
+	}
+	if len(sizes) != g.n {
+		return nil, fmt.Errorf("collective: AllGatherv needs %d sizes, got %d", g.n, len(sizes))
+	}
+	if sizes[rank] != len(chunk) {
+		return nil, fmt.Errorf("collective: rank %d chunk length %d != declared size %d",
+			rank, len(chunk), sizes[rank])
+	}
+	return g.allGatherv(rank, chunk, sizes)
+}
+
+func (g *Group) allGatherv(rank int, chunk []float32, sizes []int) ([]float32, error) {
+	offsets := make([]int, g.n+1)
+	for i, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("collective: negative chunk size %d", s)
+		}
+		offsets[i+1] = offsets[i] + s
+	}
+	out := make([]float32, offsets[g.n])
+	copy(out[offsets[rank]:offsets[rank+1]], chunk)
+	if g.n == 1 {
+		return out, nil
+	}
+	next := (rank + 1) % g.n
+	prev := (rank - 1 + g.n) % g.n
+	// Ring: at step s, forward the chunk originally owned by (rank-s) mod n.
+	for s := 0; s < g.n-1; s++ {
+		sendOwner := ((rank-s)%g.n + g.n) % g.n
+		recvOwner := ((rank-s-1)%g.n + g.n) % g.n
+		g.send(rank, next, out[offsets[sendOwner]:offsets[sendOwner+1]])
+		in := g.recv(rank, prev)
+		if len(in) != sizes[recvOwner] {
+			return nil, fmt.Errorf("collective: AllGatherv size mismatch from rank %d", recvOwner)
+		}
+		copy(out[offsets[recvOwner]:offsets[recvOwner+1]], in)
+	}
+	return out, nil
+}
+
+// Broadcast copies root's buf into every rank's buf.
+func (g *Group) Broadcast(rank, root int, buf []float32) error {
+	if err := g.checkRank(rank); err != nil {
+		return err
+	}
+	if err := g.checkRank(root); err != nil {
+		return err
+	}
+	if g.n == 1 {
+		return nil
+	}
+	if rank == root {
+		for dst := 0; dst < g.n; dst++ {
+			if dst != root {
+				g.send(rank, dst, buf)
+			}
+		}
+		return nil
+	}
+	in := g.recv(rank, root)
+	if len(in) != len(buf) {
+		return fmt.Errorf("collective: Broadcast length mismatch")
+	}
+	copy(buf, in)
+	return nil
+}
+
+// Reduce sums buf across ranks into root's buf; other ranks' buffers are
+// unchanged.
+func (g *Group) Reduce(rank, root int, buf []float32) error {
+	if err := g.checkRank(rank); err != nil {
+		return err
+	}
+	if err := g.checkRank(root); err != nil {
+		return err
+	}
+	if g.n == 1 {
+		return nil
+	}
+	if rank != root {
+		g.send(rank, root, buf)
+		return nil
+	}
+	for src := 0; src < g.n; src++ {
+		if src == root {
+			continue
+		}
+		in := g.recv(rank, src)
+		if len(in) != len(buf) {
+			return fmt.Errorf("collective: Reduce length mismatch from rank %d", src)
+		}
+		for i := range buf {
+			buf[i] += in[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package collective
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// runSPMD runs fn on every rank concurrently and collects errors.
+func runSPMD(t *testing.T, n int, fn func(rank int) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(rank)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestNewGroup(t *testing.T) {
+	if _, err := NewGroup(0); err == nil {
+		t.Error("expected error for zero-size group")
+	}
+	g, err := NewGroup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 4 {
+		t.Errorf("Size = %d, want 4", g.Size())
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	g, _ := NewGroup(2)
+	if err := g.AllReduce(5, nil); err == nil {
+		t.Error("expected error for bad rank")
+	}
+	if _, err := g.ReduceScatter(-1, nil); err == nil {
+		t.Error("expected error for bad rank")
+	}
+	if _, err := g.AllGather(9, nil); err == nil {
+		t.Error("expected error for bad rank")
+	}
+	if _, err := g.AllGatherv(9, nil, []int{0, 0}); err == nil {
+		t.Error("expected error for bad rank")
+	}
+	if err := g.Broadcast(0, 7, nil); err == nil {
+		t.Error("expected error for bad root")
+	}
+	if err := g.Reduce(7, 0, nil); err == nil {
+		t.Error("expected error for bad rank")
+	}
+	if _, err := g.BytesSent(9); err == nil {
+		t.Error("expected error for bad rank")
+	}
+}
+
+func TestAllReduceCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for _, size := range []int{1, 5, 8, 17, 64} {
+			g, err := NewGroup(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs := make([][]float32, n)
+			want := make([]float32, size)
+			for r := 0; r < n; r++ {
+				bufs[r] = make([]float32, size)
+				for i := range bufs[r] {
+					bufs[r][i] = float32(r*100 + i)
+					want[i] += bufs[r][i]
+				}
+			}
+			runSPMD(t, n, func(rank int) error {
+				return g.AllReduce(rank, bufs[rank])
+			})
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if math.Abs(float64(bufs[r][i]-want[i])) > 1e-3 {
+						t.Fatalf("n=%d size=%d rank=%d elem %d: got %v, want %v",
+							n, size, r, i, bufs[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Ring AllReduce wire volume: each rank sends exactly 2(n-1)/n x S bytes —
+// the factor the analytical traffic model (internal/arch) assumes.
+func TestAllReduceRingVolume(t *testing.T) {
+	const n, size = 4, 64
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, size)
+	}
+	runSPMD(t, n, func(rank int) error {
+		return g.AllReduce(rank, bufs[rank])
+	})
+	wantPerRank := int64(2 * (n - 1) / n * (size / n) * 4 * n / (n - 1) * (n - 1))
+	// Explicit: 2*(n-1) steps of (size/n)*4 bytes each.
+	wantPerRank = int64(2 * (n - 1) * (size / n) * 4)
+	for r := 0; r < n; r++ {
+		got, err := g.BytesSent(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantPerRank {
+			t.Errorf("rank %d sent %d bytes, want %d (= 2(n-1)/n x S)", r, got, wantPerRank)
+		}
+	}
+	if total := g.TotalBytesSent(); total != wantPerRank*int64(n) {
+		t.Errorf("total = %d, want %d", total, wantPerRank*int64(n))
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		size := 8
+		g, err := NewGroup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := make([][]float32, n)
+		full := make([]float32, size)
+		for r := 0; r < n; r++ {
+			bufs[r] = make([]float32, size)
+			for i := range bufs[r] {
+				bufs[r][i] = float32(r + i)
+				full[i] += bufs[r][i]
+			}
+		}
+		outs := make([][]float32, n)
+		runSPMD(t, n, func(rank int) error {
+			out, err := g.ReduceScatter(rank, bufs[rank])
+			outs[rank] = out
+			return err
+		})
+		// Concatenating per-rank outputs in chunk order recovers the full
+		// reduced vector. Rank r owns chunk (r+1) mod n.
+		got := make([]float32, size)
+		bounds := chunkBounds(size, n)
+		for r := 0; r < n; r++ {
+			chunk := (r + 1) % n
+			copy(got[bounds[chunk]:bounds[chunk+1]], outs[r])
+		}
+		for i := range full {
+			if math.Abs(float64(got[i]-full[i])) > 1e-3 {
+				t.Fatalf("n=%d elem %d: got %v, want %v", n, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	const n = 4
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]float32, n)
+	runSPMD(t, n, func(rank int) error {
+		chunk := []float32{float32(rank), float32(rank * 10)}
+		out, err := g.AllGather(rank, chunk)
+		outs[rank] = out
+		return err
+	})
+	want := []float32{0, 0, 1, 10, 2, 20, 3, 30}
+	for r := 0; r < n; r++ {
+		if len(outs[r]) != len(want) {
+			t.Fatalf("rank %d output length %d, want %d", r, len(outs[r]), len(want))
+		}
+		for i := range want {
+			if outs[r][i] != want[i] {
+				t.Fatalf("rank %d elem %d: got %v, want %v", r, i, outs[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllGatherv(t *testing.T) {
+	const n = 3
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]float32{{1}, {2, 3}, {4, 5, 6}}
+	sizes := []int{1, 2, 3}
+	outs := make([][]float32, n)
+	runSPMD(t, n, func(rank int) error {
+		out, err := g.AllGatherv(rank, chunks[rank], sizes)
+		outs[rank] = out
+		return err
+	})
+	want := []float32{1, 2, 3, 4, 5, 6}
+	for r := 0; r < n; r++ {
+		for i := range want {
+			if outs[r][i] != want[i] {
+				t.Fatalf("rank %d elem %d: got %v, want %v", r, i, outs[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllGathervZeroSizes(t *testing.T) {
+	const n = 3
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]float32{{}, {7, 8}, {}}
+	sizes := []int{0, 2, 0}
+	outs := make([][]float32, n)
+	runSPMD(t, n, func(rank int) error {
+		out, err := g.AllGatherv(rank, chunks[rank], sizes)
+		outs[rank] = out
+		return err
+	})
+	for r := 0; r < n; r++ {
+		if len(outs[r]) != 2 || outs[r][0] != 7 || outs[r][1] != 8 {
+			t.Fatalf("rank %d output = %v, want [7 8]", r, outs[r])
+		}
+	}
+}
+
+func TestAllGathervValidation(t *testing.T) {
+	g, _ := NewGroup(2)
+	if _, err := g.AllGatherv(0, []float32{1}, []int{1}); err == nil {
+		t.Error("expected error for wrong sizes length")
+	}
+	if _, err := g.AllGatherv(0, []float32{1}, []int{2, 1}); err == nil {
+		t.Error("expected error for chunk/size mismatch")
+	}
+	g1, _ := NewGroup(1)
+	if _, err := g1.AllGatherv(0, []float32{1}, []int{-1}); err == nil {
+		t.Error("expected error for negative size")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const n = 5
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, 3)
+		if r == 2 {
+			bufs[r] = []float32{7, 8, 9}
+		}
+	}
+	runSPMD(t, n, func(rank int) error {
+		return g.Broadcast(rank, 2, bufs[rank])
+	})
+	for r := 0; r < n; r++ {
+		if bufs[r][0] != 7 || bufs[r][1] != 8 || bufs[r][2] != 9 {
+			t.Fatalf("rank %d buf = %v, want [7 8 9]", r, bufs[r])
+		}
+	}
+	// Single-rank broadcast is a no-op.
+	g1, _ := NewGroup(1)
+	if err := g1.Broadcast(0, 0, []float32{1}); err != nil {
+		t.Errorf("single-rank broadcast: %v", err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	const n = 4
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = []float32{float32(r), 1}
+	}
+	runSPMD(t, n, func(rank int) error {
+		return g.Reduce(rank, 0, bufs[rank])
+	})
+	if bufs[0][0] != 6 || bufs[0][1] != 4 {
+		t.Errorf("root buf = %v, want [6 4]", bufs[0])
+	}
+	// Non-root buffers unchanged.
+	if bufs[1][0] != 1 || bufs[2][0] != 2 {
+		t.Error("non-root buffers must be unchanged")
+	}
+	// Single-rank reduce is a no-op.
+	g1, _ := NewGroup(1)
+	buf := []float32{3}
+	if err := g1.Reduce(0, 0, buf); err != nil || buf[0] != 3 {
+		t.Errorf("single-rank reduce: %v %v", buf, err)
+	}
+}
+
+func TestSingleRankOps(t *testing.T) {
+	g, _ := NewGroup(1)
+	buf := []float32{1, 2, 3}
+	if err := g.AllReduce(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Error("single-rank AllReduce should be identity")
+	}
+	out, err := g.ReduceScatter(0, buf)
+	if err != nil || len(out) != 3 {
+		t.Errorf("single-rank ReduceScatter: %v %v", out, err)
+	}
+	ag, err := g.AllGather(0, buf)
+	if err != nil || len(ag) != 3 {
+		t.Errorf("single-rank AllGather: %v %v", ag, err)
+	}
+	if g.TotalBytesSent() != 0 {
+		t.Error("single-rank ops should move no bytes")
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	b := chunkBounds(10, 3)
+	want := []int{0, 4, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("chunkBounds(10,3) = %v, want %v", b, want)
+		}
+	}
+	b = chunkBounds(2, 4) // more ranks than elements
+	if b[4] != 2 {
+		t.Errorf("chunkBounds(2,4) final = %d, want 2", b[4])
+	}
+}

@@ -1,0 +1,131 @@
+package collective
+
+import (
+	"fmt"
+)
+
+// Hierarchical is a two-level communicator for AllReduce-Cluster-style
+// topologies (Sec. II-A): ranks are arranged in a servers x gpusPerServer
+// grid; the intra-server level rides NVLink, the cross-server level rides
+// Ethernet. AllReduce decomposes into
+//
+//  1. intra-server ReduceScatter (each local rank ends up owning one chunk
+//     reduced over its server),
+//  2. cross-server AllReduce of each owned chunk among same-local-rank peers,
+//  3. intra-server AllGather of the now globally-reduced chunks.
+//
+// The cross-server volume per server is 2(ns-1)/ns x S — the per-server
+// Ethernet stream the fabric simulator (internal/simnet) models for
+// AllReduce-Cluster, now validated by executable code.
+type Hierarchical struct {
+	servers, perServer int
+	// local[s] is the NVLink communicator of server s.
+	local []*Group
+	// cross[l] is the Ethernet communicator of local-rank l across servers.
+	cross []*Group
+}
+
+// NewHierarchical builds the two-level communicator for servers x perServer
+// ranks.
+func NewHierarchical(servers, perServer int) (*Hierarchical, error) {
+	if servers < 1 || perServer < 1 {
+		return nil, fmt.Errorf("collective: hierarchical needs positive dims, got %dx%d", servers, perServer)
+	}
+	h := &Hierarchical{servers: servers, perServer: perServer}
+	for s := 0; s < servers; s++ {
+		g, err := NewGroup(perServer)
+		if err != nil {
+			return nil, err
+		}
+		h.local = append(h.local, g)
+	}
+	for l := 0; l < perServer; l++ {
+		g, err := NewGroup(servers)
+		if err != nil {
+			return nil, err
+		}
+		h.cross = append(h.cross, g)
+	}
+	return h, nil
+}
+
+// Size returns the total rank count.
+func (h *Hierarchical) Size() int { return h.servers * h.perServer }
+
+// coords splits a global rank into (server, localRank).
+func (h *Hierarchical) coords(rank int) (int, int, error) {
+	if rank < 0 || rank >= h.Size() {
+		return 0, 0, fmt.Errorf("collective: rank %d out of range [0,%d)", rank, h.Size())
+	}
+	return rank / h.perServer, rank % h.perServer, nil
+}
+
+// AllReduce sums buf across all ranks of the grid, SPMD like Group
+// operations: all Size() ranks must call concurrently with equal-length
+// buffers.
+func (h *Hierarchical) AllReduce(rank int, buf []float32) error {
+	server, local, err := h.coords(rank)
+	if err != nil {
+		return err
+	}
+	k := h.perServer
+
+	// Level 1: intra-server reduce-scatter. Local rank l ends up owning
+	// logical chunk (l+1) mod k, reduced over the server.
+	work := make([]float32, len(buf))
+	copy(work, buf)
+	chunk, err := h.local[server].ReduceScatter(local, work)
+	if err != nil {
+		return err
+	}
+	ownChunk := (local + 1) % k
+
+	// Level 2: cross-server allreduce of the owned chunk among the
+	// same-local-rank peers.
+	if err := h.cross[local].AllReduce(server, chunk); err != nil {
+		return err
+	}
+
+	// Level 3: intra-server allgatherv, then reorder rank-ordered chunks
+	// back into logical chunk order.
+	bounds := chunkBounds(len(buf), k)
+	sizes := make([]int, k)
+	for l := 0; l < k; l++ {
+		c := (l + 1) % k
+		sizes[l] = bounds[c+1] - bounds[c]
+	}
+	if len(chunk) != sizes[local] {
+		return fmt.Errorf("collective: hierarchical chunk size mismatch (%d vs %d)", len(chunk), sizes[local])
+	}
+	gathered, err := h.local[server].AllGatherv(local, chunk, sizes)
+	if err != nil {
+		return err
+	}
+	if ownChunk >= 0 { // always true; documents the mapping below
+		off := 0
+		for l := 0; l < k; l++ {
+			c := (l + 1) % k
+			copy(buf[bounds[c]:bounds[c+1]], gathered[off:off+sizes[l]])
+			off += sizes[l]
+		}
+	}
+	return nil
+}
+
+// CrossServerBytes sums the bytes that crossed the Ethernet level.
+func (h *Hierarchical) CrossServerBytes() int64 {
+	var total int64
+	for _, g := range h.cross {
+		total += g.TotalBytesSent()
+	}
+	return total
+}
+
+// IntraServerBytes sums the bytes that stayed on NVLink.
+func (h *Hierarchical) IntraServerBytes() int64 {
+	var total int64
+	for _, g := range h.local {
+		total += g.TotalBytesSent()
+	}
+	return total
+}

@@ -1,0 +1,114 @@
+package collective
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func runHierarchical(t *testing.T, h *Hierarchical, bufs [][]float32) {
+	t.Helper()
+	n := h.Size()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = h.AllReduce(rank, bufs[rank])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestNewHierarchicalValidation(t *testing.T) {
+	if _, err := NewHierarchical(0, 4); err == nil {
+		t.Error("expected error for zero servers")
+	}
+	if _, err := NewHierarchical(2, 0); err == nil {
+		t.Error("expected error for zero per-server ranks")
+	}
+	h, err := NewHierarchical(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 8 {
+		t.Errorf("Size = %d, want 8", h.Size())
+	}
+	if err := h.AllReduce(99, nil); err == nil {
+		t.Error("expected error for bad rank")
+	}
+}
+
+func TestHierarchicalMatchesFlatAllReduce(t *testing.T) {
+	cases := []struct{ servers, perServer, size int }{
+		{2, 2, 8},
+		{2, 4, 16},
+		{4, 2, 10}, // size not divisible by chunk counts
+		{3, 3, 27},
+		{1, 4, 12}, // single server degenerates to local ring
+		{4, 1, 9},  // single GPU per server degenerates to cross ring
+	}
+	for _, tc := range cases {
+		h, err := NewHierarchical(tc.servers, tc.perServer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := h.Size()
+		bufs := make([][]float32, n)
+		want := make([]float32, tc.size)
+		for r := 0; r < n; r++ {
+			bufs[r] = make([]float32, tc.size)
+			for i := range bufs[r] {
+				bufs[r][i] = float32(r*31 + i)
+				want[i] += bufs[r][i]
+			}
+		}
+		runHierarchical(t, h, bufs)
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(float64(bufs[r][i]-want[i])) > 1e-2 {
+					t.Fatalf("%dx%d size %d: rank %d elem %d = %v, want %v",
+						tc.servers, tc.perServer, tc.size, r, i, bufs[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The cross-server traffic per server matches the hierarchical model the
+// fabric simulator assumes for AllReduce-Cluster: 2(ns-1)/ns x S per server.
+func TestHierarchicalCrossServerVolume(t *testing.T) {
+	const servers, perServer, size = 4, 4, 64
+	h, err := NewHierarchical(servers, perServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]float32, h.Size())
+	for r := range bufs {
+		bufs[r] = make([]float32, size)
+	}
+	runHierarchical(t, h, bufs)
+	// Each cross group of ns ranks ring-allreduces a chunk of size/perServer:
+	// per rank 2(ns-1)*chunk/ns elements. Per server: sum over its perServer
+	// local ranks = 2(ns-1)/ns * size elements.
+	bytesPerServer := float64(h.CrossServerBytes()) / servers
+	want := 2.0 * float64(servers-1) / float64(servers) * size * 4
+	if math.Abs(bytesPerServer-want) > 1e-9 {
+		t.Errorf("cross-server bytes per server = %v, want %v (2(ns-1)/ns x S)", bytesPerServer, want)
+	}
+	if h.IntraServerBytes() <= 0 {
+		t.Error("intra-server level moved no bytes")
+	}
+	// Cross-server traffic is strictly less than a flat ring over Ethernet
+	// would move per server (perServer ranks each sending 2(n-1)/n x S).
+	flatPerServer := 2.0 * float64(h.Size()-1) / float64(h.Size()) * size * 4 * perServer
+	if bytesPerServer >= flatPerServer {
+		t.Error("hierarchical should reduce cross-server traffic vs flat ring")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func TestPartialOverlapBoundaries(t *testing.T) {
+	m := newModel(t)
+	f := psJob(5 * hw.GB)
+
+	none, err := m.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Overlap = OverlapIdeal
+	ideal, err := m.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// alpha = 0 equals non-overlap; alpha = 1 equals ideal.
+	m.Overlap = OverlapPartial
+	m.OverlapAlpha = 0
+	p0, err := m.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p0.Total()-none.Total()) > 1e-12 {
+		t.Errorf("alpha=0 total %v != non-overlap %v", p0.Total(), none.Total())
+	}
+	m.OverlapAlpha = 1
+	p1, err := m.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1.Total()-ideal.Total()) > 1e-12 {
+		t.Errorf("alpha=1 total %v != ideal %v", p1.Total(), ideal.Total())
+	}
+}
+
+// Property: the partial-overlap total is monotone non-increasing in alpha
+// and always between ideal and non-overlap.
+func TestPartialOverlapMonotoneProperty(t *testing.T) {
+	m := newModel(t)
+	m.Overlap = OverlapPartial
+	fn := func(aRaw, bRaw uint8, swRaw uint16) bool {
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		f := psJob(float64(swRaw)*1e7 + 1e6)
+		m.OverlapAlpha = a
+		ta, err := m.Breakdown(f)
+		if err != nil {
+			return false
+		}
+		m.OverlapAlpha = b
+		tb, err := m.Breakdown(f)
+		if err != nil {
+			return false
+		}
+		sum := ta.DataIO + ta.Compute() + ta.Weights
+		max := math.Max(ta.DataIO, math.Max(ta.Compute(), ta.Weights))
+		return tb.Total() <= ta.Total()+1e-12 &&
+			ta.Total() <= sum+1e-12 && ta.Total() >= max-1e-12
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartialOverlapValidation(t *testing.T) {
+	m := newModel(t)
+	m.Overlap = OverlapPartial
+	m.OverlapAlpha = 1.5
+	if _, err := m.Breakdown(psJob(hw.GB)); err == nil {
+		t.Error("expected error for alpha > 1")
+	}
+	m.OverlapAlpha = -0.1
+	if _, err := m.Breakdown(psJob(hw.GB)); err == nil {
+		t.Error("expected error for alpha < 0")
+	}
+	m.OverlapAlpha = math.NaN()
+	if _, err := m.Breakdown(psJob(hw.GB)); err == nil {
+		t.Error("expected error for NaN alpha")
+	}
+}
+
+func TestOverlapPartialString(t *testing.T) {
+	if OverlapPartial.String() != "partial-overlap" {
+		t.Error("partial overlap name wrong")
+	}
+}
+
+// Clamp behavior on raw Times (out-of-range alpha clamped, not erroring —
+// Times is a value type users may construct directly).
+func TestTimesPartialClamp(t *testing.T) {
+	tm := Times{DataIO: 1, ComputeFLOPs: 2, ComputeMem: 3, Weights: 4,
+		Overlap: OverlapPartial, OverlapAlpha: 2}
+	if tm.Total() != 5 { // max(1,5,4) = 5 at alpha clamped to 1
+		t.Errorf("clamped alpha=2 total = %v, want 5", tm.Total())
+	}
+	tm.OverlapAlpha = -1
+	if tm.Total() != 10 { // sum at alpha clamped to 0
+		t.Errorf("clamped alpha=-1 total = %v, want 10", tm.Total())
+	}
+}
+
+// Property: component fractions stay in [0,1] and sum to 1 for any valid
+// feature vector under the default model.
+func TestFractionSumProperty(t *testing.T) {
+	m := newModel(t)
+	fn := func(flops, mem, in, sw uint32, nRaw uint8) bool {
+		n := int(nRaw)%128 + 1
+		f := workload.Features{
+			Name: "q", Class: workload.PSWorker, CNodes: n, BatchSize: 8,
+			FLOPs:              float64(flops) + 1,
+			MemAccessBytes:     float64(mem),
+			InputBytes:         float64(in),
+			DenseWeightBytes:   1e6,
+			WeightTrafficBytes: float64(sw),
+		}
+		bd, err := m.Breakdown(f)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, c := range Components() {
+			fr, err := bd.Fraction(c)
+			if err != nil || fr < 0 || fr > 1 {
+				return false
+			}
+			sum += fr
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raising any bandwidth never increases the step time
+// (monotonicity of the analytical model).
+func TestBandwidthMonotoneProperty(t *testing.T) {
+	base := newModel(t)
+	fn := func(factorRaw uint8, resRaw uint8) bool {
+		factor := 1 + float64(factorRaw)/32 // [1, ~9]
+		res := hw.AllResources()[int(resRaw)%4]
+		f := psJob(3 * hw.GB)
+		t0, err := base.StepTime(f)
+		if err != nil {
+			return false
+		}
+		cfg, err := base.Config.Scale(res, factor)
+		if err != nil {
+			return false
+		}
+		m2 := *base
+		m2.Config = cfg
+		t1, err := m2.StepTime(f)
+		if err != nil {
+			return false
+		}
+		return t1 <= t0+1e-12
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compute-bound time scales linearly in FLOPs.
+func TestComputeLinearityProperty(t *testing.T) {
+	m := newModel(t)
+	fn := func(kRaw uint8) bool {
+		k := float64(kRaw%16) + 1
+		f := psJob(hw.GB)
+		b1, err := m.Breakdown(f)
+		if err != nil {
+			return false
+		}
+		f.FLOPs *= k
+		b2, err := m.Breakdown(f)
+		if err != nil {
+			return false
+		}
+		return math.Abs(b2.ComputeFLOPs-k*b1.ComputeFLOPs) < 1e-9*b2.ComputeFLOPs+1e-15
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

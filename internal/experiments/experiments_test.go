@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/tracegen"
+)
+
+// suite caches a small suite across tests.
+func smallSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSuiteValidation(t *testing.T) {
+	if _, err := NewSuiteFromTrace(hw.Baseline(), nil); err == nil {
+		t.Error("expected error for nil trace")
+	}
+	if _, err := NewSuiteFromTrace(hw.Baseline(), &tracegen.Trace{}); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	bad := hw.Baseline()
+	bad.PCIeBandwidth = 0
+	p := tracegen.Default()
+	p.NumJobs = 10
+	tr, err := tracegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSuiteFromTrace(bad, tr); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}
+
+func TestRunAllProducesEveryArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	s := smallSuite(t)
+	arts, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(IDs()) {
+		t.Fatalf("got %d artifacts, want %d", len(arts), len(IDs()))
+	}
+	for i, a := range arts {
+		if a.ID != IDs()[i] {
+			t.Errorf("artifact %d id %q, want %q", i, a.ID, IDs()[i])
+		}
+		if strings.TrimSpace(a.Text) == "" {
+			t.Errorf("artifact %s has empty text", a.ID)
+		}
+		if a.Title == "" {
+			t.Errorf("artifact %s has no title", a.ID)
+		}
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	s := smallSuite(t)
+	for _, id := range []string{"Table I", "table1", "TABLE I", "fig5", "Fig. 5", "fig-5"} {
+		a, err := s.Run(id)
+		if err != nil {
+			t.Errorf("Run(%q): %v", id, err)
+			continue
+		}
+		if a.Text == "" {
+			t.Errorf("Run(%q) produced empty artifact", id)
+		}
+	}
+	if _, err := s.Run("Fig. 99"); err == nil {
+		t.Error("expected error for unknown artifact")
+	}
+}
+
+func TestTableArtifactsContents(t *testing.T) {
+	s := smallSuite(t)
+	t1, err := s.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"11 TFLOPs", "25 Gb/s", "10 GB/s", "50 GB/s"} {
+		if !strings.Contains(t1.Text, want) {
+			t.Errorf("Table I missing %q:\n%s", want, t1.Text)
+		}
+	}
+	t2, err := s.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1w1g", "PS/Worker", "Ethernet & PCIe", "NVLink", "Centralized", "Decentralized"} {
+		if !strings.Contains(t2.Text, want) {
+			t.Errorf("Table II missing %q:\n%s", want, t2.Text)
+		}
+	}
+	t4, err := s.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t4.Text, "239.45GB") || !strings.Contains(t4.Text, "PEARL") {
+		t.Errorf("Table IV missing expected cells:\n%s", t4.Text)
+	}
+	t5, err := s.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t5.Text, "1560G") && !strings.Contains(t5.Text, "1.56") {
+		t.Errorf("Table V missing ResNet50 FLOPs:\n%s", t5.Text)
+	}
+	t6, err := s.TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t6.Text, "3.1%") {
+		t.Errorf("Table VI missing the Speech GDDR outlier:\n%s", t6.Text)
+	}
+	t3, err := s.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t3.Text, "100Gbps") {
+		t.Errorf("Table III missing 100Gbps candidate:\n%s", t3.Text)
+	}
+}
+
+func TestFigureArtifactsHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure artifacts need the trace")
+	}
+	s := smallSuite(t)
+
+	f5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f5.Text, "PS/Worker") {
+		t.Errorf("Fig5 missing PS row:\n%s", f5.Text)
+	}
+
+	f9, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"AllReduce-Local", "AllReduce-Cluster", "throughput speedup"} {
+		if !strings.Contains(f9.Text, want) {
+			t.Errorf("Fig9 missing %q:\n%s", want, f9.Text)
+		}
+	}
+
+	f12, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ResNet50", "Speech", "GCN"} {
+		if !strings.Contains(f12.Text, name) {
+			t.Errorf("Fig12 missing %s:\n%s", name, f12.Text)
+		}
+	}
+
+	f13, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MP+XLA", "Speech with XLA", "Multi-Interests", "PEARL"} {
+		if !strings.Contains(f13.Text, want) {
+			t.Errorf("Fig13 missing %q:\n%s", want, f13.Text)
+		}
+	}
+
+	f14, err := s.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f14.Text, "PEARL") || !strings.Contains(f14.Text, "max param diff") {
+		t.Errorf("Fig14 missing equivalence evidence:\n%s", f14.Text)
+	}
+
+	f16, err := s.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f16.Text, "ideal-overlap") || !strings.Contains(f16.Text, "21x") {
+		t.Errorf("Fig16 missing overlap content:\n%s", f16.Text)
+	}
+}

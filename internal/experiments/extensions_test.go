@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions need the trace")
+	}
+	s := smallSuite(t)
+	arts, err := s.RunExtensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(ExtensionIDs()) {
+		t.Fatalf("got %d extension artifacts, want %d", len(arts), len(ExtensionIDs()))
+	}
+	for i, a := range arts {
+		if a.ID != ExtensionIDs()[i] {
+			t.Errorf("artifact %d id %q, want %q", i, a.ID, ExtensionIDs()[i])
+		}
+		if strings.TrimSpace(a.Text) == "" {
+			t.Errorf("artifact %s empty", a.ID)
+		}
+	}
+}
+
+func TestExt1ResourceSavingsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trace")
+	}
+	s := smallSuite(t)
+	a, err := s.Ext1ResourceSavings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim: GPU-seconds must go down.
+	if !strings.Contains(a.Text, "GPU-seconds") {
+		t.Fatalf("missing GPU-seconds row:\n%s", a.Text)
+	}
+	for _, line := range strings.Split(a.Text, "\n") {
+		if strings.HasPrefix(line, "GPU-seconds") {
+			if !strings.Contains(line, "-") {
+				t.Errorf("GPU-seconds should decrease after porting:\n%s", line)
+			}
+		}
+	}
+}
+
+func TestExt2OverlapSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trace")
+	}
+	s := smallSuite(t)
+	a, err := s.Ext2OverlapSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []string{"0.00", "0.25", "0.50", "0.75", "1.00"} {
+		if !strings.Contains(a.Text, alpha) {
+			t.Errorf("missing alpha row %s:\n%s", alpha, a.Text)
+		}
+	}
+}
+
+func TestExt3MemoryEligibilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trace")
+	}
+	s := smallSuite(t)
+	a, err := s.Ext3MemoryEligibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "AllReduce-eligible") || !strings.Contains(a.Text, "oversized") {
+		t.Errorf("missing populations:\n%s", a.Text)
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/analyze"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/project"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig5 regenerates the workload constitution (job- and cNode-level shares).
+func (s *Suite) Fig5() (Artifact, error) {
+	c, err := analyze.Constitute(s.Trace.Jobs)
+	if err != nil {
+		return Artifact{}, err
+	}
+	t := &report.Table{Title: "Constitution of workloads",
+		Headers: []string{"class", "job share", "cNode share"}}
+	for _, class := range classOrder() {
+		t.AddRow(class.String(), report.Pct(c.JobShare[class]), report.Pct(c.CNodeShare[class]))
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	fmt.Fprintf(&buf, "total jobs: %d, total cNodes: %d\n", c.TotalJobs, c.TotalCNodes)
+	return Artifact{ID: "Fig. 5", Title: "Constitution of workloads (job-level / cNode-level)",
+		Text: buf.String()}, nil
+}
+
+// Fig6 regenerates the scale CDFs (cNodes and weight sizes).
+func (s *Suite) Fig6() (Artifact, error) {
+	sc, err := analyze.Scales(s.Trace.Jobs)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "## Workload scale distribution")
+	fmt.Fprintln(&buf, "(a) cNode count quantiles:")
+	for _, class := range classOrder() {
+		if class == workload.OneWorkerOneGPU {
+			continue // always 1
+		}
+		if err := report.CDFSeries(&buf, "  "+class.String(), sc.CNodes[class], nil); err != nil {
+			return Artifact{}, err
+		}
+	}
+	fmt.Fprintln(&buf, "(b) weight size (bytes) quantiles:")
+	for _, class := range classOrder() {
+		if err := report.CDFSeries(&buf, "  "+class.String(), sc.Weights[class], nil); err != nil {
+			return Artifact{}, err
+		}
+	}
+	// Headline: fraction of models under 10 GB.
+	var small, total int
+	for _, j := range s.Trace.Jobs {
+		if j.TotalWeightBytes() < 10*hw.GB {
+			small++
+		}
+		total++
+	}
+	fmt.Fprintf(&buf, "models < 10GB: %s (paper: ~90%%)\n", report.Pct(float64(small)/float64(total)))
+	return Artifact{ID: "Fig. 6", Title: "Workload scale distribution", Text: buf.String()}, nil
+}
+
+// Fig7 regenerates the average execution-time breakdown per class and level.
+func (s *Suite) Fig7() (Artifact, error) {
+	rows, err := analyze.Breakdowns(s.Model, s.Trace.Jobs)
+	if err != nil {
+		return Artifact{}, err
+	}
+	t := &report.Table{Title: "Average execution-time breakdown",
+		Headers: []string{"class", "level", "data I/O", "weights", "compute-bound", "memory-bound"}}
+	for _, r := range rows {
+		t.AddRow(r.Class.String(), r.Level.String(),
+			report.Pct(r.Share[core.CompDataIO]),
+			report.Pct(r.Share[core.CompWeights]),
+			report.Pct(r.Share[core.CompComputeFLOPs]),
+			report.Pct(r.Share[core.CompComputeMem]))
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	for _, lvl := range []analyze.Level{analyze.JobLevel, analyze.CNodeLevel} {
+		overall, err := analyze.OverallBreakdown(s.Model, s.Trace.Jobs, lvl)
+		if err != nil {
+			return Artifact{}, err
+		}
+		fmt.Fprintf(&buf, "overall %s: weights %s, compute %s, data %s\n",
+			lvl,
+			report.Pct(overall[core.CompWeights]),
+			report.Pct(overall[core.CompComputeFLOPs]+overall[core.CompComputeMem]),
+			report.Pct(overall[core.CompDataIO]))
+	}
+	return Artifact{ID: "Fig. 7", Title: "Average percentage of execution-time components",
+		Text: buf.String()}, nil
+}
+
+// Fig8 regenerates the breakdown CDFs (hardware view plus per-class views).
+func (s *Suite) Fig8() (Artifact, error) {
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "## CDFs of execution-time component shares")
+	for _, lvl := range []analyze.Level{analyze.JobLevel, analyze.CNodeLevel} {
+		hcdf, err := analyze.BreakdownHardwareCDFs(s.Model, s.Trace.Jobs, lvl)
+		if err != nil {
+			return Artifact{}, err
+		}
+		fmt.Fprintf(&buf, "(a) all workloads by hardware, %s:\n", lvl)
+		for _, h := range core.HardwareComponents() {
+			if err := report.CDFSeries(&buf, "  "+h.String(), hcdf.CDF[h], nil); err != nil {
+				return Artifact{}, err
+			}
+		}
+	}
+	for _, class := range classOrder() {
+		cdfs, err := analyze.BreakdownCDFs(s.Model, s.Trace.Jobs, class, analyze.JobLevel)
+		if err != nil {
+			return Artifact{}, err
+		}
+		fmt.Fprintf(&buf, "%s (job-level):\n", class)
+		for _, c := range core.Components() {
+			if err := report.CDFSeries(&buf, "  "+c.String(), cdfs.CDF[c], nil); err != nil {
+				return Artifact{}, err
+			}
+		}
+	}
+	// Headline: fraction of PS jobs spending > 80% in communication.
+	ps, err := analyze.BreakdownCDFs(s.Model, s.Trace.Jobs, workload.PSWorker, analyze.JobLevel)
+	if err != nil {
+		return Artifact{}, err
+	}
+	frac := 1 - ps.CDF[core.CompWeights].P(0.8)
+	fmt.Fprintf(&buf, "PS/Worker jobs > 80%% comm: %s (paper: > 40%%)\n", report.Pct(frac))
+	return Artifact{ID: "Fig. 8", Title: "CDF of execution-time components", Text: buf.String()}, nil
+}
+
+// Fig9 regenerates the AllReduce projection speedups.
+func (s *Suite) Fig9() (Artifact, error) {
+	pr, err := project.New(s.Model)
+	if err != nil {
+		return Artifact{}, err
+	}
+	ps := analyze.Filter(s.Trace.Jobs, workload.PSWorker)
+	local, err := pr.ProjectAll(ps, project.ToAllReduceLocal)
+	if err != nil {
+		return Artifact{}, err
+	}
+	cluster, err := pr.ProjectAll(ps, project.ToAllReduceCluster)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "## Improvement by mapping PS/Worker workloads to AllReduce")
+
+	nodeSp := make([]float64, len(local))
+	tpSp := make([]float64, len(local))
+	for i, r := range local {
+		nodeSp[i] = r.NodeSpeedup
+		tpSp[i] = r.ThroughputSpeedup
+	}
+	nodeCDF, err := stats.NewCDF(nodeSp)
+	if err != nil {
+		return Artifact{}, err
+	}
+	tpCDF, err := stats.NewCDF(tpSp)
+	if err != nil {
+		return Artifact{}, err
+	}
+	fmt.Fprintln(&buf, "(a) AllReduce-Local:")
+	if err := report.CDFSeries(&buf, "  single-cNode speedup", nodeCDF, nil); err != nil {
+		return Artifact{}, err
+	}
+	if err := report.CDFSeries(&buf, "  throughput speedup", tpCDF, nil); err != nil {
+		return Artifact{}, err
+	}
+	sum, err := project.Summarize(local)
+	if err != nil {
+		return Artifact{}, err
+	}
+	fmt.Fprintf(&buf, "  node speedup <= 1: %s (paper: 22.6%%)\n", report.Pct(sum.FracNodeNotSped))
+	fmt.Fprintf(&buf, "  throughput speedup <= 1: %s (paper: 40.2%%; i.e. ~60%% improve)\n",
+		report.Pct(sum.FracThroughputNotSped))
+
+	var arcSp []float64
+	var arcWin, rescued, losers int
+	var maxSp float64
+	for i, r := range cluster {
+		arcSp = append(arcSp, r.ThroughputSpeedup)
+		if r.ThroughputSpeedup > 1 {
+			arcWin++
+		}
+		if r.ThroughputSpeedup > maxSp {
+			maxSp = r.ThroughputSpeedup
+		}
+		if local[i].ThroughputSpeedup <= 1 {
+			losers++
+			if r.ThroughputSpeedup > 1 {
+				rescued++
+			}
+		}
+	}
+	arcCDF, err := stats.NewCDF(arcSp)
+	if err != nil {
+		return Artifact{}, err
+	}
+	fmt.Fprintln(&buf, "(b) AllReduce-Cluster:")
+	if err := report.CDFSeries(&buf, "  all-workload speedup", arcCDF, nil); err != nil {
+		return Artifact{}, err
+	}
+	fmt.Fprintf(&buf, "  sped up: %s (paper: 67.9%%), max speedup %.3f (bound ~1.24)\n",
+		report.Pct(float64(arcWin)/float64(len(cluster))), maxSp)
+	if losers > 0 {
+		fmt.Fprintf(&buf, "  AllReduce-Local losers rescued: %s (paper: 37.8%%)\n",
+			report.Pct(float64(rescued)/float64(losers)))
+	}
+	return Artifact{ID: "Fig. 9", Title: "Improvement by mapping workloads to AllReduce",
+		Text: buf.String()}, nil
+}
+
+// Fig10 regenerates the post-projection breakdown of PS jobs on
+// AllReduce-Local.
+func (s *Suite) Fig10() (Artifact, error) {
+	projected, err := analyze.ProjectedFeatures(s.Trace.Jobs, s.Config.GPUsPerServer)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "## PS/Worker workloads after mapping to AllReduce-Local")
+	cdfs, err := analyze.BreakdownCDFs(s.Model, projected, workload.AllReduceLocal, analyze.JobLevel)
+	if err != nil {
+		return Artifact{}, err
+	}
+	for _, c := range core.Components() {
+		if err := report.CDFSeries(&buf, "  "+c.String(), cdfs.CDF[c], nil); err != nil {
+			return Artifact{}, err
+		}
+	}
+	avgBefore, err := analyze.OverallBreakdown(s.Model, analyze.Filter(s.Trace.Jobs, workload.PSWorker), analyze.JobLevel)
+	if err != nil {
+		return Artifact{}, err
+	}
+	avgAfter, err := analyze.OverallBreakdown(s.Model, projected, analyze.JobLevel)
+	if err != nil {
+		return Artifact{}, err
+	}
+	t := &report.Table{Title: "Average breakdown before/after projection",
+		Headers: []string{"component", "PS/Worker", "AllReduce-Local"}}
+	for _, c := range core.Components() {
+		t.AddRow(c.String(), report.Pct(avgBefore[c]), report.Pct(avgAfter[c]))
+	}
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{ID: "Fig. 10", Title: "Breakdown after mapping to AllReduce-Local",
+		Text: buf.String()}, nil
+}
+
+// Fig11 regenerates the hardware-evolution sweeps (four panels).
+func (s *Suite) Fig11() (Artifact, error) {
+	panels := []struct {
+		label string
+		jobs  []workload.Features
+	}{
+		{"1w1g", analyze.Filter(s.Trace.Jobs, workload.OneWorkerOneGPU)},
+		{"1wng", analyze.Filter(s.Trace.Jobs, workload.OneWorkerNGPU)},
+		{"PS/Worker", analyze.Filter(s.Trace.Jobs, workload.PSWorker)},
+	}
+	projected, err := analyze.ProjectedFeatures(s.Trace.Jobs, s.Config.GPUsPerServer)
+	if err != nil {
+		return Artifact{}, err
+	}
+	panels = append(panels, struct {
+		label string
+		jobs  []workload.Features
+	}{"AllReduce-Local (projected)", projected})
+
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "## Speedup with different hardware configurations")
+	for _, p := range panels {
+		panel, err := analyze.HardwareSweep(s.Model, p.jobs, p.label)
+		if err != nil {
+			return Artifact{}, err
+		}
+		fmt.Fprintf(&buf, "(%s)\n", p.label)
+		for _, series := range panel.Series {
+			fmt.Fprintf(&buf, "  %-10s:", series.Resource)
+			for _, pt := range series.Points {
+				fmt.Fprintf(&buf, " x%.1f->%.3f", pt.Normalized, pt.MeanSpeedup)
+			}
+			fmt.Fprintln(&buf)
+		}
+		res, gain, err := panel.MostSensitiveResource()
+		if err != nil {
+			return Artifact{}, err
+		}
+		fmt.Fprintf(&buf, "  most sensitive: %s (max mean speedup %.3f)\n", res, gain)
+	}
+	return Artifact{ID: "Fig. 11", Title: "Speedup with different hardware configurations",
+		Text: buf.String()}, nil
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// TableI renders the baseline system settings.
+func (s *Suite) TableI() (Artifact, error) {
+	t := &report.Table{Title: "System settings (baseline)",
+		Headers: []string{"component", "value"}}
+	c := s.Config
+	t.AddRow("GPU FLOPs", fmt.Sprintf("%.0f TFLOPs", c.GPU.PeakFLOPS/hw.TFLOPS))
+	t.AddRow("GPU memory BW", fmt.Sprintf("%.0f TB/s", c.GPU.MemBandwidth/hw.TB))
+	t.AddRow("Ethernet", fmt.Sprintf("%.0f Gb/s", c.EthernetBandwidth*8/1e9))
+	t.AddRow("PCIe", fmt.Sprintf("%.0f GB/s", c.PCIeBandwidth/hw.GB))
+	t.AddRow("NVLink", fmt.Sprintf("%.0f GB/s", c.NVLinkBandwidth/hw.GB))
+	t.AddRow("GPUs per server", fmt.Sprintf("%d", c.GPUsPerServer))
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{ID: "Table I", Title: "System settings", Text: buf.String()}, nil
+}
+
+// TableII renders the five workload classes and their weight-movement media.
+func (s *Suite) TableII() (Artifact, error) {
+	t := &report.Table{Title: "Workload classes",
+		Headers: []string{"class", "architecture", "configuration", "weight movement"}}
+	for _, class := range workload.AllClasses() {
+		if class == workload.PEARL {
+			continue // Table II predates PEARL (Sec. IV-C)
+		}
+		tr, err := workload.Traits(class)
+		if err != nil {
+			return Artifact{}, err
+		}
+		archName := "Decentralized"
+		if tr.Centralized {
+			archName = "Centralized"
+		}
+		if class == workload.OneWorkerOneGPU {
+			archName = "-"
+		}
+		cfg := "Local"
+		if tr.CrossServer {
+			cfg = "Cluster"
+		}
+		media := "-"
+		if len(tr.WeightMedia) > 0 {
+			media = ""
+			for i, m := range tr.WeightMedia {
+				if i > 0 {
+					media += " & "
+				}
+				media += m.String()
+			}
+		}
+		t.AddRow(class.String(), archName, cfg, media)
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{ID: "Table II", Title: "Summary of workload types", Text: buf.String()}, nil
+}
+
+// TableIII renders the hardware variation grid.
+func (s *Suite) TableIII() (Artifact, error) {
+	t := &report.Table{Title: "Hardware configuration variations",
+		Headers: []string{"resource", "candidates", "normalized"}}
+	grid := hw.TableIII()
+	for _, res := range hw.AllResources() {
+		var vals, norms string
+		for i, v := range grid[res] {
+			if i > 0 {
+				vals += ", "
+				norms += ", "
+			}
+			switch res {
+			case hw.ResEthernet:
+				vals += fmt.Sprintf("%.0fGbps", v.Value*8/1e9)
+			case hw.ResPCIe, hw.ResGPUMemory:
+				vals += report.Bytes(v.Value) + "/s"
+			case hw.ResGPUFLOPS:
+				vals += fmt.Sprintf("%.0fT", v.Value/hw.TFLOPS)
+			}
+			norms += report.F2(v.Normalized)
+		}
+		t.AddRow(res.String(), vals, norms)
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{ID: "Table III", Title: "Hardware configuration variations", Text: buf.String()}, nil
+}
+
+// TableIV renders the case-study model scales.
+func (s *Suite) TableIV() (Artifact, error) {
+	t := &report.Table{Title: "Model scale",
+		Headers: []string{"model", "domain", "dense", "embedding", "architecture"}}
+	for _, name := range workload.ZooNames() {
+		cs, err := workload.Lookup(name)
+		if err != nil {
+			return Artifact{}, err
+		}
+		t.AddRow(name, cs.Domain,
+			report.Bytes(cs.Features.DenseWeightBytes),
+			report.Bytes(cs.Features.EmbeddingWeightBytes),
+			cs.Features.Class.String())
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{ID: "Table IV", Title: "Model scale", Text: buf.String()}, nil
+}
+
+// TableV renders the basic workload features.
+func (s *Suite) TableV() (Artifact, error) {
+	t := &report.Table{Title: "Basic workload features",
+		Headers: []string{"model", "batch", "FLOPs", "mem access", "mem copy (PCIe)", "net traffic"}}
+	for _, name := range workload.ZooNames() {
+		cs, err := workload.Lookup(name)
+		if err != nil {
+			return Artifact{}, err
+		}
+		f := cs.Features
+		t.AddRow(name, fmt.Sprintf("%d", f.BatchSize),
+			fmt.Sprintf("%.4gG", f.FLOPs/1e9),
+			report.Bytes(f.MemAccessBytes),
+			report.Bytes(f.InputBytes),
+			report.Bytes(f.WeightTrafficBytes))
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{ID: "Table V", Title: "Basic workload features", Text: buf.String()}, nil
+}
+
+// TableVI renders the measured per-workload hardware efficiencies.
+func (s *Suite) TableVI() (Artifact, error) {
+	t := &report.Table{Title: "Resource efficiency",
+		Headers: []string{"model", "GPU TOPS", "GDDR", "PCIe", "network"}}
+	for _, name := range workload.ZooNames() {
+		cs, err := workload.Lookup(name)
+		if err != nil {
+			return Artifact{}, err
+		}
+		e := cs.Measured
+		t.AddRow(name, report.Pct(e.GPUCompute), report.Pct(e.GPUMemory),
+			report.Pct(e.PCIe), report.Pct(e.Network))
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return Artifact{}, err
+	}
+	return Artifact{ID: "Table VI", Title: "Resource efficiency for each workload", Text: buf.String()}, nil
+}

@@ -1,0 +1,309 @@
+// Package hw defines the hardware catalog used throughout the reproduction:
+// GPU compute/memory capabilities, interconnect link classes and bandwidths,
+// the baseline system configuration of Table I, the testbed configuration of
+// Sec. IV, and the hardware-evolution variation grid of Table III.
+//
+// All bandwidths are expressed in bytes per second and compute capability in
+// FLOP/s so that the analytical model (internal/perfmodel) never has to do
+// unit conversions.
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Byte-based units.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+)
+
+// FLOP units.
+const (
+	GFLOPS = 1e9
+	TFLOPS = 1e12
+)
+
+// Gbps converts a link speed in gigabits per second into bytes per second.
+func Gbps(v float64) float64 { return v * 1e9 / 8 }
+
+// LinkClass identifies the physical medium a transfer crosses.
+type LinkClass int
+
+const (
+	// LinkPCIe is the CPU<->GPU (and GPU<->GPU without NVLink) interconnect.
+	LinkPCIe LinkClass = iota
+	// LinkNVLink is the high-speed inter-GPU interconnect (hybrid mesh grid).
+	LinkNVLink
+	// LinkEthernet is the cross-server network.
+	LinkEthernet
+	// LinkLocal denotes data already resident on the device (no transfer).
+	LinkLocal
+)
+
+var linkNames = map[LinkClass]string{
+	LinkPCIe:     "PCIe",
+	LinkNVLink:   "NVLink",
+	LinkEthernet: "Ethernet",
+	LinkLocal:    "Local",
+}
+
+// String returns the human-readable link-class name used in the paper's
+// figures ("PCIe", "NVLink", "Ethernet").
+func (l LinkClass) String() string {
+	if s, ok := linkNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("LinkClass(%d)", int(l))
+}
+
+// GPU describes a GPU's compute and memory capability.
+type GPU struct {
+	// Name is a human-readable model name, e.g. "V100-trace" or "V100-testbed".
+	Name string
+	// PeakFLOPS is peak FP32 compute in FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is peak device-memory bandwidth in bytes/s.
+	MemBandwidth float64
+	// MemCapacity is device memory size in bytes; weights beyond this cannot
+	// be replicated on-device (gates AllReduce-replica eligibility).
+	MemCapacity float64
+	// TensorCoreBoost is the peak-FLOPS multiplier available to
+	// mixed-precision MatMul-class ops (8x on V100 per the paper).
+	TensorCoreBoost float64
+}
+
+// Config is a full system configuration: the GPU plus the three interconnect
+// bandwidths. It corresponds to one row of the Table III variation grid, with
+// Table I as the baseline point.
+type Config struct {
+	GPU GPU
+	// PCIeBandwidth is CPU<->GPU bandwidth in bytes/s.
+	PCIeBandwidth float64
+	// NVLinkBandwidth is inter-GPU NVLink bandwidth in bytes/s.
+	NVLinkBandwidth float64
+	// EthernetBandwidth is cross-server bandwidth in bytes/s
+	// (bi-directional 25 Gbps in the baseline).
+	EthernetBandwidth float64
+	// GPUsPerServer is the number of GPUs in one server (8 in both the trace
+	// cluster and the testbed).
+	GPUsPerServer int
+	// HasNVLink reports whether servers carry the NVLink mesh (Fig. 1b).
+	HasNVLink bool
+}
+
+// Validate reports an error when the configuration is not physically
+// meaningful.
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("hw: %s must be positive, got %v", name, v)
+		}
+		return nil
+	}
+	if err := check("GPU.PeakFLOPS", c.GPU.PeakFLOPS); err != nil {
+		return err
+	}
+	if err := check("GPU.MemBandwidth", c.GPU.MemBandwidth); err != nil {
+		return err
+	}
+	if err := check("GPU.MemCapacity", c.GPU.MemCapacity); err != nil {
+		return err
+	}
+	if err := check("PCIeBandwidth", c.PCIeBandwidth); err != nil {
+		return err
+	}
+	if err := check("EthernetBandwidth", c.EthernetBandwidth); err != nil {
+		return err
+	}
+	if c.HasNVLink {
+		if err := check("NVLinkBandwidth", c.NVLinkBandwidth); err != nil {
+			return err
+		}
+	}
+	if c.GPUsPerServer <= 0 {
+		return fmt.Errorf("hw: GPUsPerServer must be positive, got %d", c.GPUsPerServer)
+	}
+	return nil
+}
+
+// Bandwidth returns the raw bandwidth of the given link class in bytes/s.
+// LinkLocal returns +Inf (no transfer cost).
+func (c Config) Bandwidth(l LinkClass) (float64, error) {
+	switch l {
+	case LinkPCIe:
+		return c.PCIeBandwidth, nil
+	case LinkNVLink:
+		if !c.HasNVLink {
+			return 0, fmt.Errorf("hw: configuration %q has no NVLink", c.GPU.Name)
+		}
+		return c.NVLinkBandwidth, nil
+	case LinkEthernet:
+		return c.EthernetBandwidth, nil
+	case LinkLocal:
+		return math.Inf(1), nil
+	default:
+		return 0, fmt.Errorf("hw: unknown link class %v", l)
+	}
+}
+
+// Baseline returns the Table I system configuration used for the cluster
+// trace analysis: 11 TFLOPS GPU, 1 TB/s memory, 25 Gbps Ethernet, 10 GB/s
+// PCIe, 50 GB/s NVLink, 8 GPUs per server.
+func Baseline() Config {
+	return Config{
+		GPU: GPU{
+			Name:            "trace-GPU",
+			PeakFLOPS:       11 * TFLOPS,
+			MemBandwidth:    1 * TB,
+			MemCapacity:     16 * GB,
+			TensorCoreBoost: 8,
+		},
+		PCIeBandwidth:     10 * GB,
+		NVLinkBandwidth:   50 * GB,
+		EthernetBandwidth: Gbps(25),
+		GPUsPerServer:     8,
+		HasNVLink:         true,
+	}
+}
+
+// BaselineNoNVLink returns the Table I configuration for the sub-clusters
+// whose servers are not equipped with NVLink (Fig. 1a).
+func BaselineNoNVLink() Config {
+	c := Baseline()
+	c.HasNVLink = false
+	c.NVLinkBandwidth = 0
+	return c
+}
+
+// Testbed returns the Sec. IV case-study testbed configuration: 64 servers of
+// 8 Tesla V100 (15 TFLOPS peak as used in the paper's ResNet50 validation
+// arithmetic), 10 GB/s PCIe, 50 GB/s NVLink, 25 Gbps Ethernet.
+func Testbed() Config {
+	return Config{
+		GPU: GPU{
+			Name:            "Tesla-V100",
+			PeakFLOPS:       15 * TFLOPS,
+			MemBandwidth:    900 * GB,
+			MemCapacity:     16 * GB,
+			TensorCoreBoost: 8,
+		},
+		PCIeBandwidth:     10 * GB,
+		NVLinkBandwidth:   50 * GB,
+		EthernetBandwidth: Gbps(25),
+		GPUsPerServer:     8,
+		HasNVLink:         true,
+	}
+}
+
+// Resource identifies one knob of the Table III hardware-evolution grid.
+type Resource int
+
+const (
+	ResEthernet Resource = iota
+	ResPCIe
+	ResGPUFLOPS
+	ResGPUMemory
+)
+
+var resourceNames = map[Resource]string{
+	ResEthernet:  "Ethernet",
+	ResPCIe:      "PCIe",
+	ResGPUFLOPS:  "GPU_FLOPs",
+	ResGPUMemory: "GPU_memory",
+}
+
+// String returns the figure-legend name of the resource.
+func (r Resource) String() string {
+	if s, ok := resourceNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Resource(%d)", int(r))
+}
+
+// AllResources lists the four swept resources in Fig. 11 order.
+func AllResources() []Resource {
+	return []Resource{ResEthernet, ResPCIe, ResGPUFLOPS, ResGPUMemory}
+}
+
+// Variation is one point of the Table III grid: a resource set to an absolute
+// value (in the resource's natural unit converted to bytes/s or FLOP/s).
+type Variation struct {
+	Resource Resource
+	// Value is bytes/s for bandwidths and FLOP/s for compute.
+	Value float64
+	// Normalized is Value divided by the baseline value (the x-axis of
+	// Fig. 11).
+	Normalized float64
+}
+
+// TableIII returns the Table III candidate values for each resource, already
+// converted to bytes/s / FLOP/s, with normalization against the Table I
+// baseline (Ethernet 25 Gbps, PCIe 10 GB/s, GPU 8 TFLOPS*, memory 1 TB/s).
+//
+// *The paper's Fig. 11 normalizes every axis by the Table I basic unit; the
+// GPU FLOPs candidates {8,16,32,64} are normalized by 8 TFLOPS so the grid
+// starts at 1.0, mirroring the published x-axis.
+func TableIII() map[Resource][]Variation {
+	mk := func(r Resource, base float64, vals []float64) []Variation {
+		out := make([]Variation, len(vals))
+		for i, v := range vals {
+			out[i] = Variation{Resource: r, Value: v, Normalized: v / base}
+		}
+		return out
+	}
+	return map[Resource][]Variation{
+		ResEthernet: mk(ResEthernet, Gbps(25),
+			[]float64{Gbps(10), Gbps(25), Gbps(100)}),
+		ResPCIe: mk(ResPCIe, 10*GB,
+			[]float64{10 * GB, 50 * GB}),
+		ResGPUFLOPS: mk(ResGPUFLOPS, 8*TFLOPS,
+			[]float64{8 * TFLOPS, 16 * TFLOPS, 32 * TFLOPS, 64 * TFLOPS}),
+		ResGPUMemory: mk(ResGPUMemory, 1*TB,
+			[]float64{1 * TB, 2 * TB, 4 * TB}),
+	}
+}
+
+// Apply returns a copy of the configuration with the variation's resource
+// replaced by its value.
+func (c Config) Apply(v Variation) (Config, error) {
+	out := c
+	switch v.Resource {
+	case ResEthernet:
+		out.EthernetBandwidth = v.Value
+	case ResPCIe:
+		out.PCIeBandwidth = v.Value
+	case ResGPUFLOPS:
+		out.GPU.PeakFLOPS = v.Value
+	case ResGPUMemory:
+		out.GPU.MemBandwidth = v.Value
+	default:
+		return Config{}, fmt.Errorf("hw: unknown resource %v", v.Resource)
+	}
+	if err := out.Validate(); err != nil {
+		return Config{}, err
+	}
+	return out, nil
+}
+
+// Scale returns a copy of the configuration with the given resource
+// multiplied by factor (used for normalized sweeps).
+func (c Config) Scale(r Resource, factor float64) (Config, error) {
+	var base float64
+	switch r {
+	case ResEthernet:
+		base = c.EthernetBandwidth
+	case ResPCIe:
+		base = c.PCIeBandwidth
+	case ResGPUFLOPS:
+		base = c.GPU.PeakFLOPS
+	case ResGPUMemory:
+		base = c.GPU.MemBandwidth
+	default:
+		return Config{}, fmt.Errorf("hw: unknown resource %v", r)
+	}
+	return c.Apply(Variation{Resource: r, Value: base * factor, Normalized: factor})
+}

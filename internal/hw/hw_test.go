@@ -1,0 +1,232 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGbps(t *testing.T) {
+	if got := Gbps(25); got != 25e9/8 {
+		t.Errorf("Gbps(25) = %v, want %v", got, 25e9/8)
+	}
+	// 25 Gbps = 3.125 GB/s.
+	if got := Gbps(25); math.Abs(got-3.125*GB) > 1 {
+		t.Errorf("Gbps(25) = %v, want 3.125 GB/s", got)
+	}
+}
+
+func TestLinkClassString(t *testing.T) {
+	cases := map[LinkClass]string{
+		LinkPCIe:      "PCIe",
+		LinkNVLink:    "NVLink",
+		LinkEthernet:  "Ethernet",
+		LinkLocal:     "Local",
+		LinkClass(99): "LinkClass(99)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestBaselineMatchesTableI(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	if c.GPU.PeakFLOPS != 11*TFLOPS {
+		t.Errorf("GPU FLOPS = %v, want 11T", c.GPU.PeakFLOPS)
+	}
+	if c.GPU.MemBandwidth != 1*TB {
+		t.Errorf("GPU mem BW = %v, want 1 TB/s", c.GPU.MemBandwidth)
+	}
+	if c.EthernetBandwidth != Gbps(25) {
+		t.Errorf("Ethernet = %v, want 25 Gbps", c.EthernetBandwidth)
+	}
+	if c.PCIeBandwidth != 10*GB {
+		t.Errorf("PCIe = %v, want 10 GB/s", c.PCIeBandwidth)
+	}
+	if c.NVLinkBandwidth != 50*GB {
+		t.Errorf("NVLink = %v, want 50 GB/s", c.NVLinkBandwidth)
+	}
+	if c.GPUsPerServer != 8 {
+		t.Errorf("GPUsPerServer = %d, want 8", c.GPUsPerServer)
+	}
+}
+
+func TestTestbedMatchesSecIV(t *testing.T) {
+	c := Testbed()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("testbed invalid: %v", err)
+	}
+	// The paper computes ResNet50 compute time as 1.56T / (15T * 70%).
+	if c.GPU.PeakFLOPS != 15*TFLOPS {
+		t.Errorf("testbed GPU FLOPS = %v, want 15T", c.GPU.PeakFLOPS)
+	}
+	if c.GPU.TensorCoreBoost != 8 {
+		t.Errorf("TensorCoreBoost = %v, want 8", c.GPU.TensorCoreBoost)
+	}
+}
+
+func TestBaselineNoNVLink(t *testing.T) {
+	c := BaselineNoNVLink()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if c.HasNVLink {
+		t.Error("HasNVLink = true, want false")
+	}
+	if _, err := c.Bandwidth(LinkNVLink); err == nil {
+		t.Error("expected error for NVLink bandwidth on non-NVLink config")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	c := Baseline()
+	if bw, err := c.Bandwidth(LinkPCIe); err != nil || bw != 10*GB {
+		t.Errorf("PCIe = %v, %v", bw, err)
+	}
+	if bw, err := c.Bandwidth(LinkNVLink); err != nil || bw != 50*GB {
+		t.Errorf("NVLink = %v, %v", bw, err)
+	}
+	if bw, err := c.Bandwidth(LinkEthernet); err != nil || bw != Gbps(25) {
+		t.Errorf("Ethernet = %v, %v", bw, err)
+	}
+	if bw, err := c.Bandwidth(LinkLocal); err != nil || !math.IsInf(bw, 1) {
+		t.Errorf("Local = %v, %v; want +Inf", bw, err)
+	}
+	if _, err := c.Bandwidth(LinkClass(42)); err == nil {
+		t.Error("expected error for unknown link class")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Baseline()
+	bad.GPU.PeakFLOPS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero FLOPS")
+	}
+	bad = Baseline()
+	bad.PCIeBandwidth = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative PCIe")
+	}
+	bad = Baseline()
+	bad.GPUsPerServer = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero GPUs")
+	}
+	bad = Baseline()
+	bad.EthernetBandwidth = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for NaN Ethernet")
+	}
+	bad = Baseline()
+	bad.GPU.MemCapacity = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero mem capacity")
+	}
+	bad = Baseline()
+	bad.GPU.MemBandwidth = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for Inf mem bandwidth")
+	}
+	// Missing NVLink bandwidth only matters when HasNVLink.
+	ok := BaselineNoNVLink()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("no-NVLink config should validate: %v", err)
+	}
+}
+
+func TestTableIIIGrid(t *testing.T) {
+	grid := TableIII()
+	if got := len(grid[ResEthernet]); got != 3 {
+		t.Errorf("Ethernet candidates = %d, want 3", got)
+	}
+	if got := len(grid[ResPCIe]); got != 2 {
+		t.Errorf("PCIe candidates = %d, want 2", got)
+	}
+	if got := len(grid[ResGPUFLOPS]); got != 4 {
+		t.Errorf("GPU FLOPS candidates = %d, want 4", got)
+	}
+	if got := len(grid[ResGPUMemory]); got != 3 {
+		t.Errorf("GPU memory candidates = %d, want 3", got)
+	}
+	// Normalization: Ethernet 100 Gbps / 25 Gbps = 4.
+	eth := grid[ResEthernet]
+	if eth[2].Normalized != 4 {
+		t.Errorf("Ethernet 100G normalized = %v, want 4", eth[2].Normalized)
+	}
+	// GPU FLOPs normalized by 8 TFLOPS: {1, 2, 4, 8}.
+	fl := grid[ResGPUFLOPS]
+	wantNorm := []float64{1, 2, 4, 8}
+	for i, w := range wantNorm {
+		if fl[i].Normalized != w {
+			t.Errorf("FLOPS normalized[%d] = %v, want %v", i, fl[i].Normalized, w)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	base := Baseline()
+	v := Variation{Resource: ResEthernet, Value: Gbps(100), Normalized: 4}
+	got, err := base.Apply(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EthernetBandwidth != Gbps(100) {
+		t.Errorf("Ethernet after apply = %v, want 100 Gbps", got.EthernetBandwidth)
+	}
+	// Other resources untouched.
+	if got.PCIeBandwidth != base.PCIeBandwidth {
+		t.Error("PCIe changed unexpectedly")
+	}
+	for _, r := range AllResources() {
+		if _, err := base.Apply(Variation{Resource: r, Value: 1e12}); err != nil {
+			t.Errorf("apply %v: %v", r, err)
+		}
+	}
+	if _, err := base.Apply(Variation{Resource: Resource(9), Value: 1}); err == nil {
+		t.Error("expected error for unknown resource")
+	}
+	if _, err := base.Apply(Variation{Resource: ResPCIe, Value: -5}); err == nil {
+		t.Error("expected error for invalid resulting config")
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := Baseline()
+	got, err := base.Scale(ResGPUMemory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GPU.MemBandwidth != 4*TB {
+		t.Errorf("mem BW after scale = %v, want 4 TB/s", got.GPU.MemBandwidth)
+	}
+	got, err = base.Scale(ResGPUFLOPS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GPU.PeakFLOPS != 22*TFLOPS {
+		t.Errorf("FLOPS after scale = %v, want 22T", got.GPU.PeakFLOPS)
+	}
+	if _, err := base.Scale(Resource(9), 2); err == nil {
+		t.Error("expected error for unknown resource")
+	}
+	if _, err := base.Scale(ResPCIe, 0); err == nil {
+		t.Error("expected error for zero factor")
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if ResEthernet.String() != "Ethernet" || ResGPUMemory.String() != "GPU_memory" {
+		t.Error("resource names do not match figure legends")
+	}
+	if Resource(77).String() != "Resource(77)" {
+		t.Error("unknown resource string")
+	}
+	if len(AllResources()) != 4 {
+		t.Error("AllResources should list 4 resources")
+	}
+}

@@ -1,0 +1,124 @@
+package opgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFuseElementwiseValidation(t *testing.T) {
+	if _, err := FuseElementwise(nil, 0.5); err == nil {
+		t.Error("expected error for nil graph")
+	}
+	g, err := Build("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FuseElementwise(g, 0); err == nil {
+		t.Error("expected error for zero savings")
+	}
+	if _, err := FuseElementwise(g, 1.5); err == nil {
+		t.Error("expected error for savings > 1")
+	}
+	bad := &Graph{Model: "x"}
+	if _, err := FuseElementwise(bad, 0.5); err == nil {
+		t.Error("expected error for invalid graph")
+	}
+}
+
+func TestFuseElementwiseMergesChains(t *testing.T) {
+	g, err := Build("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := FuseElementwise(g, 1.0/3.43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each layer's norm+act pair fuses: element-wise op count halves.
+	before := g.CountKind(KindElementwise)
+	after := fused.CountKind(KindElementwise)
+	if after >= before {
+		t.Errorf("fusion did not reduce element-wise ops: %d -> %d", before, after)
+	}
+	if after != before/2 {
+		t.Errorf("expected norm+act pairs to fuse: %d -> %d", before, after)
+	}
+	// Compute-bound ops untouched.
+	if fused.CountKind(KindConv) != g.CountKind(KindConv) {
+		t.Error("fusion must not touch conv ops")
+	}
+	// FLOPs and input bytes preserved; memory traffic reduced by the ratio.
+	f0, m0, i0 := g.Totals()
+	f1, m1, i1 := fused.Totals()
+	if f1 != f0 || i1 != i0 {
+		t.Error("fusion must preserve FLOPs and input bytes")
+	}
+	wantMem := m0 / 3.43
+	if math.Abs(m1-wantMem)/wantMem > 1e-9 {
+		t.Errorf("fused memory = %v, want %v (1/3.43)", m1, wantMem)
+	}
+}
+
+// Fusion with memSavings = 1 preserves totals exactly (pure restructuring).
+func TestFuseElementwiseIdentitySavings(t *testing.T) {
+	g, err := Build("BERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := FuseElementwise(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, m0, i0 := g.Totals()
+	f1, m1, i1 := fused.Totals()
+	if f1 != f0 || i1 != i0 || math.Abs(m1-m0)/m0 > 1e-12 {
+		t.Errorf("identity fusion changed totals: (%v,%v,%v) -> (%v,%v,%v)",
+			f0, m0, i0, f1, m1, i1)
+	}
+}
+
+// A branchy graph (one producer, two consumers) must not fuse across the
+// branch.
+func TestFuseElementwiseRespectsBranches(t *testing.T) {
+	g := &Graph{Model: "branchy", Ops: []Op{
+		{Name: "in", Kind: KindInput, InputBytes: 10},
+		{Name: "a", Kind: KindElementwise, MemBytes: 100, Deps: []int{0}},
+		{Name: "b", Kind: KindElementwise, MemBytes: 100, Deps: []int{1}},
+		{Name: "c", Kind: KindElementwise, MemBytes: 100, Deps: []int{1}},
+	}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fused, err := FuseElementwise(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 'a' has two consumers: nothing fuses.
+	if fused.CountKind(KindElementwise) != 3 {
+		t.Errorf("branch fused incorrectly: %d element-wise ops, want 3", fused.CountKind(KindElementwise))
+	}
+	_, m, _ := fused.Totals()
+	if m != 300 {
+		t.Errorf("branchy memory = %v, want 300 (unchanged)", m)
+	}
+}
+
+// End-to-end: fusing the Speech graph and re-profiling reproduces the XLA
+// speedup the analytical optimize model predicts.
+func TestFusionMatchesOptimizeModel(t *testing.T) {
+	g, err := Build("Speech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := FuseElementwise(g, 1.0/3.43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m0, _ := g.Totals()
+	_, m1, _ := fused.Totals()
+	// The memory-traffic ratio equals the component speedup the optimize
+	// package models for XLA.
+	if ratio := m0 / m1; math.Abs(ratio-3.43) > 1e-9 {
+		t.Errorf("memory ratio = %v, want 3.43", ratio)
+	}
+}

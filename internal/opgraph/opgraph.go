@@ -1,0 +1,203 @@
+// Package opgraph builds synthetic operation-level graphs for the six
+// case-study model families. The graphs stand in for the TensorFlow
+// computation graphs the paper profiles with tf.RunMetadata: each operation
+// carries the resource demands (FLOPs for compute-bound ops, memory traffic
+// for element-wise ops, host-to-device bytes for input ops) that the
+// profiling substrate (internal/profile) turns into kernel records and the
+// feature-extraction pipeline distills back into the workload schema.
+//
+// Graphs are constructed so that their totals match the Table V rows
+// exactly, making the Fig. 4 pipeline testable end to end: build -> profile
+// -> extract must recover the published features.
+package opgraph
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// OpKind classifies an operation the way the paper's framework does:
+// compute-bound (MatMul/Conv), memory-bound (element-wise), embedding lookup
+// (memory-bound, sparse), or input-pipeline.
+type OpKind int
+
+const (
+	// KindMatMul is a dense compute-bound op (MatMul, attention projection).
+	KindMatMul OpKind = iota
+	// KindConv is a convolution (compute-bound).
+	KindConv
+	// KindElementwise is a memory-bound op (activation, normalization, add).
+	KindElementwise
+	// KindEmbeddingLookup is a memory-bound sparse gather.
+	KindEmbeddingLookup
+	// KindInput is the host-to-device input-data feed.
+	KindInput
+)
+
+var kindNames = map[OpKind]string{
+	KindMatMul:          "MatMul",
+	KindConv:            "Conv",
+	KindElementwise:     "Elementwise",
+	KindEmbeddingLookup: "EmbeddingLookup",
+	KindInput:           "Input",
+}
+
+// String names the kind.
+func (k OpKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// ComputeBound reports whether the kind is measured in FLOPs (true) or
+// memory bytes (false).
+func (k OpKind) ComputeBound() bool { return k == KindMatMul || k == KindConv }
+
+// Op is one node of the graph.
+type Op struct {
+	Name string
+	Kind OpKind
+	// FLOPs is the compute demand (compute-bound kinds only).
+	FLOPs float64
+	// MemBytes is the device-memory traffic (memory-bound kinds only).
+	MemBytes float64
+	// InputBytes is host-to-device volume (KindInput only).
+	InputBytes float64
+	// Deps lists indices of ops that must run first.
+	Deps []int
+}
+
+// Graph is a model's operation graph for one training step.
+type Graph struct {
+	Model string
+	Ops   []Op
+}
+
+// Totals sums the graph's resource demands.
+func (g *Graph) Totals() (flops, memBytes, inputBytes float64) {
+	for _, op := range g.Ops {
+		flops += op.FLOPs
+		memBytes += op.MemBytes
+		inputBytes += op.InputBytes
+	}
+	return flops, memBytes, inputBytes
+}
+
+// Validate checks structural sanity: demands attached to the right kinds and
+// dependency indices in range and acyclic (deps must point backwards).
+func (g *Graph) Validate() error {
+	if len(g.Ops) == 0 {
+		return fmt.Errorf("opgraph: %s has no ops", g.Model)
+	}
+	for i, op := range g.Ops {
+		if op.FLOPs < 0 || op.MemBytes < 0 || op.InputBytes < 0 {
+			return fmt.Errorf("opgraph: %s op %d has negative demand", g.Model, i)
+		}
+		if op.FLOPs > 0 && !op.Kind.ComputeBound() {
+			return fmt.Errorf("opgraph: %s op %d (%v) carries FLOPs", g.Model, i, op.Kind)
+		}
+		if op.MemBytes > 0 && (op.Kind.ComputeBound() || op.Kind == KindInput) {
+			return fmt.Errorf("opgraph: %s op %d (%v) carries memory traffic", g.Model, i, op.Kind)
+		}
+		if op.InputBytes > 0 && op.Kind != KindInput {
+			return fmt.Errorf("opgraph: %s op %d (%v) carries input bytes", g.Model, i, op.Kind)
+		}
+		for _, d := range op.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("opgraph: %s op %d dep %d not strictly earlier", g.Model, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// family describes how a model's totals are laid out into ops.
+type family struct {
+	// computeKind is the dominant compute-bound op kind.
+	computeKind OpKind
+	// layers is the number of repeated blocks.
+	layers int
+	// hasEmbedding adds embedding-lookup ops fed a share of memory traffic.
+	hasEmbedding bool
+}
+
+var families = map[string]family{
+	"ResNet50":        {computeKind: KindConv, layers: 16},
+	"NMT":             {computeKind: KindMatMul, layers: 12, hasEmbedding: true},
+	"BERT":            {computeKind: KindMatMul, layers: 12, hasEmbedding: true},
+	"Speech":          {computeKind: KindConv, layers: 8},
+	"Multi-Interests": {computeKind: KindMatMul, layers: 6, hasEmbedding: true},
+	"GCN":             {computeKind: KindMatMul, layers: 4, hasEmbedding: true},
+}
+
+// Build constructs the operation graph for one zoo model. The layer
+// structure is schematic (blocks of compute op + element-wise ops, plus an
+// input op and optional embedding lookups); the per-op demands are chosen so
+// the graph totals equal the Table V row.
+func Build(model string) (*Graph, error) {
+	fam, ok := families[model]
+	if !ok {
+		return nil, fmt.Errorf("opgraph: unknown model %q", model)
+	}
+	cs, err := workload.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	f := cs.Features
+
+	g := &Graph{Model: model}
+	// Input pipeline op.
+	g.Ops = append(g.Ops, Op{Name: "input", Kind: KindInput, InputBytes: f.InputBytes})
+
+	memBudget := f.MemAccessBytes
+	var embShare float64
+	if fam.hasEmbedding {
+		// A fifth of the memory traffic goes through embedding gathers.
+		embShare = 0.2
+		g.Ops = append(g.Ops, Op{
+			Name: "embedding_lookup", Kind: KindEmbeddingLookup,
+			MemBytes: memBudget * embShare, Deps: []int{0},
+		})
+	}
+	remainingMem := memBudget * (1 - embShare)
+
+	// Layer blocks: compute op followed by two element-wise ops, weighted so
+	// early layers are heavier (a crude pyramid like real CNN/transformer
+	// profiles). Weights w_i = layers - i, normalized.
+	var wSum float64
+	for i := 0; i < fam.layers; i++ {
+		wSum += float64(fam.layers - i)
+	}
+	prev := len(g.Ops) - 1
+	for i := 0; i < fam.layers; i++ {
+		w := float64(fam.layers-i) / wSum
+		compute := Op{
+			Name:  fmt.Sprintf("layer%02d/%s", i, fam.computeKind),
+			Kind:  fam.computeKind,
+			FLOPs: f.FLOPs * w,
+			Deps:  []int{prev},
+		}
+		g.Ops = append(g.Ops, compute)
+		ci := len(g.Ops) - 1
+		ew1 := Op{
+			Name: fmt.Sprintf("layer%02d/norm", i), Kind: KindElementwise,
+			MemBytes: remainingMem * w * 0.6, Deps: []int{ci},
+		}
+		g.Ops = append(g.Ops, ew1)
+		ew2 := Op{
+			Name: fmt.Sprintf("layer%02d/act", i), Kind: KindElementwise,
+			MemBytes: remainingMem * w * 0.4, Deps: []int{len(g.Ops) - 1},
+		}
+		g.Ops = append(g.Ops, ew2)
+		prev = len(g.Ops) - 1
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Models lists the model names Build accepts.
+func Models() []string { return workload.ZooNames() }

@@ -1,0 +1,143 @@
+package opgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestKindString(t *testing.T) {
+	if KindMatMul.String() != "MatMul" || KindElementwise.String() != "Elementwise" {
+		t.Error("kind names wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestComputeBound(t *testing.T) {
+	if !KindMatMul.ComputeBound() || !KindConv.ComputeBound() {
+		t.Error("MatMul/Conv are compute-bound")
+	}
+	if KindElementwise.ComputeBound() || KindEmbeddingLookup.ComputeBound() || KindInput.ComputeBound() {
+		t.Error("elementwise/embedding/input are not compute-bound")
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nope"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+// Graph totals must reproduce the Table V rows exactly.
+func TestBuildTotalsMatchTableV(t *testing.T) {
+	for _, name := range Models() {
+		g, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cs, err := workload.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flops, mem, input := g.Totals()
+		rel := func(got, want float64) float64 {
+			if want == 0 {
+				return math.Abs(got)
+			}
+			return math.Abs(got-want) / want
+		}
+		if rel(flops, cs.Features.FLOPs) > 1e-9 {
+			t.Errorf("%s FLOPs = %v, want %v", name, flops, cs.Features.FLOPs)
+		}
+		if rel(mem, cs.Features.MemAccessBytes) > 1e-9 {
+			t.Errorf("%s mem = %v, want %v", name, mem, cs.Features.MemAccessBytes)
+		}
+		if rel(input, cs.Features.InputBytes) > 1e-9 {
+			t.Errorf("%s input = %v, want %v", name, input, cs.Features.InputBytes)
+		}
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	g, err := Build("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ops[0].Kind != KindInput {
+		t.Error("first op must be the input pipeline")
+	}
+	// ResNet50 has no embedding.
+	for _, op := range g.Ops {
+		if op.Kind == KindEmbeddingLookup {
+			t.Error("ResNet50 should have no embedding lookups")
+		}
+		if op.Kind == KindMatMul {
+			t.Error("ResNet50 compute ops should be convolutions")
+		}
+	}
+	// NMT does have embedding lookups.
+	nmt, err := Build("NMT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range nmt.Ops {
+		if op.Kind == KindEmbeddingLookup {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("NMT should include embedding lookups")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	empty := &Graph{Model: "x"}
+	if err := empty.Validate(); err == nil {
+		t.Error("expected error for empty graph")
+	}
+	bad := &Graph{Model: "x", Ops: []Op{
+		{Name: "a", Kind: KindElementwise, FLOPs: 5},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for FLOPs on memory-bound op")
+	}
+	bad = &Graph{Model: "x", Ops: []Op{
+		{Name: "a", Kind: KindConv, MemBytes: 5},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for memory traffic on compute op")
+	}
+	bad = &Graph{Model: "x", Ops: []Op{
+		{Name: "a", Kind: KindConv, InputBytes: 5},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for input bytes on non-input op")
+	}
+	bad = &Graph{Model: "x", Ops: []Op{
+		{Name: "a", Kind: KindConv, FLOPs: -1},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative demand")
+	}
+	bad = &Graph{Model: "x", Ops: []Op{
+		{Name: "a", Kind: KindConv, Deps: []int{0}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for self/forward dependency")
+	}
+}
+
+func TestModelsListsZoo(t *testing.T) {
+	if len(Models()) != 6 {
+		t.Errorf("Models() lists %d, want 6", len(Models()))
+	}
+	for _, name := range Models() {
+		if _, err := Build(name); err != nil {
+			t.Errorf("Build(%s): %v", name, err)
+		}
+	}
+}

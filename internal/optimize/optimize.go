@@ -1,0 +1,130 @@
+// Package optimize models the optimization techniques of Sec. IV-D
+// (Fig. 13): mixed-precision MatMul on TensorCore and XLA operation fusion.
+//
+// Both act on an analytical time breakdown: mixed precision accelerates the
+// compute-bound component (the paper measures 2.8x on MatMul time, bounded
+// by the 8x TensorCore peak), XLA fusion shrinks the memory-bound
+// element-wise component (3.43x on the Speech model). End-to-end speedups
+// then follow from the component shares, which is exactly how the paper's
+// Fig. 13 bars compose.
+package optimize
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Technique selects which optimizations are enabled.
+type Technique struct {
+	// MixedPrecision enables TensorCore FP16 MatMul.
+	MixedPrecision bool
+	// XLA enables operation fusion and code generation.
+	XLA bool
+	// MatMulSpeedup is the measured compute-bound speedup under mixed
+	// precision (2.8x in Fig. 13a; the TensorCore peak is 8x).
+	MatMulSpeedup float64
+	// ElementwiseSpeedup is the measured memory-bound speedup under XLA
+	// fusion (3.43x on Speech in Fig. 13b).
+	ElementwiseSpeedup float64
+}
+
+// Default returns the paper's measured speedup factors with both techniques
+// disabled.
+func Default() Technique {
+	return Technique{MatMulSpeedup: 2.8, ElementwiseSpeedup: 3.43}
+}
+
+// WithMP returns a copy with mixed precision enabled.
+func (t Technique) WithMP() Technique { t.MixedPrecision = true; return t }
+
+// WithXLA returns a copy with XLA fusion enabled.
+func (t Technique) WithXLA() Technique { t.XLA = true; return t }
+
+// Validate checks the speedup factors.
+func (t Technique) Validate() error {
+	if t.MatMulSpeedup < 1 {
+		return fmt.Errorf("optimize: MatMulSpeedup must be >= 1, got %v", t.MatMulSpeedup)
+	}
+	if t.ElementwiseSpeedup < 1 {
+		return fmt.Errorf("optimize: ElementwiseSpeedup must be >= 1, got %v", t.ElementwiseSpeedup)
+	}
+	return nil
+}
+
+// String names the enabled techniques the way Fig. 13 labels its bars.
+func (t Technique) String() string {
+	switch {
+	case t.MixedPrecision && t.XLA:
+		return "MP+XLA"
+	case t.MixedPrecision:
+		return "MP"
+	case t.XLA:
+		return "XLA"
+	default:
+		return "default"
+	}
+}
+
+// Apply returns the breakdown with the enabled techniques applied.
+func (t Technique) Apply(times core.Times) (core.Times, error) {
+	if err := t.Validate(); err != nil {
+		return core.Times{}, err
+	}
+	out := times
+	if t.MixedPrecision {
+		out.ComputeFLOPs = times.ComputeFLOPs / t.MatMulSpeedup
+	}
+	if t.XLA {
+		out.ComputeMem = times.ComputeMem / t.ElementwiseSpeedup
+	}
+	return out, nil
+}
+
+// EndToEndSpeedup returns total(before)/total(after) for the technique on a
+// breakdown.
+func (t Technique) EndToEndSpeedup(times core.Times) (float64, error) {
+	after, err := t.Apply(times)
+	if err != nil {
+		return 0, err
+	}
+	if after.Total() <= 0 {
+		return 0, fmt.Errorf("optimize: degenerate breakdown")
+	}
+	return times.Total() / after.Total(), nil
+}
+
+// Study is one bar group of Fig. 13(a/b): the same workload under several
+// technique settings.
+type Study struct {
+	Workload string
+	Bars     []StudyBar
+}
+
+// StudyBar is one bar: a technique setting and the resulting breakdown and
+// end-to-end speedup.
+type StudyBar struct {
+	Technique Technique
+	Times     core.Times
+	Speedup   float64
+}
+
+// RunStudy evaluates a breakdown under the standard technique ladder
+// (default, MP, XLA, MP+XLA).
+func RunStudy(workloadName string, times core.Times) (Study, error) {
+	base := Default()
+	ladder := []Technique{base, base.WithMP(), base.WithXLA(), base.WithMP().WithXLA()}
+	s := Study{Workload: workloadName}
+	for _, tech := range ladder {
+		after, err := tech.Apply(times)
+		if err != nil {
+			return Study{}, err
+		}
+		sp, err := tech.EndToEndSpeedup(times)
+		if err != nil {
+			return Study{}, err
+		}
+		s.Bars = append(s.Bars, StudyBar{Technique: tech, Times: after, Speedup: sp})
+	}
+	return s, nil
+}

@@ -1,0 +1,181 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func breakdownFor(t *testing.T, model string) core.Times {
+	t.Helper()
+	m, err := core.New(hw.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := workload.Lookup(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := m.Breakdown(cs.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return times
+}
+
+func TestTechniqueString(t *testing.T) {
+	base := Default()
+	if base.String() != "default" {
+		t.Error("default name wrong")
+	}
+	if base.WithMP().String() != "MP" {
+		t.Error("MP name wrong")
+	}
+	if base.WithXLA().String() != "XLA" {
+		t.Error("XLA name wrong")
+	}
+	if base.WithMP().WithXLA().String() != "MP+XLA" {
+		t.Error("MP+XLA name wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Technique{MatMulSpeedup: 0.5, ElementwiseSpeedup: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for MatMulSpeedup < 1")
+	}
+	bad = Technique{MatMulSpeedup: 2, ElementwiseSpeedup: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for ElementwiseSpeedup < 1")
+	}
+	if _, err := bad.Apply(core.Times{}); err == nil {
+		t.Error("Apply should propagate validation error")
+	}
+	if _, err := bad.EndToEndSpeedup(core.Times{ComputeFLOPs: 1}); err == nil {
+		t.Error("EndToEndSpeedup should propagate validation error")
+	}
+}
+
+func TestApplyComponents(t *testing.T) {
+	times := core.Times{DataIO: 1, ComputeFLOPs: 2.8, ComputeMem: 3.43, Weights: 0.5}
+	mp, err := Default().WithMP().Apply(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mp.ComputeFLOPs-1) > 1e-12 {
+		t.Errorf("MP compute = %v, want 1 (2.8x)", mp.ComputeFLOPs)
+	}
+	if mp.ComputeMem != times.ComputeMem || mp.DataIO != times.DataIO || mp.Weights != times.Weights {
+		t.Error("MP must only touch the compute-bound part")
+	}
+	xla, err := Default().WithXLA().Apply(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xla.ComputeMem-1) > 1e-12 {
+		t.Errorf("XLA mem = %v, want 1 (3.43x)", xla.ComputeMem)
+	}
+	if xla.ComputeFLOPs != times.ComputeFLOPs {
+		t.Error("XLA must only touch the memory-bound part")
+	}
+	both, err := Default().WithMP().WithXLA().Apply(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(both.ComputeFLOPs-1) > 1e-12 || math.Abs(both.ComputeMem-1) > 1e-12 {
+		t.Error("MP+XLA should apply both reductions")
+	}
+}
+
+// End-to-end speedups are bounded by the component speedup and exceed 1 when
+// the touched component has weight — the Amdahl structure of Fig. 13.
+func TestEndToEndBounds(t *testing.T) {
+	for _, model := range []string{"ResNet50", "NMT", "BERT", "Speech"} {
+		times := breakdownFor(t, model)
+		for _, tech := range []Technique{Default().WithMP(), Default().WithXLA(), Default().WithMP().WithXLA()} {
+			sp, err := tech.EndToEndSpeedup(times)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", model, tech, err)
+			}
+			if sp < 1 {
+				t.Errorf("%s/%s speedup %v < 1", model, tech, sp)
+			}
+			bound := math.Max(tech.MatMulSpeedup, tech.ElementwiseSpeedup)
+			if sp > bound {
+				t.Errorf("%s/%s speedup %v exceeds component bound %v", model, tech, sp, bound)
+			}
+		}
+	}
+}
+
+// Fig. 13(b): the Speech model is element-wise dominated, so XLA yields a
+// substantial end-to-end speedup (paper: 1.83x).
+func TestSpeechXLASpeedup(t *testing.T) {
+	// Use the measured Speech efficiencies: GDDR at 3.1% makes the
+	// memory-bound part dominate, which is what XLA attacks.
+	m, err := core.New(hw.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := workload.Lookup("Speech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Eff = cs.Measured
+	times, err := m.Breakdown(cs.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Default().WithXLA().EndToEndSpeedup(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 1.3 || sp > 3.43 {
+		t.Errorf("Speech XLA end-to-end speedup = %v, paper reports 1.83x", sp)
+	}
+}
+
+// MP+XLA always beats either alone, and the ordering of Fig. 13(a) holds.
+func TestTechniqueOrdering(t *testing.T) {
+	times := breakdownFor(t, "BERT")
+	mp, err := Default().WithMP().EndToEndSpeedup(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xla, err := Default().WithXLA().EndToEndSpeedup(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Default().WithMP().WithXLA().EndToEndSpeedup(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both <= mp || both <= xla {
+		t.Errorf("MP+XLA (%v) should beat MP (%v) and XLA (%v) alone", both, mp, xla)
+	}
+}
+
+func TestRunStudy(t *testing.T) {
+	times := breakdownFor(t, "ResNet50")
+	s, err := RunStudy("ResNet50", times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Bars) != 4 {
+		t.Fatalf("study has %d bars, want 4", len(s.Bars))
+	}
+	if s.Bars[0].Speedup != 1 {
+		t.Errorf("default bar speedup = %v, want 1", s.Bars[0].Speedup)
+	}
+	for _, b := range s.Bars[1:] {
+		if b.Speedup < 1 {
+			t.Errorf("bar %s speedup %v < 1", b.Technique, b.Speedup)
+		}
+	}
+	if _, err := RunStudy("zero", core.Times{}); err == nil {
+		t.Error("expected error for degenerate breakdown")
+	}
+}

@@ -1,0 +1,75 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/opgraph"
+)
+
+// kernelJSON is the on-disk record format, mirroring the fields the paper
+// collects through tf.RunMetadata.
+type kernelJSON struct {
+	Op         string  `json:"op"`
+	Kind       string  `json:"kind"`
+	Device     string  `json:"device"`
+	Start      float64 `json:"start_s"`
+	Duration   float64 `json:"duration_s"`
+	FLOPs      float64 `json:"flops,omitempty"`
+	MemBytes   float64 `json:"mem_bytes,omitempty"`
+	InputBytes float64 `json:"input_bytes,omitempty"`
+}
+
+type profileJSON struct {
+	Model    string       `json:"model"`
+	StepTime float64      `json:"step_time_s"`
+	Records  []kernelJSON `json:"records"`
+}
+
+var kindFromName = map[string]opgraph.OpKind{
+	"MatMul":          opgraph.KindMatMul,
+	"Conv":            opgraph.KindConv,
+	"Elementwise":     opgraph.KindElementwise,
+	"EmbeddingLookup": opgraph.KindEmbeddingLookup,
+	"Input":           opgraph.KindInput,
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	out := profileJSON{Model: p.Model, StepTime: p.StepTime}
+	for _, r := range p.Records {
+		out.Records = append(out.Records, kernelJSON{
+			Op: r.Op, Kind: r.Kind.String(), Device: r.Device,
+			Start: r.Start, Duration: r.Duration,
+			FLOPs: r.FLOPs, MemBytes: r.MemBytes, InputBytes: r.InputBytes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a profile.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var in profileJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	p := &Profile{Model: in.Model, StepTime: in.StepTime}
+	for i, rec := range in.Records {
+		kind, ok := kindFromName[rec.Kind]
+		if !ok {
+			return nil, fmt.Errorf("profile: record %d: unknown kind %q", i, rec.Kind)
+		}
+		if rec.Duration < 0 || rec.Start < 0 {
+			return nil, fmt.Errorf("profile: record %d: negative timing", i)
+		}
+		p.Records = append(p.Records, KernelRecord{
+			Op: rec.Op, Kind: kind, Device: rec.Device,
+			Start: rec.Start, Duration: rec.Duration,
+			FLOPs: rec.FLOPs, MemBytes: rec.MemBytes, InputBytes: rec.InputBytes,
+		})
+	}
+	return p, nil
+}

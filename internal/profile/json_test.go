@@ -1,0 +1,71 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/opgraph"
+	"repro/internal/workload"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	g, err := opgraph.Build("BERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Collect(g, hw.Testbed(), workload.DefaultEfficiency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != p.Model || back.StepTime != p.StepTime {
+		t.Error("round trip lost metadata")
+	}
+	if len(back.Records) != len(p.Records) {
+		t.Fatalf("record count changed: %d -> %d", len(p.Records), len(back.Records))
+	}
+	for i := range p.Records {
+		if p.Records[i] != back.Records[i] {
+			t.Fatalf("record %d changed:\n%+v\n%+v", i, p.Records[i], back.Records[i])
+		}
+	}
+	// Extraction from a round-tripped profile is identical.
+	meta, err := MetaFor("BERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := Extract(p, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Extract(back, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("extraction differs after round trip")
+	}
+}
+
+func TestProfileReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("expected error for truncated JSON")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"model":"x","records":[{"op":"a","kind":"Nope"}]}`)); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"model":"x","records":[{"op":"a","kind":"Conv","duration_s":-1}]}`)); err == nil {
+		t.Error("expected error for negative duration")
+	}
+}

@@ -1,0 +1,141 @@
+// Package profile is the runtime-profiling substrate of the characterization
+// framework (Fig. 4): it plays the role of TensorFlow's tf.RunMetadata plus
+// the job meta information.
+//
+// Collect executes an operation graph against a hardware configuration and
+// produces kernel records (op name, device placement, start time, duration,
+// resource demands). Extract distills records plus job metadata into the
+// workload feature schema — the raw-profile -> features path every
+// downstream analysis consumes.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/opgraph"
+	"repro/internal/workload"
+)
+
+// KernelRecord is one profiled kernel execution, mirroring the fields the
+// paper collects via run metadata (placement, kernel time, tensor volumes).
+type KernelRecord struct {
+	Op     string
+	Kind   opgraph.OpKind
+	Device string
+	// Start and Duration are simulated seconds within the step.
+	Start, Duration float64
+	// FLOPs / MemBytes / InputBytes echo the demand the kernel served.
+	FLOPs, MemBytes, InputBytes float64
+}
+
+// Profile is the raw profiling output for one training step of one replica,
+// plus the job meta information needed to scale it to the job.
+type Profile struct {
+	Model   string
+	Records []KernelRecord
+	// StepTime is the simulated makespan of the step.
+	StepTime float64
+}
+
+// JobMeta is the job-level metadata that run metadata alone cannot provide
+// (Sec. II-B1): scale, architecture, weight inventory.
+type JobMeta struct {
+	Class                workload.Class
+	CNodes               int
+	BatchSize            int
+	DenseWeightBytes     float64
+	EmbeddingWeightBytes float64
+	// MeasuredTrafficBytes, when positive, is the observed per-step
+	// weight/gradient traffic (Table V).
+	MeasuredTrafficBytes float64
+}
+
+// Collect "profiles" one training step: ops run in dependency order on a
+// single replica, with durations derived from the configuration and
+// efficiency assumption. Op-level serialization matches the paper's
+// framework (no intra-replica overlap).
+func Collect(g *opgraph.Graph, cfg hw.Config, eff workload.Efficiency) (*Profile, error) {
+	if g == nil {
+		return nil, fmt.Errorf("profile: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := eff.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Profile{Model: g.Model}
+	var now float64
+	for _, op := range g.Ops {
+		var dur float64
+		device := "GPU:0"
+		switch {
+		case op.Kind == opgraph.KindInput:
+			dur = op.InputBytes / (cfg.PCIeBandwidth * eff.PCIe)
+			device = "CPU:0"
+		case op.Kind.ComputeBound():
+			dur = op.FLOPs / (cfg.GPU.PeakFLOPS * eff.GPUCompute)
+		default:
+			dur = op.MemBytes / (cfg.GPU.MemBandwidth * eff.GPUMemory)
+		}
+		p.Records = append(p.Records, KernelRecord{
+			Op: op.Name, Kind: op.Kind, Device: device,
+			Start: now, Duration: dur,
+			FLOPs: op.FLOPs, MemBytes: op.MemBytes, InputBytes: op.InputBytes,
+		})
+		now += dur
+	}
+	p.StepTime = now
+	return p, nil
+}
+
+// Extract distills a profile plus job metadata into the workload feature
+// schema — the core of the Fig. 4 "workload feature extraction" stage.
+func Extract(p *Profile, meta JobMeta) (workload.Features, error) {
+	if p == nil {
+		return workload.Features{}, fmt.Errorf("profile: nil profile")
+	}
+	if len(p.Records) == 0 {
+		return workload.Features{}, fmt.Errorf("profile: %s has no kernel records", p.Model)
+	}
+	f := workload.Features{
+		Name:                 p.Model,
+		Class:                meta.Class,
+		CNodes:               meta.CNodes,
+		BatchSize:            meta.BatchSize,
+		DenseWeightBytes:     meta.DenseWeightBytes,
+		EmbeddingWeightBytes: meta.EmbeddingWeightBytes,
+		WeightTrafficBytes:   meta.MeasuredTrafficBytes,
+	}
+	// Aggregate demands across kernels.
+	for _, r := range p.Records {
+		f.FLOPs += r.FLOPs
+		f.MemAccessBytes += r.MemBytes
+		f.InputBytes += r.InputBytes
+	}
+	if err := f.Validate(); err != nil {
+		return workload.Features{}, err
+	}
+	return f, nil
+}
+
+// MetaFor returns the JobMeta of a zoo case study, wiring the Table IV/V
+// job-level facts to the extraction pipeline.
+func MetaFor(model string) (JobMeta, error) {
+	cs, err := workload.Lookup(model)
+	if err != nil {
+		return JobMeta{}, err
+	}
+	return JobMeta{
+		Class:                cs.Features.Class,
+		CNodes:               cs.Features.CNodes,
+		BatchSize:            cs.Features.BatchSize,
+		DenseWeightBytes:     cs.Features.DenseWeightBytes,
+		EmbeddingWeightBytes: cs.Features.EmbeddingWeightBytes,
+		MeasuredTrafficBytes: cs.Features.WeightTrafficBytes,
+	}, nil
+}

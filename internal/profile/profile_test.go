@@ -1,0 +1,140 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/opgraph"
+	"repro/internal/workload"
+)
+
+func TestCollectValidation(t *testing.T) {
+	cfg := hw.Testbed()
+	eff := workload.DefaultEfficiency()
+	if _, err := Collect(nil, cfg, eff); err == nil {
+		t.Error("expected error for nil graph")
+	}
+	g, err := opgraph.Build("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badCfg := cfg
+	badCfg.PCIeBandwidth = 0
+	if _, err := Collect(g, badCfg, eff); err == nil {
+		t.Error("expected error for bad config")
+	}
+	if _, err := Collect(g, cfg, workload.Efficiency{}); err == nil {
+		t.Error("expected error for bad efficiency")
+	}
+	badG := &opgraph.Graph{Model: "x"}
+	if _, err := Collect(badG, cfg, eff); err == nil {
+		t.Error("expected error for invalid graph")
+	}
+}
+
+func TestCollectRecords(t *testing.T) {
+	g, err := opgraph.Build("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Collect(g, hw.Testbed(), workload.DefaultEfficiency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) != len(g.Ops) {
+		t.Fatalf("%d records for %d ops", len(p.Records), len(g.Ops))
+	}
+	// Serial timeline: records are contiguous and StepTime is their sum.
+	var now, sum float64
+	for i, r := range p.Records {
+		if math.Abs(r.Start-now) > 1e-12 {
+			t.Fatalf("record %d starts at %v, want %v", i, r.Start, now)
+		}
+		if r.Duration < 0 {
+			t.Fatalf("record %d has negative duration", i)
+		}
+		now += r.Duration
+		sum += r.Duration
+	}
+	if math.Abs(p.StepTime-sum) > 1e-12 {
+		t.Errorf("StepTime = %v, want %v", p.StepTime, sum)
+	}
+	// Input op placed on CPU, kernels on GPU.
+	if p.Records[0].Kind != opgraph.KindInput || p.Records[0].Device != "CPU:0" {
+		t.Error("input record should be the CPU input pipeline")
+	}
+	if p.Records[1].Device != "GPU:0" {
+		t.Error("kernels should be placed on the GPU")
+	}
+}
+
+// The Fig. 4 pipeline round-trips: build -> profile -> extract recovers the
+// Table V features for every zoo model.
+func TestExtractRecoversZooFeatures(t *testing.T) {
+	cfg := hw.Testbed()
+	eff := workload.DefaultEfficiency()
+	for _, name := range opgraph.Models() {
+		g, err := opgraph.Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p, err := Collect(g, cfg, eff)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		meta, err := MetaFor(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Extract(p, meta)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := workload.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := func(g, w float64) float64 {
+			if w == 0 {
+				return math.Abs(g)
+			}
+			return math.Abs(g-w) / w
+		}
+		if rel(got.FLOPs, want.Features.FLOPs) > 1e-9 {
+			t.Errorf("%s FLOPs = %v, want %v", name, got.FLOPs, want.Features.FLOPs)
+		}
+		if rel(got.MemAccessBytes, want.Features.MemAccessBytes) > 1e-9 {
+			t.Errorf("%s mem = %v, want %v", name, got.MemAccessBytes, want.Features.MemAccessBytes)
+		}
+		if rel(got.InputBytes, want.Features.InputBytes) > 1e-9 {
+			t.Errorf("%s input = %v, want %v", name, got.InputBytes, want.Features.InputBytes)
+		}
+		if got.Class != want.Features.Class || got.CNodes != want.Features.CNodes {
+			t.Errorf("%s meta not carried through", name)
+		}
+		if got.WeightTrafficBytes != want.Features.WeightTrafficBytes {
+			t.Errorf("%s measured traffic not carried through", name)
+		}
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	if _, err := Extract(nil, JobMeta{}); err == nil {
+		t.Error("expected error for nil profile")
+	}
+	if _, err := Extract(&Profile{Model: "x"}, JobMeta{}); err == nil {
+		t.Error("expected error for empty records")
+	}
+	// Invalid meta fails feature validation.
+	p := &Profile{Model: "x", Records: []KernelRecord{{FLOPs: 1}}}
+	if _, err := Extract(p, JobMeta{Class: workload.PSWorker, CNodes: 0, BatchSize: 1}); err == nil {
+		t.Error("expected error for invalid meta")
+	}
+}
+
+func TestMetaForUnknown(t *testing.T) {
+	if _, err := MetaFor("nope"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}

@@ -1,0 +1,191 @@
+// Package project implements the architecture-projection study of
+// Sec. III-C1: estimating how PS/Worker workloads would perform if ported to
+// the AllReduce-Local or AllReduce-Cluster architectures.
+//
+// Mapping rules follow the paper: AllReduce-Local caps the job at one
+// server's GPUs (cNodes' = min(cNodes, 8)), AllReduce-Cluster keeps the
+// replica count. The per-step weight volume Sw is preserved across the
+// projection (only the medium changes), which is what makes Eq. 3's 21x
+// bound exact for communication-bound jobs.
+package project
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Target selects the projection destination architecture.
+type Target int
+
+const (
+	// ToAllReduceLocal ports the job onto a single NVLink server.
+	ToAllReduceLocal Target = iota
+	// ToAllReduceCluster ports the job onto AllReduce across servers.
+	ToAllReduceCluster
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case ToAllReduceLocal:
+		return "AllReduce-Local"
+	case ToAllReduceCluster:
+		return "AllReduce-Cluster"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// Map rewrites a PS/Worker workload's features for the target architecture.
+// Only PS/Worker jobs are mappable (the paper's study). The weight-traffic
+// volume is preserved; the class and replica count change.
+func Map(f workload.Features, target Target, gpusPerServer int) (workload.Features, error) {
+	if err := f.Validate(); err != nil {
+		return workload.Features{}, err
+	}
+	if f.Class != workload.PSWorker {
+		return workload.Features{}, fmt.Errorf(
+			"project: only PS/Worker workloads are projected, got %v", f.Class)
+	}
+	if gpusPerServer <= 0 {
+		return workload.Features{}, fmt.Errorf(
+			"project: gpusPerServer must be positive, got %d", gpusPerServer)
+	}
+	out := f
+	switch target {
+	case ToAllReduceLocal:
+		out.Class = workload.AllReduceLocal
+		if out.CNodes > gpusPerServer {
+			out.CNodes = gpusPerServer
+		}
+	case ToAllReduceCluster:
+		out.Class = workload.AllReduceCluster
+	default:
+		return workload.Features{}, fmt.Errorf("project: unknown target %v", target)
+	}
+	return out, nil
+}
+
+// Result reports the outcome of projecting one workload.
+type Result struct {
+	// Original and Projected are the feature records before/after mapping.
+	Original, Projected workload.Features
+	// NodeSpeedup is Ttotal(original) / Ttotal(projected): per-cNode step
+	// speedup ("Single cNode speedup" series in Fig. 9a).
+	NodeSpeedup float64
+	// ThroughputSpeedup is throughput(projected) / throughput(original)
+	// under Eq. 2, accounting for the possible cNode reduction
+	// ("Throughput speedup" series in Fig. 9a).
+	ThroughputSpeedup float64
+	// OriginalTimes and ProjectedTimes carry the breakdowns for the
+	// bottleneck-shift analysis (Fig. 10).
+	OriginalTimes, ProjectedTimes core.Times
+}
+
+// Projector evaluates projections under one analytical model. The model's
+// configuration must include NVLink.
+type Projector struct {
+	Model *core.Model
+}
+
+// New returns a Projector over the model.
+func New(m *core.Model) (*Projector, error) {
+	if m == nil {
+		return nil, fmt.Errorf("project: nil model")
+	}
+	if !m.Config.HasNVLink {
+		return nil, fmt.Errorf("project: projection target requires NVLink in the configuration")
+	}
+	return &Projector{Model: m}, nil
+}
+
+// Project maps one PS/Worker workload to the target and evaluates both
+// sides.
+func (p *Projector) Project(f workload.Features, target Target) (Result, error) {
+	mapped, err := Map(f, target, p.Model.Config.GPUsPerServer)
+	if err != nil {
+		return Result{}, err
+	}
+	origT, err := p.Model.Breakdown(f)
+	if err != nil {
+		return Result{}, err
+	}
+	projT, err := p.Model.Breakdown(mapped)
+	if err != nil {
+		return Result{}, err
+	}
+	origTotal, projTotal := origT.Total(), projT.Total()
+	if origTotal <= 0 || projTotal <= 0 {
+		return Result{}, fmt.Errorf("project: degenerate step time for %q", f.Name)
+	}
+	r := Result{
+		Original: f, Projected: mapped,
+		OriginalTimes: origT, ProjectedTimes: projT,
+		NodeSpeedup: origTotal / projTotal,
+	}
+	// Eq. 2 on both sides; batch size cancels.
+	origTp := float64(f.CNodes) / origTotal
+	projTp := float64(mapped.CNodes) / projTotal
+	r.ThroughputSpeedup = projTp / origTp
+	return r, nil
+}
+
+// ProjectAll maps every PS/Worker workload in the list; non-PS jobs are
+// skipped. The returned slice preserves input order of the projected jobs.
+func (p *Projector) ProjectAll(fs []workload.Features, target Target) ([]Result, error) {
+	out := make([]Result, 0, len(fs))
+	for _, f := range fs {
+		if f.Class != workload.PSWorker {
+			continue
+		}
+		r, err := p.Project(f, target)
+		if err != nil {
+			return nil, fmt.Errorf("project: job %q: %w", f.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Summary aggregates a projection run the way Fig. 9 reports it.
+type Summary struct {
+	// N is the number of projected jobs.
+	N int
+	// FracNodeNotSped is the fraction with NodeSpeedup <= 1 (the 22.6%
+	// annotation in Fig. 9a).
+	FracNodeNotSped float64
+	// FracThroughputNotSped is the fraction with ThroughputSpeedup <= 1
+	// (the 40.2% annotation; its complement is the "60% can be improved"
+	// headline).
+	FracThroughputNotSped float64
+	// MeanNodeSpeedup and MeanThroughputSpeedup are arithmetic means.
+	MeanNodeSpeedup, MeanThroughputSpeedup float64
+}
+
+// Summarize computes the Fig. 9 aggregates over projection results.
+func Summarize(rs []Result) (Summary, error) {
+	if len(rs) == 0 {
+		return Summary{}, fmt.Errorf("project: no results to summarize")
+	}
+	var s Summary
+	s.N = len(rs)
+	var notNode, notTp int
+	var sumNode, sumTp float64
+	for _, r := range rs {
+		if r.NodeSpeedup <= 1 {
+			notNode++
+		}
+		if r.ThroughputSpeedup <= 1 {
+			notTp++
+		}
+		sumNode += r.NodeSpeedup
+		sumTp += r.ThroughputSpeedup
+	}
+	s.FracNodeNotSped = float64(notNode) / float64(s.N)
+	s.FracThroughputNotSped = float64(notTp) / float64(s.N)
+	s.MeanNodeSpeedup = sumNode / float64(s.N)
+	s.MeanThroughputSpeedup = sumTp / float64(s.N)
+	return s, nil
+}

@@ -1,0 +1,251 @@
+package project
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func psJob(name string, cNodes int, sw float64) workload.Features {
+	return workload.Features{
+		Name: name, Class: workload.PSWorker, CNodes: cNodes, BatchSize: 32,
+		FLOPs: 1e12, MemAccessBytes: 10 * hw.GB, InputBytes: 10 * hw.MB,
+		DenseWeightBytes: 100 * hw.MB, WeightTrafficBytes: sw,
+	}
+}
+
+func newProjector(t *testing.T) *Projector {
+	t.Helper()
+	m, err := core.New(hw.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTargetString(t *testing.T) {
+	if ToAllReduceLocal.String() != "AllReduce-Local" {
+		t.Error("target name wrong")
+	}
+	if ToAllReduceCluster.String() != "AllReduce-Cluster" {
+		t.Error("target name wrong")
+	}
+	if Target(9).String() == "" {
+		t.Error("unknown target should render")
+	}
+}
+
+func TestMapRules(t *testing.T) {
+	// cNodes > 8 capped to 8 for Local.
+	f := psJob("big", 64, hw.GB)
+	m, err := Map(f, ToAllReduceLocal, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Class != workload.AllReduceLocal || m.CNodes != 8 {
+		t.Errorf("mapped = %v/%d, want AllReduce-Local/8", m.Class, m.CNodes)
+	}
+	// cNodes <= 8 unchanged.
+	f = psJob("small", 4, hw.GB)
+	m, err = Map(f, ToAllReduceLocal, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CNodes != 4 {
+		t.Errorf("small job cNodes = %d, want 4", m.CNodes)
+	}
+	// Cluster keeps the count.
+	f = psJob("big", 64, hw.GB)
+	m, err = Map(f, ToAllReduceCluster, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Class != workload.AllReduceCluster || m.CNodes != 64 {
+		t.Errorf("mapped = %v/%d, want AllReduce-Cluster/64", m.Class, m.CNodes)
+	}
+	// Sw preserved.
+	if m.WeightTrafficBytes != f.WeightTrafficBytes {
+		t.Error("projection must preserve the weight volume")
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	f := psJob("x", 4, hw.GB)
+	f.Class = workload.OneWorkerOneGPU
+	f.CNodes = 1
+	if _, err := Map(f, ToAllReduceLocal, 8); err == nil {
+		t.Error("expected error for non-PS workload")
+	}
+	bad := psJob("y", 0, hw.GB)
+	if _, err := Map(bad, ToAllReduceLocal, 8); err == nil {
+		t.Error("expected error for invalid features")
+	}
+	if _, err := Map(psJob("z", 4, hw.GB), Target(9), 8); err == nil {
+		t.Error("expected error for unknown target")
+	}
+	if _, err := Map(psJob("w", 4, hw.GB), ToAllReduceLocal, 0); err == nil {
+		t.Error("expected error for zero gpusPerServer")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("expected error for nil model")
+	}
+	m, err := core.New(hw.BaselineNoNVLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m); err == nil {
+		t.Error("expected error for no-NVLink config")
+	}
+}
+
+// A communication-bound PS job gains ~21x node speedup on AllReduce-Local
+// (Eq. 3) but its throughput speedup is diluted by the cNode cap.
+func TestCommBoundProjection(t *testing.T) {
+	p := newProjector(t)
+	f := psJob("comm", 64, 100*hw.GB)
+	r, err := p.Project(f, ToAllReduceLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeSpeedup < 15 || r.NodeSpeedup > 21.1 {
+		t.Errorf("node speedup = %v, want near 21 for comm-bound job", r.NodeSpeedup)
+	}
+	// Throughput loses the 64 -> 8 replica factor.
+	wantTp := r.NodeSpeedup * 8 / 64
+	if math.Abs(r.ThroughputSpeedup-wantTp)/wantTp > 1e-9 {
+		t.Errorf("throughput speedup = %v, want %v", r.ThroughputSpeedup, wantTp)
+	}
+}
+
+// A compute-bound PS job sees little node gain, and with the cNode cut its
+// throughput regresses — the 40.2% population of Fig. 9a.
+func TestComputeBoundProjectionRegresses(t *testing.T) {
+	p := newProjector(t)
+	f := psJob("compute", 64, 1*hw.MB)
+	f.FLOPs = 50e12
+	r, err := p.Project(f, ToAllReduceLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeSpeedup > 1.2 {
+		t.Errorf("node speedup = %v, want ~1 for compute-bound job", r.NodeSpeedup)
+	}
+	if r.ThroughputSpeedup >= 1 {
+		t.Errorf("throughput speedup = %v, want < 1 after losing 56 replicas", r.ThroughputSpeedup)
+	}
+}
+
+// Data-I/O-heavy jobs can slow down even per-node on AllReduce-Local due to
+// PCIe contention — the 22.6% population of Fig. 9a.
+func TestDataBoundProjectionSlowsDown(t *testing.T) {
+	p := newProjector(t)
+	f := psJob("data", 8, 1*hw.MB)
+	f.InputBytes = 1 * hw.GB
+	f.FLOPs = 1e9
+	f.MemAccessBytes = 1 * hw.MB
+	r, err := p.Project(f, ToAllReduceLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeSpeedup >= 1 {
+		t.Errorf("node speedup = %v, want < 1 for data-I/O-bound job", r.NodeSpeedup)
+	}
+	// The data I/O component must have grown (bottleneck shift, Fig. 10).
+	if r.ProjectedTimes.DataIO <= r.OriginalTimes.DataIO {
+		t.Error("PCIe contention should inflate data I/O after projection")
+	}
+}
+
+// AllReduce-Cluster: bounded speedup (~1.2x max), cNodes preserved, so
+// node and throughput speedups coincide.
+func TestClusterProjection(t *testing.T) {
+	p := newProjector(t)
+	f := psJob("comm", 64, 100*hw.GB)
+	r, err := p.Project(f, ToAllReduceCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.NodeSpeedup-r.ThroughputSpeedup) > 1e-12 {
+		t.Error("cluster projection keeps cNodes; speedups must match")
+	}
+	if r.NodeSpeedup < 1 || r.NodeSpeedup > 1.3 {
+		t.Errorf("cluster speedup = %v, want in (1, 1.24]", r.NodeSpeedup)
+	}
+}
+
+func TestProjectAllSkipsNonPS(t *testing.T) {
+	p := newProjector(t)
+	fs := []workload.Features{
+		psJob("a", 16, hw.GB),
+		{Name: "solo", Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 1,
+			FLOPs: 1e9, MemAccessBytes: 1e6, InputBytes: 1e3},
+		psJob("b", 4, 2*hw.GB),
+	}
+	rs, err := p.ProjectAll(fs, ToAllReduceLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("projected %d jobs, want 2", len(rs))
+	}
+	if rs[0].Original.Name != "a" || rs[1].Original.Name != "b" {
+		t.Error("order not preserved")
+	}
+}
+
+func TestProjectAllPropagatesError(t *testing.T) {
+	p := newProjector(t)
+	bad := psJob("bad", 4, hw.GB)
+	bad.BatchSize = 0
+	if _, err := p.ProjectAll([]workload.Features{bad}, ToAllReduceLocal); err == nil {
+		t.Error("expected error for invalid job")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rs := []Result{
+		{NodeSpeedup: 2, ThroughputSpeedup: 0.5},
+		{NodeSpeedup: 0.8, ThroughputSpeedup: 0.8},
+		{NodeSpeedup: 4, ThroughputSpeedup: 3},
+		{NodeSpeedup: 1.5, ThroughputSpeedup: 1.2},
+	}
+	s, err := Summarize(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.FracNodeNotSped != 0.25 {
+		t.Errorf("FracNodeNotSped = %v, want 0.25", s.FracNodeNotSped)
+	}
+	if s.FracThroughputNotSped != 0.5 {
+		t.Errorf("FracThroughputNotSped = %v, want 0.5", s.FracThroughputNotSped)
+	}
+	if math.Abs(s.MeanNodeSpeedup-2.075) > 1e-12 {
+		t.Errorf("MeanNodeSpeedup = %v", s.MeanNodeSpeedup)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("expected error for empty results")
+	}
+}
+
+func TestProjectRejectsNonPS(t *testing.T) {
+	p := newProjector(t)
+	f := workload.Features{Name: "ar", Class: workload.AllReduceLocal,
+		CNodes: 8, BatchSize: 8, FLOPs: 1e9, MemAccessBytes: 1e6,
+		DenseWeightBytes: hw.MB}
+	if _, err := p.Project(f, ToAllReduceLocal); err == nil {
+		t.Error("expected error projecting a non-PS job")
+	}
+}

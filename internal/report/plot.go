@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// PlotCDF renders an ASCII plot of a CDF: `width` columns spanning
+// [min, max] of the sample support, `height` rows spanning probability
+// [0, 1]. It is the text-terminal stand-in for the paper's CDF figures.
+func PlotCDF(w io.Writer, label string, c *stats.CDF, width, height int) error {
+	if c == nil {
+		return fmt.Errorf("report: nil CDF for %q", label)
+	}
+	if width < 8 || height < 3 {
+		return fmt.Errorf("report: plot needs width >= 8 and height >= 3, got %dx%d", width, height)
+	}
+	lo, hi := c.Min(), c.Max()
+	if hi <= lo {
+		hi = lo + 1 // degenerate support: draw a step
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := lo + (hi-lo)*float64(col)/float64(width-1)
+		p := c.P(x)
+		row := int(p * float64(height-1))
+		if row >= height {
+			row = height - 1
+		}
+		// Row 0 at the bottom: invert for printing.
+		grid[height-1-row][col] = '*'
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", label); err != nil {
+		return err
+	}
+	for r, line := range grid {
+		p := float64(height-1-r) / float64(height-1)
+		if _, err := fmt.Fprintf(w, "%4.2f |%s|\n", p, string(line)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      %-*.4g%*.4g\n", width/2, lo, width-width/2, hi)
+	return err
+}
+
+// Bar renders a simple horizontal bar of the fraction v in [0,1] with the
+// given width, e.g. "[#####     ] 50.0%".
+func Bar(v float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	n := int(v*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", n) + strings.Repeat(" ", width-n) + "] " + Pct(v)
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestPlotCDF(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	c, err := stats.NewCDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := PlotCDF(&buf, "uniform", c, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "uniform") {
+		t.Error("missing label")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Label + height rows + axis line.
+	if len(lines) != 1+8+1 {
+		t.Fatalf("got %d lines, want 10:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot has no points")
+	}
+	// Monotone CDF: the top row's first '*' must be at or right of the
+	// bottom row's first '*'.
+	first := func(line string) int { return strings.IndexRune(line, '*') }
+	top, bottom := first(lines[1]), first(lines[8])
+	if top >= 0 && bottom >= 0 && top < bottom {
+		t.Errorf("CDF plot not monotone: top row '*' at %d, bottom at %d", top, bottom)
+	}
+}
+
+func TestPlotCDFErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PlotCDF(&buf, "x", nil, 40, 8); err == nil {
+		t.Error("expected error for nil CDF")
+	}
+	c, err := stats.NewCDF([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PlotCDF(&buf, "x", c, 4, 8); err == nil {
+		t.Error("expected error for tiny width")
+	}
+	if err := PlotCDF(&buf, "x", c, 40, 1); err == nil {
+		t.Error("expected error for tiny height")
+	}
+}
+
+func TestPlotCDFDegenerate(t *testing.T) {
+	c, err := stats.NewCDF([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := PlotCDF(&buf, "point", c, 20, 4); err != nil {
+		t.Fatalf("degenerate support should plot: %v", err)
+	}
+}
+
+func TestBar(t *testing.T) {
+	got := Bar(0.5, 10)
+	if !strings.HasPrefix(got, "[#####     ]") {
+		t.Errorf("Bar(0.5,10) = %q", got)
+	}
+	if !strings.HasSuffix(got, "50.0%") {
+		t.Errorf("Bar(0.5,10) = %q", got)
+	}
+	if !strings.HasPrefix(Bar(-1, 5), "[     ]") {
+		t.Error("negative clamps to empty")
+	}
+	if !strings.HasPrefix(Bar(2, 5), "[#####]") {
+		t.Error(">1 clamps to full")
+	}
+	if Bar(0.5, 0) == "" {
+		t.Error("zero width should still render")
+	}
+}

@@ -1,0 +1,126 @@
+// Package report renders the analysis results as plain-text tables and
+// series — the rows the paper's tables and figure captions report. It is the
+// output layer shared by the cmd tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond the header count are an error at
+// render time.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return fmt.Errorf("report: table %q has no headers", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		if len(r) > len(t.Headers) {
+			return fmt.Errorf("report: table %q row has %d cells for %d headers",
+				t.Title, len(r), len(t.Headers))
+		}
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(t.Headers))
+		for i := range t.Headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i, wd := range widths {
+		seps[i] = strings.Repeat("-", wd)
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Bytes renders a byte volume with a binary-free human unit (KB/MB/GB).
+func Bytes(v float64) string {
+	switch {
+	case v >= 1e12:
+		return fmt.Sprintf("%.2fTB", v/1e12)
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fGB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fMB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fKB", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+// CDFSeries writes a CDF as "x p" pairs sampled at the given quantiles
+// (default decile grid when qs is nil).
+func CDFSeries(w io.Writer, label string, c *stats.CDF, qs []float64) error {
+	if c == nil {
+		return fmt.Errorf("report: nil CDF for %q", label)
+	}
+	if qs == nil {
+		qs = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+	}
+	sort.Float64s(qs)
+	if _, err := fmt.Fprintf(w, "%s:", label); err != nil {
+		return err
+	}
+	for _, q := range qs {
+		if _, err := fmt.Fprintf(w, " p%02.0f=%.4g", q*100, c.Quantile(q)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha  1") {
+		t.Errorf("missing aligned row in:\n%s", out)
+	}
+	if !strings.Contains(out, "-----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestTableRenderErrors(t *testing.T) {
+	tb := &Table{}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err == nil {
+		t.Error("expected error for headerless table")
+	}
+	tb = &Table{Headers: []string{"a"}}
+	tb.AddRow("1", "2")
+	if err := tb.Render(&buf); err == nil {
+		t.Error("expected error for too many cells")
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("only")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatalf("short rows should render: %v", err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.625) != "62.5%" {
+		t.Errorf("Pct = %q", Pct(0.625))
+	}
+	if F2(1.236) != "1.24" {
+		t.Errorf("F2 = %q", F2(1.236))
+	}
+	cases := map[float64]string{
+		5:        "5B",
+		2500:     "2.50KB",
+		3.2e6:    "3.20MB",
+		4.5e9:    "4.50GB",
+		1.2e12:   "1.20TB",
+		239.45e9: "239.45GB",
+	}
+	for v, want := range cases {
+		if got := Bytes(v); got != want {
+			t.Errorf("Bytes(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c, err := stats.NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := CDFSeries(&buf, "test", c, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "test:") || !strings.Contains(out, "p50=") {
+		t.Errorf("unexpected series output: %q", out)
+	}
+	if err := CDFSeries(&buf, "custom", c, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CDFSeries(&buf, "nil", nil, nil); err == nil {
+		t.Error("expected error for nil CDF")
+	}
+}

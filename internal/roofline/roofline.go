@@ -1,0 +1,105 @@
+// Package roofline formalizes the paper's compute-bound vs memory-bound
+// operation split (Sec. II-B) as a roofline model: a workload whose
+// arithmetic intensity (FLOPs per byte of device-memory traffic) falls below
+// the machine balance (peak FLOPs per byte/s of memory bandwidth) is
+// memory-bound; above it, compute-bound.
+//
+// The classification correlates with the paper's Table VI observations: the
+// Multi-Interests and GCN recommenders land memory-bound (and indeed show
+// the lowest GPU compute efficiencies), while the CV/NLP models land
+// compute-bound.
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Bound classifies a workload against the roofline.
+type Bound int
+
+const (
+	// MemoryBound workloads are limited by device-memory bandwidth.
+	MemoryBound Bound = iota
+	// ComputeBound workloads are limited by peak FLOPs.
+	ComputeBound
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	switch b {
+	case MemoryBound:
+		return "memory-bound"
+	case ComputeBound:
+		return "compute-bound"
+	default:
+		return fmt.Sprintf("Bound(%d)", int(b))
+	}
+}
+
+// Intensity returns the workload's arithmetic intensity in FLOPs per byte.
+// Workloads with no memory traffic have infinite intensity.
+func Intensity(f workload.Features) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if f.MemAccessBytes == 0 {
+		return math.Inf(1), nil
+	}
+	return f.FLOPs / f.MemAccessBytes, nil
+}
+
+// Balance returns the GPU's machine balance in FLOPs per byte: peak compute
+// divided by memory bandwidth. Workloads below this intensity cannot saturate
+// the compute units.
+func Balance(g hw.GPU) (float64, error) {
+	if g.PeakFLOPS <= 0 || g.MemBandwidth <= 0 {
+		return 0, fmt.Errorf("roofline: GPU needs positive peak FLOPs and memory bandwidth")
+	}
+	return g.PeakFLOPS / g.MemBandwidth, nil
+}
+
+// Classify places the workload on the roofline of the GPU.
+func Classify(f workload.Features, g hw.GPU) (Bound, error) {
+	i, err := Intensity(f)
+	if err != nil {
+		return 0, err
+	}
+	b, err := Balance(g)
+	if err != nil {
+		return 0, err
+	}
+	if i < b {
+		return MemoryBound, nil
+	}
+	return ComputeBound, nil
+}
+
+// AttainableFLOPS returns the roofline ceiling for the workload on the GPU:
+// min(peak, intensity x memory bandwidth).
+func AttainableFLOPS(f workload.Features, g hw.GPU) (float64, error) {
+	i, err := Intensity(f)
+	if err != nil {
+		return 0, err
+	}
+	if g.PeakFLOPS <= 0 || g.MemBandwidth <= 0 {
+		return 0, fmt.Errorf("roofline: GPU needs positive peak FLOPs and memory bandwidth")
+	}
+	if math.IsInf(i, 1) {
+		return g.PeakFLOPS, nil
+	}
+	return math.Min(g.PeakFLOPS, i*g.MemBandwidth), nil
+}
+
+// ComputeEfficiencyCeiling returns the fraction of peak FLOPs the roofline
+// allows the workload — an upper bound on the Table VI "GPU TOPS" column.
+func ComputeEfficiencyCeiling(f workload.Features, g hw.GPU) (float64, error) {
+	a, err := AttainableFLOPS(f, g)
+	if err != nil {
+		return 0, err
+	}
+	return a / g.PeakFLOPS, nil
+}

@@ -1,0 +1,316 @@
+// Package sched is a discrete-event cluster scheduler: jobs arrive over
+// time, request GPUs according to their workload class's placement rule
+// (Table II / Sec. II-A), run for a model-predicted duration, and release
+// their GPUs. It quantifies the cluster-level claims the paper makes but
+// does not simulate — e.g. that porting PS/Worker jobs to AllReduce-Local
+// "saves system resources significantly" because the projected jobs occupy
+// at most one server.
+//
+// Placement rules:
+//   - 1w1g: one GPU on any server
+//   - 1wng / AllReduce-Local: a gang of cNodes GPUs on one server
+//     (AllReduce-Local additionally requires NVLink)
+//   - PS/Worker: cNodes GPUs on cNodes distinct servers (one worker per
+//     server, Sec. II-A)
+//   - AllReduce-Cluster / PEARL: GPUs packed GPUs-per-server at a time
+//
+// Scheduling is FIFO with head-of-line blocking, which keeps the simulation
+// deterministic and makes fragmentation effects visible.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Job is one submission: a workload plus arrival time and step count.
+type Job struct {
+	Features workload.Features
+	// Arrival is the submission time in seconds.
+	Arrival float64
+	// Steps is the number of training steps the job runs.
+	Steps int
+}
+
+// Validate checks the job.
+func (j Job) Validate() error {
+	if err := j.Features.Validate(); err != nil {
+		return err
+	}
+	if j.Arrival < 0 {
+		return fmt.Errorf("sched: negative arrival %v", j.Arrival)
+	}
+	if j.Steps <= 0 {
+		return fmt.Errorf("sched: steps must be positive, got %d", j.Steps)
+	}
+	return nil
+}
+
+// Placement describes the GPUs a job needs.
+type placement struct {
+	// gangs[i] is the number of GPUs required together on one server.
+	gangs []int
+	// distinct requires each gang on a different server when true.
+	distinct bool
+	// needsNVLink restricts candidate servers to NVLink ones.
+	needsNVLink bool
+}
+
+// placementFor derives the placement from the class (see package comment).
+func placementFor(f workload.Features, gpusPerServer int) (placement, error) {
+	switch f.Class {
+	case workload.OneWorkerOneGPU:
+		return placement{gangs: []int{1}}, nil
+	case workload.OneWorkerNGPU:
+		if f.CNodes > gpusPerServer {
+			return placement{}, fmt.Errorf("sched: 1wng job needs %d GPUs on one server (max %d)",
+				f.CNodes, gpusPerServer)
+		}
+		return placement{gangs: []int{f.CNodes}}, nil
+	case workload.AllReduceLocal:
+		if f.CNodes > gpusPerServer {
+			return placement{}, fmt.Errorf("sched: AllReduce-Local job needs %d GPUs on one server (max %d)",
+				f.CNodes, gpusPerServer)
+		}
+		return placement{gangs: []int{f.CNodes}, needsNVLink: true}, nil
+	case workload.PSWorker:
+		gangs := make([]int, f.CNodes)
+		for i := range gangs {
+			gangs[i] = 1
+		}
+		return placement{gangs: gangs, distinct: true}, nil
+	case workload.AllReduceCluster, workload.PEARL:
+		var gangs []int
+		rest := f.CNodes
+		for rest > 0 {
+			g := rest
+			if g > gpusPerServer {
+				g = gpusPerServer
+			}
+			gangs = append(gangs, g)
+			rest -= g
+		}
+		return placement{gangs: gangs, distinct: true, needsNVLink: true}, nil
+	default:
+		return placement{}, fmt.Errorf("sched: unknown class %v", f.Class)
+	}
+}
+
+// JobRecord is the outcome for one job.
+type JobRecord struct {
+	Name     string
+	Class    workload.Class
+	GPUs     int
+	Arrival  float64
+	Start    float64
+	Finish   float64
+	StepTime float64
+}
+
+// Wait is time from arrival to start.
+func (r JobRecord) Wait() float64 { return r.Start - r.Arrival }
+
+// GPUSeconds is the job's GPU occupancy integral.
+func (r JobRecord) GPUSeconds() float64 { return float64(r.GPUs) * (r.Finish - r.Start) }
+
+// Result summarizes a simulation run.
+type Result struct {
+	Records []JobRecord
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// TotalGPUSeconds integrates GPU occupancy over all jobs.
+	TotalGPUSeconds float64
+	// MeanWait is the average queueing delay.
+	MeanWait float64
+	// Utilization is TotalGPUSeconds / (numGPUs * Makespan).
+	Utilization float64
+}
+
+// Simulate runs the job list on numServers identical servers under the
+// model's configuration. Jobs are scheduled FIFO by arrival time (ties by
+// input order).
+func Simulate(m *core.Model, numServers int, jobs []Job) (Result, error) {
+	if m == nil {
+		return Result{}, fmt.Errorf("sched: nil model")
+	}
+	if numServers <= 0 {
+		return Result{}, fmt.Errorf("sched: numServers must be positive, got %d", numServers)
+	}
+	gpusPerServer := m.Config.GPUsPerServer
+	hasNVLink := m.Config.HasNVLink
+
+	type pending struct {
+		idx      int
+		job      Job
+		place    placement
+		duration float64
+	}
+	queue := make([]pending, 0, len(jobs))
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, fmt.Errorf("sched: job %d: %w", i, err)
+		}
+		place, err := placementFor(j.Features, gpusPerServer)
+		if err != nil {
+			return Result{}, fmt.Errorf("sched: job %q: %w", j.Features.Name, err)
+		}
+		if place.needsNVLink && !hasNVLink {
+			return Result{}, fmt.Errorf("sched: job %q requires NVLink servers", j.Features.Name)
+		}
+		st, err := m.StepTime(j.Features)
+		if err != nil {
+			return Result{}, fmt.Errorf("sched: job %q: %w", j.Features.Name, err)
+		}
+		queue = append(queue, pending{idx: i, job: j, place: place, duration: st * float64(j.Steps)})
+	}
+	sort.SliceStable(queue, func(a, b int) bool { return queue[a].job.Arrival < queue[b].job.Arrival })
+
+	free := make([]int, numServers)
+	for i := range free {
+		free[i] = gpusPerServer
+	}
+
+	// Completion events.
+	var events completionHeap
+	heap.Init(&events)
+	seq := 0
+
+	records := make([]JobRecord, len(jobs))
+	now := 0.0
+	head := 0
+	var totalGPUSec, totalWait float64
+	var makespan float64
+
+	tryPlace := func(p placement) (map[int]int, bool) {
+		// Greedy: sort server indices by free GPUs descending for gangs.
+		order := make([]int, numServers)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return free[order[a]] > free[order[b]] })
+		alloc := map[int]int{}
+		gangs := append([]int(nil), p.gangs...)
+		sort.Sort(sort.Reverse(sort.IntSlice(gangs)))
+		for _, g := range gangs {
+			placed := false
+			for _, s := range order {
+				if p.distinct && alloc[s] > 0 {
+					continue
+				}
+				if free[s]-alloc[s] >= g {
+					alloc[s] += g
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, false
+			}
+		}
+		return alloc, true
+	}
+
+	for head < len(queue) || events.Len() > 0 {
+		// Advance: schedule as many FIFO heads as fit right now.
+		progress := true
+		for progress && head < len(queue) && queue[head].job.Arrival <= now {
+			p := queue[head]
+			alloc, ok := tryPlace(p.place)
+			if !ok {
+				progress = false
+				break
+			}
+			for s, g := range alloc {
+				free[s] -= g
+			}
+			gpus := 0
+			for _, g := range p.place.gangs {
+				gpus += g
+			}
+			start := now
+			finish := start + p.duration
+			records[p.idx] = JobRecord{
+				Name: p.job.Features.Name, Class: p.job.Features.Class,
+				GPUs: gpus, Arrival: p.job.Arrival, Start: start, Finish: finish,
+				StepTime: p.duration / float64(p.job.Steps),
+			}
+			totalGPUSec += float64(gpus) * p.duration
+			totalWait += start - p.job.Arrival
+			if finish > makespan {
+				makespan = finish
+			}
+			heap.Push(&events, completion{time: finish, servers: alloc, seq: seq})
+			seq++
+			head++
+		}
+		// Next event: either a completion or the next arrival.
+		var nextTime float64
+		hasNext := false
+		if events.Len() > 0 {
+			nextTime = events.items[0].time
+			hasNext = true
+		}
+		if head < len(queue) && queue[head].job.Arrival > now {
+			if !hasNext || queue[head].job.Arrival < nextTime {
+				nextTime = queue[head].job.Arrival
+				hasNext = true
+			}
+		}
+		if !hasNext {
+			if head < len(queue) {
+				return Result{}, fmt.Errorf("sched: job %q cannot ever be placed on %d servers",
+					queue[head].job.Features.Name, numServers)
+			}
+			break
+		}
+		now = nextTime
+		for events.Len() > 0 && events.items[0].time <= now {
+			c := heap.Pop(&events).(completion)
+			for s, g := range c.servers {
+				free[s] += g
+			}
+		}
+	}
+
+	res := Result{Records: records, Makespan: makespan, TotalGPUSeconds: totalGPUSec}
+	if len(jobs) > 0 {
+		res.MeanWait = totalWait / float64(len(jobs))
+	}
+	if makespan > 0 {
+		res.Utilization = totalGPUSec / (float64(numServers*gpusPerServer) * makespan)
+	}
+	return res, nil
+}
+
+// completion is a job-finish event releasing GPUs back to servers.
+type completion struct {
+	time    float64
+	servers map[int]int // server -> GPUs to release
+	seq     int
+}
+
+// completionHeap is a min-heap on completion time.
+type completionHeap struct {
+	items []completion
+}
+
+func (h completionHeap) Len() int { return len(h.items) }
+func (h completionHeap) Less(i, j int) bool {
+	if h.items[i].time != h.items[j].time {
+		return h.items[i].time < h.items[j].time
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h completionHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *completionHeap) Push(x any)   { h.items = append(h.items, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	item := old[n-1]
+	h.items = old[:n-1]
+	return item
+}

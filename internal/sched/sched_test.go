@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func schedModel(t *testing.T) *core.Model {
+	t.Helper()
+	m, err := core.New(hw.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// quickJob builds a 1w1g job whose step time is dominated by a single
+// compute term, making durations easy to reason about.
+func quickJob(name string, steps int, arrival float64) Job {
+	return Job{
+		Features: workload.Features{
+			Name: name, Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 8,
+			// 7.7e12 FLOPs at 11 TFLOPS * 70% = 1 second per step.
+			FLOPs: 7.7e12, MemAccessBytes: 0, InputBytes: 0,
+		},
+		Arrival: arrival,
+		Steps:   steps,
+	}
+}
+
+func classJob(name string, class workload.Class, cNodes, steps int) Job {
+	return Job{
+		Features: workload.Features{
+			Name: name, Class: class, CNodes: cNodes, BatchSize: 8,
+			FLOPs: 7.7e12, MemAccessBytes: 1e6, InputBytes: 1e3,
+			DenseWeightBytes: 1e6,
+		},
+		Steps: steps,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := schedModel(t)
+	if _, err := Simulate(nil, 1, nil); err == nil {
+		t.Error("expected error for nil model")
+	}
+	if _, err := Simulate(m, 0, nil); err == nil {
+		t.Error("expected error for zero servers")
+	}
+	bad := quickJob("bad", 1, 0)
+	bad.Steps = 0
+	if _, err := Simulate(m, 1, []Job{bad}); err == nil {
+		t.Error("expected error for zero steps")
+	}
+	bad = quickJob("bad", 1, -1)
+	if _, err := Simulate(m, 1, []Job{bad}); err == nil {
+		t.Error("expected error for negative arrival")
+	}
+	bad = quickJob("bad", 1, 0)
+	bad.Features.CNodes = 0
+	if _, err := Simulate(m, 1, []Job{bad}); err == nil {
+		t.Error("expected error for invalid features")
+	}
+	// AllReduce on a no-NVLink cluster.
+	noNV, err := core.New(hw.BaselineNoNVLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := classJob("ar", workload.AllReduceLocal, 4, 1)
+	if _, err := Simulate(noNV, 2, []Job{ar}); err == nil {
+		t.Error("expected error for AllReduce without NVLink")
+	}
+	// Oversized gang.
+	big := classJob("big", workload.OneWorkerNGPU, 16, 1)
+	if _, err := Simulate(m, 4, []Job{big}); err == nil {
+		t.Error("expected error for 16-GPU 1wng job")
+	}
+	// PS job larger than the cluster can ever host.
+	ps := classJob("ps", workload.PSWorker, 4, 1)
+	if _, err := Simulate(m, 2, []Job{ps}); err == nil {
+		t.Error("expected error for unplaceable PS job")
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	m := schedModel(t)
+	res, err := Simulate(m, 1, []Job{quickJob("a", 10, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Records[0]
+	if r.Start != 0 {
+		t.Errorf("start = %v, want 0", r.Start)
+	}
+	if math.Abs(r.Finish-10) > 1e-9 {
+		t.Errorf("finish = %v, want 10", r.Finish)
+	}
+	if math.Abs(res.Makespan-10) > 1e-9 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+	if math.Abs(res.TotalGPUSeconds-10) > 1e-9 {
+		t.Errorf("GPU-seconds = %v, want 10", res.TotalGPUSeconds)
+	}
+	// One of 8 GPUs busy the whole time.
+	if math.Abs(res.Utilization-1.0/8) > 1e-9 {
+		t.Errorf("utilization = %v, want 1/8", res.Utilization)
+	}
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	m := schedModel(t)
+	// One server of 8 GPUs; nine 1-GPU jobs of 10s each: the ninth waits.
+	var jobs []Job
+	for i := 0; i < 9; i++ {
+		jobs = append(jobs, quickJob("j", 10, 0))
+	}
+	res, err := Simulate(m, 1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-20) > 1e-9 {
+		t.Errorf("makespan = %v, want 20", res.Makespan)
+	}
+	waited := 0
+	for _, r := range res.Records {
+		if r.Wait() > 1e-9 {
+			waited++
+			if math.Abs(r.Wait()-10) > 1e-9 {
+				t.Errorf("waiting job waited %v, want 10", r.Wait())
+			}
+		}
+	}
+	if waited != 1 {
+		t.Errorf("%d jobs waited, want 1", waited)
+	}
+	if res.MeanWait <= 0 {
+		t.Error("mean wait should be positive")
+	}
+}
+
+func TestPSWorkersOnDistinctServers(t *testing.T) {
+	m := schedModel(t)
+	// A 4-worker PS job on a 4-server cluster occupies one GPU on each.
+	ps := classJob("ps", workload.PSWorker, 4, 1)
+	// A second identical PS job still fits (7 GPUs left per server).
+	res, err := Simulate(m, 4, []Job{ps, ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Wait() > 1e-9 {
+			t.Errorf("PS job should not wait: %v", r.Wait())
+		}
+		if r.GPUs != 4 {
+			t.Errorf("PS job GPUs = %d, want 4", r.GPUs)
+		}
+	}
+}
+
+func TestGangBlocksUntilServerFree(t *testing.T) {
+	m := schedModel(t)
+	// Fill one server with a 8-GPU AllReduce-Local job; a second gang job
+	// must wait for it (1 server only).
+	a := classJob("a", workload.AllReduceLocal, 8, 1)
+	b := classJob("b", workload.AllReduceLocal, 8, 1)
+	res, err := Simulate(m, 1, []Job{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[1].Start <= res.Records[0].Start {
+		t.Error("second gang job should start after the first")
+	}
+	if math.Abs(res.Records[1].Start-res.Records[0].Finish) > 1e-9 {
+		t.Error("second gang job should start exactly when the first finishes")
+	}
+}
+
+func TestARClusterPacksServers(t *testing.T) {
+	m := schedModel(t)
+	j := classJob("arc", workload.AllReduceCluster, 20, 1)
+	res, err := Simulate(m, 3, []Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].GPUs != 20 {
+		t.Errorf("ARC job GPUs = %d, want 20", res.Records[0].GPUs)
+	}
+}
+
+func TestArrivalsRespected(t *testing.T) {
+	m := schedModel(t)
+	late := quickJob("late", 1, 100)
+	res, err := Simulate(m, 1, []Job{late})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Start != 100 {
+		t.Errorf("start = %v, want 100 (arrival)", res.Records[0].Start)
+	}
+}
+
+// The headline extension experiment: porting capped PS jobs to
+// AllReduce-Local reduces GPU-seconds and makespan on a busy cluster.
+func TestPortingPSJobsSavesResources(t *testing.T) {
+	m := schedModel(t)
+	var psJobs, portedJobs []Job
+	for i := 0; i < 12; i++ {
+		f := workload.Features{
+			Name: "ps", Class: workload.PSWorker, CNodes: 8, BatchSize: 64,
+			FLOPs: 1e12, MemAccessBytes: 5e9, InputBytes: 1e6,
+			DenseWeightBytes: 1e9, WeightTrafficBytes: 8e9,
+		}
+		psJobs = append(psJobs, Job{Features: f, Steps: 10})
+		ported := f
+		ported.Class = workload.AllReduceLocal
+		ported.CNodes = 8
+		portedJobs = append(portedJobs, Job{Features: ported, Steps: 10})
+	}
+	before, err := Simulate(m, 8, psJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Simulate(m, 8, portedJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TotalGPUSeconds >= before.TotalGPUSeconds {
+		t.Errorf("porting should cut GPU-seconds: %v -> %v",
+			before.TotalGPUSeconds, after.TotalGPUSeconds)
+	}
+	if after.Makespan >= before.Makespan {
+		t.Errorf("porting should cut makespan on a contended cluster: %v -> %v",
+			before.Makespan, after.Makespan)
+	}
+}
+
+func TestEmptyJobList(t *testing.T) {
+	m := schedModel(t)
+	res, err := Simulate(m, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 || res.Utilization != 0 || res.MeanWait != 0 {
+		t.Error("empty simulation should be all zeros")
+	}
+}

@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// PipelineResult reports one pipelined training step.
+type PipelineResult struct {
+	// Makespan is the wall-clock step time with layer-wise overlap.
+	Makespan float64
+	// SerialTime is the non-overlap reference (sum of phases).
+	SerialTime float64
+	// IdealTime is max(Td, Tc, Tw) — the Sec. V-B ideal bound with Tw summed
+	// over media. Media pipelining can beat it (chunk l+1's Ethernet leg
+	// overlaps chunk l's PCIe leg), in which case EffectiveAlpha clamps to 1.
+	IdealTime float64
+	// LowerBound is the true fluid lower bound: the busiest single resource,
+	// max(Td, Tc, max over links of Tw_link). Makespan never goes below it.
+	LowerBound float64
+	// EffectiveAlpha locates the pipelined time between SerialTime and
+	// IdealTime: 0 = no overlap benefit, 1 = at (or beyond) the paper's
+	// ideal. Zero when the bounds coincide.
+	EffectiveAlpha float64
+}
+
+// SimulatePipelinedStep runs one training step with layer-wise gradient
+// overlap: the model computes `layers` sequential layer blocks, and the
+// weight chunk of layer L starts synchronizing as soon as that layer's
+// compute finishes — concurrently with the remaining layers' compute. This
+// is the mechanism communication-scheduling systems (Poseidon, TicTac; the
+// paper's refs [36, 37]) exploit; the paper treats overlap as a binary
+// assumption, this simulation derives how much of the ideal is mechanically
+// reachable.
+//
+// The data phase still precedes compute (input is needed before layer 0),
+// and a final barrier models the synchronous step boundary.
+func SimulatePipelinedStep(cfg hw.Config, eff workload.Efficiency, f workload.Features,
+	opt arch.Options, layers int) (PipelineResult, error) {
+	if layers < 1 {
+		return PipelineResult{}, fmt.Errorf("simnet: layers must be >= 1, got %d", layers)
+	}
+	if err := cfg.Validate(); err != nil {
+		return PipelineResult{}, err
+	}
+	if err := eff.Validate(); err != nil {
+		return PipelineResult{}, err
+	}
+	if err := f.Validate(); err != nil {
+		return PipelineResult{}, err
+	}
+	coloc, err := arch.ColocatedReplicas(f, cfg.GPUsPerServer)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	servers, err := arch.ServersUsed(f, cfg.GPUsPerServer)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	flows, err := arch.WeightFlows(f, opt)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+
+	s := New()
+	pcie := make([]ResourceID, servers)
+	nic := make([]ResourceID, servers)
+	for i := 0; i < servers; i++ {
+		if pcie[i], err = s.AddResource(fmt.Sprintf("s%d.pcie", i), cfg.PCIeBandwidth*eff.PCIe); err != nil {
+			return PipelineResult{}, err
+		}
+		if nic[i], err = s.AddResource(fmt.Sprintf("s%d.nic", i), cfg.EthernetBandwidth*eff.Network); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+	n := f.CNodes
+	gflops := make([]ResourceID, n)
+	gmem := make([]ResourceID, n)
+	nvport := make([]ResourceID, n)
+	serverOf := make([]int, n)
+	for r := 0; r < n; r++ {
+		serverOf[r] = r / coloc
+		if gflops[r], err = s.AddResource(fmt.Sprintf("r%d.flops", r), cfg.GPU.PeakFLOPS*eff.GPUCompute); err != nil {
+			return PipelineResult{}, err
+		}
+		if gmem[r], err = s.AddResource(fmt.Sprintf("r%d.mem", r), cfg.GPU.MemBandwidth*eff.GPUMemory); err != nil {
+			return PipelineResult{}, err
+		}
+		if cfg.HasNVLink {
+			if nvport[r], err = s.AddResource(fmt.Sprintf("r%d.nvlink", r), cfg.NVLinkBandwidth*eff.Network); err != nil {
+				return PipelineResult{}, err
+			}
+		}
+	}
+	mediumRes := func(link hw.LinkClass, replica int) (ResourceID, error) {
+		switch link {
+		case hw.LinkEthernet:
+			return nic[serverOf[replica]], nil
+		case hw.LinkPCIe:
+			return pcie[serverOf[replica]], nil
+		case hw.LinkNVLink:
+			if !cfg.HasNVLink {
+				return 0, fmt.Errorf("simnet: workload %q needs NVLink", f.Name)
+			}
+			return nvport[replica], nil
+		default:
+			return 0, fmt.Errorf("simnet: unsupported weight medium %v", link)
+		}
+	}
+
+	var finals []TaskID
+	for r := 0; r < n; r++ {
+		// Data load.
+		data, err := s.AddTask(pcie[serverOf[r]], f.InputBytes)
+		if err != nil {
+			return PipelineResult{}, err
+		}
+		prevCompute := data
+		perLayerFLOPs := f.FLOPs / float64(layers)
+		perLayerMem := f.MemAccessBytes / float64(layers)
+		for l := 0; l < layers; l++ {
+			fl, err := s.AddTask(gflops[r], perLayerFLOPs, prevCompute)
+			if err != nil {
+				return PipelineResult{}, err
+			}
+			mem, err := s.AddTask(gmem[r], perLayerMem, fl)
+			if err != nil {
+				return PipelineResult{}, err
+			}
+			prevCompute = mem
+			// The layer's weight chunk synchronizes concurrently with the
+			// remaining layers: chain the chunk through the class's media.
+			dep := mem
+			for _, flow := range flows {
+				res, err := mediumRes(flow.Link, r)
+				if err != nil {
+					return PipelineResult{}, err
+				}
+				chunk, err := s.AddTask(res, flow.Bytes/float64(layers), dep)
+				if err != nil {
+					return PipelineResult{}, err
+				}
+				dep = chunk
+			}
+			finals = append(finals, dep)
+		}
+		finals = append(finals, prevCompute)
+	}
+	barrier, err := s.AddTask(gflops[0], 0, finals...)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	makespan, err := s.Run()
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	if _, err := s.FinishTime(barrier); err != nil {
+		return PipelineResult{}, err
+	}
+
+	// Bounds from the serial phase simulation.
+	serial, err := SimulateStep(cfg, eff, f, opt)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	sum := serial.Makespan
+	compute := serial.ComputeFLOPs + serial.ComputeMem
+	ideal := serial.DataIO
+	if compute > ideal {
+		ideal = compute
+	}
+	if serial.Weights > ideal {
+		ideal = serial.Weights
+	}
+	lower := serial.DataIO
+	if compute > lower {
+		lower = compute
+	}
+	for _, wt := range serial.WeightsByLink {
+		if wt > lower {
+			lower = wt
+		}
+	}
+	res := PipelineResult{Makespan: makespan, SerialTime: sum, IdealTime: ideal, LowerBound: lower}
+	if sum-ideal > 1e-12 {
+		alpha := (sum - makespan) / (sum - ideal)
+		if alpha < 0 {
+			alpha = 0
+		}
+		if alpha > 1 {
+			alpha = 1
+		}
+		res.EffectiveAlpha = alpha
+	}
+	return res, nil
+}

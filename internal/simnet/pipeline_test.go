@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func pipelineJob() workload.Features {
+	return workload.Features{
+		Name: "pipe", Class: workload.PSWorker, CNodes: 8, BatchSize: 64,
+		FLOPs: 5e12, MemAccessBytes: 5e9, InputBytes: 1e6,
+		DenseWeightBytes: 1e9, WeightTrafficBytes: 3e9,
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	if _, err := SimulatePipelinedStep(cfg, eff, pipelineJob(), arch.DefaultOptions(), 0); err == nil {
+		t.Error("expected error for zero layers")
+	}
+	bad := pipelineJob()
+	bad.CNodes = 0
+	if _, err := SimulatePipelinedStep(cfg, eff, bad, arch.DefaultOptions(), 4); err == nil {
+		t.Error("expected error for invalid features")
+	}
+	badCfg := cfg
+	badCfg.PCIeBandwidth = 0
+	if _, err := SimulatePipelinedStep(badCfg, eff, pipelineJob(), arch.DefaultOptions(), 4); err == nil {
+		t.Error("expected error for invalid config")
+	}
+	if _, err := SimulatePipelinedStep(cfg, workload.Efficiency{}, pipelineJob(), arch.DefaultOptions(), 4); err == nil {
+		t.Error("expected error for invalid efficiency")
+	}
+	ar := pipelineJob()
+	ar.Class = workload.AllReduceLocal
+	if _, err := SimulatePipelinedStep(hw.BaselineNoNVLink(), eff, ar, arch.DefaultOptions(), 4); err == nil {
+		t.Error("expected error for NVLink class on non-NVLink config")
+	}
+}
+
+// A single layer cannot overlap anything: the pipelined makespan equals the
+// serial phase sum (within fluid-simulation tolerance).
+func TestPipelineSingleLayerIsSerial(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	r, err := SimulatePipelinedStep(cfg, eff, pipelineJob(), arch.DefaultOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (r.SerialTime - r.Makespan) / r.SerialTime; rel > 0.02 {
+		t.Errorf("1-layer pipeline gained %.1f%%, want ~0", rel*100)
+	}
+	if r.EffectiveAlpha > 0.05 {
+		t.Errorf("1-layer alpha = %v, want ~0", r.EffectiveAlpha)
+	}
+}
+
+// More layers expose more overlap: makespan is monotone non-increasing in
+// the layer count, bounded below by the ideal time.
+func TestPipelineMonotoneInLayers(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	prev := -1.0
+	for _, layers := range []int{1, 2, 4, 16, 64} {
+		r, err := SimulatePipelinedStep(cfg, eff, pipelineJob(), arch.DefaultOptions(), layers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && r.Makespan > prev*1.001 {
+			t.Errorf("makespan grew with layers: %v -> %v at L=%d", prev, r.Makespan, layers)
+		}
+		if r.Makespan < r.LowerBound-1e-9 {
+			t.Errorf("makespan %v beat the per-resource lower bound %v", r.Makespan, r.LowerBound)
+		}
+		if r.LowerBound > r.IdealTime+1e-9 {
+			t.Errorf("lower bound %v exceeds the paper ideal %v", r.LowerBound, r.IdealTime)
+		}
+		if r.Makespan > r.SerialTime*1.001 {
+			t.Errorf("pipelined makespan %v exceeds serial %v", r.Makespan, r.SerialTime)
+		}
+		prev = r.Makespan
+	}
+}
+
+// With many layers, a balanced comm/compute job approaches the ideal bound:
+// effective alpha well above zero.
+func TestPipelineApproachesIdeal(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	r, err := SimulatePipelinedStep(cfg, eff, pipelineJob(), arch.DefaultOptions(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EffectiveAlpha < 0.5 {
+		t.Errorf("64-layer alpha = %v, want > 0.5", r.EffectiveAlpha)
+	}
+}
+
+// 1w1g jobs have no weight traffic to hide; alpha stays small even with
+// many layers (only data I/O could overlap, and it precedes compute here).
+func TestPipelineNoCommNoGain(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	f := workload.Features{
+		Name: "solo", Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 8,
+		FLOPs: 5e12, MemAccessBytes: 5e9, InputBytes: 1e5,
+	}
+	r, err := SimulatePipelinedStep(cfg, eff, f, arch.DefaultOptions(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := (r.SerialTime - r.Makespan) / r.SerialTime; gain > 0.02 {
+		t.Errorf("no-comm job gained %.1f%% from pipelining, want ~0", gain*100)
+	}
+}

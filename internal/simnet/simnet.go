@@ -1,0 +1,207 @@
+// Package simnet is a small fluid discrete-event simulator used as the
+// reproduction's testbed substitute: resources (GPU FLOP engines, memory
+// systems, PCIe complexes, NICs, NVLink meshes) process task demand at a
+// fixed rate shared equally among concurrently-active tasks (processor
+// sharing), and tasks form a dependency DAG.
+//
+// Link contention emerges naturally: two replicas loading input over one
+// server's PCIe resource each see half the bandwidth — the effect behind the
+// data-I/O slowdown of PS->AllReduce-Local projection (Sec. III-C1).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ResourceID identifies a resource in a Sim.
+type ResourceID int
+
+// TaskID identifies a task in a Sim.
+type TaskID int
+
+type resource struct {
+	name string
+	rate float64 // demand units per second
+	busy float64 // accumulated seconds with >= 1 active task
+}
+
+type task struct {
+	res       ResourceID
+	remaining float64
+	deps      []TaskID
+	done      bool
+	finish    float64
+	started   bool
+}
+
+// Sim is a fluid simulator instance. The zero value is not usable; call New.
+type Sim struct {
+	resources []resource
+	tasks     []task
+	ran       bool
+	now       float64
+}
+
+// New returns an empty simulator.
+func New() *Sim { return &Sim{} }
+
+// AddResource registers a resource with the given service rate (e.g. bytes/s
+// for a link, FLOP/s for a GPU). Rate must be positive and finite.
+func (s *Sim) AddResource(name string, rate float64) (ResourceID, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return 0, fmt.Errorf("simnet: resource %q rate must be positive and finite, got %v", name, rate)
+	}
+	s.resources = append(s.resources, resource{name: name, rate: rate})
+	return ResourceID(len(s.resources) - 1), nil
+}
+
+// AddTask registers a task demanding the given amount of work on a resource,
+// starting only after all deps complete. Zero-demand tasks are legal (pure
+// synchronization points).
+func (s *Sim) AddTask(res ResourceID, demand float64, deps ...TaskID) (TaskID, error) {
+	if s.ran {
+		return 0, errors.New("simnet: cannot add tasks after Run")
+	}
+	if int(res) < 0 || int(res) >= len(s.resources) {
+		return 0, fmt.Errorf("simnet: resource %d out of range", res)
+	}
+	if demand < 0 || math.IsNaN(demand) || math.IsInf(demand, 0) {
+		return 0, fmt.Errorf("simnet: task demand must be finite and >= 0, got %v", demand)
+	}
+	for _, d := range deps {
+		if int(d) < 0 || int(d) >= len(s.tasks) {
+			return 0, fmt.Errorf("simnet: dependency %d out of range", d)
+		}
+	}
+	s.tasks = append(s.tasks, task{
+		res: res, remaining: demand, deps: append([]TaskID(nil), deps...),
+	})
+	return TaskID(len(s.tasks) - 1), nil
+}
+
+// Run executes the simulation to completion and returns the makespan.
+// It can be called once per Sim.
+func (s *Sim) Run() (float64, error) {
+	if s.ran {
+		return 0, errors.New("simnet: Run called twice")
+	}
+	s.ran = true
+	if len(s.tasks) == 0 {
+		return 0, nil
+	}
+
+	pending := len(s.tasks)
+	for pending > 0 {
+		// Collect ready tasks and per-resource active counts.
+		active := make(map[ResourceID]int)
+		ready := ready(s.tasks)
+		if len(ready) == 0 {
+			return 0, errors.New("simnet: dependency cycle or deadlock detected")
+		}
+		for _, ti := range ready {
+			active[s.tasks[ti].res]++
+		}
+		// Zero-demand ready tasks complete immediately.
+		completedZero := false
+		for _, ti := range ready {
+			if s.tasks[ti].remaining == 0 {
+				s.tasks[ti].done = true
+				s.tasks[ti].finish = s.now
+				pending--
+				completedZero = true
+			}
+		}
+		if completedZero {
+			continue
+		}
+		// Time to next completion under equal sharing.
+		dt := math.Inf(1)
+		for _, ti := range ready {
+			t := &s.tasks[ti]
+			share := s.resources[t.res].rate / float64(active[t.res])
+			if d := t.remaining / share; d < dt {
+				dt = d
+			}
+		}
+		// Advance: drain demand, accumulate busy time.
+		for res := range active {
+			s.resources[res].busy += dt
+		}
+		s.now += dt
+		const eps = 1e-12
+		for _, ti := range ready {
+			t := &s.tasks[ti]
+			share := s.resources[t.res].rate / float64(active[t.res])
+			t.remaining -= share * dt
+			if t.remaining <= eps*share*dt+1e-30 || t.remaining < 0 {
+				t.remaining = 0
+				t.done = true
+				t.finish = s.now
+				pending--
+			}
+		}
+	}
+	return s.now, nil
+}
+
+// ready returns indices of tasks whose dependencies are all done and which
+// are not themselves done.
+func ready(tasks []task) []int {
+	var out []int
+	for i := range tasks {
+		t := &tasks[i]
+		if t.done {
+			continue
+		}
+		ok := true
+		for _, d := range t.deps {
+			if !tasks[d].done {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FinishTime returns the completion time of a task after Run.
+func (s *Sim) FinishTime(t TaskID) (float64, error) {
+	if !s.ran {
+		return 0, errors.New("simnet: FinishTime before Run")
+	}
+	if int(t) < 0 || int(t) >= len(s.tasks) {
+		return 0, fmt.Errorf("simnet: task %d out of range", t)
+	}
+	if !s.tasks[t].done {
+		return 0, fmt.Errorf("simnet: task %d did not complete", t)
+	}
+	return s.tasks[t].finish, nil
+}
+
+// BusyTime returns the accumulated busy seconds of a resource after Run.
+func (s *Sim) BusyTime(r ResourceID) (float64, error) {
+	if !s.ran {
+		return 0, errors.New("simnet: BusyTime before Run")
+	}
+	if int(r) < 0 || int(r) >= len(s.resources) {
+		return 0, fmt.Errorf("simnet: resource %d out of range", r)
+	}
+	return s.resources[r].busy, nil
+}
+
+// Utilization returns busy time divided by the makespan.
+func (s *Sim) Utilization(r ResourceID) (float64, error) {
+	busy, err := s.BusyTime(r)
+	if err != nil {
+		return 0, err
+	}
+	if s.now == 0 {
+		return 0, nil
+	}
+	return busy / s.now, nil
+}

@@ -1,0 +1,283 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddResourceValidation(t *testing.T) {
+	s := New()
+	if _, err := s.AddResource("bad", 0); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if _, err := s.AddResource("bad", math.NaN()); err == nil {
+		t.Error("expected error for NaN rate")
+	}
+	if _, err := s.AddResource("bad", math.Inf(1)); err == nil {
+		t.Error("expected error for Inf rate")
+	}
+	if _, err := s.AddResource("ok", 100); err != nil {
+		t.Errorf("valid resource rejected: %v", err)
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	s := New()
+	r, err := s.AddResource("r", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTask(ResourceID(5), 1); err == nil {
+		t.Error("expected error for bad resource")
+	}
+	if _, err := s.AddTask(r, -1); err == nil {
+		t.Error("expected error for negative demand")
+	}
+	if _, err := s.AddTask(r, math.Inf(1)); err == nil {
+		t.Error("expected error for Inf demand")
+	}
+	if _, err := s.AddTask(r, 1, TaskID(9)); err == nil {
+		t.Error("expected error for bad dependency")
+	}
+	if _, err := s.AddTask(r, 1); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("link", 10) // 10 units/s
+	task, _ := s.AddTask(r, 50)
+	mk, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mk-5) > 1e-9 {
+		t.Errorf("makespan = %v, want 5", mk)
+	}
+	ft, err := s.FinishTime(task)
+	if err != nil || math.Abs(ft-5) > 1e-9 {
+		t.Errorf("finish = %v, %v", ft, err)
+	}
+	busy, err := s.BusyTime(r)
+	if err != nil || math.Abs(busy-5) > 1e-9 {
+		t.Errorf("busy = %v, %v", busy, err)
+	}
+	util, err := s.Utilization(r)
+	if err != nil || math.Abs(util-1) > 1e-9 {
+		t.Errorf("utilization = %v, %v", util, err)
+	}
+}
+
+// Two equal tasks sharing one resource: each sees half the rate, both finish
+// together at twice the solo time.
+func TestProcessorSharing(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("link", 10)
+	a, _ := s.AddTask(r, 50)
+	b, _ := s.AddTask(r, 50)
+	mk, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mk-10) > 1e-9 {
+		t.Errorf("makespan = %v, want 10", mk)
+	}
+	fa, _ := s.FinishTime(a)
+	fb, _ := s.FinishTime(b)
+	if math.Abs(fa-10) > 1e-9 || math.Abs(fb-10) > 1e-9 {
+		t.Errorf("finish times = %v, %v; want 10, 10", fa, fb)
+	}
+}
+
+// Unequal tasks: the short one finishes first, after which the long one gets
+// the full rate.
+func TestProcessorSharingUnequal(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("link", 10)
+	short, _ := s.AddTask(r, 10)
+	long, _ := s.AddTask(r, 50)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := s.FinishTime(short)
+	fl, _ := s.FinishTime(long)
+	// Shared until short finishes: 10/(10/2) = 2s; long has 40 left at full
+	// rate: 4s more.
+	if math.Abs(fs-2) > 1e-9 {
+		t.Errorf("short finish = %v, want 2", fs)
+	}
+	if math.Abs(fl-6) > 1e-9 {
+		t.Errorf("long finish = %v, want 6", fl)
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("link", 10)
+	a, _ := s.AddTask(r, 20)
+	b, _ := s.AddTask(r, 30, a)
+	mk, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial: 2 + 3.
+	if math.Abs(mk-5) > 1e-9 {
+		t.Errorf("makespan = %v, want 5", mk)
+	}
+	fb, _ := s.FinishTime(b)
+	if math.Abs(fb-5) > 1e-9 {
+		t.Errorf("b finish = %v, want 5", fb)
+	}
+}
+
+func TestZeroDemandBarrier(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("link", 10)
+	a, _ := s.AddTask(r, 20)
+	barrier, _ := s.AddTask(r, 0, a)
+	c, _ := s.AddTask(r, 10, barrier)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := s.FinishTime(barrier)
+	if math.Abs(fb-2) > 1e-9 {
+		t.Errorf("barrier finish = %v, want 2", fb)
+	}
+	fc, _ := s.FinishTime(c)
+	if math.Abs(fc-3) > 1e-9 {
+		t.Errorf("c finish = %v, want 3", fc)
+	}
+}
+
+func TestTwoResourcesIndependent(t *testing.T) {
+	s := New()
+	r1, _ := s.AddResource("a", 10)
+	r2, _ := s.AddResource("b", 5)
+	s.AddTask(r1, 100) // 10s
+	s.AddTask(r2, 20)  // 4s
+	mk, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mk-10) > 1e-9 {
+		t.Errorf("makespan = %v, want 10", mk)
+	}
+	b2, _ := s.BusyTime(r2)
+	if math.Abs(b2-4) > 1e-9 {
+		t.Errorf("r2 busy = %v, want 4", b2)
+	}
+	u2, _ := s.Utilization(r2)
+	if math.Abs(u2-0.4) > 1e-9 {
+		t.Errorf("r2 utilization = %v, want 0.4", u2)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("r", 1)
+	s.AddTask(r, 1)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("expected error for double Run")
+	}
+	if _, err := s.AddTask(r, 1); err == nil {
+		t.Error("expected error adding tasks after Run")
+	}
+}
+
+func TestAccessorsBeforeRun(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("r", 1)
+	task, _ := s.AddTask(r, 1)
+	if _, err := s.FinishTime(task); err == nil {
+		t.Error("expected error for FinishTime before Run")
+	}
+	if _, err := s.BusyTime(r); err == nil {
+		t.Error("expected error for BusyTime before Run")
+	}
+}
+
+func TestAccessorBounds(t *testing.T) {
+	s := New()
+	r, _ := s.AddResource("r", 1)
+	s.AddTask(r, 1)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FinishTime(TaskID(9)); err == nil {
+		t.Error("expected error for bad task id")
+	}
+	if _, err := s.BusyTime(ResourceID(9)); err == nil {
+		t.Error("expected error for bad resource id")
+	}
+	if _, err := s.Utilization(ResourceID(9)); err == nil {
+		t.Error("expected error for bad resource id")
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	s := New()
+	mk, err := s.Run()
+	if err != nil || mk != 0 {
+		t.Errorf("empty run = %v, %v; want 0, nil", mk, err)
+	}
+}
+
+// Property: with k identical concurrent tasks on one resource, makespan is
+// k times the solo duration (work conservation under processor sharing).
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(kRaw uint8, demandRaw uint16) bool {
+		k := int(kRaw)%7 + 1
+		demand := float64(demandRaw)/100 + 0.1
+		s := New()
+		r, err := s.AddResource("link", 10)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if _, err := s.AddTask(r, demand); err != nil {
+				return false
+			}
+		}
+		mk, err := s.Run()
+		if err != nil {
+			return false
+		}
+		want := float64(k) * demand / 10
+		return math.Abs(mk-want) < 1e-6*want+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: makespan never decreases when adding a task.
+func TestMonotoneMakespanProperty(t *testing.T) {
+	f := func(demands []uint16) bool {
+		if len(demands) == 0 || len(demands) > 30 {
+			return true
+		}
+		run := func(n int) float64 {
+			s := New()
+			r, _ := s.AddResource("link", 7)
+			for i := 0; i < n; i++ {
+				s.AddTask(r, float64(demands[i])/10)
+			}
+			mk, err := s.Run()
+			if err != nil {
+				return -1
+			}
+			return mk
+		}
+		full := run(len(demands))
+		partial := run(len(demands) - 1)
+		return full >= partial-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

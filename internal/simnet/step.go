@@ -1,0 +1,270 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// StepResult reports one simulated training step of a workload.
+type StepResult struct {
+	// Makespan is the simulated wall-clock step time.
+	Makespan float64
+	// DataIO, ComputeFLOPs, ComputeMem and per-link weight times are the
+	// phase durations (the simulator runs phases back to back, matching the
+	// paper's non-overlap framework).
+	DataIO, ComputeFLOPs, ComputeMem float64
+	WeightsByLink                    map[hw.LinkClass]float64
+	// Weights is the total weight-communication time.
+	Weights float64
+	// PCIeUtilization is the busy fraction of the first server's PCIe
+	// complex, a proxy for the Table VI "PCIe" row.
+	PCIeUtilization float64
+}
+
+// StepOptions carries fault/heterogeneity injection knobs for SimulateStep.
+type StepOptions struct {
+	// SlowReplica, when SlowFactor > 1, identifies the replica whose GPU
+	// compute and memory rates are divided by SlowFactor — a straggler.
+	// Synchronous training gates every phase barrier on the slowest
+	// replica, which is what the injection exposes.
+	SlowReplica int
+	// SlowFactor >= 1 is the slowdown of the straggler (1 = no straggler).
+	SlowFactor float64
+}
+
+// Validate checks the options against the workload.
+func (o StepOptions) Validate(cNodes int) error {
+	if o.SlowFactor == 0 {
+		return nil // zero value: no straggler
+	}
+	if o.SlowFactor < 1 {
+		return fmt.Errorf("simnet: SlowFactor must be >= 1, got %v", o.SlowFactor)
+	}
+	if o.SlowReplica < 0 || o.SlowReplica >= cNodes {
+		return fmt.Errorf("simnet: SlowReplica %d out of range [0,%d)", o.SlowReplica, cNodes)
+	}
+	return nil
+}
+
+// SimulateStep builds and runs the task graph of one training step of the
+// workload on a cluster built from cfg: per-server PCIe and NIC resources,
+// per-replica GPU compute/memory/NVLink resources, phases
+// load -> compute(FLOPs) -> compute(mem) -> weight sync per medium, with
+// barriers between phases (non-overlap). Contention (multiple replicas on
+// one server's PCIe or NIC) emerges from resource sharing rather than an
+// explicit factor.
+func SimulateStep(cfg hw.Config, eff workload.Efficiency, f workload.Features, opt arch.Options) (StepResult, error) {
+	return SimulateStepOpts(cfg, eff, f, opt, StepOptions{})
+}
+
+// SimulateStepOpts is SimulateStep with fault-injection options.
+func SimulateStepOpts(cfg hw.Config, eff workload.Efficiency, f workload.Features, opt arch.Options, sopt StepOptions) (StepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return StepResult{}, err
+	}
+	if err := eff.Validate(); err != nil {
+		return StepResult{}, err
+	}
+	if err := f.Validate(); err != nil {
+		return StepResult{}, err
+	}
+	if err := sopt.Validate(f.CNodes); err != nil {
+		return StepResult{}, err
+	}
+	coloc, err := arch.ColocatedReplicas(f, cfg.GPUsPerServer)
+	if err != nil {
+		return StepResult{}, err
+	}
+	servers, err := arch.ServersUsed(f, cfg.GPUsPerServer)
+	if err != nil {
+		return StepResult{}, err
+	}
+	flows, err := arch.WeightFlows(f, opt)
+	if err != nil {
+		return StepResult{}, err
+	}
+
+	s := New()
+	// Per-server shared resources.
+	pcie := make([]ResourceID, servers)
+	nic := make([]ResourceID, servers)
+	for i := 0; i < servers; i++ {
+		if pcie[i], err = s.AddResource(fmt.Sprintf("s%d.pcie", i), cfg.PCIeBandwidth*eff.PCIe); err != nil {
+			return StepResult{}, err
+		}
+		if nic[i], err = s.AddResource(fmt.Sprintf("s%d.nic", i), cfg.EthernetBandwidth*eff.Network); err != nil {
+			return StepResult{}, err
+		}
+	}
+	// Per-replica resources.
+	n := f.CNodes
+	gflops := make([]ResourceID, n)
+	gmem := make([]ResourceID, n)
+	nvport := make([]ResourceID, n)
+	serverOf := make([]int, n)
+	for r := 0; r < n; r++ {
+		serverOf[r] = r / coloc
+		slow := 1.0
+		if sopt.SlowFactor > 1 && r == sopt.SlowReplica {
+			slow = sopt.SlowFactor
+		}
+		if gflops[r], err = s.AddResource(fmt.Sprintf("r%d.flops", r), cfg.GPU.PeakFLOPS*eff.GPUCompute/slow); err != nil {
+			return StepResult{}, err
+		}
+		if gmem[r], err = s.AddResource(fmt.Sprintf("r%d.mem", r), cfg.GPU.MemBandwidth*eff.GPUMemory/slow); err != nil {
+			return StepResult{}, err
+		}
+		if cfg.HasNVLink {
+			if nvport[r], err = s.AddResource(fmt.Sprintf("r%d.nvlink", r), cfg.NVLinkBandwidth*eff.Network); err != nil {
+				return StepResult{}, err
+			}
+		}
+	}
+
+	// Phase 1: input data load, all replicas concurrently on their server's
+	// PCIe complex.
+	prevPhase := make([]TaskID, 0, n)
+	for r := 0; r < n; r++ {
+		t, err := s.AddTask(pcie[serverOf[r]], f.InputBytes)
+		if err != nil {
+			return StepResult{}, err
+		}
+		prevPhase = append(prevPhase, t)
+	}
+	dataBarrier, err := s.AddTask(gflops[0], 0, prevPhase...)
+	if err != nil {
+		return StepResult{}, err
+	}
+
+	// Phase 2: compute-bound ops.
+	prevPhase = prevPhase[:0]
+	for r := 0; r < n; r++ {
+		t, err := s.AddTask(gflops[r], f.FLOPs, dataBarrier)
+		if err != nil {
+			return StepResult{}, err
+		}
+		prevPhase = append(prevPhase, t)
+	}
+	flopsBarrier, err := s.AddTask(gflops[0], 0, prevPhase...)
+	if err != nil {
+		return StepResult{}, err
+	}
+
+	// Phase 3: memory-bound ops.
+	prevPhase = prevPhase[:0]
+	for r := 0; r < n; r++ {
+		t, err := s.AddTask(gmem[r], f.MemAccessBytes, flopsBarrier)
+		if err != nil {
+			return StepResult{}, err
+		}
+		prevPhase = append(prevPhase, t)
+	}
+	barrier := flopsBarrier
+	memBarrier, err := s.AddTask(gflops[0], 0, prevPhase...)
+	if err != nil {
+		return StepResult{}, err
+	}
+	barrier = memBarrier
+
+	// Phases 4+: weight synchronization, one phase per medium.
+	mediumBarriers := make([]struct {
+		link hw.LinkClass
+		id   TaskID
+	}, 0, len(flows))
+	for _, fl := range flows {
+		prevPhase = prevPhase[:0]
+		switch fl.Link {
+		case hw.LinkEthernet:
+			if f.Class == workload.AllReduceCluster {
+				// Hierarchical collective: one aggregated stream per server.
+				for sv := 0; sv < servers; sv++ {
+					t, err := s.AddTask(nic[sv], fl.Bytes, barrier)
+					if err != nil {
+						return StepResult{}, err
+					}
+					prevPhase = append(prevPhase, t)
+				}
+			} else {
+				// PS pull/push: every replica streams over its server NIC.
+				for r := 0; r < n; r++ {
+					t, err := s.AddTask(nic[serverOf[r]], fl.Bytes, barrier)
+					if err != nil {
+						return StepResult{}, err
+					}
+					prevPhase = append(prevPhase, t)
+				}
+			}
+		case hw.LinkPCIe:
+			for r := 0; r < n; r++ {
+				t, err := s.AddTask(pcie[serverOf[r]], fl.Bytes, barrier)
+				if err != nil {
+					return StepResult{}, err
+				}
+				prevPhase = append(prevPhase, t)
+			}
+		case hw.LinkNVLink:
+			if !cfg.HasNVLink {
+				return StepResult{}, fmt.Errorf("simnet: workload %q needs NVLink", f.Name)
+			}
+			for r := 0; r < n; r++ {
+				t, err := s.AddTask(nvport[r], fl.Bytes, barrier)
+				if err != nil {
+					return StepResult{}, err
+				}
+				prevPhase = append(prevPhase, t)
+			}
+		default:
+			return StepResult{}, fmt.Errorf("simnet: unsupported weight medium %v", fl.Link)
+		}
+		b, err := s.AddTask(gflops[0], 0, prevPhase...)
+		if err != nil {
+			return StepResult{}, err
+		}
+		barrier = b
+		mediumBarriers = append(mediumBarriers, struct {
+			link hw.LinkClass
+			id   TaskID
+		}{fl.Link, b})
+	}
+
+	makespan, err := s.Run()
+	if err != nil {
+		return StepResult{}, err
+	}
+
+	res := StepResult{Makespan: makespan, WeightsByLink: map[hw.LinkClass]float64{}}
+	tData, err := s.FinishTime(dataBarrier)
+	if err != nil {
+		return StepResult{}, err
+	}
+	tFlops, err := s.FinishTime(flopsBarrier)
+	if err != nil {
+		return StepResult{}, err
+	}
+	tMem, err := s.FinishTime(memBarrier)
+	if err != nil {
+		return StepResult{}, err
+	}
+	res.DataIO = tData
+	res.ComputeFLOPs = tFlops - tData
+	res.ComputeMem = tMem - tFlops
+	prev := tMem
+	for _, mb := range mediumBarriers {
+		ft, err := s.FinishTime(mb.id)
+		if err != nil {
+			return StepResult{}, err
+		}
+		res.WeightsByLink[mb.link] += ft - prev
+		res.Weights += ft - prev
+		prev = ft
+	}
+	util, err := s.Utilization(pcie[0])
+	if err != nil {
+		return StepResult{}, err
+	}
+	res.PCIeUtilization = util
+	return res, nil
+}

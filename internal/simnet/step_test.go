@@ -1,0 +1,177 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func TestSimulateStepValidation(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	good := workload.Features{
+		Name: "ok", Class: workload.PSWorker, CNodes: 4, BatchSize: 8,
+		FLOPs: 1e12, MemAccessBytes: 1e9, InputBytes: 1e6,
+		DenseWeightBytes: 100 * hw.MB,
+	}
+	bad := good
+	bad.CNodes = 0
+	if _, err := SimulateStep(cfg, eff, bad, arch.DefaultOptions()); err == nil {
+		t.Error("expected error for invalid features")
+	}
+	badCfg := cfg
+	badCfg.GPUsPerServer = 0
+	if _, err := SimulateStep(badCfg, eff, good, arch.DefaultOptions()); err == nil {
+		t.Error("expected error for invalid config")
+	}
+	if _, err := SimulateStep(cfg, workload.Efficiency{}, good, arch.DefaultOptions()); err == nil {
+		t.Error("expected error for invalid efficiency")
+	}
+	// AllReduce on non-NVLink servers must fail.
+	ar := good
+	ar.Class = workload.AllReduceLocal
+	ar.CNodes = 8
+	if _, err := SimulateStep(hw.BaselineNoNVLink(), eff, ar, arch.DefaultOptions()); err == nil {
+		t.Error("expected error for AllReduce without NVLink")
+	}
+	if _, err := SimulateStep(cfg, eff, good, arch.Options{SparseAccessFraction: 7}); err == nil {
+		t.Error("expected error for bad arch options")
+	}
+}
+
+// The fluid simulator and the analytical model agree for every zoo workload:
+// identical bandwidth/efficiency assumptions and phase structure must give
+// matching component times (this is the consistency check behind using the
+// analytical model for cluster-scale analysis).
+func TestSimulatorMatchesAnalyticalModel(t *testing.T) {
+	cfg := hw.Testbed()
+	eff := workload.DefaultEfficiency()
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range workload.ZooNames() {
+		cs, err := workload.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simR, err := SimulateStep(cfg, eff, cs.Features, arch.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		anaR, err := m.Breakdown(cs.Features)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		close := func(label string, got, want float64) {
+			t.Helper()
+			if want == 0 {
+				if got > 1e-12 {
+					t.Errorf("%s %s = %v, want 0", name, label, got)
+				}
+				return
+			}
+			if math.Abs(got-want)/want > 0.02 {
+				t.Errorf("%s %s: sim %v vs model %v", name, label, got, want)
+			}
+		}
+		close("dataIO", simR.DataIO, anaR.DataIO)
+		close("computeFLOPs", simR.ComputeFLOPs, anaR.ComputeFLOPs)
+		close("computeMem", simR.ComputeMem, anaR.ComputeMem)
+		close("weights", simR.Weights, anaR.Weights)
+		close("total", simR.Makespan, anaR.Total())
+	}
+}
+
+// PCIe contention emerges from resource sharing: doubling co-located
+// replicas doubles the data phase.
+func TestEmergentPCIeContention(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	mk := func(n int) float64 {
+		f := workload.Features{
+			Name: "c", Class: workload.AllReduceLocal, CNodes: n, BatchSize: 8,
+			FLOPs: 1e9, MemAccessBytes: 1e6, InputBytes: 100 * hw.MB,
+			DenseWeightBytes: hw.MB,
+		}
+		r, err := SimulateStep(cfg, eff, f, arch.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.DataIO
+	}
+	d2, d4 := mk(2), mk(4)
+	if math.Abs(d4/d2-2) > 1e-6 {
+		t.Errorf("data phase ratio 4 vs 2 replicas = %v, want 2 (shared PCIe)", d4/d2)
+	}
+}
+
+// PS/Worker places each worker on its own server: no NIC contention, and
+// the Ethernet phase matches Sw/(B*eff) regardless of replica count.
+func TestPSWorkerNoNICContention(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	sw := 1 * hw.GB
+	mk := func(n int) float64 {
+		f := workload.Features{
+			Name: "ps", Class: workload.PSWorker, CNodes: n, BatchSize: 8,
+			FLOPs: 1e9, MemAccessBytes: 1e6, InputBytes: 1e3,
+			DenseWeightBytes: hw.MB, WeightTrafficBytes: sw,
+		}
+		r, err := SimulateStep(cfg, eff, f, arch.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.WeightsByLink[hw.LinkEthernet]
+	}
+	want := sw / (hw.Gbps(25) * 0.7)
+	for _, n := range []int{1, 4, 32} {
+		if got := mk(n); math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("Ethernet phase with %d workers = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// AllReduce-Cluster sends one aggregated stream per server over each NIC.
+func TestARClusterHierarchicalEthernet(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	sw := 2 * hw.GB
+	f := workload.Features{
+		Name: "arc", Class: workload.AllReduceCluster, CNodes: 16, BatchSize: 8,
+		FLOPs: 1e9, MemAccessBytes: 1e6, InputBytes: 1e3,
+		DenseWeightBytes: hw.MB, WeightTrafficBytes: sw,
+	}
+	r, err := SimulateStep(cfg, eff, f, arch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sw / (hw.Gbps(25) * 0.7)
+	got := r.WeightsByLink[hw.LinkEthernet]
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("ARC Ethernet phase = %v, want %v (one stream per NIC)", got, want)
+	}
+	if r.WeightsByLink[hw.LinkNVLink] <= 0 {
+		t.Error("ARC should also cross NVLink")
+	}
+}
+
+func TestPCIeUtilizationReported(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	f := workload.Features{
+		Name: "u", Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 8,
+		FLOPs: 1e12, MemAccessBytes: 1e9, InputBytes: 1 * hw.GB,
+	}
+	r, err := SimulateStep(cfg, eff, f, arch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PCIeUtilization <= 0 || r.PCIeUtilization > 1 {
+		t.Errorf("PCIe utilization = %v, want in (0,1]", r.PCIeUtilization)
+	}
+}

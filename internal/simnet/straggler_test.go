@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func stragglerJob(class workload.Class, n int) workload.Features {
+	return workload.Features{
+		Name: "strag", Class: class, CNodes: n, BatchSize: 8,
+		FLOPs: 5e12, MemAccessBytes: 5e9, InputBytes: 1e6,
+		DenseWeightBytes: 100 * hw.MB,
+	}
+}
+
+func TestStepOptionsValidate(t *testing.T) {
+	if err := (StepOptions{}).Validate(4); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+	if err := (StepOptions{SlowFactor: 0.5}).Validate(4); err == nil {
+		t.Error("expected error for factor < 1")
+	}
+	if err := (StepOptions{SlowFactor: 2, SlowReplica: 4}).Validate(4); err == nil {
+		t.Error("expected error for replica out of range")
+	}
+	if err := (StepOptions{SlowFactor: 2, SlowReplica: -1}).Validate(4); err == nil {
+		t.Error("expected error for negative replica")
+	}
+	f := stragglerJob(workload.AllReduceLocal, 4)
+	if _, err := SimulateStepOpts(hw.Baseline(), workload.DefaultEfficiency(), f,
+		arch.DefaultOptions(), StepOptions{SlowFactor: 0.1}); err == nil {
+		t.Error("SimulateStepOpts should reject bad options")
+	}
+}
+
+// Synchronous phases gate on the straggler: the compute phase stretches by
+// exactly the slowdown factor.
+func TestStragglerGatesComputePhase(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	f := stragglerJob(workload.AllReduceLocal, 4)
+	base, err := SimulateStep(cfg, eff, f, arch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SimulateStepOpts(cfg, eff, f, arch.DefaultOptions(),
+		StepOptions{SlowReplica: 2, SlowFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slow.ComputeFLOPs/base.ComputeFLOPs-3) > 1e-6 {
+		t.Errorf("compute phase stretch = %v, want 3", slow.ComputeFLOPs/base.ComputeFLOPs)
+	}
+	if math.Abs(slow.ComputeMem/base.ComputeMem-3) > 1e-6 {
+		t.Errorf("memory phase stretch = %v, want 3", slow.ComputeMem/base.ComputeMem)
+	}
+	// Data and weight phases untouched (straggler is compute-only).
+	if math.Abs(slow.DataIO-base.DataIO) > 1e-12 {
+		t.Error("data phase should not change")
+	}
+	if math.Abs(slow.Weights-base.Weights) > 1e-12 {
+		t.Error("weight phase should not change")
+	}
+}
+
+// The end-to-end straggler penalty is bounded by the compute share: a
+// communication-bound PS job suffers less from a compute straggler than a
+// compute-bound one.
+func TestStragglerPenaltyDependsOnComputeShare(t *testing.T) {
+	cfg := hw.Baseline()
+	eff := workload.DefaultEfficiency()
+	penalty := func(f workload.Features) float64 {
+		base, err := SimulateStep(cfg, eff, f, arch.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := SimulateStepOpts(cfg, eff, f, arch.DefaultOptions(),
+			StepOptions{SlowReplica: 0, SlowFactor: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return slow.Makespan / base.Makespan
+	}
+	commBound := stragglerJob(workload.PSWorker, 8)
+	commBound.WeightTrafficBytes = 50 * hw.GB
+	computeBound := stragglerJob(workload.PSWorker, 8)
+	computeBound.FLOPs = 50e12
+	computeBound.WeightTrafficBytes = 10 * hw.MB
+	pComm, pComp := penalty(commBound), penalty(computeBound)
+	if pComp <= pComm {
+		t.Errorf("compute-bound straggler penalty (%v) should exceed comm-bound (%v)", pComp, pComm)
+	}
+	if pComp < 1.5 || pComp > 2.0 {
+		t.Errorf("compute-bound penalty = %v, want near 2", pComp)
+	}
+	if pComm > 1.2 {
+		t.Errorf("comm-bound penalty = %v, want near 1", pComm)
+	}
+}

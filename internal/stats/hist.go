@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over float64 samples. Bins are
+// half-open [lo, hi) except the last, which is closed.
+type Histogram struct {
+	edges  []float64 // len = bins+1, strictly increasing
+	counts []float64 // weighted counts, len = bins
+	total  float64
+	under  float64 // weight below edges[0]
+	over   float64 // weight at/above edges[last] (beyond closed last bin)
+}
+
+// NewHistogram creates a histogram with the given bin edges.
+// Edges must be strictly increasing with at least two entries.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: histogram needs >= 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return nil, fmt.Errorf("stats: histogram edges not increasing at %d", i)
+		}
+	}
+	return &Histogram{
+		edges:  append([]float64(nil), edges...),
+		counts: make([]float64, len(edges)-1),
+	}, nil
+}
+
+// Add inserts a sample with weight 1.
+func (h *Histogram) Add(x float64) { h.AddWeighted(x, 1) }
+
+// AddWeighted inserts a sample with the given weight.
+func (h *Histogram) AddWeighted(x, w float64) {
+	if math.IsNaN(x) || math.IsNaN(w) || w <= 0 {
+		return
+	}
+	h.total += w
+	if x < h.edges[0] {
+		h.under += w
+		return
+	}
+	last := len(h.edges) - 1
+	if x > h.edges[last] {
+		h.over += w
+		return
+	}
+	if x == h.edges[last] {
+		h.counts[last-1] += w
+		return
+	}
+	// Binary search for the bin: largest i with edges[i] <= x.
+	lo, hi := 0, last
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if h.edges[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo] += w
+}
+
+// Bins returns copies of the bin edges and weighted counts.
+func (h *Histogram) Bins() (edges, counts []float64) {
+	return append([]float64(nil), h.edges...), append([]float64(nil), h.counts...)
+}
+
+// Total returns the total inserted weight including out-of-range samples.
+func (h *Histogram) Total() float64 { return h.total }
+
+// OutOfRange returns the weight that fell below the first edge and above the
+// last edge.
+func (h *Histogram) OutOfRange() (under, over float64) { return h.under, h.over }
+
+// Fractions returns counts normalized by total in-range weight; all zeros if
+// nothing in range.
+func (h *Histogram) Fractions() []float64 {
+	inRange := h.total - h.under - h.over
+	out := make([]float64, len(h.counts))
+	if inRange <= 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = c / inRange
+	}
+	return out
+}

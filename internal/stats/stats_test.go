@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCDFErrors(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Fatal("expected error for empty samples")
+	}
+	if _, err := NewWeightedCDF([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+	if _, err := NewWeightedCDF([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	if _, err := NewWeightedCDF([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("expected error for zero total weight")
+	}
+	if _, err := NewCDF([]float64{math.NaN()}); err == nil {
+		t.Fatal("expected error for NaN sample")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.P(0.5); got != 0 {
+		t.Errorf("P(0.5) = %v, want 0", got)
+	}
+	if got := c.P(1); got != 0.25 {
+		t.Errorf("P(1) = %v, want 0.25", got)
+	}
+	if got := c.P(2); got != 0.75 {
+		t.Errorf("P(2) = %v, want 0.75", got)
+	}
+	if got := c.P(2.5); got != 0.75 {
+		t.Errorf("P(2.5) = %v, want 0.75", got)
+	}
+	if got := c.P(3); got != 1 {
+		t.Errorf("P(3) = %v, want 1", got)
+	}
+	if got := c.P(99); got != 1 {
+		t.Errorf("P(99) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", got)
+	}
+	if c.Min() != 1 || c.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v, want 1/3", c.Min(), c.Max())
+	}
+	if got, want := c.Mean(), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d, want 4", c.N())
+	}
+}
+
+func TestWeightedCDF(t *testing.T) {
+	// Value 10 has weight 3, value 20 weight 1: P(10) = 0.75.
+	c, err := NewWeightedCDF([]float64{10, 20}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.P(10); got != 0.75 {
+		t.Errorf("P(10) = %v, want 0.75", got)
+	}
+	if got := c.Mean(); math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 12.5", got)
+	}
+	if got := c.TotalWeight(); got != 4 {
+		t.Errorf("TotalWeight = %v, want 4", got)
+	}
+	// Zero-weight samples are dropped.
+	c2, err := NewWeightedCDF([]float64{1, 2}, []float64{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.N() != 1 || c2.Min() != 2 {
+		t.Errorf("zero-weight sample not dropped: N=%d Min=%v", c2.N(), c2.Min())
+	}
+}
+
+func TestCDFPointsAndSample(t *testing.T) {
+	c, err := NewCDF([]float64{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ps := c.Points()
+	if !sort.Float64sAreSorted(xs) {
+		t.Error("Points xs not sorted")
+	}
+	if ps[len(ps)-1] != 1 {
+		t.Errorf("last cumulative = %v, want 1", ps[len(ps)-1])
+	}
+	grid := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := c.Sample(grid)
+	want := []float64{0, 1.0 / 3, 1.0 / 3, 2.0 / 3, 2.0 / 3, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Sample[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: CDF is monotone non-decreasing and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		for i, v := range raw {
+			samples[i] = float64(v) / 100
+		}
+		c, err := NewCDF(samples)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for x := c.Min() - 1; x <= c.Max()+1; x += (c.Max() - c.Min() + 2) / 50 {
+			p := c.P(x)
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and P are approximately inverse:
+// P(Quantile(q)) >= q for all q in (0,1].
+func TestQuantileInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() * 10
+	}
+	c, err := NewCDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		v := c.Quantile(q)
+		if p := c.P(v); p < q-1e-9 {
+			t.Fatalf("P(Quantile(%v)) = %v < q", q, p)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Total != 15 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("WeightedMean = %v, want 2.5", got)
+	}
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Error("expected error for empty")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for mismatch")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+		t.Error("expected error for zero weight")
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{2, 4})
+	if err != nil || got != 3 {
+		t.Errorf("Mean = %v, %v; want 3, nil", got, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("expected error for empty")
+	}
+}
+
+func TestFractions(t *testing.T) {
+	xs := []float64{0.1, 0.5, 0.9, 0.95}
+	if got := FractionAbove(xs, 0.8); got != 0.5 {
+		t.Errorf("FractionAbove = %v, want 0.5", got)
+	}
+	if got := FractionBelow(xs, 0.5); got != 0.25 {
+		t.Errorf("FractionBelow = %v, want 0.25", got)
+	}
+	if FractionAbove(nil, 0) != 0 || FractionBelow(nil, 0) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	g, err := LogGrid(1, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-9 {
+			t.Errorf("LogGrid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+	if _, err := LogGrid(0, 10, 3); err == nil {
+		t.Error("expected error for non-positive lo")
+	}
+	if _, err := LogGrid(10, 1, 3); err == nil {
+		t.Error("expected error for hi <= lo")
+	}
+	if _, err := LogGrid(1, 10, 1); err == nil {
+		t.Error("expected error for n < 2")
+	}
+}
+
+func TestLinGrid(t *testing.T) {
+	g, err := LinGrid(0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("LinGrid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+	if _, err := LinGrid(1, 0, 5); err == nil {
+		t.Error("expected error for hi <= lo")
+	}
+	if _, err := LinGrid(0, 1, 1); err == nil {
+		t.Error("expected error for n < 2")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-1)         // under
+	h.Add(0)          // bin 0
+	h.Add(0.5)        // bin 0
+	h.Add(1)          // bin 1
+	h.Add(2.5)        // bin 2
+	h.Add(3)          // closed last bin -> bin 2
+	h.Add(3.5)        // over
+	h.Add(math.NaN()) // ignored
+	_, counts := h.Bins()
+	want := []float64{2, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %v, want %v", i, counts[i], want[i])
+		}
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 1 {
+		t.Errorf("OutOfRange = %v, %v; want 1, 1", under, over)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %v, want 7", h.Total())
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[0]-0.4) > 1e-12 {
+		t.Errorf("Fractions[0] = %v, want 0.4", fr[0])
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Error("expected error for one edge")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("expected error for non-increasing edges")
+	}
+}
+
+func TestHistogramWeighted(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddWeighted(5, 2.5)
+	h.AddWeighted(5, -1) // ignored
+	_, counts := h.Bins()
+	if counts[0] != 2.5 {
+		t.Errorf("weighted count = %v, want 2.5", counts[0])
+	}
+	empty, _ := NewHistogram([]float64{0, 1})
+	fr := empty.Fractions()
+	if fr[0] != 0 {
+		t.Errorf("empty fractions = %v, want 0", fr[0])
+	}
+}

@@ -1,0 +1,206 @@
+package tracegen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/project"
+	"repro/internal/workload"
+)
+
+// calibrationAggregates computes the paper's headline statistics over a
+// generated trace through the same analytical model the analysis pipeline
+// uses.
+type calibrationAggregates struct {
+	psJobShare    float64 // fraction of jobs that are PS/Worker (~0.29)
+	psCNodeShare  float64 // fraction of cNodes consumed by PS jobs (~0.81)
+	fracOver128   float64 // fraction of jobs with > 128 cNodes (~0.007)
+	resOver128    float64 // fraction of cNodes in > 128-cNode jobs (> 0.16)
+	fracSmallWt   float64 // fraction of jobs with weights < 10 GB (~0.90)
+	jobCommAvg    float64 // job-level mean weight-traffic fraction (~0.22)
+	cnodeCommAvg  float64 // cNode-weighted mean weight-traffic fraction (~0.62)
+	cnodeCompAvg  float64 // cNode-weighted mean computation fraction (~0.35)
+	psCommOver80  float64 // fraction of PS jobs > 80% comm time (> 0.40)
+	w1DataAvg     float64 // 1w1g mean data-I/O fraction (~0.10)
+	w1DataOver50  float64 // 1w1g jobs > 50% data time (~0.05)
+	distDataAvg   float64 // 1wng+PS mean data fraction (~0.03)
+	memOverFLOPs  bool    // memory-bound compute exceeds compute-bound
+	arlNodeLose   float64 // PS jobs with node speedup <= 1 on AR-Local (~0.226)
+	arlTpWin      float64 // PS jobs with throughput gain on AR-Local (~0.60)
+	arcWin        float64 // PS jobs sped up by AR-Cluster (~0.679)
+	arcMaxSpeedup float64 // max AR-Cluster speedup (<= ~1.24)
+	arcRescued    float64 // AR-Local losers recovered by AR-Cluster (~0.378)
+}
+
+func computeAggregates(t *testing.T, tr *Trace, p Params) calibrationAggregates {
+	t.Helper()
+	m, err := core.New(p.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg calibrationAggregates
+
+	totalJobs := float64(len(tr.Jobs))
+	totalCNodes := float64(tr.TotalCNodes())
+
+	var psJobs, psCNodes, over128Jobs, over128CNodes, smallWt float64
+	var jobComm, cnodeComm, cnodeComp float64
+	var psCount, psCommHi float64
+	var w1Count, w1Data, w1DataHi float64
+	var distCount, distData float64
+	var memSum, flopsSum float64
+
+	var psFeatures []workload.Features
+
+	for _, j := range tr.Jobs {
+		bd, err := m.Breakdown(j)
+		if err != nil {
+			t.Fatalf("breakdown %s: %v", j.Name, err)
+		}
+		total := bd.DataIO + bd.Compute() + bd.Weights
+		fw := bd.Weights / total
+		fd := bd.DataIO / total
+		fc := bd.Compute() / total
+		n := float64(j.CNodes)
+
+		jobComm += fw
+		cnodeComm += fw * n
+		cnodeComp += fc * n
+		memSum += bd.ComputeMem
+		flopsSum += bd.ComputeFLOPs
+
+		if j.Class == workload.PSWorker {
+			psJobs++
+			psCNodes += n
+			psCount++
+			if fw > 0.8 {
+				psCommHi++
+			}
+			psFeatures = append(psFeatures, j)
+		}
+		if j.CNodes > 128 {
+			over128Jobs++
+			over128CNodes += n
+		}
+		if j.TotalWeightBytes() < 10e9 {
+			smallWt++
+		}
+		if j.Class == workload.OneWorkerOneGPU {
+			w1Count++
+			w1Data += fd
+			if fd > 0.5 {
+				w1DataHi++
+			}
+		} else {
+			distCount++
+			distData += fd
+		}
+	}
+
+	agg.psJobShare = psJobs / totalJobs
+	agg.psCNodeShare = psCNodes / totalCNodes
+	agg.fracOver128 = over128Jobs / totalJobs
+	agg.resOver128 = over128CNodes / totalCNodes
+	agg.fracSmallWt = smallWt / totalJobs
+	agg.jobCommAvg = jobComm / totalJobs
+	agg.cnodeCommAvg = cnodeComm / totalCNodes
+	agg.cnodeCompAvg = cnodeComp / totalCNodes
+	agg.psCommOver80 = psCommHi / psCount
+	agg.w1DataAvg = w1Data / w1Count
+	agg.w1DataOver50 = w1DataHi / w1Count
+	agg.distDataAvg = distData / distCount
+	agg.memOverFLOPs = memSum > flopsSum
+
+	// Projection studies (Fig. 9).
+	pr, err := project.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := pr.ProjectAll(psFeatures, project.ToAllReduceLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterR, err := pr.ProjectAll(psFeatures, project.ToAllReduceCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodeLose, tpWin, arcWin, rescued, loseCount float64
+	for i := range local {
+		if local[i].NodeSpeedup <= 1 {
+			nodeLose++
+		}
+		if local[i].ThroughputSpeedup > 1 {
+			tpWin++
+		}
+		if clusterR[i].ThroughputSpeedup > 1 {
+			arcWin++
+		}
+		if clusterR[i].ThroughputSpeedup > agg.arcMaxSpeedup {
+			agg.arcMaxSpeedup = clusterR[i].ThroughputSpeedup
+		}
+		if local[i].ThroughputSpeedup <= 1 {
+			loseCount++
+			if clusterR[i].ThroughputSpeedup > 1 {
+				rescued++
+			}
+		}
+	}
+	nPS := float64(len(local))
+	agg.arlNodeLose = nodeLose / nPS
+	agg.arlTpWin = tpWin / nPS
+	agg.arcWin = arcWin / nPS
+	if loseCount > 0 {
+		agg.arcRescued = rescued / loseCount
+	}
+	return agg
+}
+
+// TestCalibration asserts the generated trace lands inside tolerance bands
+// around every headline number of Secs. III-A through III-C. These are the
+// paper's published aggregates; the bands are deliberately generous (the
+// point is reproducing the shape, not the decimals).
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs a full-size trace")
+	}
+	p := Default()
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := computeAggregates(t, tr, p)
+	t.Logf("aggregates: %+v", a)
+
+	band := func(name string, got, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %.4f, want in [%.3f, %.3f]", name, got, lo, hi)
+		}
+	}
+	band("PS job share (29%)", a.psJobShare, 0.26, 0.32)
+	band("PS cNode share (81%)", a.psCNodeShare, 0.74, 0.88)
+	band("jobs >128 cNodes (0.7%)", a.fracOver128, 0.003, 0.015)
+	if a.resOver128 < 0.16 {
+		t.Errorf(">128-cNode jobs consume %.3f of resources, paper says > 0.16", a.resOver128)
+	}
+	band("models <10GB (90%)", a.fracSmallWt, 0.84, 0.96)
+	band("job-level comm (22%)", a.jobCommAvg, 0.17, 0.27)
+	band("cNode-level comm (62%)", a.cnodeCommAvg, 0.54, 0.70)
+	band("cNode-level compute (35%)", a.cnodeCompAvg, 0.27, 0.43)
+	if a.psCommOver80 < 0.40 {
+		t.Errorf("PS jobs >80%% comm = %.3f, paper says > 0.40", a.psCommOver80)
+	}
+	band("1w1g data I/O mean (10%)", a.w1DataAvg, 0.06, 0.14)
+	band("1w1g data >50% (5%)", a.w1DataOver50, 0.02, 0.09)
+	band("distributed data I/O (3%)", a.distDataAvg, 0.01, 0.06)
+	if !a.memOverFLOPs {
+		t.Error("memory-bound compute should exceed compute-bound (Sec. III-B)")
+	}
+	band("AR-Local node losers (22.6%)", a.arlNodeLose, 0.13, 0.33)
+	band("AR-Local throughput winners (60%)", a.arlTpWin, 0.50, 0.70)
+	band("AR-Cluster winners (67.9%)", a.arcWin, 0.55, 0.80)
+	if a.arcMaxSpeedup > 1.26 {
+		t.Errorf("AR-Cluster max speedup = %.3f, bound is ~1.24 (Table I bandwidths)", a.arcMaxSpeedup)
+	}
+	band("AR-Local losers rescued by ARC (37.8%)", a.arcRescued, 0.20, 0.55)
+}

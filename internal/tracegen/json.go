@@ -1,0 +1,91 @@
+package tracegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// jobJSON is the on-disk record for one job. Field names follow the workload
+// feature schema of Fig. 4.
+type jobJSON struct {
+	Name                 string  `json:"name"`
+	Class                string  `json:"class"`
+	CNodes               int     `json:"c_nodes"`
+	BatchSize            int     `json:"batch_size"`
+	FLOPs                float64 `json:"flops"`
+	MemAccessBytes       float64 `json:"mem_access_bytes"`
+	InputBytes           float64 `json:"input_bytes"`
+	DenseWeightBytes     float64 `json:"dense_weight_bytes"`
+	EmbeddingWeightBytes float64 `json:"embedding_weight_bytes"`
+	WeightTrafficBytes   float64 `json:"weight_traffic_bytes,omitempty"`
+}
+
+type traceJSON struct {
+	Seed int64     `json:"seed"`
+	Jobs []jobJSON `json:"jobs"`
+}
+
+var classFromName = func() map[string]workload.Class {
+	m := map[string]workload.Class{}
+	for _, c := range workload.AllClasses() {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+// WriteJSON serializes the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := traceJSON{Seed: t.Seed, Jobs: make([]jobJSON, 0, len(t.Jobs))}
+	for _, j := range t.Jobs {
+		out.Jobs = append(out.Jobs, jobJSON{
+			Name:                 j.Name,
+			Class:                j.Class.String(),
+			CNodes:               j.CNodes,
+			BatchSize:            j.BatchSize,
+			FLOPs:                j.FLOPs,
+			MemAccessBytes:       j.MemAccessBytes,
+			InputBytes:           j.InputBytes,
+			DenseWeightBytes:     j.DenseWeightBytes,
+			EmbeddingWeightBytes: j.EmbeddingWeightBytes,
+			WeightTrafficBytes:   j.WeightTrafficBytes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes and validates a trace.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var in traceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("tracegen: decode: %w", err)
+	}
+	tr := &Trace{Seed: in.Seed, Jobs: make([]workload.Features, 0, len(in.Jobs))}
+	for i, j := range in.Jobs {
+		class, ok := classFromName[j.Class]
+		if !ok {
+			return nil, fmt.Errorf("tracegen: job %d: unknown class %q", i, j.Class)
+		}
+		f := workload.Features{
+			Name:                 j.Name,
+			Class:                class,
+			CNodes:               j.CNodes,
+			BatchSize:            j.BatchSize,
+			FLOPs:                j.FLOPs,
+			MemAccessBytes:       j.MemAccessBytes,
+			InputBytes:           j.InputBytes,
+			DenseWeightBytes:     j.DenseWeightBytes,
+			EmbeddingWeightBytes: j.EmbeddingWeightBytes,
+			WeightTrafficBytes:   j.WeightTrafficBytes,
+		}
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("tracegen: job %d: %w", i, err)
+		}
+		tr.Jobs = append(tr.Jobs, f)
+	}
+	return tr, nil
+}

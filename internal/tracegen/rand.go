@@ -1,0 +1,101 @@
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// rng wraps math/rand with the extra samplers the generator needs.
+type rng struct {
+	*rand.Rand
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{rand.New(rand.NewSource(seed))}
+}
+
+// lognormal samples exp(N(mu, sigma)).
+func (r *rng) lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// truncNormal samples N(mu, sigma) truncated to [lo, hi] by rejection with a
+// clamp fallback.
+func (r *rng) truncNormal(mu, sigma, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := mu + sigma*r.NormFloat64()
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, mu))
+}
+
+// gamma samples Gamma(shape, 1) via Marsaglia-Tsang (shape >= 0.01).
+func (r *rng) gamma(shape float64) float64 {
+	if shape < 1 {
+		// Boost and correct: Gamma(a) = Gamma(a+1) * U^(1/a).
+		return r.gamma(shape+1) * math.Pow(r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// beta samples Beta(a, b).
+func (r *rng) beta(a, b float64) float64 {
+	x := r.gamma(a)
+	y := r.gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// betaMean samples a Beta distribution parameterized by its mean and a
+// concentration kappa (a = mean*kappa, b = (1-mean)*kappa).
+func (r *rng) betaMean(mean, kappa float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean >= 1 {
+		return 1
+	}
+	return r.beta(mean*kappa, (1-mean)*kappa)
+}
+
+// pick returns an index sampled from the (unnormalized) weights.
+func (r *rng) pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// pow2 samples 2^k for k uniform in [lo, hi].
+func (r *rng) pow2(lo, hi int) int {
+	k := lo + r.Intn(hi-lo+1)
+	return 1 << uint(k)
+}

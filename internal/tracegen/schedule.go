@@ -1,0 +1,92 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/workload"
+)
+
+// ScheduledJob is a trace job with submission metadata: when it arrives and
+// how many training steps it runs (the paper's trace spans Dec 1 2018 –
+// Jan 20 2019 of real submissions; the synthetic schedule models the
+// arrival process).
+type ScheduledJob struct {
+	Features workload.Features
+	// Arrival is the submission time in seconds from the window start.
+	Arrival float64
+	// Steps is the number of training steps the job runs.
+	Steps int
+}
+
+// Schedule is a trace with arrival times.
+type Schedule struct {
+	Jobs []ScheduledJob
+	// Horizon is the arrival time of the last job.
+	Horizon float64
+	Seed    int64
+}
+
+// ScheduleParams extends Params with the arrival process.
+type ScheduleParams struct {
+	Params
+	// ArrivalRatePerHour is the mean Poisson submission rate.
+	ArrivalRatePerHour float64
+	// StepsLogMu / StepsLogSigma define the lognormal step-count
+	// distribution (training jobs run from minutes to days).
+	StepsLogMu, StepsLogSigma float64
+}
+
+// DefaultSchedule returns schedule parameters on top of Default(): ~400
+// submissions/hour (thousands of jobs per day, as the paper reports) with a
+// lognormal step count centered at ~2000 steps.
+func DefaultSchedule() ScheduleParams {
+	return ScheduleParams{
+		Params:             Default(),
+		ArrivalRatePerHour: 400,
+		StepsLogMu:         math.Log(2000),
+		StepsLogSigma:      1.2,
+	}
+}
+
+// Validate checks the schedule parameters.
+func (p ScheduleParams) Validate() error {
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	if p.ArrivalRatePerHour <= 0 {
+		return fmt.Errorf("tracegen: ArrivalRatePerHour must be positive, got %v", p.ArrivalRatePerHour)
+	}
+	if p.StepsLogSigma < 0 {
+		return fmt.Errorf("tracegen: StepsLogSigma must be >= 0, got %v", p.StepsLogSigma)
+	}
+	return nil
+}
+
+// GenerateSchedule produces a deterministic trace with Poisson arrivals and
+// lognormal step counts.
+func GenerateSchedule(p ScheduleParams) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := Generate(p.Params)
+	if err != nil {
+		return nil, err
+	}
+	// Separate stream for arrival/step randomness so the job features stay
+	// identical to Generate(p.Params).
+	r := newRNG(p.Seed ^ 0x5eed5eed)
+	meanGap := 3600 / p.ArrivalRatePerHour
+	sched := &Schedule{Seed: p.Seed, Jobs: make([]ScheduledJob, 0, len(tr.Jobs))}
+	now := 0.0
+	for _, f := range tr.Jobs {
+		now += r.ExpFloat64() * meanGap
+		steps := int(math.Round(r.lognormal(p.StepsLogMu, p.StepsLogSigma)))
+		if steps < 1 {
+			steps = 1
+		}
+		sched.Jobs = append(sched.Jobs, ScheduledJob{Features: f, Arrival: now, Steps: steps})
+	}
+	sched.Horizon = now
+	return sched, nil
+}

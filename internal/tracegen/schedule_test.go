@@ -1,0 +1,102 @@
+package tracegen
+
+import (
+	"testing"
+)
+
+func TestScheduleParamsValidate(t *testing.T) {
+	if err := DefaultSchedule().Validate(); err != nil {
+		t.Fatalf("default schedule params invalid: %v", err)
+	}
+	p := DefaultSchedule()
+	p.ArrivalRatePerHour = 0
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for zero arrival rate")
+	}
+	p = DefaultSchedule()
+	p.StepsLogSigma = -1
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for negative sigma")
+	}
+	p = DefaultSchedule()
+	p.NumJobs = 0
+	if err := p.Validate(); err == nil {
+		t.Error("expected error from embedded params")
+	}
+	if _, err := GenerateSchedule(p); err == nil {
+		t.Error("GenerateSchedule should reject bad params")
+	}
+}
+
+func TestGenerateSchedule(t *testing.T) {
+	p := DefaultSchedule()
+	p.NumJobs = 1000
+	s, err := GenerateSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Jobs) != 1000 {
+		t.Fatalf("got %d jobs", len(s.Jobs))
+	}
+	// Arrivals strictly increasing, steps positive.
+	prev := -1.0
+	for i, j := range s.Jobs {
+		if j.Arrival <= prev {
+			t.Fatalf("job %d arrival %v not increasing", i, j.Arrival)
+		}
+		prev = j.Arrival
+		if j.Steps < 1 {
+			t.Fatalf("job %d has %d steps", i, j.Steps)
+		}
+		if err := j.Features.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+	}
+	if s.Horizon != prev {
+		t.Errorf("horizon = %v, want %v", s.Horizon, prev)
+	}
+	// Mean inter-arrival near 3600/rate.
+	meanGap := s.Horizon / float64(len(s.Jobs))
+	wantGap := 3600 / p.ArrivalRatePerHour
+	if meanGap < wantGap*0.8 || meanGap > wantGap*1.2 {
+		t.Errorf("mean gap = %v, want ~%v", meanGap, wantGap)
+	}
+}
+
+// The job features of a schedule are identical to the plain trace with the
+// same parameters: arrival randomness must not perturb feature sampling.
+func TestScheduleFeaturesMatchTrace(t *testing.T) {
+	p := DefaultSchedule()
+	p.NumJobs = 300
+	s, err := GenerateSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Jobs {
+		if s.Jobs[i].Features != tr.Jobs[i] {
+			t.Fatalf("job %d features differ between schedule and trace", i)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	p := DefaultSchedule()
+	p.NumJobs = 200
+	a, err := GenerateSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("schedule not deterministic at job %d", i)
+		}
+	}
+}

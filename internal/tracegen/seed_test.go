@@ -1,0 +1,49 @@
+package tracegen
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The generator's key aggregates must be stable across seeds: the paper's
+// headline numbers describe the *distribution*, not one draw.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed generation is slow")
+	}
+	for _, seed := range []int64{7, 1234, 987654321} {
+		p := Default()
+		p.Seed = seed
+		p.NumJobs = 8000
+		tr, err := Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var psJobs, psCNodes, totalCNodes float64
+		var small float64
+		for _, j := range tr.Jobs {
+			n := float64(j.CNodes)
+			totalCNodes += n
+			if j.Class == workload.PSWorker {
+				psJobs++
+				psCNodes += n
+			}
+			if j.TotalWeightBytes() < 10e9 {
+				small++
+			}
+		}
+		jobShare := psJobs / float64(len(tr.Jobs))
+		cnodeShare := psCNodes / totalCNodes
+		smallShare := small / float64(len(tr.Jobs))
+		if jobShare < 0.25 || jobShare > 0.33 {
+			t.Errorf("seed %d: PS job share %v outside [0.25, 0.33]", seed, jobShare)
+		}
+		if cnodeShare < 0.72 || cnodeShare > 0.90 {
+			t.Errorf("seed %d: PS cNode share %v outside [0.72, 0.90]", seed, cnodeShare)
+		}
+		if smallShare < 0.82 || smallShare > 0.97 {
+			t.Errorf("seed %d: <10GB share %v outside [0.82, 0.97]", seed, smallShare)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package tracegen generates synthetic cluster traces calibrated to the
+// distributions the paper reports for the Dec 2018 – Jan 2019 PAI window.
+//
+// The production trace is unavailable, so the generator is the reproduction's
+// substitute substrate (see DESIGN.md): it samples, per workload class,
+//
+//   - the class mix (Fig. 5a: 1w1g dominates job counts, PS/Worker dominates
+//     cNode counts at ~81%),
+//   - cNode-count distributions (Fig. 6a: 1wng <= 8; half of PS jobs > 8, a
+//     ~0.7%-of-all tail > 128),
+//   - weight-size distributions (Fig. 6b: 90% of models < 10 GB, PS tail to
+//     hundreds of GB),
+//   - execution-time-fraction distributions per component (Figs. 7/8: PS
+//     weight traffic with a comm-bound mode such that > 40% of PS jobs spend
+//     > 80% of time communicating; 1w1g data-I/O mean ~10% with a > 50%
+//     tail; memory-bound compute > compute-bound on average).
+//
+// Sampled fractions are back-solved into feature volumes (bytes, FLOPs)
+// through the same analytical model the analysis pipeline applies, so the
+// published aggregates re-emerge from the identical code path that would
+// process a real trace.
+package tracegen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Params controls trace generation. Zero value is invalid; start from
+// Default().
+type Params struct {
+	// NumJobs is the number of jobs to generate.
+	NumJobs int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Config is the hardware configuration volumes are back-solved against
+	// (Table I baseline in the paper).
+	Config hw.Config
+	// Eff is the efficiency assumption used in back-solving (70% default).
+	Eff workload.Efficiency
+
+	// ClassShares is the job-level class mix over the three trace classes
+	// (Fig. 5a); must sum to ~1.
+	ClassShares map[workload.Class]float64
+
+	// PS cNode-count distribution: round(2^g), g ~ N(CNodeLogMu, CNodeLogSigma)
+	// truncated to [0, CNodeLogMax].
+	PSCNodeLogMu, PSCNodeLogSigma, PSCNodeLogMax float64
+
+	// PSCommBoundBase and PSCommBoundSlope set the probability that a PS job
+	// is communication-bound: p = clamp(base + slope*log2(n)); comm-bound
+	// jobs draw their weight-traffic fraction from [CommBoundLo, CommBoundHi].
+	PSCommBoundBase, PSCommBoundSlope float64
+	PSCommBoundLo, PSCommBoundHi      float64
+	// PSWeightFracMean is the mean weight-traffic fraction of
+	// non-comm-bound PS jobs (Beta-distributed on [0, PSCommBoundLo]).
+	PSWeightFracMean float64
+
+	// Data-I/O fraction model for 1w1g: a heavy mode with probability
+	// W1DataHeavyProb uniform in [0.5, 0.9] (the ">50% of time on input
+	// data" population), otherwise Beta with mean W1DataFracMean.
+	W1DataHeavyProb, W1DataFracMean float64
+
+	// NWWeightFracMean is the mean weight fraction of 1wng jobs.
+	NWWeightFracMean float64
+	// DataFracMean is the mean data fraction of 1wng jobs (relative to the
+	// non-weight remainder).
+	DataFracMean float64
+
+	// PS data-I/O is bimodal: with probability PSDataNegligibleProb the
+	// fraction is drawn around PSDataLowMean (the "nearly ignored" ~3%
+	// population of Sec. III-B), otherwise around PSDataHighMean (the
+	// moderate-data population whose PCIe contention makes them the
+	// AllReduce projection losers of Fig. 9).
+	PSDataNegligibleProb          float64
+	PSDataLowMean, PSDataHighMean float64
+
+	// MemBoundShareMean is the mean share of computation time that is
+	// memory-bound (the paper's 22% vs 13% split gives ~0.63).
+	MemBoundShareMean float64
+
+	// StepTimeLogMu/Sigma define the lognormal per-step total time (s).
+	StepTimeLogMu, StepTimeLogSigma float64
+
+	// Weight-size (bytes) lognormal parameters per class, plus the PS
+	// large-model mode (embedding-dominated, tens to hundreds of GB) with
+	// probability PSLargeModelProb.
+	W1WeightLogMu, W1WeightLogSigma float64
+	NWWeightLogMu, NWWeightLogSigma float64
+	PSWeightLogMu, PSWeightLogSigma float64
+	PSLargeModelProb                float64
+	PSLargeWeightLogMu              float64
+	PSLargeWeightLogSigma           float64
+}
+
+// Default returns parameters calibrated against the paper's aggregates (see
+// the calibration tests in calibration_test.go for the asserted bands).
+func Default() Params {
+	return Params{
+		NumJobs: 20000,
+		Seed:    1,
+		Config:  hw.Baseline(),
+		Eff:     workload.DefaultEfficiency(),
+		ClassShares: map[workload.Class]float64{
+			workload.OneWorkerOneGPU: 0.59,
+			workload.OneWorkerNGPU:   0.12,
+			workload.PSWorker:        0.29,
+		},
+		PSCNodeLogMu:          3.0,
+		PSCNodeLogSigma:       2.0,
+		PSCNodeLogMax:         9.2, // ~600 cNodes max
+		PSCommBoundBase:       0.15,
+		PSCommBoundSlope:      0.09,
+		PSCommBoundLo:         0.80,
+		PSCommBoundHi:         0.98,
+		PSWeightFracMean:      0.45,
+		W1DataHeavyProb:       0.05,
+		W1DataFracMean:        0.07,
+		NWWeightFracMean:      0.45,
+		DataFracMean:          0.08,
+		PSDataNegligibleProb:  0.55,
+		PSDataLowMean:         0.02,
+		PSDataHighMean:        0.20,
+		MemBoundShareMean:     0.63,
+		StepTimeLogMu:         math.Log(0.5),
+		StepTimeLogSigma:      0.9,
+		W1WeightLogMu:         math.Log(30 * hw.MB),
+		W1WeightLogSigma:      2.2,
+		NWWeightLogMu:         math.Log(80 * hw.MB),
+		NWWeightLogSigma:      2.0,
+		PSWeightLogMu:         math.Log(100 * hw.MB),
+		PSWeightLogSigma:      2.3,
+		PSLargeModelProb:      0.30,
+		PSLargeWeightLogMu:    math.Log(40 * hw.GB),
+		PSLargeWeightLogSigma: 1.0,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.NumJobs <= 0 {
+		return fmt.Errorf("tracegen: NumJobs must be positive, got %d", p.NumJobs)
+	}
+	if err := p.Config.Validate(); err != nil {
+		return err
+	}
+	if err := p.Eff.Validate(); err != nil {
+		return err
+	}
+	if len(p.ClassShares) == 0 {
+		return errors.New("tracegen: empty class shares")
+	}
+	var sum float64
+	for c, s := range p.ClassShares {
+		if s < 0 {
+			return fmt.Errorf("tracegen: negative share for %v", c)
+		}
+		switch c {
+		case workload.OneWorkerOneGPU, workload.OneWorkerNGPU, workload.PSWorker:
+		default:
+			return fmt.Errorf("tracegen: class %v not generatable (trace window contains 1w1g/1wng/PS only)", c)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 0.01 {
+		return fmt.Errorf("tracegen: class shares sum to %v, want 1", sum)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"PSCommBoundLo", p.PSCommBoundLo},
+		{"PSCommBoundHi", p.PSCommBoundHi},
+		{"PSWeightFracMean", p.PSWeightFracMean},
+		{"W1DataHeavyProb", p.W1DataHeavyProb},
+		{"W1DataFracMean", p.W1DataFracMean},
+		{"NWWeightFracMean", p.NWWeightFracMean},
+		{"DataFracMean", p.DataFracMean},
+		{"MemBoundShareMean", p.MemBoundShareMean},
+		{"PSDataNegligibleProb", p.PSDataNegligibleProb},
+		{"PSDataLowMean", p.PSDataLowMean},
+		{"PSDataHighMean", p.PSDataHighMean},
+	} {
+		if c.v < 0 || c.v > 1 {
+			return fmt.Errorf("tracegen: %s must be in [0,1], got %v", c.name, c.v)
+		}
+	}
+	if p.PSCommBoundLo >= p.PSCommBoundHi {
+		return errors.New("tracegen: PSCommBoundLo must be < PSCommBoundHi")
+	}
+	return nil
+}
+
+// Trace is a generated (or loaded) set of job feature records.
+type Trace struct {
+	// Jobs holds one feature record per training job.
+	Jobs []workload.Features
+	// Seed and NumJobs echo the generation parameters (zero for loaded
+	// traces).
+	Seed int64
+}
+
+// Generate produces a deterministic synthetic trace.
+func Generate(p Params) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRNG(p.Seed)
+	tr := &Trace{Seed: p.Seed, Jobs: make([]workload.Features, 0, p.NumJobs)}
+
+	classes := []workload.Class{workload.OneWorkerOneGPU, workload.OneWorkerNGPU, workload.PSWorker}
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = p.ClassShares[c]
+	}
+
+	for i := 0; i < p.NumJobs; i++ {
+		class := classes[r.pick(weights)]
+		job, err := p.generateJob(r, i, class)
+		if err != nil {
+			return nil, fmt.Errorf("tracegen: job %d: %w", i, err)
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	return tr, nil
+}
+
+// generateJob samples one job of the given class.
+func (p Params) generateJob(r *rng, idx int, class workload.Class) (workload.Features, error) {
+	f := workload.Features{
+		Name:      fmt.Sprintf("job-%05d-%s", idx, classSlug(class)),
+		Class:     class,
+		BatchSize: r.pow2(4, 11), // 16..2048
+	}
+
+	// Scale: cNode count.
+	switch class {
+	case workload.OneWorkerOneGPU:
+		f.CNodes = 1
+	case workload.OneWorkerNGPU:
+		f.CNodes = []int{2, 4, 8}[r.pick([]float64{0.40, 0.35, 0.25})]
+	case workload.PSWorker:
+		g := r.truncNormal(p.PSCNodeLogMu, p.PSCNodeLogSigma, 0, p.PSCNodeLogMax)
+		f.CNodes = int(math.Round(math.Exp2(g)))
+		if f.CNodes < 1 {
+			f.CNodes = 1
+		}
+	}
+
+	// Time-fraction sampling: fw (weights), fd (data), rest computation.
+	var fw, fd float64
+	switch class {
+	case workload.OneWorkerOneGPU:
+		fw = 0
+		if r.Float64() < p.W1DataHeavyProb {
+			fd = 0.5 + 0.4*r.Float64()
+		} else {
+			fd = r.betaMean(p.W1DataFracMean, 8)
+		}
+	case workload.OneWorkerNGPU:
+		fw = r.betaMean(p.NWWeightFracMean, 4)
+		fd = (1 - fw) * r.betaMean(p.DataFracMean, 6)
+	case workload.PSWorker:
+		pComm := p.PSCommBoundBase + p.PSCommBoundSlope*math.Log2(float64(f.CNodes))
+		pComm = math.Min(0.9, math.Max(0.02, pComm))
+		if r.Float64() < pComm {
+			fw = p.PSCommBoundLo + (p.PSCommBoundHi-p.PSCommBoundLo)*r.Float64()
+		} else {
+			fw = p.PSCommBoundLo * r.betaMean(p.PSWeightFracMean, 3)
+		}
+		if r.Float64() < p.PSDataNegligibleProb {
+			fd = (1 - fw) * r.betaMean(p.PSDataLowMean, 8)
+		} else {
+			fd = (1 - fw) * r.betaMean(p.PSDataHighMean, 6)
+		}
+	}
+	fc := 1 - fw - fd
+	if fc < 0 {
+		fc = 0
+	}
+	memShare := r.betaMean(p.MemBoundShareMean, 10)
+
+	// Back-solve volumes against the generation config at the given
+	// efficiency so the analysis pipeline recovers the sampled fractions.
+	T := r.lognormal(p.StepTimeLogMu, p.StepTimeLogSigma)
+	coloc := colocFor(class, f.CNodes)
+	f.InputBytes = fd * T * p.Config.PCIeBandwidth * p.Eff.PCIe / float64(coloc)
+	f.FLOPs = fc * (1 - memShare) * T * p.Config.GPU.PeakFLOPS * p.Eff.GPUCompute
+	f.MemAccessBytes = fc * memShare * T * p.Config.GPU.MemBandwidth * p.Eff.GPUMemory
+	if fw > 0 {
+		denom, err := p.mediaDenominator(class)
+		if err != nil {
+			return workload.Features{}, err
+		}
+		f.WeightTrafficBytes = fw * T / denom
+	}
+
+	// Weight sizes (Fig. 6b); independent of the traffic override.
+	switch class {
+	case workload.OneWorkerOneGPU:
+		f.DenseWeightBytes = r.lognormal(p.W1WeightLogMu, p.W1WeightLogSigma)
+	case workload.OneWorkerNGPU:
+		f.DenseWeightBytes = r.lognormal(p.NWWeightLogMu, p.NWWeightLogSigma)
+	case workload.PSWorker:
+		if r.Float64() < p.PSLargeModelProb {
+			// Embedding-dominated large model (commodity embedding /
+			// search / recommendation, Sec. III-A).
+			emb := r.lognormal(p.PSLargeWeightLogMu, p.PSLargeWeightLogSigma)
+			f.EmbeddingWeightBytes = emb
+			f.DenseWeightBytes = emb * 0.01 * r.Float64()
+		} else {
+			f.DenseWeightBytes = r.lognormal(p.PSWeightLogMu, p.PSWeightLogSigma)
+		}
+	}
+
+	// Degenerate guard: every job computes something.
+	if f.FLOPs == 0 && f.MemAccessBytes == 0 {
+		f.FLOPs = 1e9
+	}
+	if err := f.Validate(); err != nil {
+		return workload.Features{}, err
+	}
+	return f, nil
+}
+
+// mediaDenominator is sum over the class's weight media of 1/(B*eff): the
+// factor converting a weight volume into communication seconds.
+func (p Params) mediaDenominator(class workload.Class) (float64, error) {
+	traits, err := workload.Traits(class)
+	if err != nil {
+		return 0, err
+	}
+	var denom float64
+	for _, m := range traits.WeightMedia {
+		bw, err := p.Config.Bandwidth(m)
+		if err != nil {
+			return 0, err
+		}
+		eff := p.Eff.Network
+		if m == hw.LinkPCIe {
+			eff = p.Eff.PCIe
+		}
+		denom += 1 / (bw * eff)
+	}
+	if denom == 0 {
+		return 0, fmt.Errorf("tracegen: class %v has no weight media", class)
+	}
+	return denom, nil
+}
+
+// colocFor mirrors arch.ColocatedReplicas for the three generatable classes
+// (kept local to avoid an import cycle through back-solving).
+func colocFor(class workload.Class, cNodes int) int {
+	switch class {
+	case workload.OneWorkerNGPU:
+		return cNodes
+	default:
+		return 1
+	}
+}
+
+func classSlug(c workload.Class) string {
+	switch c {
+	case workload.OneWorkerOneGPU:
+		return "1w1g"
+	case workload.OneWorkerNGPU:
+		return "1wng"
+	case workload.PSWorker:
+		return "ps"
+	default:
+		return "other"
+	}
+}
+
+// TotalCNodes sums cNodes over all jobs.
+func (t *Trace) TotalCNodes() int {
+	var n int
+	for _, j := range t.Jobs {
+		n += j.CNodes
+	}
+	return n
+}
+
+// ByClass partitions job indices by class.
+func (t *Trace) ByClass() map[workload.Class][]int {
+	out := map[workload.Class][]int{}
+	for i, j := range t.Jobs {
+		out[j.Class] = append(out[j.Class], i)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package tracegen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	p := Default()
+	p.NumJobs = 0
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for zero jobs")
+	}
+	p = Default()
+	p.Config.PCIeBandwidth = 0
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for bad config")
+	}
+	p = Default()
+	p.Eff = workload.Efficiency{}
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for bad efficiency")
+	}
+	p = Default()
+	p.ClassShares = nil
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for empty shares")
+	}
+	p = Default()
+	p.ClassShares = map[workload.Class]float64{workload.OneWorkerOneGPU: 0.5}
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for shares not summing to 1")
+	}
+	p = Default()
+	p.ClassShares = map[workload.Class]float64{workload.AllReduceLocal: 1}
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for non-generatable class")
+	}
+	p = Default()
+	p.ClassShares = map[workload.Class]float64{
+		workload.OneWorkerOneGPU: 1.2, workload.PSWorker: -0.2}
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for negative share")
+	}
+	p = Default()
+	p.PSCommBoundLo, p.PSCommBoundHi = 0.9, 0.8
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for inverted comm-bound range")
+	}
+	p = Default()
+	p.DataFracMean = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for fraction > 1")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Default()
+	p.NumJobs = 500
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != 500 || len(b.Jobs) != 500 {
+		t.Fatalf("job counts: %d, %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs between runs with same seed", i)
+		}
+	}
+	p.Seed = 2
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i] == c.Jobs[i] {
+			same++
+		}
+	}
+	if same == len(a.Jobs) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedJobsValid(t *testing.T) {
+	p := Default()
+	p.NumJobs = 2000
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("invalid generated job: %v", err)
+		}
+		switch j.Class {
+		case workload.OneWorkerOneGPU:
+			if j.CNodes != 1 {
+				t.Fatalf("1w1g job with %d cNodes", j.CNodes)
+			}
+			if j.WeightTrafficBytes != 0 {
+				t.Fatal("1w1g job with weight traffic")
+			}
+		case workload.OneWorkerNGPU:
+			if j.CNodes < 2 || j.CNodes > 8 {
+				t.Fatalf("1wng job with %d cNodes", j.CNodes)
+			}
+		case workload.PSWorker:
+			if j.CNodes < 1 || j.CNodes > 600 {
+				t.Fatalf("PS job with %d cNodes", j.CNodes)
+			}
+		default:
+			t.Fatalf("unexpected class %v", j.Class)
+		}
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	p := Default()
+	p.NumJobs = 300
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := tr.ByClass()
+	var n int
+	for _, idxs := range byClass {
+		n += len(idxs)
+	}
+	if n != 300 {
+		t.Errorf("ByClass covers %d jobs, want 300", n)
+	}
+	if tr.TotalCNodes() < 300 {
+		t.Error("TotalCNodes must be >= job count")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Default()
+	p.NumJobs = 100
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != tr.Seed || len(back.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip lost metadata: seed %d jobs %d", back.Seed, len(back.Jobs))
+	}
+	for i := range tr.Jobs {
+		if tr.Jobs[i] != back.Jobs[i] {
+			t.Fatalf("job %d changed in round trip:\n%+v\n%+v", i, tr.Jobs[i], back.Jobs[i])
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("expected error for truncated JSON")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"jobs":[{"class":"nope"}]}`)); err == nil {
+		t.Error("expected error for unknown class")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"jobs":[{"name":"x","class":"1w1g","c_nodes":0,"batch_size":1,"flops":1}]}`)); err == nil {
+		t.Error("expected error for invalid job")
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	r := newRNG(3)
+	// Beta samples stay in [0,1] and approximate the requested mean.
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := r.betaMean(0.3, 6)
+		if v < 0 || v > 1 {
+			t.Fatalf("beta sample out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.3) > 0.03 {
+		t.Errorf("beta mean = %v, want ~0.3", mean)
+	}
+	// Degenerate means.
+	if r.betaMean(0, 5) != 0 || r.betaMean(1, 5) != 1 {
+		t.Error("betaMean boundary values wrong")
+	}
+	// truncNormal respects bounds.
+	for i := 0; i < 1000; i++ {
+		v := r.truncNormal(0, 3, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("truncNormal out of bounds: %v", v)
+		}
+	}
+	// Gamma with small shape stays positive.
+	for i := 0; i < 100; i++ {
+		if g := r.gamma(0.3); g < 0 {
+			t.Fatalf("gamma sample negative: %v", g)
+		}
+	}
+	// pow2 in range.
+	for i := 0; i < 100; i++ {
+		v := r.pow2(4, 11)
+		if v < 16 || v > 2048 || v&(v-1) != 0 {
+			t.Fatalf("pow2 sample invalid: %d", v)
+		}
+	}
+	// pick respects zero-weight entries.
+	counts := [3]int{}
+	for i := 0; i < 1000; i++ {
+		counts[r.pick([]float64{0, 1, 1})]++
+	}
+	if counts[0] != 0 {
+		t.Error("pick chose zero-weight entry")
+	}
+	// lognormal positive.
+	if r.lognormal(0, 1) <= 0 {
+		t.Error("lognormal must be positive")
+	}
+}
+
+func TestMediaDenominator(t *testing.T) {
+	p := Default()
+	d, err := p.mediaDenominator(workload.PSWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1/(hw.Gbps(25)*0.7) + 1/(10*hw.GB*0.7)
+	if math.Abs(d-want)/want > 1e-12 {
+		t.Errorf("PS denominator = %v, want %v", d, want)
+	}
+	if _, err := p.mediaDenominator(workload.Class(99)); err == nil {
+		t.Error("expected error for unknown class")
+	}
+	if _, err := p.mediaDenominator(workload.OneWorkerOneGPU); err == nil {
+		t.Error("expected error for class with no weight media")
+	}
+}

@@ -1,0 +1,255 @@
+// Package train is a miniature data-parallel training engine used to
+// demonstrate the system architectures the paper analyzes — PS/Worker,
+// AllReduce in replica mode, and PEARL (Sec. IV-C) — as executable code
+// rather than analytical formulas.
+//
+// The model is the archetypal sparse recommender the paper's large-scale
+// workloads use: an embedding table (the large, sparsely-accessed parameter)
+// plus a small dense head. All strategies must converge to numerically
+// equivalent parameters given the same global batch stream; PEARL must do so
+// while moving only the touched embedding rows (its reason to exist).
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a sparse-plus-dense regression model:
+// pred(ids) = mean(Emb[ids]) . W + B, trained with squared loss.
+type Model struct {
+	// Vocab is the number of embedding rows, Dim the embedding width.
+	Vocab, Dim int
+	// Emb is the row-major Vocab x Dim embedding table (the "large sparse"
+	// parameter class of Table IV).
+	Emb []float32
+	// W is the Dim-wide dense head; B its bias (the "dense weights" class).
+	W []float32
+	B float32
+}
+
+// NewModel initializes a model with deterministic pseudo-random parameters.
+func NewModel(vocab, dim int, seed int64) (*Model, error) {
+	if vocab <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("train: vocab and dim must be positive, got %d, %d", vocab, dim)
+	}
+	r := rand.New(rand.NewSource(seed))
+	m := &Model{
+		Vocab: vocab, Dim: dim,
+		Emb: make([]float32, vocab*dim),
+		W:   make([]float32, dim),
+	}
+	for i := range m.Emb {
+		m.Emb[i] = float32(r.NormFloat64()) * 0.1
+	}
+	for i := range m.W {
+		m.W[i] = float32(r.NormFloat64()) * 0.1
+	}
+	return m, nil
+}
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	out := &Model{Vocab: m.Vocab, Dim: m.Dim, B: m.B,
+		Emb: make([]float32, len(m.Emb)),
+		W:   make([]float32, len(m.W)),
+	}
+	copy(out.Emb, m.Emb)
+	copy(out.W, m.W)
+	return out
+}
+
+// Sample is one training example: a bag of embedding ids and a regression
+// target.
+type Sample struct {
+	IDs    []int
+	Target float32
+}
+
+// Batch is a mini-batch of samples.
+type Batch []Sample
+
+// Validate checks all sample ids are in range for the model.
+func (m *Model) Validate(b Batch) error {
+	for i, s := range b {
+		if len(s.IDs) == 0 {
+			return fmt.Errorf("train: sample %d has no ids", i)
+		}
+		for _, id := range s.IDs {
+			if id < 0 || id >= m.Vocab {
+				return fmt.Errorf("train: sample %d id %d out of range [0,%d)", i, id, m.Vocab)
+			}
+		}
+	}
+	return nil
+}
+
+// Forward computes the prediction for one sample.
+func (m *Model) Forward(s Sample) float32 {
+	d := m.Dim
+	inv := 1 / float32(len(s.IDs))
+	var pred float32
+	for j := 0; j < d; j++ {
+		var h float32
+		for _, id := range s.IDs {
+			h += m.Emb[id*d+j]
+		}
+		h *= inv
+		pred += h * m.W[j]
+	}
+	return pred + m.B
+}
+
+// Grads holds the summed (not averaged) gradients of a batch.
+type Grads struct {
+	Dim int
+	// Emb maps row id -> gradient vector (sparse).
+	Emb map[int][]float32
+	W   []float32
+	B   float32
+	// Loss is the summed squared loss of the batch.
+	Loss float32
+}
+
+// Gradients computes summed gradients over the batch.
+func (m *Model) Gradients(b Batch) (*Grads, error) {
+	if err := m.Validate(b); err != nil {
+		return nil, err
+	}
+	g := &Grads{Dim: m.Dim, Emb: map[int][]float32{}, W: make([]float32, m.Dim)}
+	d := m.Dim
+	h := make([]float32, d)
+	for _, s := range b {
+		inv := 1 / float32(len(s.IDs))
+		for j := 0; j < d; j++ {
+			var sum float32
+			for _, id := range s.IDs {
+				sum += m.Emb[id*d+j]
+			}
+			h[j] = sum * inv
+		}
+		var pred float32
+		for j := 0; j < d; j++ {
+			pred += h[j] * m.W[j]
+		}
+		pred += m.B
+		diff := pred - s.Target
+		g.Loss += diff * diff
+		dpred := 2 * diff
+		for j := 0; j < d; j++ {
+			g.W[j] += dpred * h[j]
+		}
+		g.B += dpred
+		for _, id := range s.IDs {
+			row := g.Emb[id]
+			if row == nil {
+				row = make([]float32, d)
+				g.Emb[id] = row
+			}
+			scale := dpred * inv
+			for j := 0; j < d; j++ {
+				row[j] += scale * m.W[j]
+			}
+		}
+	}
+	return g, nil
+}
+
+// Apply performs one SGD update with the given gradients divided by n (the
+// global batch size for averaged-gradient training).
+func (m *Model) Apply(g *Grads, lr float32, n int) error {
+	if g.Dim != m.Dim {
+		return fmt.Errorf("train: gradient dim %d != model dim %d", g.Dim, m.Dim)
+	}
+	if n <= 0 {
+		return fmt.Errorf("train: divisor must be positive, got %d", n)
+	}
+	scale := lr / float32(n)
+	for id, row := range g.Emb {
+		if id < 0 || id >= m.Vocab {
+			return fmt.Errorf("train: gradient row %d out of range", id)
+		}
+		for j := 0; j < m.Dim; j++ {
+			m.Emb[id*m.Dim+j] -= scale * row[j]
+		}
+	}
+	for j := 0; j < m.Dim; j++ {
+		m.W[j] -= scale * g.W[j]
+	}
+	m.B -= scale * g.B
+	return nil
+}
+
+// Loss computes the mean squared loss over a batch.
+func (m *Model) Loss(b Batch) (float32, error) {
+	if err := m.Validate(b); err != nil {
+		return 0, err
+	}
+	if len(b) == 0 {
+		return 0, nil
+	}
+	var sum float32
+	for _, s := range b {
+		diff := m.Forward(s) - s.Target
+		sum += diff * diff
+	}
+	return sum / float32(len(b)), nil
+}
+
+// MaxParamDiff returns the largest absolute parameter difference between two
+// models; used to assert numerical equivalence across strategies.
+func MaxParamDiff(a, b *Model) (float64, error) {
+	if a.Vocab != b.Vocab || a.Dim != b.Dim {
+		return 0, fmt.Errorf("train: model shapes differ")
+	}
+	var max float64
+	upd := func(x, y float32) {
+		if d := math.Abs(float64(x - y)); d > max {
+			max = d
+		}
+	}
+	for i := range a.Emb {
+		upd(a.Emb[i], b.Emb[i])
+	}
+	for i := range a.W {
+		upd(a.W[i], b.W[i])
+	}
+	upd(a.B, b.B)
+	return max, nil
+}
+
+// SynthesizeBatches generates a deterministic stream of global batches whose
+// targets follow a hidden linear model plus noise, with ids drawn from a
+// skewed (popularity) distribution — the access pattern that makes sparse
+// communication worthwhile.
+func SynthesizeBatches(vocab, idsPerSample, batchSize, steps int, seed int64) ([]Batch, error) {
+	if vocab <= 0 || idsPerSample <= 0 || batchSize <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("train: all synthesis parameters must be positive")
+	}
+	r := rand.New(rand.NewSource(seed))
+	hidden := make([]float64, vocab)
+	for i := range hidden {
+		hidden[i] = r.NormFloat64()
+	}
+	batches := make([]Batch, steps)
+	for s := 0; s < steps; s++ {
+		b := make(Batch, batchSize)
+		for i := range b {
+			ids := make([]int, idsPerSample)
+			var target float64
+			for k := range ids {
+				// Squared-uniform skew: low ids are hot.
+				id := int(r.Float64() * r.Float64() * float64(vocab))
+				if id >= vocab {
+					id = vocab - 1
+				}
+				ids[k] = id
+				target += hidden[id]
+			}
+			b[i] = Sample{IDs: ids, Target: float32(target/float64(idsPerSample) + 0.01*r.NormFloat64())}
+		}
+		batches[s] = b
+	}
+	return batches, nil
+}

@@ -1,0 +1,108 @@
+package train
+
+import "fmt"
+
+// SGD configures the optimizer: plain SGD when Momentum is zero, classical
+// momentum otherwise. The paper's Table IV parameter sizes include such
+// optimization-related state ("momentums"), which is why distributing it
+// correctly matters: under PEARL the per-row momentum lives with the row's
+// partition owner, under PS it lives on the server, and under replica
+// AllReduce it is replicated.
+type SGD struct {
+	LR       float32
+	Momentum float32
+}
+
+// Validate checks the hyperparameters.
+func (o SGD) Validate() error {
+	if o.LR <= 0 {
+		return fmt.Errorf("train: learning rate must be positive, got %v", o.LR)
+	}
+	if o.Momentum < 0 || o.Momentum >= 1 {
+		return fmt.Errorf("train: momentum must be in [0,1), got %v", o.Momentum)
+	}
+	return nil
+}
+
+// sgdState holds the optimizer's velocity buffers. Embedding velocities are
+// sparse: a row's buffer is created on first touch, and only touched rows
+// are decayed/updated on a step (standard sparse-momentum semantics — and
+// the property that lets PEARL owners keep exactly their partition's state).
+type sgdState struct {
+	vW   []float32
+	vB   float32
+	vEmb map[int][]float32
+}
+
+func newSGDState(dim int) *sgdState {
+	return &sgdState{vW: make([]float32, dim), vEmb: map[int][]float32{}}
+}
+
+// step applies one SGD(+momentum) update to the model from summed gradients
+// g divided by n.
+func (s *sgdState) step(m *Model, g *Grads, opt SGD, n int) error {
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	if g.Dim != m.Dim {
+		return fmt.Errorf("train: gradient dim %d != model dim %d", g.Dim, m.Dim)
+	}
+	if n <= 0 {
+		return fmt.Errorf("train: divisor must be positive, got %d", n)
+	}
+	inv := 1 / float32(n)
+	mu := opt.Momentum
+	for id, row := range g.Emb {
+		if id < 0 || id >= m.Vocab {
+			return fmt.Errorf("train: gradient row %d out of range", id)
+		}
+		v := s.vEmb[id]
+		if v == nil {
+			v = make([]float32, m.Dim)
+			s.vEmb[id] = v
+		}
+		for j := 0; j < m.Dim; j++ {
+			v[j] = mu*v[j] + row[j]*inv
+			m.Emb[id*m.Dim+j] -= opt.LR * v[j]
+		}
+	}
+	for j := 0; j < m.Dim; j++ {
+		s.vW[j] = mu*s.vW[j] + g.W[j]*inv
+		m.W[j] -= opt.LR * s.vW[j]
+	}
+	s.vB = mu*s.vB + g.B*inv
+	m.B -= opt.LR * s.vB
+	return nil
+}
+
+// stepDense applies the dense-head part of an update only (used by PEARL
+// workers, whose embedding state lives with the partition owners).
+func (s *sgdState) stepDense(w []float32, b *float32, gW []float32, gB float32, opt SGD, n int) error {
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	inv := 1 / float32(n)
+	mu := opt.Momentum
+	for j := range w {
+		s.vW[j] = mu*s.vW[j] + gW[j]*inv
+		w[j] -= opt.LR * s.vW[j]
+	}
+	s.vB = mu*s.vB + gB*inv
+	*b -= opt.LR * s.vB
+	return nil
+}
+
+// stepRow applies a momentum update to one owned embedding row.
+func (s *sgdState) stepRow(row []float32, id int, grad []float32, opt SGD, n int) {
+	inv := 1 / float32(n)
+	mu := opt.Momentum
+	v := s.vEmb[id]
+	if v == nil {
+		v = make([]float32, len(row))
+		s.vEmb[id] = v
+	}
+	for j := range row {
+		v[j] = mu*v[j] + grad[j]*inv
+		row[j] -= opt.LR * v[j]
+	}
+}

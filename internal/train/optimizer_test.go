@@ -1,0 +1,161 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGDValidate(t *testing.T) {
+	if err := (SGD{LR: 0.1}).Validate(); err != nil {
+		t.Errorf("plain SGD rejected: %v", err)
+	}
+	if err := (SGD{LR: 0.1, Momentum: 0.9}).Validate(); err != nil {
+		t.Errorf("momentum SGD rejected: %v", err)
+	}
+	if err := (SGD{LR: 0}).Validate(); err == nil {
+		t.Error("expected error for zero LR")
+	}
+	if err := (SGD{LR: 0.1, Momentum: 1}).Validate(); err == nil {
+		t.Error("expected error for momentum = 1")
+	}
+	if err := (SGD{LR: 0.1, Momentum: -0.1}).Validate(); err == nil {
+		t.Error("expected error for negative momentum")
+	}
+}
+
+func TestSGDStateStepValidation(t *testing.T) {
+	m := mustModel(t, 5, 2)
+	s := newSGDState(2)
+	if err := s.step(m, &Grads{Dim: 3}, SGD{LR: 0.1}, 1); err == nil {
+		t.Error("expected error for dim mismatch")
+	}
+	if err := s.step(m, &Grads{Dim: 2, W: make([]float32, 2)}, SGD{LR: 0.1}, 0); err == nil {
+		t.Error("expected error for zero divisor")
+	}
+	if err := s.step(m, &Grads{Dim: 2, W: make([]float32, 2)}, SGD{LR: 0}, 1); err == nil {
+		t.Error("expected error for bad optimizer")
+	}
+	bad := &Grads{Dim: 2, W: make([]float32, 2), Emb: map[int][]float32{9: make([]float32, 2)}}
+	if err := s.step(m, bad, SGD{LR: 0.1}, 1); err == nil {
+		t.Error("expected error for out-of-range row")
+	}
+}
+
+// Momentum accumulates velocity: two identical gradients move the weight
+// further on the second step.
+func TestMomentumAccumulates(t *testing.T) {
+	m := mustModel(t, 4, 2)
+	s := newSGDState(2)
+	g := &Grads{Dim: 2, W: []float32{1, 0}, Emb: map[int][]float32{}}
+	opt := SGD{LR: 0.1, Momentum: 0.9}
+	w0 := m.W[0]
+	if err := s.step(m, g, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	d1 := w0 - m.W[0]
+	w1 := m.W[0]
+	if err := s.step(m, g, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := w1 - m.W[0]
+	if d2 <= d1 {
+		t.Errorf("second momentum step (%v) should exceed first (%v)", d2, d1)
+	}
+	// v after two steps: 1, 1.9 -> deltas 0.1, 0.19.
+	if math.Abs(float64(d1)-0.1) > 1e-6 || math.Abs(float64(d2)-0.19) > 1e-6 {
+		t.Errorf("deltas = %v, %v; want 0.1, 0.19", d1, d2)
+	}
+}
+
+// All distributed strategies remain numerically equivalent to the reference
+// under momentum SGD — the optimizer-state distribution (server / replicated
+// / partition-owner) must not change the arithmetic.
+func TestStrategiesMatchReferenceWithMomentum(t *testing.T) {
+	const vocab, dim, steps = 40, 6, 15
+	m0 := mustModel(t, vocab, dim)
+	batches := mustBatches(t, vocab, steps)
+	opt := SGD{LR: 0.05, Momentum: 0.9}
+	ref, err := RunReference(m0, batches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Momentum must actually change the trajectory vs plain SGD.
+	plain, err := RunReference(m0, batches, SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, _ := MaxParamDiff(ref, plain); diff < 1e-6 {
+		t.Error("momentum had no effect on the trajectory")
+	}
+	for _, workers := range []int{2, 4} {
+		ps, _, err := RunPS(m0, batches, workers, opt)
+		if err != nil {
+			t.Fatalf("PS: %v", err)
+		}
+		if diff, err := MaxParamDiff(ref, ps); err != nil || diff > 1e-4 {
+			t.Errorf("PS with momentum diverges: %v (%v)", diff, err)
+		}
+		ar, _, err := RunAllReduce(m0, batches, workers, opt)
+		if err != nil {
+			t.Fatalf("AllReduce: %v", err)
+		}
+		if diff, err := MaxParamDiff(ref, ar); err != nil || diff > 1e-4 {
+			t.Errorf("AllReduce with momentum diverges: %v (%v)", diff, err)
+		}
+		pearl, _, err := RunPEARL(m0, batches, workers, opt)
+		if err != nil {
+			t.Fatalf("PEARL: %v", err)
+		}
+		if diff, err := MaxParamDiff(ref, pearl); err != nil || diff > 1e-4 {
+			t.Errorf("PEARL with momentum diverges: %v (%v)", diff, err)
+		}
+	}
+}
+
+// Sparse momentum semantics: untouched rows keep their velocity (no decay
+// without a gradient), so a row hit twice with a gap behaves like two
+// consecutive hits.
+func TestSparseMomentumUntouchedRows(t *testing.T) {
+	m := mustModel(t, 4, 1)
+	s := newSGDState(1)
+	opt := SGD{LR: 0.1, Momentum: 0.5}
+	hitRow0 := &Grads{Dim: 1, W: []float32{0}, Emb: map[int][]float32{0: {1}}}
+	hitRow1 := &Grads{Dim: 1, W: []float32{0}, Emb: map[int][]float32{1: {1}}}
+
+	e0 := m.Emb[0]
+	if err := s.step(m, hitRow0, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	d1 := e0 - m.Emb[0]
+	// Intervening step touching a different row.
+	if err := s.step(m, hitRow1, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	e0 = m.Emb[0]
+	if err := s.step(m, hitRow0, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := e0 - m.Emb[0]
+	// v: 1 then 0.5*1+1 = 1.5 -> deltas 0.1, 0.15.
+	if math.Abs(float64(d1)-0.1) > 1e-6 || math.Abs(float64(d2)-0.15) > 1e-6 {
+		t.Errorf("sparse momentum deltas = %v, %v; want 0.1, 0.15", d1, d2)
+	}
+}
+
+func TestRunRejectsBadOptimizer(t *testing.T) {
+	m := mustModel(t, 10, 2)
+	batches := mustBatches(t, 10, 2)
+	bad := SGD{LR: -1}
+	if _, err := RunReference(m, batches, bad); err == nil {
+		t.Error("RunReference accepted bad optimizer")
+	}
+	if _, _, err := RunPS(m, batches, 2, bad); err == nil {
+		t.Error("RunPS accepted bad optimizer")
+	}
+	if _, _, err := RunAllReduce(m, batches, 2, bad); err == nil {
+		t.Error("RunAllReduce accepted bad optimizer")
+	}
+	if _, _, err := RunPEARL(m, batches, 2, bad); err == nil {
+		t.Error("RunPEARL accepted bad optimizer")
+	}
+}

@@ -1,0 +1,460 @@
+package train
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/collective"
+)
+
+// Traffic reports the synchronization bytes a strategy put on the wire over
+// a whole run, split by parameter class. This is the quantity the paper's
+// traffic models predict (Table V "Network Traffic", Sec. IV-C).
+type Traffic struct {
+	// DenseBytes covers dense weights/gradients (and, for PS, the full
+	// parameter pulls).
+	DenseBytes int64
+	// EmbeddingBytes covers embedding rows/gradients.
+	EmbeddingBytes int64
+}
+
+// Total is dense plus embedding bytes.
+func (t Traffic) Total() int64 { return t.DenseBytes + t.EmbeddingBytes }
+
+// shard splits a global batch into `workers` near-equal contiguous shards.
+func shard(b Batch, workers int) []Batch {
+	out := make([]Batch, workers)
+	base, rem := len(b)/workers, len(b)%workers
+	idx := 0
+	for w := 0; w < workers; w++ {
+		sz := base
+		if w < rem {
+			sz++
+		}
+		out[w] = b[idx : idx+sz]
+		idx += sz
+	}
+	return out
+}
+
+func checkRunArgs(m *Model, batches []Batch, workers int) error {
+	if m == nil {
+		return fmt.Errorf("train: nil model")
+	}
+	if workers < 1 {
+		return fmt.Errorf("train: workers must be >= 1, got %d", workers)
+	}
+	if len(batches) == 0 {
+		return fmt.Errorf("train: no batches")
+	}
+	for i, b := range batches {
+		if len(b) < workers {
+			return fmt.Errorf("train: batch %d has %d samples for %d workers", i, len(b), workers)
+		}
+		if err := m.Validate(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunReference trains a single-replica model on the full global batches —
+// the ground truth every distributed strategy must match.
+func RunReference(m0 *Model, batches []Batch, opt SGD) (*Model, error) {
+	if err := checkRunArgs(m0, batches, 1); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	m := m0.Clone()
+	state := newSGDState(m.Dim)
+	for _, b := range batches {
+		g, err := m.Gradients(b)
+		if err != nil {
+			return nil, err
+		}
+		if err := state.step(m, g, opt, len(b)); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// RunPS trains under the PS/Worker architecture: the parameter server holds
+// the canonical model; each step, workers pull parameters, compute shard
+// gradients concurrently, and push them back for aggregation (Fig. 2a).
+func RunPS(m0 *Model, batches []Batch, workers int, opt SGD) (*Model, Traffic, error) {
+	if err := checkRunArgs(m0, batches, workers); err != nil {
+		return nil, Traffic{}, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, Traffic{}, err
+	}
+	server := m0.Clone()
+	state := newSGDState(server.Dim)
+	var traffic Traffic
+	paramDense := int64(4 * (len(server.W) + 1))
+	embRowBytes := int64(4 * server.Dim)
+
+	for _, global := range batches {
+		shards := shard(global, workers)
+		grads := make([]*Grads, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Pull: each worker reads the server's parameters (full
+				// dense head plus the embedding rows its shard touches).
+				grads[w], errs[w] = server.Gradients(shards[w])
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, Traffic{}, err
+			}
+		}
+		// Push + pull accounting and aggregation.
+		merged := &Grads{Dim: server.Dim, Emb: map[int][]float32{}, W: make([]float32, server.Dim)}
+		for w := 0; w < workers; w++ {
+			g := grads[w]
+			traffic.DenseBytes += 2 * paramDense // pull + push of the dense head
+			touched := int64(len(g.Emb))
+			traffic.EmbeddingBytes += 2 * touched * embRowBytes
+			for j := range merged.W {
+				merged.W[j] += g.W[j]
+			}
+			merged.B += g.B
+			for id, row := range g.Emb {
+				dst := merged.Emb[id]
+				if dst == nil {
+					dst = make([]float32, server.Dim)
+					merged.Emb[id] = dst
+				}
+				for j := range dst {
+					dst[j] += row[j]
+				}
+			}
+		}
+		if err := state.step(server, merged, opt, len(global)); err != nil {
+			return nil, Traffic{}, err
+		}
+	}
+	return server, traffic, nil
+}
+
+// RunAllReduce trains under the decentralized replica architecture: every
+// worker holds a full model copy and exchanges complete gradients (embedding
+// treated as dense — the replica-mode limitation of Sec. II-A that caps the
+// model at GPU memory) through a ring AllReduce.
+func RunAllReduce(m0 *Model, batches []Batch, workers int, opt SGD) (*Model, Traffic, error) {
+	if err := checkRunArgs(m0, batches, workers); err != nil {
+		return nil, Traffic{}, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, Traffic{}, err
+	}
+	group, err := collective.NewGroup(workers)
+	if err != nil {
+		return nil, Traffic{}, err
+	}
+	replicas := make([]*Model, workers)
+	states := make([]*sgdState, workers)
+	for w := range replicas {
+		replicas[w] = m0.Clone()
+		states[w] = newSGDState(m0.Dim)
+	}
+	d := m0.Dim
+	flat := m0.Vocab*d + d + 1
+
+	for _, global := range batches {
+		shards := shard(global, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m := replicas[w]
+				g, err := m.Gradients(shards[w])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// Flatten: embedding gradient as a dense vocab x dim block.
+				buf := make([]float32, flat)
+				for id, row := range g.Emb {
+					copy(buf[id*d:(id+1)*d], row)
+				}
+				copy(buf[m.Vocab*d:], g.W)
+				buf[flat-1] = g.B
+				if err := group.AllReduce(w, buf); err != nil {
+					errs[w] = err
+					return
+				}
+				// Unflatten and apply averaged over the global batch.
+				sum := &Grads{Dim: d, Emb: map[int][]float32{}, W: make([]float32, d)}
+				for id := 0; id < m.Vocab; id++ {
+					row := buf[id*d : (id+1)*d]
+					nonzero := false
+					for _, v := range row {
+						if v != 0 {
+							nonzero = true
+							break
+						}
+					}
+					if nonzero {
+						cp := make([]float32, d)
+						copy(cp, row)
+						sum.Emb[id] = cp
+					}
+				}
+				copy(sum.W, buf[m.Vocab*d:flat-1])
+				sum.B = buf[flat-1]
+				errs[w] = states[w].step(m, sum, opt, len(global))
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, Traffic{}, err
+			}
+		}
+	}
+	// All wire bytes were full-model gradients; attribute by parameter share.
+	total := group.TotalBytesSent()
+	embShare := float64(m0.Vocab*d) / float64(flat)
+	traffic := Traffic{
+		EmbeddingBytes: int64(float64(total) * embShare),
+	}
+	traffic.DenseBytes = total - traffic.EmbeddingBytes
+	return replicas[0], traffic, nil
+}
+
+// pearlWorker carries per-worker state for RunPEARL.
+type pearlWorker struct {
+	rank int
+	// dense replica of W and B.
+	w []float32
+	b float32
+	// ownRows maps owned row id -> parameter vector.
+	ownRows map[int][]float32
+	// state holds the dense velocity replica plus the velocities of the
+	// owned embedding rows.
+	state *sgdState
+}
+
+// RunPEARL trains under the PEARL hybrid strategy of Sec. IV-C: the
+// embedding table is partitioned across workers (owner = id mod workers) and
+// only the rows touched by the current global batch travel, via AllGatherv;
+// dense weights are replicated and synchronized with AllReduce.
+//
+// The returned model is assembled from the partition owners. The second
+// return value reports wire traffic split into dense and embedding bytes —
+// the embedding side scales with touched rows, not table size.
+func RunPEARL(m0 *Model, batches []Batch, workers int, opt SGD) (*Model, Traffic, error) {
+	if err := checkRunArgs(m0, batches, workers); err != nil {
+		return nil, Traffic{}, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, Traffic{}, err
+	}
+	embGroup, err := collective.NewGroup(workers)
+	if err != nil {
+		return nil, Traffic{}, err
+	}
+	denseGroup, err := collective.NewGroup(workers)
+	if err != nil {
+		return nil, Traffic{}, err
+	}
+	d := m0.Dim
+	ws := make([]*pearlWorker, workers)
+	for w := 0; w < workers; w++ {
+		pw := &pearlWorker{rank: w, w: append([]float32(nil), m0.W...), b: m0.B,
+			ownRows: map[int][]float32{}, state: newSGDState(d)}
+		for id := w; id < m0.Vocab; id += workers {
+			row := make([]float32, d)
+			copy(row, m0.Emb[id*d:(id+1)*d])
+			pw.ownRows[id] = row
+		}
+		ws[w] = pw
+	}
+
+	for _, global := range batches {
+		shards := shard(global, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = pearlStep(ws[w], embGroup, denseGroup, shards[w], len(global), workers, opt)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, Traffic{}, err
+			}
+		}
+	}
+
+	// Assemble the final model from the partition owners and worker 0's
+	// dense replica.
+	out := m0.Clone()
+	copy(out.W, ws[0].w)
+	out.B = ws[0].b
+	for _, pw := range ws {
+		for id, row := range pw.ownRows {
+			copy(out.Emb[id*d:(id+1)*d], row)
+		}
+	}
+	traffic := Traffic{
+		DenseBytes:     denseGroup.TotalBytesSent(),
+		EmbeddingBytes: embGroup.TotalBytesSent(),
+	}
+	return out, traffic, nil
+}
+
+// pearlStep runs one synchronous PEARL training step for one worker.
+func pearlStep(pw *pearlWorker, embGroup, denseGroup *collective.Group,
+	myShard Batch, globalBatch, workers int, opt SGD) error {
+	d := len(pw.w)
+
+	// 1. Exchange touched ids: every worker announces the ids its shard
+	// needs; the union is computed identically everywhere.
+	myIDs := map[int]bool{}
+	for _, s := range myShard {
+		for _, id := range s.IDs {
+			myIDs[id] = true
+		}
+	}
+	idList := make([]float32, 0, len(myIDs))
+	for id := range myIDs {
+		idList = append(idList, float32(id))
+	}
+	sort.Slice(idList, func(i, j int) bool { return idList[i] < idList[j] })
+	idSizes, err := exchangeSizes(embGroup, pw.rank, len(idList), workers)
+	if err != nil {
+		return err
+	}
+	allIDs, err := embGroup.AllGatherv(pw.rank, idList, idSizes)
+	if err != nil {
+		return err
+	}
+	union := map[int]bool{}
+	for _, fid := range allIDs {
+		union[int(fid)] = true
+	}
+	touched := make([]int, 0, len(union))
+	for id := range union {
+		touched = append(touched, id)
+	}
+	sort.Ints(touched)
+
+	// 2. Owners publish the touched rows they hold; AllGatherv delivers all
+	// touched parameters to every worker, grouped by owner.
+	byOwner := make([][]int, workers)
+	for _, id := range touched {
+		o := id % workers
+		byOwner[o] = append(byOwner[o], id)
+	}
+	mine := byOwner[pw.rank]
+	chunk := make([]float32, 0, len(mine)*d)
+	for _, id := range mine {
+		chunk = append(chunk, pw.ownRows[id]...)
+	}
+	rowSizes := make([]int, workers)
+	for o := range rowSizes {
+		rowSizes[o] = len(byOwner[o]) * d
+	}
+	gathered, err := embGroup.AllGatherv(pw.rank, chunk, rowSizes)
+	if err != nil {
+		return err
+	}
+	rows := map[int][]float32{}
+	off := 0
+	for o := 0; o < workers; o++ {
+		for _, id := range byOwner[o] {
+			rows[id] = gathered[off : off+d]
+			off += d
+		}
+	}
+
+	// 3. Local forward/backward on the shard against the gathered rows and
+	// the dense replica.
+	gEmb := make([]float32, len(touched)*d)
+	idxOf := map[int]int{}
+	for i, id := range touched {
+		idxOf[id] = i
+	}
+	gW := make([]float32, d)
+	var gB float32
+	h := make([]float32, d)
+	for _, s := range myShard {
+		inv := 1 / float32(len(s.IDs))
+		for j := 0; j < d; j++ {
+			var sum float32
+			for _, id := range s.IDs {
+				sum += rows[id][j]
+			}
+			h[j] = sum * inv
+		}
+		var pred float32
+		for j := 0; j < d; j++ {
+			pred += h[j] * pw.w[j]
+		}
+		pred += pw.b
+		dpred := 2 * (pred - s.Target)
+		for j := 0; j < d; j++ {
+			gW[j] += dpred * h[j]
+		}
+		gB += dpred
+		for _, id := range s.IDs {
+			base := idxOf[id] * d
+			scale := dpred * inv
+			for j := 0; j < d; j++ {
+				gEmb[base+j] += scale * pw.w[j]
+			}
+		}
+	}
+
+	// 4. Sum the touched-row gradients across workers; owners apply SGD to
+	// their partitions.
+	if err := embGroup.AllReduce(pw.rank, gEmb); err != nil {
+		return err
+	}
+	for i, id := range touched {
+		if id%workers != pw.rank {
+			continue
+		}
+		pw.state.stepRow(pw.ownRows[id], id, gEmb[i*d:(i+1)*d], opt, globalBatch)
+	}
+
+	// 5. Dense head: classic AllReduce over W || B.
+	dense := make([]float32, d+1)
+	copy(dense, gW)
+	dense[d] = gB
+	if err := denseGroup.AllReduce(pw.rank, dense); err != nil {
+		return err
+	}
+	return pw.state.stepDense(pw.w, &pw.b, dense[:d], dense[d], opt, globalBatch)
+}
+
+// exchangeSizes distributes every rank's scalar count so AllGatherv sizes
+// agree (a one-int AllGather).
+func exchangeSizes(g *collective.Group, rank, mine, workers int) ([]int, error) {
+	got, err := g.AllGather(rank, []float32{float32(mine)})
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, workers)
+	for i := range sizes {
+		sizes[i] = int(got[i])
+	}
+	return sizes, nil
+}

@@ -1,0 +1,292 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+func mustModel(t *testing.T, vocab, dim int) *Model {
+	t.Helper()
+	m, err := NewModel(vocab, dim, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustBatches(t *testing.T, vocab, steps int) []Batch {
+	t.Helper()
+	b, err := SynthesizeBatches(vocab, 4, 32, steps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(0, 4, 1); err == nil {
+		t.Error("expected error for zero vocab")
+	}
+	if _, err := NewModel(10, 0, 1); err == nil {
+		t.Error("expected error for zero dim")
+	}
+	m := mustModel(t, 10, 4)
+	if len(m.Emb) != 40 || len(m.W) != 4 {
+		t.Errorf("model shapes wrong: emb %d, w %d", len(m.Emb), len(m.W))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := mustModel(t, 10, 4)
+	c := m.Clone()
+	c.Emb[0] += 1
+	c.W[0] += 1
+	c.B += 1
+	if m.Emb[0] == c.Emb[0] || m.W[0] == c.W[0] || m.B == c.B {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	m := mustModel(t, 10, 4)
+	if err := m.Validate(Batch{{IDs: []int{0, 9}, Target: 1}}); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if err := m.Validate(Batch{{IDs: []int{10}}}); err == nil {
+		t.Error("expected error for out-of-range id")
+	}
+	if err := m.Validate(Batch{{IDs: nil}}); err == nil {
+		t.Error("expected error for empty ids")
+	}
+}
+
+func TestGradientsNumerically(t *testing.T) {
+	// Finite-difference check of the analytic gradients.
+	m := mustModel(t, 6, 3)
+	b := Batch{{IDs: []int{1, 4}, Target: 0.5}, {IDs: []int{2}, Target: -1}}
+	g, err := m.Gradients(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-3
+	lossAt := func(m *Model) float64 {
+		var sum float64
+		for _, s := range b {
+			d := float64(m.Forward(s) - s.Target)
+			sum += d * d
+		}
+		return sum
+	}
+	check := func(label string, analytic float32, bump func(m *Model, delta float32)) {
+		t.Helper()
+		up := m.Clone()
+		bump(up, eps)
+		down := m.Clone()
+		bump(down, -eps)
+		numeric := (lossAt(up) - lossAt(down)) / (2 * eps)
+		if math.Abs(numeric-float64(analytic)) > 2e-2*(1+math.Abs(numeric)) {
+			t.Errorf("%s: analytic %v vs numeric %v", label, analytic, numeric)
+		}
+	}
+	check("W[0]", g.W[0], func(m *Model, d float32) { m.W[0] += d })
+	check("B", g.B, func(m *Model, d float32) { m.B += d })
+	check("Emb[1][0]", g.Emb[1][0], func(m *Model, d float32) { m.Emb[1*3+0] += d })
+	check("Emb[2][2]", g.Emb[2][2], func(m *Model, d float32) { m.Emb[2*3+2] += d })
+	// Untouched rows have no gradient entry.
+	if _, ok := g.Emb[0]; ok {
+		t.Error("untouched row 0 should have no gradient")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	m := mustModel(t, 5, 2)
+	if err := m.Apply(&Grads{Dim: 3}, 0.1, 1); err == nil {
+		t.Error("expected error for dim mismatch")
+	}
+	if err := m.Apply(&Grads{Dim: 2, W: make([]float32, 2)}, 0.1, 0); err == nil {
+		t.Error("expected error for zero divisor")
+	}
+	bad := &Grads{Dim: 2, W: make([]float32, 2), Emb: map[int][]float32{9: make([]float32, 2)}}
+	if err := m.Apply(bad, 0.1, 1); err == nil {
+		t.Error("expected error for out-of-range gradient row")
+	}
+}
+
+func TestReferenceTrainingReducesLoss(t *testing.T) {
+	m := mustModel(t, 50, 8)
+	batches := mustBatches(t, 50, 40)
+	before, err := m.Loss(batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained, err := RunReference(m, batches, SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := trained.Loss(batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("loss did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestStrategiesMatchReference(t *testing.T) {
+	const vocab, dim, steps = 40, 6, 15
+	m0 := mustModel(t, vocab, dim)
+	batches := mustBatches(t, vocab, steps)
+	ref, err := RunReference(m0, batches, SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		ps, _, err := RunPS(m0, batches, workers, SGD{LR: 0.05})
+		if err != nil {
+			t.Fatalf("PS %d workers: %v", workers, err)
+		}
+		if diff, err := MaxParamDiff(ref, ps); err != nil || diff > 1e-4 {
+			t.Errorf("PS %d workers diverges from reference: %v (%v)", workers, diff, err)
+		}
+		ar, _, err := RunAllReduce(m0, batches, workers, SGD{LR: 0.05})
+		if err != nil {
+			t.Fatalf("AllReduce %d workers: %v", workers, err)
+		}
+		if diff, err := MaxParamDiff(ref, ar); err != nil || diff > 1e-4 {
+			t.Errorf("AllReduce %d workers diverges: %v (%v)", workers, diff, err)
+		}
+		pearl, _, err := RunPEARL(m0, batches, workers, SGD{LR: 0.05})
+		if err != nil {
+			t.Fatalf("PEARL %d workers: %v", workers, err)
+		}
+		if diff, err := MaxParamDiff(ref, pearl); err != nil || diff > 1e-4 {
+			t.Errorf("PEARL %d workers diverges: %v (%v)", workers, diff, err)
+		}
+	}
+}
+
+// PEARL's point: embedding traffic scales with touched rows, not table size.
+func TestPEARLSparseTrafficAdvantage(t *testing.T) {
+	const vocab, dim, steps, workers = 2000, 8, 5, 4
+	m0 := mustModel(t, vocab, dim)
+	batches := mustBatches(t, vocab, steps)
+	_, pearlT, err := RunPEARL(m0, batches, workers, SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, arT, err := RunAllReduce(m0, batches, workers, SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pearlT.EmbeddingBytes*4 >= arT.EmbeddingBytes {
+		t.Errorf("PEARL embedding traffic %d should be far below dense AllReduce %d",
+			pearlT.EmbeddingBytes, arT.EmbeddingBytes)
+	}
+	if pearlT.Total() >= arT.Total() {
+		t.Errorf("PEARL total %d should beat dense AllReduce %d on a sparse model",
+			pearlT.Total(), arT.Total())
+	}
+}
+
+// PS traffic grows with worker count (every worker pulls+pushes), the
+// scalability wall that motivates AllReduce/PEARL.
+func TestPSTrafficGrowsWithWorkers(t *testing.T) {
+	const vocab, dim, steps = 100, 4, 5
+	m0 := mustModel(t, vocab, dim)
+	batches := mustBatches(t, vocab, steps)
+	_, t2, err := RunPS(m0, batches, 2, SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t8, err := RunPS(m0, batches, 8, SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.Total() <= t2.Total() {
+		t.Errorf("PS traffic with 8 workers (%d) should exceed 2 workers (%d)",
+			t8.Total(), t2.Total())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := mustModel(t, 10, 2)
+	batches := mustBatches(t, 10, 2)
+	if _, err := RunReference(nil, batches, SGD{LR: 0.1}); err == nil {
+		t.Error("expected error for nil model")
+	}
+	if _, _, err := RunPS(m, nil, 2, SGD{LR: 0.1}); err == nil {
+		t.Error("expected error for no batches")
+	}
+	if _, _, err := RunAllReduce(m, batches, 0, SGD{LR: 0.1}); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	tiny := []Batch{{{IDs: []int{1}, Target: 0}}}
+	if _, _, err := RunPEARL(m, tiny, 4, SGD{LR: 0.1}); err == nil {
+		t.Error("expected error for batch smaller than worker count")
+	}
+	badID := []Batch{make(Batch, 8)}
+	for i := range badID[0] {
+		badID[0][i] = Sample{IDs: []int{99}, Target: 0}
+	}
+	if _, _, err := RunPS(m, badID, 2, SGD{LR: 0.1}); err == nil {
+		t.Error("expected error for out-of-range ids")
+	}
+}
+
+func TestMaxParamDiff(t *testing.T) {
+	a := mustModel(t, 5, 2)
+	b := a.Clone()
+	d, err := MaxParamDiff(a, b)
+	if err != nil || d != 0 {
+		t.Errorf("identical models diff = %v, %v", d, err)
+	}
+	b.Emb[3] += 0.5
+	d, err = MaxParamDiff(a, b)
+	if err != nil || math.Abs(d-0.5) > 1e-6 {
+		t.Errorf("diff = %v, want 0.5 (%v)", d, err)
+	}
+	other := mustModel(t, 6, 2)
+	if _, err := MaxParamDiff(a, other); err == nil {
+		t.Error("expected error for shape mismatch")
+	}
+}
+
+func TestSynthesizeBatchesValidation(t *testing.T) {
+	if _, err := SynthesizeBatches(0, 1, 1, 1, 1); err == nil {
+		t.Error("expected error for zero vocab")
+	}
+	if _, err := SynthesizeBatches(10, 0, 1, 1, 1); err == nil {
+		t.Error("expected error for zero ids per sample")
+	}
+	b, err := SynthesizeBatches(10, 2, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 3 || len(b[0]) != 4 || len(b[0][0].IDs) != 2 {
+		t.Error("synthesized batch shapes wrong")
+	}
+	// Deterministic.
+	b2, _ := SynthesizeBatches(10, 2, 4, 3, 1)
+	if b[0][0].Target != b2[0][0].Target {
+		t.Error("synthesis not deterministic")
+	}
+}
+
+func TestShard(t *testing.T) {
+	b := make(Batch, 10)
+	shards := shard(b, 3)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Errorf("shards cover %d samples, want 10", total)
+	}
+	if len(shards[0]) != 4 || len(shards[1]) != 3 || len(shards[2]) != 3 {
+		t.Errorf("shard sizes %d/%d/%d, want 4/3/3",
+			len(shards[0]), len(shards[1]), len(shards[2]))
+	}
+}

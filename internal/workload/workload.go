@@ -1,0 +1,236 @@
+// Package workload defines the workload feature schema of the
+// characterization framework (Fig. 4), the five workload classes of Table II
+// (plus PEARL from Sec. IV-C), and the six production case-study models of
+// Tables IV–VI.
+//
+// A Features value is the distilled output of the profiling pipeline: one
+// record per job carrying everything the analytical model needs — FLOP count,
+// memory-access volume, input-data volume, weight sizes, batch size, replica
+// count and system architecture.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+)
+
+// Class is one of the workload types of Table II, extended with PEARL
+// (Sec. IV-C).
+type Class int
+
+const (
+	// OneWorkerOneGPU (1w1g) is non-distributed training; no weight/gradient
+	// communication.
+	OneWorkerOneGPU Class = iota
+	// OneWorkerNGPU (1wng) is centralized training within a single server:
+	// parameters on CPU, replicas on the server's GPUs, weights via PCIe.
+	OneWorkerNGPU
+	// PSWorker is the centralized PS architecture across servers: weights via
+	// Ethernet and PCIe.
+	PSWorker
+	// AllReduceLocal is decentralized training within one NVLink server:
+	// weights via NVLink.
+	AllReduceLocal
+	// AllReduceCluster is decentralized training across servers: weights via
+	// Ethernet (and NVLink intra-server).
+	AllReduceCluster
+	// PEARL is the hybrid strategy of Sec. IV-C: large sparse embeddings
+	// partitioned across GPU memories (AllGatherv/ReduceScatter over NVLink),
+	// dense weights replicated (AllReduce).
+	PEARL
+)
+
+var classNames = map[Class]string{
+	OneWorkerOneGPU:  "1w1g",
+	OneWorkerNGPU:    "1wng",
+	PSWorker:         "PS/Worker",
+	AllReduceLocal:   "AllReduce-Local",
+	AllReduceCluster: "AllReduce-Cluster",
+	PEARL:            "PEARL",
+}
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// TraceClasses lists the three classes present in the analyzed trace window
+// (AllReduce jobs were <1% and are excluded from the collective analysis,
+// Sec. III).
+func TraceClasses() []Class {
+	return []Class{OneWorkerOneGPU, OneWorkerNGPU, PSWorker}
+}
+
+// AllClasses lists every class including projection targets and PEARL.
+func AllClasses() []Class {
+	return []Class{OneWorkerOneGPU, OneWorkerNGPU, PSWorker,
+		AllReduceLocal, AllReduceCluster, PEARL}
+}
+
+// ClassTraits captures the Table II row for a class: whether parameter
+// synchronization is centralized, whether the job spans servers, and which
+// media carry the weight/gradient traffic.
+type ClassTraits struct {
+	Centralized bool
+	// CrossServer reports the "Cluster" system-configuration column.
+	CrossServer bool
+	// WeightMedia lists the link classes weight movement crosses, in the
+	// order Table II lists them. Empty for 1w1g.
+	WeightMedia []hw.LinkClass
+}
+
+// Traits returns the Table II row for the class. PEARL moves weights over
+// NVLink intra-server (and Ethernet when spanning servers); we report its
+// local form, matching the paper's GCN deployment.
+func Traits(c Class) (ClassTraits, error) {
+	switch c {
+	case OneWorkerOneGPU:
+		return ClassTraits{}, nil
+	case OneWorkerNGPU:
+		return ClassTraits{Centralized: true,
+			WeightMedia: []hw.LinkClass{hw.LinkPCIe}}, nil
+	case PSWorker:
+		return ClassTraits{Centralized: true, CrossServer: true,
+			WeightMedia: []hw.LinkClass{hw.LinkEthernet, hw.LinkPCIe}}, nil
+	case AllReduceLocal:
+		return ClassTraits{
+			WeightMedia: []hw.LinkClass{hw.LinkNVLink}}, nil
+	case AllReduceCluster:
+		return ClassTraits{CrossServer: true,
+			WeightMedia: []hw.LinkClass{hw.LinkEthernet, hw.LinkNVLink}}, nil
+	case PEARL:
+		return ClassTraits{
+			WeightMedia: []hw.LinkClass{hw.LinkNVLink}}, nil
+	default:
+		return ClassTraits{}, fmt.Errorf("workload: unknown class %v", c)
+	}
+}
+
+// Features is the per-job workload feature schema (Fig. 4): the fundamental
+// resource demands of one training step of one model replica, plus job-level
+// scale and architecture.
+type Features struct {
+	// Name identifies the job or model family.
+	Name string
+	// Class is the system architecture the job runs under.
+	Class Class
+	// CNodes is the number of computation nodes (GPU model replicas).
+	CNodes int
+	// BatchSize is the per-replica mini-batch size.
+	BatchSize int
+
+	// FLOPs is the FLOP count of compute-bound operations per step per
+	// replica.
+	FLOPs float64
+	// MemAccessBytes is the device-memory traffic of memory-bound
+	// (element-wise) operations per step per replica.
+	MemAccessBytes float64
+	// InputBytes is the input-data volume (Sd) fed per step per replica over
+	// PCIe.
+	InputBytes float64
+
+	// DenseWeightBytes is the size of dense trainable+optimizer state.
+	DenseWeightBytes float64
+	// EmbeddingWeightBytes is the size of (sparse) embedding parameters.
+	EmbeddingWeightBytes float64
+
+	// WeightTrafficBytes, when positive, overrides the architecture traffic
+	// model with a measured per-replica per-step weight/gradient volume (the
+	// "Network Traffic" column of Table V). When zero, traffic is derived
+	// from weights and architecture by internal/arch.
+	WeightTrafficBytes float64
+}
+
+// TotalWeightBytes is dense + embedding weight volume.
+func (f Features) TotalWeightBytes() float64 {
+	return f.DenseWeightBytes + f.EmbeddingWeightBytes
+}
+
+// Validate reports an error for physically meaningless features.
+func (f Features) Validate() error {
+	nonneg := func(name string, v float64) error {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("workload %q: %s must be finite and >= 0, got %v", f.Name, name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"FLOPs", f.FLOPs},
+		{"MemAccessBytes", f.MemAccessBytes},
+		{"InputBytes", f.InputBytes},
+		{"DenseWeightBytes", f.DenseWeightBytes},
+		{"EmbeddingWeightBytes", f.EmbeddingWeightBytes},
+		{"WeightTrafficBytes", f.WeightTrafficBytes},
+	} {
+		if err := nonneg(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if f.CNodes <= 0 {
+		return fmt.Errorf("workload %q: CNodes must be positive, got %d", f.Name, f.CNodes)
+	}
+	if f.BatchSize <= 0 {
+		return fmt.Errorf("workload %q: BatchSize must be positive, got %d", f.Name, f.BatchSize)
+	}
+	if f.Class == OneWorkerOneGPU && f.CNodes != 1 {
+		return fmt.Errorf("workload %q: 1w1g must have exactly 1 cNode, got %d", f.Name, f.CNodes)
+	}
+	if f.FLOPs == 0 && f.MemAccessBytes == 0 {
+		return fmt.Errorf("workload %q: no computation at all", f.Name)
+	}
+	return nil
+}
+
+// FitsGPUMemory reports whether the full weight set can be replicated in one
+// GPU's memory — the eligibility condition for AllReduce-replica training
+// (Sec. III-A: "small to medium scale models that can fit into the GPU
+// memory entirely").
+func (f Features) FitsGPUMemory(g hw.GPU) bool {
+	return f.TotalWeightBytes() <= g.MemCapacity
+}
+
+// Efficiency is the measured hardware utilization of one workload
+// (Table VI): the fraction of each component's peak actually achieved.
+type Efficiency struct {
+	GPUCompute float64 // "GPU TOPS" column
+	GPUMemory  float64 // "GDDR" column
+	PCIe       float64
+	Network    float64 // Ethernet or NVLink, whichever carries weights
+}
+
+// Validate checks all efficiencies lie in (0, 1].
+func (e Efficiency) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"GPUCompute", e.GPUCompute},
+		{"GPUMemory", e.GPUMemory},
+		{"PCIe", e.PCIe},
+		{"Network", e.Network},
+	} {
+		if c.v <= 0 || c.v > 1 || math.IsNaN(c.v) {
+			return fmt.Errorf("workload: efficiency %s must be in (0,1], got %v", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// DefaultEfficiency is the paper's blanket 70% hardware-utilization
+// assumption (Sec. II-B).
+func DefaultEfficiency() Efficiency {
+	return Efficiency{GPUCompute: 0.7, GPUMemory: 0.7, PCIe: 0.7, Network: 0.7}
+}
+
+// UniformEfficiency returns an Efficiency with every component set to v.
+func UniformEfficiency(v float64) Efficiency {
+	return Efficiency{GPUCompute: v, GPUMemory: v, PCIe: v, Network: v}
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func validFeatures() Features {
+	return Features{
+		Name: "t", Class: PSWorker, CNodes: 4, BatchSize: 32,
+		FLOPs: 1e12, MemAccessBytes: 1e9, InputBytes: 1e6,
+		DenseWeightBytes: 1e8,
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		OneWorkerOneGPU:  "1w1g",
+		OneWorkerNGPU:    "1wng",
+		PSWorker:         "PS/Worker",
+		AllReduceLocal:   "AllReduce-Local",
+		AllReduceCluster: "AllReduce-Cluster",
+		PEARL:            "PEARL",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if Class(42).String() != "Class(42)" {
+		t.Error("unknown class string")
+	}
+}
+
+func TestClassLists(t *testing.T) {
+	if got := len(TraceClasses()); got != 3 {
+		t.Errorf("TraceClasses = %d, want 3", got)
+	}
+	if got := len(AllClasses()); got != 6 {
+		t.Errorf("AllClasses = %d, want 6", got)
+	}
+}
+
+// Table II invariants: architecture / configuration / weight medium.
+func TestTraitsMatchTableII(t *testing.T) {
+	cases := []struct {
+		class       Class
+		centralized bool
+		crossServer bool
+		media       []hw.LinkClass
+	}{
+		{OneWorkerOneGPU, false, false, nil},
+		{OneWorkerNGPU, true, false, []hw.LinkClass{hw.LinkPCIe}},
+		{PSWorker, true, true, []hw.LinkClass{hw.LinkEthernet, hw.LinkPCIe}},
+		{AllReduceLocal, false, false, []hw.LinkClass{hw.LinkNVLink}},
+		{AllReduceCluster, false, true, []hw.LinkClass{hw.LinkEthernet, hw.LinkNVLink}},
+		{PEARL, false, false, []hw.LinkClass{hw.LinkNVLink}},
+	}
+	for _, tc := range cases {
+		tr, err := Traits(tc.class)
+		if err != nil {
+			t.Errorf("Traits(%v): %v", tc.class, err)
+			continue
+		}
+		if tr.Centralized != tc.centralized {
+			t.Errorf("%v centralized = %v, want %v", tc.class, tr.Centralized, tc.centralized)
+		}
+		if tr.CrossServer != tc.crossServer {
+			t.Errorf("%v crossServer = %v, want %v", tc.class, tr.CrossServer, tc.crossServer)
+		}
+		if len(tr.WeightMedia) != len(tc.media) {
+			t.Errorf("%v media = %v, want %v", tc.class, tr.WeightMedia, tc.media)
+			continue
+		}
+		for i := range tc.media {
+			if tr.WeightMedia[i] != tc.media[i] {
+				t.Errorf("%v media[%d] = %v, want %v", tc.class, i, tr.WeightMedia[i], tc.media[i])
+			}
+		}
+	}
+	if _, err := Traits(Class(9)); err == nil {
+		t.Error("expected error for unknown class")
+	}
+}
+
+func TestFeaturesValidate(t *testing.T) {
+	f := validFeatures()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("valid features rejected: %v", err)
+	}
+	mut := []func(*Features){
+		func(f *Features) { f.FLOPs = -1 },
+		func(f *Features) { f.MemAccessBytes = math.NaN() },
+		func(f *Features) { f.InputBytes = math.Inf(1) },
+		func(f *Features) { f.DenseWeightBytes = -1 },
+		func(f *Features) { f.EmbeddingWeightBytes = -1 },
+		func(f *Features) { f.WeightTrafficBytes = -1 },
+		func(f *Features) { f.CNodes = 0 },
+		func(f *Features) { f.BatchSize = 0 },
+		func(f *Features) { f.Class = OneWorkerOneGPU }, // CNodes=4 conflicts
+		func(f *Features) { f.FLOPs, f.MemAccessBytes = 0, 0 },
+	}
+	for i, m := range mut {
+		f := validFeatures()
+		m(&f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTotalWeightAndFits(t *testing.T) {
+	f := validFeatures()
+	f.DenseWeightBytes = 2 * hw.GB
+	f.EmbeddingWeightBytes = 3 * hw.GB
+	if f.TotalWeightBytes() != 5*hw.GB {
+		t.Errorf("TotalWeightBytes = %v, want 5 GB", f.TotalWeightBytes())
+	}
+	gpu := hw.GPU{MemCapacity: 16 * hw.GB}
+	if !f.FitsGPUMemory(gpu) {
+		t.Error("5 GB should fit 16 GB GPU")
+	}
+	f.EmbeddingWeightBytes = 20 * hw.GB
+	if f.FitsGPUMemory(gpu) {
+		t.Error("22 GB should not fit 16 GB GPU")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if err := DefaultEfficiency().Validate(); err != nil {
+		t.Errorf("default efficiency invalid: %v", err)
+	}
+	e := DefaultEfficiency()
+	if e.GPUCompute != 0.7 || e.Network != 0.7 {
+		t.Error("default efficiency should be 70% everywhere")
+	}
+	u := UniformEfficiency(0.5)
+	if u.GPUMemory != 0.5 || u.PCIe != 0.5 {
+		t.Error("UniformEfficiency wrong")
+	}
+	bad := []Efficiency{
+		{GPUCompute: 0, GPUMemory: 0.7, PCIe: 0.7, Network: 0.7},
+		{GPUCompute: 0.7, GPUMemory: 1.1, PCIe: 0.7, Network: 0.7},
+		{GPUCompute: 0.7, GPUMemory: 0.7, PCIe: -0.1, Network: 0.7},
+		{GPUCompute: 0.7, GPUMemory: 0.7, PCIe: 0.7, Network: math.NaN()},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad efficiency %d accepted", i)
+		}
+	}
+}
+
+func TestZoo(t *testing.T) {
+	if err := ValidateZoo(); err != nil {
+		t.Fatal(err)
+	}
+	zoo := Zoo()
+	if len(zoo) != 6 {
+		t.Fatalf("zoo has %d models, want 6", len(zoo))
+	}
+	for _, name := range ZooNames() {
+		if _, ok := zoo[name]; !ok {
+			t.Errorf("zoo missing %q", name)
+		}
+	}
+}
+
+// Spot-check transcription against Tables IV and V.
+func TestZooTableValues(t *testing.T) {
+	rn, err := Lookup("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Features.FLOPs != 1.56e12 {
+		t.Errorf("ResNet50 FLOPs = %v, want 1.56T", rn.Features.FLOPs)
+	}
+	if rn.Features.BatchSize != 64 {
+		t.Errorf("ResNet50 batch = %d, want 64", rn.Features.BatchSize)
+	}
+	if rn.Features.DenseWeightBytes != 204*hw.MB {
+		t.Errorf("ResNet50 dense = %v, want 204MB", rn.Features.DenseWeightBytes)
+	}
+	if rn.Features.EmbeddingWeightBytes != 0 {
+		t.Error("ResNet50 has no embedding weights")
+	}
+	if rn.Features.Class != AllReduceLocal {
+		t.Errorf("ResNet50 class = %v, want AllReduce-Local", rn.Features.Class)
+	}
+
+	mi, err := Lookup("Multi-Interests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Features.EmbeddingWeightBytes != 239.45*hw.GB {
+		t.Errorf("Multi-Interests embedding = %v, want 239.45GB", mi.Features.EmbeddingWeightBytes)
+	}
+	if mi.Features.Class != PSWorker {
+		t.Errorf("Multi-Interests class = %v, want PS/Worker", mi.Features.Class)
+	}
+	// Large embeddings must not fit a single GPU -> PS/Worker is forced.
+	if mi.Features.FitsGPUMemory(hw.Baseline().GPU) {
+		t.Error("Multi-Interests should not fit GPU memory")
+	}
+
+	gcn, err := Lookup("GCN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcn.Features.Class != PEARL {
+		t.Errorf("GCN class = %v, want PEARL", gcn.Features.Class)
+	}
+	if gcn.Features.WeightTrafficBytes != 3*hw.GB {
+		t.Errorf("GCN traffic = %v, want 3GB", gcn.Features.WeightTrafficBytes)
+	}
+
+	sp, err := Lookup("Speech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Features.Class != OneWorkerOneGPU || sp.Features.CNodes != 1 {
+		t.Error("Speech should be 1w1g with 1 cNode")
+	}
+	// Table VI: Speech ("Audio") GDDR efficiency is 3.1% — the model
+	// validation outlier discussed in Sec. IV-B.
+	if sp.Measured.GPUMemory != 0.031 {
+		t.Errorf("Speech GDDR efficiency = %v, want 0.031", sp.Measured.GPUMemory)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+// The paper's rationale: models whose weights fit GPU memory use
+// AllReduce-Local; oversized ones use PS/Worker or PEARL.
+func TestZooArchitectureConsistency(t *testing.T) {
+	gpu := hw.Testbed().GPU
+	for name, cs := range Zoo() {
+		fits := cs.Features.FitsGPUMemory(gpu)
+		switch cs.Features.Class {
+		case AllReduceLocal, AllReduceCluster:
+			if !fits {
+				t.Errorf("%s uses AllReduce but does not fit GPU memory", name)
+			}
+		case PSWorker, PEARL:
+			if fits {
+				t.Errorf("%s uses %v but would fit GPU memory", name, cs.Features.Class)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+)
+
+// CaseStudy bundles everything the paper reports about one of the six
+// case-study models: its domain (Table IV), feature row (Table V), measured
+// hardware efficiency (Table VI) and deployment architecture.
+type CaseStudy struct {
+	Features Features
+	// Domain is the application domain column of Table IV.
+	Domain string
+	// Measured is the Table VI hardware-efficiency row.
+	Measured Efficiency
+}
+
+// Zoo returns the six case-study models keyed by name. Numbers are
+// transcribed from Tables IV and V; cNode counts reflect the testbed
+// deployments of Sec. IV (ResNet50/NMT/BERT on one 8-GPU NVLink server,
+// Speech on a single GPU, Multi-Interests on PS/Worker, GCN under PEARL on
+// one 8-GPU server).
+func Zoo() map[string]CaseStudy {
+	return map[string]CaseStudy{
+		"ResNet50": {
+			Domain: "CV",
+			Features: Features{
+				Name:  "ResNet50",
+				Class: AllReduceLocal, CNodes: 8, BatchSize: 64,
+				FLOPs:              1.56e12,
+				MemAccessBytes:     31.9 * hw.GB,
+				InputBytes:         38 * hw.MB,
+				DenseWeightBytes:   204 * hw.MB,
+				WeightTrafficBytes: 357 * hw.MB,
+			},
+			Measured: Efficiency{GPUCompute: 0.8255, GPUMemory: 0.789,
+				PCIe: 0.351, Network: 0.494},
+		},
+		"NMT": {
+			Domain: "Translation",
+			Features: Features{
+				Name:  "NMT",
+				Class: AllReduceLocal, CNodes: 8, BatchSize: 6144,
+				FLOPs:                2.5e12,
+				MemAccessBytes:       101.6 * hw.GB,
+				InputBytes:           22 * hw.KB,
+				DenseWeightBytes:     706 * hw.MB,
+				EmbeddingWeightBytes: 819 * hw.MB,
+				WeightTrafficBytes:   1.33 * hw.GB,
+			},
+			Measured: Efficiency{GPUCompute: 0.828, GPUMemory: 0.791,
+				PCIe: 0.001, Network: 0.352},
+		},
+		"BERT": {
+			Domain: "QA",
+			Features: Features{
+				Name:  "BERT",
+				Class: AllReduceLocal, CNodes: 8, BatchSize: 12,
+				FLOPs:                2.1e12,
+				MemAccessBytes:       107.3 * hw.GB,
+				InputBytes:           46 * hw.KB,
+				DenseWeightBytes:     1 * hw.GB,
+				EmbeddingWeightBytes: 284 * hw.MB,
+				WeightTrafficBytes:   1.5 * hw.GB,
+			},
+			Measured: Efficiency{GPUCompute: 0.816, GPUMemory: 0.95,
+				PCIe: 0.0042, Network: 0.471},
+		},
+		"Speech": {
+			Domain: "Speech recognition",
+			Features: Features{
+				Name:  "Speech",
+				Class: OneWorkerOneGPU, CNodes: 1, BatchSize: 32,
+				FLOPs:              7.9e12,
+				MemAccessBytes:     20.4 * hw.GB,
+				InputBytes:         804 * hw.MB,
+				DenseWeightBytes:   416 * hw.MB,
+				WeightTrafficBytes: 728 * hw.MB,
+			},
+			// "Audio" row of Table VI.
+			Measured: Efficiency{GPUCompute: 0.6086, GPUMemory: 0.031,
+				PCIe: 0.7773, Network: 0.405},
+		},
+		"Multi-Interests": {
+			Domain: "Recommender",
+			Features: Features{
+				Name:  "Multi-Interests",
+				Class: PSWorker, CNodes: 32, BatchSize: 2048,
+				FLOPs:                105.8e9,
+				MemAccessBytes:       100.4 * hw.GB,
+				InputBytes:           261 * hw.MB,
+				DenseWeightBytes:     1.19 * hw.MB,
+				EmbeddingWeightBytes: 239.45 * hw.GB,
+				WeightTrafficBytes:   122 * hw.MB,
+			},
+			Measured: Efficiency{GPUCompute: 0.3271, GPUMemory: 0.95,
+				PCIe: 0.8647, Network: 0.6921},
+		},
+		"GCN": {
+			Domain: "Recommender",
+			Features: Features{
+				Name:  "GCN",
+				Class: PEARL, CNodes: 8, BatchSize: 512,
+				FLOPs:                330.7e9,
+				MemAccessBytes:       25.79 * hw.GB,
+				InputBytes:           1.2 * hw.MB,
+				DenseWeightBytes:     207 * hw.MB,
+				EmbeddingWeightBytes: 54 * hw.GB,
+				WeightTrafficBytes:   3 * hw.GB,
+			},
+			Measured: Efficiency{GPUCompute: 0.882, GPUMemory: 0.699,
+				PCIe: 0.862, Network: 0.2735},
+		},
+	}
+}
+
+// ZooNames returns the case-study names in the Table IV row order.
+func ZooNames() []string {
+	return []string{"ResNet50", "NMT", "BERT", "Speech", "Multi-Interests", "GCN"}
+}
+
+// Lookup returns the case study with the given name.
+func Lookup(name string) (CaseStudy, error) {
+	cs, ok := Zoo()[name]
+	if !ok {
+		names := ZooNames()
+		sort.Strings(names)
+		return CaseStudy{}, fmt.Errorf("workload: unknown case study %q (have %v)", name, names)
+	}
+	return cs, nil
+}
+
+// ValidateZoo checks every case-study record; used by tests and the repro
+// harness at startup.
+func ValidateZoo() error {
+	for name, cs := range Zoo() {
+		if err := cs.Features.Validate(); err != nil {
+			return fmt.Errorf("zoo %s: %w", name, err)
+		}
+		if err := cs.Measured.Validate(); err != nil {
+			return fmt.Errorf("zoo %s: %w", name, err)
+		}
+		if cs.Features.Name != name {
+			return fmt.Errorf("zoo %s: name mismatch %q", name, cs.Features.Name)
+		}
+	}
+	return nil
+}

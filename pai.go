@@ -1,0 +1,213 @@
+// Package pai is the public API of the Alibaba-PAI workload-characterization
+// reproduction (Wang et al., IISWC 2019). It wraps the internal substrates —
+// hardware catalog, analytical performance model, architecture traffic
+// models, synthetic trace generator, projection and analysis pipelines,
+// executable collectives and the PEARL training strategy — behind a compact
+// surface.
+//
+// Typical use:
+//
+//	cfg := pai.BaselineConfig()
+//	model, _ := pai.NewModel(cfg)
+//	trace, _ := pai.GenerateTrace(pai.DefaultTraceParams())
+//	breakdown, _ := model.Breakdown(trace.Jobs[0])
+//	fmt.Println(breakdown.Total())
+//
+// The experiment suite regenerates every table and figure of the paper:
+//
+//	suite, _ := pai.NewExperimentSuite(0)
+//	artifacts, _ := suite.RunAll()
+package pai
+
+import (
+	"io"
+
+	"repro/internal/analyze"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/project"
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. These aliases are the stable public names; the
+// internal packages hold the implementations.
+type (
+	// Config is a full system configuration (GPU + interconnects), Table I.
+	Config = hw.Config
+	// GPU describes one accelerator's capability.
+	GPU = hw.GPU
+	// LinkClass identifies PCIe, NVLink, Ethernet or Local.
+	LinkClass = hw.LinkClass
+	// Resource is one hardware-evolution knob of Table III.
+	Resource = hw.Resource
+
+	// Features is the per-job workload feature schema (Fig. 4).
+	Features = workload.Features
+	// Class is a workload class of Table II (plus PEARL).
+	Class = workload.Class
+	// Efficiency is a per-component hardware-utilization assumption.
+	Efficiency = workload.Efficiency
+	// CaseStudy bundles Tables IV-VI for one production model.
+	CaseStudy = workload.CaseStudy
+
+	// Model is the analytical performance model (the paper's Sec. II-B).
+	Model = core.Model
+	// Times is a per-step execution-time breakdown.
+	Times = core.Times
+	// Component is one breakdown slice (data I/O, weights, compute).
+	Component = core.Component
+	// HardwareComponent attributes time to hardware (Fig. 8a legend).
+	HardwareComponent = core.HardwareComponent
+	// OverlapMode selects Ttotal = sum vs max (Sec. V-B).
+	OverlapMode = core.OverlapMode
+
+	// Trace is a set of job feature records.
+	Trace = tracegen.Trace
+	// TraceParams controls synthetic trace generation.
+	TraceParams = tracegen.Params
+
+	// ProjectionTarget selects AllReduce-Local or AllReduce-Cluster.
+	ProjectionTarget = project.Target
+	// ProjectionResult is one job's projection outcome (Fig. 9).
+	ProjectionResult = project.Result
+	// ProjectionSummary aggregates a projection run.
+	ProjectionSummary = project.Summary
+
+	// ArchOptions tunes the derived traffic models.
+	ArchOptions = arch.Options
+
+	// SweepPanel is one Fig. 11 subplot.
+	SweepPanel = analyze.SweepPanel
+	// Level selects job-level or cNode-level aggregation.
+	Level = analyze.Level
+	// Constitution is the Fig. 5 composition.
+	Constitution = analyze.Constitution
+
+	// ExperimentSuite regenerates the paper's tables and figures.
+	ExperimentSuite = experiments.Suite
+	// Artifact is one regenerated table or figure.
+	Artifact = experiments.Artifact
+)
+
+// Workload classes (Table II + PEARL).
+const (
+	OneWorkerOneGPU  = workload.OneWorkerOneGPU
+	OneWorkerNGPU    = workload.OneWorkerNGPU
+	PSWorker         = workload.PSWorker
+	AllReduceLocal   = workload.AllReduceLocal
+	AllReduceCluster = workload.AllReduceCluster
+	PEARL            = workload.PEARL
+)
+
+// Breakdown components (figure legends).
+const (
+	CompDataIO       = core.CompDataIO
+	CompWeights      = core.CompWeights
+	CompComputeFLOPs = core.CompComputeFLOPs
+	CompComputeMem   = core.CompComputeMem
+)
+
+// Aggregation levels.
+const (
+	JobLevel   = analyze.JobLevel
+	CNodeLevel = analyze.CNodeLevel
+)
+
+// Overlap modes.
+const (
+	OverlapNone  = core.OverlapNone
+	OverlapIdeal = core.OverlapIdeal
+)
+
+// Projection targets.
+const (
+	ToAllReduceLocal   = project.ToAllReduceLocal
+	ToAllReduceCluster = project.ToAllReduceCluster
+)
+
+// BaselineConfig returns the Table I trace-cluster configuration.
+func BaselineConfig() Config { return hw.Baseline() }
+
+// TestbedConfig returns the Sec. IV case-study testbed configuration
+// (V100 servers).
+func TestbedConfig() Config { return hw.Testbed() }
+
+// DefaultEfficiency returns the paper's blanket 70% assumption.
+func DefaultEfficiency() Efficiency { return workload.DefaultEfficiency() }
+
+// NewModel builds an analytical model over a configuration with the default
+// assumptions (70% efficiency, non-overlap, ring collectives).
+func NewModel(cfg Config) (*Model, error) { return core.New(cfg) }
+
+// DefaultTraceParams returns trace-generation parameters calibrated to the
+// paper's published aggregates.
+func DefaultTraceParams() TraceParams { return tracegen.Default() }
+
+// GenerateTrace produces a deterministic synthetic cluster trace.
+func GenerateTrace(p TraceParams) (*Trace, error) { return tracegen.Generate(p) }
+
+// ReadTrace loads a trace from JSON.
+func ReadTrace(r io.Reader) (*Trace, error) { return tracegen.ReadJSON(r) }
+
+// CaseStudies returns the six production case-study models (Tables IV-VI).
+func CaseStudies() map[string]CaseStudy { return workload.Zoo() }
+
+// CaseStudyNames lists the case studies in Table IV order.
+func CaseStudyNames() []string { return workload.ZooNames() }
+
+// LookupCaseStudy returns one case study by name.
+func LookupCaseStudy(name string) (CaseStudy, error) { return workload.Lookup(name) }
+
+// NewProjector builds a projector over an analytical model (requires
+// NVLink in the configuration).
+func NewProjector(m *Model) (*project.Projector, error) { return project.New(m) }
+
+// SummarizeProjection aggregates projection results the way Fig. 9 reports
+// them.
+func SummarizeProjection(rs []ProjectionResult) (ProjectionSummary, error) {
+	return project.Summarize(rs)
+}
+
+// Constitute computes the Fig. 5 workload composition of a trace.
+func Constitute(jobs []Features) (Constitution, error) { return analyze.Constitute(jobs) }
+
+// Breakdowns computes the Fig. 7 average breakdown rows over a trace.
+func Breakdowns(m *Model, jobs []Features) ([]analyze.BreakdownRow, error) {
+	return analyze.Breakdowns(m, jobs)
+}
+
+// OverallBreakdown aggregates component shares over all jobs at one level
+// (the Sec. III-D headline numbers).
+func OverallBreakdown(m *Model, jobs []Features, lvl Level) (map[Component]float64, error) {
+	return analyze.OverallBreakdown(m, jobs, lvl)
+}
+
+// HardwareSweep evaluates the Table III grid over a job set (one Fig. 11
+// panel).
+func HardwareSweep(m *Model, jobs []Features, label string) (SweepPanel, error) {
+	return analyze.HardwareSweep(m, jobs, label)
+}
+
+// FilterClass returns the jobs of one class.
+func FilterClass(jobs []Features, class Class) []Features { return analyze.Filter(jobs, class) }
+
+// NewExperimentSuite builds the full experiment suite over a freshly
+// generated trace (numJobs <= 0 uses the calibrated default size).
+func NewExperimentSuite(numJobs int) (*ExperimentSuite, error) {
+	return experiments.NewSuite(numJobs)
+}
+
+// NewExperimentSuiteFromTrace wraps an existing trace.
+func NewExperimentSuiteFromTrace(cfg Config, tr *Trace) (*ExperimentSuite, error) {
+	return experiments.NewSuiteFromTrace(cfg, tr)
+}
+
+// ExperimentIDs lists the regenerable artifacts in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExtensionIDs lists the beyond-the-paper extension experiments (resource
+// savings, partial-overlap sweep, memory eligibility).
+func ExtensionIDs() []string { return experiments.ExtensionIDs() }
