@@ -9,6 +9,9 @@
 package pai_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -120,6 +123,39 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		if _, err := pai.GenerateTrace(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineEvaluateBatch measures batch evaluation of the calibrated
+// trace through the Engine's worker pool at 1, 4 and NumCPU workers — the
+// serial-vs-parallel baseline for the batch path.
+func BenchmarkEngineEvaluateBatch(b *testing.B) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 4000
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := []int{1, 4, runtime.NumCPU()}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng, err := pai.New(pai.WithParallelism(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				times, err := eng.EvaluateBatch(ctx, trace.Jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(times) != len(trace.Jobs) {
+					b.Fatal("short batch")
+				}
+			}
+			b.ReportMetric(float64(len(trace.Jobs)), "jobs/op")
+		})
 	}
 }
 

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	pai "repro"
 	"repro/internal/core"
@@ -35,6 +37,9 @@ func run(args []string, stdout io.Writer) error {
 	tracePath := fs.String("trace", "", "trace JSON (default: generate synthetic)")
 	jobs := fs.Int("jobs", 5000, "synthetic trace size when no -trace given")
 	sweepClass := fs.String("class", "PS/Worker", "class for the hardware sweep panel")
+	backendName := fs.String("backend", "analytical",
+		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
+	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,10 +65,18 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	model, err := pai.NewModel(pai.BaselineConfig())
+	opts := []pai.Option{
+		pai.WithConfig(pai.BaselineConfig()),
+		pai.WithBackend(*backendName),
+	}
+	if *par > 0 {
+		opts = append(opts, pai.WithParallelism(*par))
+	}
+	eng, err := pai.New(opts...)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 
 	// Constitution (Fig. 5).
 	c, err := pai.Constitute(trace.Jobs)
@@ -81,7 +94,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// Breakdowns (Fig. 7).
-	rows, err := pai.Breakdowns(model, trace.Jobs)
+	rows, err := eng.Breakdowns(ctx, trace.Jobs)
 	if err != nil {
 		return err
 	}
@@ -97,7 +110,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := bt.Render(stdout); err != nil {
 		return err
 	}
-	overall, err := pai.OverallBreakdown(model, trace.Jobs, pai.CNodeLevel)
+	overall, err := eng.OverallBreakdown(ctx, trace.Jobs, pai.CNodeLevel)
 	if err != nil {
 		return err
 	}
@@ -107,13 +120,9 @@ func run(args []string, stdout io.Writer) error {
 		report.Pct(overall[pai.CompDataIO]))
 
 	// Projection (Fig. 9).
-	pr, err := pai.NewProjector(model)
-	if err != nil {
-		return err
-	}
 	ps := pai.FilterClass(trace.Jobs, pai.PSWorker)
 	if len(ps) > 0 {
-		results, err := pr.ProjectAll(ps, pai.ToAllReduceLocal)
+		results, err := eng.ProjectAll(ctx, ps, pai.ToAllReduceLocal)
 		if err != nil {
 			return err
 		}
@@ -141,7 +150,7 @@ func run(args []string, stdout io.Writer) error {
 	if len(subset) == 0 {
 		return fmt.Errorf("trace has no %s jobs", target)
 	}
-	panel, err := pai.HardwareSweep(model, subset, target.String())
+	panel, err := eng.HardwareSweep(ctx, subset, target.String())
 	if err != nil {
 		return err
 	}

@@ -16,7 +16,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
+	pai "repro"
 	"repro/internal/hw"
 	"repro/internal/opgraph"
 	"repro/internal/profile"
@@ -38,6 +38,8 @@ func run(args []string, stdout io.Writer) error {
 	model := fs.String("model", "ResNet50", "case-study model ("+strings.Join(opgraph.Models(), ", ")+")")
 	out := fs.String("profile", "", "write the raw kernel profile as JSON to this file")
 	top := fs.Int("top", 10, "number of hottest kernels to list")
+	backendName := fs.String("backend", "analytical",
+		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,17 +97,17 @@ func run(args []string, stdout io.Writer) error {
 		feats.FLOPs/1e9, report.Bytes(feats.MemAccessBytes), report.Bytes(feats.InputBytes),
 		feats.Class, feats.CNodes)
 
-	m, err := core.New(cfg)
+	eng, err := pai.New(pai.WithConfig(cfg), pai.WithBackend(*backendName))
 	if err != nil {
 		return err
 	}
-	bd, err := m.Breakdown(feats)
+	bd, err := eng.Evaluate(feats)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "analytical breakdown: data %.4fs, compute %.4fs, weights %.4fs, total %.4fs\n",
-		bd.DataIO, bd.Compute(), bd.Weights, bd.Total())
-	hwc, frac, err := m.Bottleneck(feats)
+	fmt.Fprintf(stdout, "%s breakdown: data %.4fs, compute %.4fs, weights %.4fs, total %.4fs\n",
+		eng.Backend(), bd.DataIO, bd.Compute(), bd.Weights, bd.Total())
+	hwc, frac, err := eng.Bottleneck(feats)
 	if err != nil {
 		return err
 	}

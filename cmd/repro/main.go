@@ -30,6 +30,9 @@ func run(args []string, stdout io.Writer) error {
 	only := fs.String("only", "", "regenerate a single artifact (e.g. 'Fig. 9' or 'table1')")
 	ext := fs.Bool("ext", false, "also run the extension experiments (EXT-1..6)")
 	list := fs.Bool("list", false, "list artifact ids and exit")
+	backendName := fs.String("backend", "analytical",
+		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
+	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,7 +43,15 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	suite, err := pai.NewExperimentSuite(*jobs)
+	p := pai.DefaultTraceParams()
+	if *jobs > 0 {
+		p.NumJobs = *jobs
+	}
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		return err
+	}
+	suite, err := pai.NewExperimentSuiteWithBackend(p.Config, tr, *backendName, *par)
 	if err != nil {
 		return err
 	}

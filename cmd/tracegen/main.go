@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	tracegen [-jobs N] [-seed S] [-o trace.json]
+//	tracegen [-jobs N] [-seed S] [-o trace.json] [-summary]
+//
+// With -summary the generated trace is batch-evaluated through a default
+// Engine and the modeled mean step time is reported on stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("jobs", 20000, "number of jobs to generate")
 	seed := fs.Int64("seed", 1, "generation seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,5 +59,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "generated %d jobs (%d cNodes) with seed %d\n",
 		len(tr.Jobs), tr.TotalCNodes(), *seed)
+	if *summary {
+		eng, err := pai.New(pai.WithConfig(p.Config))
+		if err != nil {
+			return err
+		}
+		times, err := eng.EvaluateBatch(context.Background(), tr.Jobs)
+		if err != nil {
+			return err
+		}
+		var sum float64
+		for _, t := range times {
+			sum += t.Total()
+		}
+		fmt.Fprintf(stderr, "modeled mean step time %.4fs over %d jobs (%s backend, %d workers)\n",
+			sum/float64(len(times)), len(times), eng.Backend(), eng.Parallelism())
+	}
 	return nil
 }

@@ -1,0 +1,338 @@
+package pai
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/analyze"
+	"repro/internal/backend"
+	"repro/internal/project"
+)
+
+// Engine is a configured, reusable, concurrency-safe evaluation object: one
+// registered backend instantiated under one spec (hardware configuration,
+// efficiency assumption, overlap mode, traffic-model options) plus a bounded
+// worker pool for batch evaluation. Build one with New and functional
+// options:
+//
+//	eng, err := pai.New(
+//		pai.WithConfig(pai.BaselineConfig()),
+//		pai.WithOverlap(pai.OverlapIdeal),
+//		pai.WithBackend("analytical"),
+//		pai.WithParallelism(8),
+//	)
+//
+// The zero value is usable and lazily initializes to the defaults (baseline
+// configuration, 70% efficiency, non-overlap, "analytical" backend,
+// GOMAXPROCS parallelism). An Engine is immutable after construction; derive
+// variants with With.
+type Engine struct {
+	spec        backend.Spec
+	backendName string
+	parallelism int
+
+	b backend.Backend
+
+	// initOnce guards lazy initialization of the zero value.
+	initOnce sync.Once
+	initErr  error
+}
+
+// Option configures an Engine under construction.
+type Option func(*Engine) error
+
+// WithConfig sets the hardware configuration (Table I baseline by default).
+func WithConfig(cfg Config) Option {
+	return func(e *Engine) error {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		e.spec.Config = cfg
+		return nil
+	}
+}
+
+// WithEfficiency sets the hardware-efficiency assumption (the paper's
+// blanket 70% by default).
+func WithEfficiency(eff Efficiency) Option {
+	return func(e *Engine) error {
+		if err := eff.Validate(); err != nil {
+			return err
+		}
+		e.spec.Eff = eff
+		return nil
+	}
+}
+
+// WithOverlap selects the computation/communication overlap mode
+// (OverlapNone by default).
+func WithOverlap(mode OverlapMode) Option {
+	return func(e *Engine) error {
+		e.spec.Overlap = mode
+		return nil
+	}
+}
+
+// WithOverlapAlpha sets the OverlapPartial interpolation factor in [0,1]
+// and switches the engine to OverlapPartial.
+func WithOverlapAlpha(alpha float64) Option {
+	return func(e *Engine) error {
+		if alpha < 0 || alpha > 1 {
+			return fmt.Errorf("pai: WithOverlapAlpha(%v): alpha must be in [0,1]", alpha)
+		}
+		e.spec.Overlap = OverlapPartial
+		e.spec.OverlapAlpha = alpha
+		return nil
+	}
+}
+
+// WithArchOptions tunes the derived traffic models (ring collectives and
+// sparse access fraction by default).
+func WithArchOptions(o ArchOptions) Option {
+	return func(e *Engine) error {
+		e.spec.Arch = o
+		return nil
+	}
+}
+
+// WithBackend selects a registered evaluation backend by name
+// ("analytical" by default; see Backends for the registered set).
+func WithBackend(name string) Option {
+	return func(e *Engine) error {
+		if name == "" {
+			return fmt.Errorf("pai: WithBackend with empty name")
+		}
+		e.backendName = name
+		return nil
+	}
+}
+
+// WithParallelism caps the worker pool EvaluateBatch and the analysis
+// pipelines fan per-job evaluations over (GOMAXPROCS by default).
+func WithParallelism(n int) Option {
+	return func(e *Engine) error {
+		if n < 1 {
+			return fmt.Errorf("pai: WithParallelism(%d): need at least one worker", n)
+		}
+		e.parallelism = n
+		return nil
+	}
+}
+
+// New builds an Engine from the defaults plus the given options.
+func New(opts ...Option) (*Engine, error) {
+	e := &Engine{
+		spec:        backend.DefaultSpec(),
+		backendName: backend.AnalyticalName,
+		parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	b, err := backend.New(e.backendName, e.spec)
+	if err != nil {
+		return nil, err
+	}
+	e.b = b
+	return e, nil
+}
+
+// ensure lazily initializes the zero-value Engine with the defaults.
+func (e *Engine) ensure() (backend.Backend, error) {
+	e.initOnce.Do(func() {
+		if e.b != nil {
+			return
+		}
+		// Only the zero value reaches here: New always sets the backend.
+		e.spec = backend.DefaultSpec()
+		e.backendName = backend.AnalyticalName
+		e.parallelism = runtime.GOMAXPROCS(0)
+		e.b, e.initErr = backend.New(e.backendName, e.spec)
+	})
+	if e.initErr != nil {
+		return nil, e.initErr
+	}
+	return e.b, nil
+}
+
+// With derives a new Engine: the receiver's configuration plus the given
+// options. The receiver is unchanged.
+func (e *Engine) With(opts ...Option) (*Engine, error) {
+	if _, err := e.ensure(); err != nil {
+		return nil, err
+	}
+	merged := make([]Option, 0, len(opts)+4)
+	merged = append(merged,
+		WithConfig(e.spec.Config),
+		WithEfficiency(e.spec.Eff),
+		WithOverlap(e.spec.Overlap),
+		WithArchOptions(e.spec.Arch),
+		WithBackend(e.backendName),
+		WithParallelism(e.parallelism),
+		func(d *Engine) error { d.spec.OverlapAlpha = e.spec.OverlapAlpha; return nil },
+	)
+	merged = append(merged, opts...)
+	return New(merged...)
+}
+
+// Backend returns the name of the engine's evaluation backend.
+func (e *Engine) Backend() string {
+	if _, err := e.ensure(); err != nil {
+		return e.backendName
+	}
+	return e.b.Name()
+}
+
+// Config returns the engine's hardware configuration.
+func (e *Engine) Config() Config {
+	e.ensure()
+	return e.spec.Config
+}
+
+// Efficiency returns the engine's hardware-efficiency assumption.
+func (e *Engine) Efficiency() Efficiency {
+	e.ensure()
+	return e.spec.Eff
+}
+
+// Overlap returns the engine's overlap mode.
+func (e *Engine) Overlap() OverlapMode {
+	e.ensure()
+	return e.spec.Overlap
+}
+
+// Parallelism returns the engine's evaluation worker-pool cap.
+func (e *Engine) Parallelism() int {
+	e.ensure()
+	return e.parallelism
+}
+
+// Evaluate computes the per-step execution-time breakdown of one workload.
+func (e *Engine) Evaluate(f Features) (Times, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return Times{}, err
+	}
+	return b.Breakdown(f)
+}
+
+// StepTime returns the modeled per-step execution time of one workload.
+func (e *Engine) StepTime(f Features) (float64, error) {
+	t, err := e.Evaluate(f)
+	if err != nil {
+		return 0, err
+	}
+	return t.Total(), nil
+}
+
+// Throughput returns the workload's training throughput in samples per
+// second (Eq. 2): #cNodes / Ttotal x batch size.
+func (e *Engine) Throughput(f Features) (float64, error) {
+	total, err := e.StepTime(f)
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("pai: workload %q has zero step time", f.Name)
+	}
+	return float64(f.CNodes) / total * float64(f.BatchSize), nil
+}
+
+// Bottleneck returns the hardware component with the largest attributed
+// share of the workload's step time.
+func (e *Engine) Bottleneck(f Features) (HardwareComponent, float64, error) {
+	t, err := e.Evaluate(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	var best HardwareComponent
+	var bestFrac float64
+	for _, h := range HardwareComponents() {
+		fr, err := t.HardwareFraction(h)
+		if err != nil {
+			return 0, 0, err
+		}
+		if fr > bestFrac {
+			best, bestFrac = h, fr
+		}
+	}
+	return best, bestFrac, nil
+}
+
+// EvaluateBatch evaluates every job concurrently over the engine's worker
+// pool and returns the breakdowns in input order. The context cancels the
+// batch; the first evaluation error stops it.
+func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Features) ([]Times, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return nil, err
+	}
+	return backend.EvaluateBatch(ctx, b, jobs, e.parallelism)
+}
+
+// Breakdowns computes the Fig. 7 average breakdown rows over a trace.
+func (e *Engine) Breakdowns(ctx context.Context, jobs []Features) ([]BreakdownRow, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Breakdowns(ctx, b, e.parallelism, jobs)
+}
+
+// OverallBreakdown aggregates component shares over all jobs at one level
+// (the Sec. III-D headline numbers).
+func (e *Engine) OverallBreakdown(ctx context.Context, jobs []Features, lvl Level) (map[Component]float64, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return nil, err
+	}
+	return analyze.OverallBreakdown(ctx, b, e.parallelism, jobs, lvl)
+}
+
+// HardwareSweep evaluates the Table III grid over a job set (one Fig. 11
+// panel). The backend must be sweepable.
+func (e *Engine) HardwareSweep(ctx context.Context, jobs []Features, label string) (SweepPanel, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return SweepPanel{}, err
+	}
+	return analyze.HardwareSweep(ctx, b, e.parallelism, jobs, label)
+}
+
+// Projector returns a projector over the engine's backend (requires NVLink
+// in the configuration and a projectable backend).
+func (e *Engine) Projector() (*Projector, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return nil, err
+	}
+	return project.NewFromBackend(b)
+}
+
+// Project maps one PS/Worker workload to the target architecture and
+// evaluates both sides.
+func (e *Engine) Project(f Features, target ProjectionTarget) (ProjectionResult, error) {
+	pr, err := e.Projector()
+	if err != nil {
+		return ProjectionResult{}, err
+	}
+	return pr.Project(f, target)
+}
+
+// ProjectAll projects every PS/Worker workload in the list concurrently
+// over the engine's worker pool; non-PS jobs are skipped. Results preserve
+// the input order of the projected jobs.
+func (e *Engine) ProjectAll(ctx context.Context, jobs []Features, target ProjectionTarget) ([]ProjectionResult, error) {
+	pr, err := e.Projector()
+	if err != nil {
+		return nil, err
+	}
+	return pr.ProjectBatch(ctx, jobs, target, e.parallelism)
+}
+
+// Backends lists the registered evaluation backend names.
+func Backends() []string { return backend.Names() }

@@ -1,0 +1,361 @@
+package pai_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	pai "repro"
+)
+
+func engineTestJob() pai.Features {
+	return pai.Features{
+		Name: "reco", Class: pai.PSWorker, CNodes: 16, BatchSize: 512,
+		FLOPs: 0.4e12, MemAccessBytes: 12e9, InputBytes: 80e6,
+		DenseWeightBytes: 1.5e9, WeightTrafficBytes: 2.2e9,
+	}
+}
+
+func TestEngineOptionCombinations(t *testing.T) {
+	job := engineTestJob()
+	lowComm := pai.DefaultEfficiency()
+	lowComm.Network = 0.5
+
+	cases := []struct {
+		name    string
+		opts    []pai.Option
+		check   func(t *testing.T, e *pai.Engine, total float64)
+		wantErr bool
+	}{
+		{name: "defaults", opts: nil,
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Backend() != "analytical" {
+					t.Errorf("default backend = %q", e.Backend())
+				}
+				if e.Parallelism() != runtime.GOMAXPROCS(0) {
+					t.Errorf("default parallelism = %d", e.Parallelism())
+				}
+			}},
+		{name: "testbed config", opts: []pai.Option{pai.WithConfig(pai.TestbedConfig())},
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Config().GPU.Name != pai.TestbedConfig().GPU.Name {
+					t.Error("config option not applied")
+				}
+			}},
+		{name: "ideal overlap", opts: []pai.Option{pai.WithOverlap(pai.OverlapIdeal)},
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Overlap() != pai.OverlapIdeal {
+					t.Error("overlap option not applied")
+				}
+			}},
+		{name: "partial overlap", opts: []pai.Option{pai.WithOverlapAlpha(0.5)},
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Overlap() != pai.OverlapPartial {
+					t.Error("WithOverlapAlpha should switch to OverlapPartial")
+				}
+			}},
+		{name: "efficiency", opts: []pai.Option{pai.WithEfficiency(lowComm)},
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Efficiency().Network != 0.5 {
+					t.Error("efficiency option not applied")
+				}
+			}},
+		{name: "roofline backend", opts: []pai.Option{pai.WithBackend("roofline")},
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Backend() != "roofline" {
+					t.Errorf("backend = %q", e.Backend())
+				}
+			}},
+		{name: "parallelism", opts: []pai.Option{pai.WithParallelism(2)},
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Parallelism() != 2 {
+					t.Errorf("parallelism = %d", e.Parallelism())
+				}
+			}},
+		{name: "combined",
+			opts: []pai.Option{
+				pai.WithConfig(pai.BaselineConfig()),
+				pai.WithOverlap(pai.OverlapIdeal),
+				pai.WithEfficiency(pai.DefaultEfficiency()),
+				pai.WithBackend("analytical"),
+				pai.WithParallelism(4),
+			},
+			check: func(t *testing.T, e *pai.Engine, total float64) {
+				if e.Backend() != "analytical" || e.Parallelism() != 4 || e.Overlap() != pai.OverlapIdeal {
+					t.Error("combined options not applied")
+				}
+			}},
+		{name: "unknown backend", opts: []pai.Option{pai.WithBackend("no-such")}, wantErr: true},
+		{name: "empty backend", opts: []pai.Option{pai.WithBackend("")}, wantErr: true},
+		{name: "zero parallelism", opts: []pai.Option{pai.WithParallelism(0)}, wantErr: true},
+		{name: "bad alpha", opts: []pai.Option{pai.WithOverlapAlpha(1.5)}, wantErr: true},
+		{name: "bad config", opts: []pai.Option{pai.WithConfig(pai.Config{})}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := pai.New(tc.opts...)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected construction error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			total, err := e.StepTime(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total <= 0 {
+				t.Errorf("step time = %v, want > 0", total)
+			}
+			tc.check(t, e, total)
+		})
+	}
+}
+
+func TestEngineUnknownBackendErrorListsNames(t *testing.T) {
+	_, err := pai.New(pai.WithBackend("no-such"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "analytical") {
+		t.Errorf("error should list registered backends, got %v", err)
+	}
+	names := pai.Backends()
+	if len(names) < 2 {
+		t.Errorf("expected at least analytical+roofline registered, got %v", names)
+	}
+}
+
+func TestZeroValueEngine(t *testing.T) {
+	var e pai.Engine
+	total, err := e.StepTime(engineTestJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Errorf("zero-value engine step time = %v", total)
+	}
+	if e.Backend() != "analytical" {
+		t.Errorf("zero-value backend = %q", e.Backend())
+	}
+	if e.Parallelism() < 1 {
+		t.Errorf("zero-value parallelism = %d", e.Parallelism())
+	}
+	// Accessors agree with an explicitly constructed default engine.
+	d, err := pai.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Config().GPU.Name != d.Config().GPU.Name {
+		t.Error("zero-value config should be the baseline")
+	}
+}
+
+func TestEngineMatchesLegacyModel(t *testing.T) {
+	e, err := pai.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pai.NewModel(pai.BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := engineTestJob()
+	et, err := e.Evaluate(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := m.Breakdown(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Total() != mt.Total() {
+		t.Errorf("engine %v != legacy model %v", et.Total(), mt.Total())
+	}
+	eth, err := e.Throughput(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mth, err := m.Throughput(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eth != mth {
+		t.Errorf("throughput mismatch: %v vs %v", eth, mth)
+	}
+}
+
+func TestEngineEvaluateBatch(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 500
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pai.New(pai.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := e.EvaluateBatch(context.Background(), trace.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(trace.Jobs) {
+		t.Fatalf("got %d results, want %d", len(batch), len(trace.Jobs))
+	}
+	// Batch results match serial per-job evaluation, in order.
+	for i, j := range trace.Jobs {
+		serial, err := e.Evaluate(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Total() != serial.Total() {
+			t.Fatalf("job %d: batch %v != serial %v", i, batch[i].Total(), serial.Total())
+		}
+	}
+}
+
+func TestEngineEvaluateBatchCancellation(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 2000
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pai.New(pai.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EvaluateBatch(ctx, trace.Jobs); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+
+	// Cancel concurrently with the batch: either the batch finishes first
+	// (returning results) or the cancellation wins (returning ctx.Err);
+	// both must be race-free under -race.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.EvaluateBatch(ctx2, trace.Jobs)
+		done <- err
+	}()
+	cancel2()
+	<-done
+}
+
+func TestEngineAnalysisPipelines(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 400
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pai.New(pai.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rows, err := e.Breakdowns(ctx, trace.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no breakdown rows")
+	}
+	overall, err := e.OverallBreakdown(ctx, trace.Jobs, pai.CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall[pai.CompWeights] <= 0 {
+		t.Error("cNode-level weight share should be positive")
+	}
+
+	ps := pai.FilterClass(trace.Jobs, pai.PSWorker)
+	results, err := e.ProjectAll(ctx, ps, pai.ToAllReduceLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ps) {
+		t.Errorf("projected %d jobs, want %d", len(results), len(ps))
+	}
+	sum, err := pai.SummarizeProjection(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != len(ps) {
+		t.Errorf("summary covers %d, want %d", sum.N, len(ps))
+	}
+
+	panel, err := e.HardwareSweep(ctx, ps, "PS/Worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Series) != 4 {
+		t.Errorf("sweep panel has %d series, want 4", len(panel.Series))
+	}
+}
+
+func TestEngineWithDerivation(t *testing.T) {
+	base, err := pai.New(pai.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := base.With(pai.WithOverlap(pai.OverlapIdeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Overlap() != pai.OverlapNone {
+		t.Error("With mutated the receiver")
+	}
+	if ideal.Overlap() != pai.OverlapIdeal || ideal.Parallelism() != 2 {
+		t.Error("derived engine lost settings")
+	}
+	job := engineTestJob()
+	t0, err := base.StepTime(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := ideal.StepTime(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 >= t0 {
+		t.Errorf("ideal overlap %v should beat non-overlap %v", t1, t0)
+	}
+}
+
+func TestEngineRooflineBackendSlower(t *testing.T) {
+	// Memory-bound recommender: roofline backend must predict a longer
+	// compute-bound time than the blanket-efficiency analytical backend.
+	cs, err := pai.LookupCaseStudy("Multi-Interests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := pai.New(pai.WithConfig(pai.TestbedConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ana.With(pai.WithBackend("roofline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := ana.Evaluate(cs.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rf.Evaluate(cs.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ComputeFLOPs <= ta.ComputeFLOPs {
+		t.Errorf("roofline compute %v should exceed analytical %v for Multi-Interests",
+			tr.ComputeFLOPs, ta.ComputeFLOPs)
+	}
+}

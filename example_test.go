@@ -1,16 +1,17 @@
 package pai_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	pai "repro"
 )
 
-// Example demonstrates the analytical model on a single PS/Worker job: the
-// Sec. II-B breakdown, the Eq. 2 throughput and the bottleneck.
+// Example demonstrates the Engine on a single PS/Worker job: the Sec. II-B
+// breakdown, the Eq. 2 throughput and the bottleneck.
 func Example() {
-	model, err := pai.NewModel(pai.BaselineConfig())
+	eng, err := pai.New(pai.WithConfig(pai.BaselineConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -19,11 +20,11 @@ func Example() {
 		FLOPs: 0.4e12, MemAccessBytes: 12e9, InputBytes: 80e6,
 		DenseWeightBytes: 1.5e9, WeightTrafficBytes: 2.2e9,
 	}
-	bd, err := model.Breakdown(job)
+	bd, err := eng.Evaluate(job)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hw, frac, err := model.Bottleneck(job)
+	hw, frac, err := eng.Bottleneck(job)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,15 +34,23 @@ func Example() {
 	// step 1.401s, weights 1.320s, bottleneck Ethernet (72%)
 }
 
-// ExampleNewProjector shows the Fig. 9 projection of a communication-bound
+// ExampleNew mirrors the package comment's typical use: build a configured
+// Engine once, then batch-evaluate a whole synthetic trace through its
+// worker pool.
+func ExampleNew() {
+	eng, _ := pai.New(pai.WithConfig(pai.BaselineConfig()))
+	trace, _ := pai.GenerateTrace(pai.DefaultTraceParams())
+	times, _ := eng.EvaluateBatch(context.Background(), trace.Jobs)
+	fmt.Printf("first job: %.3fs\n", times[0].Total())
+	// Output:
+	// first job: 0.967s
+}
+
+// ExampleEngine_Project shows the Fig. 9 projection of a communication-bound
 // PS job to AllReduce-Local: the Eq. 3 arithmetic gives exactly 21x on the
 // weight-communication time.
-func ExampleNewProjector() {
-	model, err := pai.NewModel(pai.BaselineConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	pr, err := pai.NewProjector(model)
+func ExampleEngine_Project() {
+	eng, err := pai.New()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +60,7 @@ func ExampleNewProjector() {
 		FLOPs: 1e9, MemAccessBytes: 1e6, InputBytes: 1e3,
 		DenseWeightBytes: 1e9, WeightTrafficBytes: 100e9,
 	}
-	r, err := pr.Project(job, pai.ToAllReduceLocal)
+	r, err := eng.Project(job, pai.ToAllReduceLocal)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,21 +71,21 @@ func ExampleNewProjector() {
 	// weight-time ratio 21.0x, cNodes 64 -> 8
 }
 
-// ExampleGenerateTrace characterizes a small synthetic trace at the cNode
-// level, recovering the paper's headline: weight/gradient communication
-// dominates.
-func ExampleGenerateTrace() {
+// ExampleEngine_OverallBreakdown characterizes a small synthetic trace at
+// the cNode level, recovering the paper's headline: weight/gradient
+// communication dominates.
+func ExampleEngine_OverallBreakdown() {
 	p := pai.DefaultTraceParams()
 	p.NumJobs = 2000
 	trace, err := pai.GenerateTrace(p)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := pai.NewModel(pai.BaselineConfig())
+	eng, err := pai.New(pai.WithParallelism(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	overall, err := pai.OverallBreakdown(model, trace.Jobs, pai.CNodeLevel)
+	overall, err := eng.OverallBreakdown(context.Background(), trace.Jobs, pai.CNodeLevel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,10 +19,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := pai.NewModel(pai.BaselineConfig())
+	eng, err := pai.New(pai.WithConfig(pai.BaselineConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	c, err := pai.Constitute(trace.Jobs)
 	if err != nil {
@@ -34,7 +36,7 @@ func main() {
 	}
 
 	for _, lvl := range []pai.Level{pai.JobLevel, pai.CNodeLevel} {
-		overall, err := pai.OverallBreakdown(model, trace.Jobs, lvl)
+		overall, err := eng.OverallBreakdown(ctx, trace.Jobs, lvl)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,12 +48,8 @@ func main() {
 	}
 
 	// Projection study.
-	pr, err := pai.NewProjector(model)
-	if err != nil {
-		log.Fatal(err)
-	}
 	ps := pai.FilterClass(trace.Jobs, pai.PSWorker)
-	local, err := pr.ProjectAll(ps, pai.ToAllReduceLocal)
+	local, err := eng.ProjectAll(ctx, ps, pai.ToAllReduceLocal)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +61,7 @@ func main() {
 		100*(1-sum.FracThroughputNotSped), sum.N)
 
 	// Hardware sweep: what does upgrading each resource buy PS jobs?
-	panel, err := pai.HardwareSweep(model, ps, "PS/Worker")
+	panel, err := eng.HardwareSweep(ctx, ps, "PS/Worker")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,5 @@
-// Quickstart: characterize a single training workload with the analytical
-// model — time breakdown, throughput (Eq. 2) and bottleneck.
+// Quickstart: characterize a single training workload with a configured
+// Engine — time breakdown, throughput (Eq. 2) and bottleneck.
 package main
 
 import (
@@ -13,7 +13,7 @@ func main() {
 	// The Table I cluster configuration: 11 TFLOPS GPUs, 1 TB/s memory,
 	// 25 Gbps Ethernet, 10 GB/s PCIe, 50 GB/s NVLink.
 	cfg := pai.BaselineConfig()
-	model, err := pai.NewModel(cfg)
+	eng, err := pai.New(pai.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func main() {
 		WeightTrafficBytes: 2.2e9,  // measured per-step gradient volume
 	}
 
-	bd, err := model.Breakdown(job)
+	bd, err := eng.Evaluate(job)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,24 +42,20 @@ func main() {
 	fmt.Printf("  weight traffic  %8.4fs\n", bd.Weights)
 	fmt.Printf("  total step      %8.4fs\n", bd.Total())
 
-	tp, err := model.Throughput(job)
+	tp, err := eng.Throughput(job)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  throughput      %8.0f samples/s (Eq. 2)\n", tp)
 
-	hw, frac, err := model.Bottleneck(job)
+	hw, frac, err := eng.Bottleneck(job)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  bottleneck      %s (%.0f%% of step time)\n", hw, frac*100)
 
 	// What would porting this job to AllReduce-Local buy?
-	pr, err := pai.NewProjector(model)
-	if err != nil {
-		log.Fatal(err)
-	}
-	r, err := pr.Project(job, pai.ToAllReduceLocal)
+	r, err := eng.Project(job, pai.ToAllReduceLocal)
 	if err != nil {
 		log.Fatal(err)
 	}

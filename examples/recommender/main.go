@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	model, err := pai.NewModel(pai.TestbedConfig())
+	eng, err := pai.New(pai.WithConfig(pai.TestbedConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,14 +28,14 @@ func main() {
 	}
 
 	// Under PEARL, the traffic crosses NVLink.
-	pearlTimes, err := model.Breakdown(gcn.Features)
+	pearlTimes, err := eng.Evaluate(gcn.Features)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Under PS/Worker, the same volume crosses Ethernet and PCIe.
 	asPS := gcn.Features
 	asPS.Class = pai.PSWorker
-	psTimes, err := model.Breakdown(asPS)
+	psTimes, err := eng.Evaluate(asPS)
 	if err != nil {
 		log.Fatal(err)
 	}

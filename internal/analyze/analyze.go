@@ -5,13 +5,18 @@
 // the efficiency-sensitivity study (Fig. 15) and the overlap study (Fig. 16).
 //
 // Every pipeline consumes a slice of workload.Features (a trace) and an
-// analytical model, and produces plain series/rows that the report package
-// renders and the benchmarks regenerate.
+// evaluation backend, and produces plain series/rows that the report package
+// renders and the benchmarks regenerate. Per-job evaluations run through
+// backend.EvaluateBatch, so million-job traces are characterized with a
+// bounded worker pool rather than a serial loop; every pipeline accepts a
+// context for cancellation and a parallelism cap.
 package analyze
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -139,10 +144,14 @@ type BreakdownRow struct {
 }
 
 // Breakdowns computes Fig. 7 (average component shares per class, at both
-// levels) over a trace.
-func Breakdowns(m *core.Model, jobs []workload.Features) ([]BreakdownRow, error) {
+// levels) over a trace. Per-job evaluations fan out over the worker pool.
+func Breakdowns(ctx context.Context, ev backend.Evaluator, parallelism int, jobs []workload.Features) ([]BreakdownRow, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("analyze: empty trace")
+	}
+	times, err := backend.EvaluateBatch(ctx, ev, jobs, parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
 	}
 	type acc struct {
 		sum map[core.Component]float64
@@ -150,11 +159,8 @@ func Breakdowns(m *core.Model, jobs []workload.Features) ([]BreakdownRow, error)
 		n   int
 	}
 	accs := map[workload.Class]map[Level]*acc{}
-	for _, j := range jobs {
-		bd, err := m.Breakdown(j)
-		if err != nil {
-			return nil, fmt.Errorf("analyze: %s: %w", j.Name, err)
-		}
+	for i, j := range jobs {
+		bd := times[i]
 		if accs[j.Class] == nil {
 			accs[j.Class] = map[Level]*acc{
 				JobLevel:   {sum: map[core.Component]float64{}},
@@ -197,17 +203,18 @@ func Breakdowns(m *core.Model, jobs []workload.Features) ([]BreakdownRow, error)
 // OverallBreakdown aggregates the component shares over all jobs at one
 // level (the "all workloads" summary of Sec. III-D: communication 62%,
 // computation 35% at cNode level).
-func OverallBreakdown(m *core.Model, jobs []workload.Features, lvl Level) (map[core.Component]float64, error) {
+func OverallBreakdown(ctx context.Context, ev backend.Evaluator, parallelism int, jobs []workload.Features, lvl Level) (map[core.Component]float64, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("analyze: empty trace")
 	}
+	times, err := backend.EvaluateBatch(ctx, ev, jobs, parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
 	sum := map[core.Component]float64{}
 	var wTot float64
-	for _, j := range jobs {
-		bd, err := m.Breakdown(j)
-		if err != nil {
-			return nil, fmt.Errorf("analyze: %s: %w", j.Name, err)
-		}
+	for i, j := range jobs {
+		bd := times[i]
 		w := lvl.weight(j)
 		for _, c := range core.Components() {
 			fr, err := bd.Fraction(c)
@@ -233,19 +240,17 @@ type ComponentCDFs struct {
 	CDF map[core.Component]*stats.CDF
 }
 
-// BreakdownCDFs computes the Fig. 8(b-d) panels for one class and level. A
-// nil class filter (passing classAll=true) aggregates all jobs.
-func BreakdownCDFs(m *core.Model, jobs []workload.Features, class workload.Class, lvl Level) (ComponentCDFs, error) {
+// BreakdownCDFs computes the Fig. 8(b-d) panels for one class and level.
+func BreakdownCDFs(ctx context.Context, ev backend.Evaluator, parallelism int, jobs []workload.Features, class workload.Class, lvl Level) (ComponentCDFs, error) {
+	matched := Filter(jobs, class)
+	times, err := backend.EvaluateBatch(ctx, ev, matched, parallelism)
+	if err != nil {
+		return ComponentCDFs{}, fmt.Errorf("analyze: %w", err)
+	}
 	vals := map[core.Component][]float64{}
 	var weights []float64
-	for _, j := range jobs {
-		if j.Class != class {
-			continue
-		}
-		bd, err := m.Breakdown(j)
-		if err != nil {
-			return ComponentCDFs{}, fmt.Errorf("analyze: %s: %w", j.Name, err)
-		}
+	for i, j := range matched {
+		bd := times[i]
 		for _, c := range core.Components() {
 			fr, err := bd.Fraction(c)
 			if err != nil {
@@ -277,17 +282,18 @@ type HardwareCDFs struct {
 }
 
 // BreakdownHardwareCDFs computes Fig. 8(a).
-func BreakdownHardwareCDFs(m *core.Model, jobs []workload.Features, lvl Level) (HardwareCDFs, error) {
+func BreakdownHardwareCDFs(ctx context.Context, ev backend.Evaluator, parallelism int, jobs []workload.Features, lvl Level) (HardwareCDFs, error) {
 	if len(jobs) == 0 {
 		return HardwareCDFs{}, fmt.Errorf("analyze: empty trace")
 	}
+	times, err := backend.EvaluateBatch(ctx, ev, jobs, parallelism)
+	if err != nil {
+		return HardwareCDFs{}, fmt.Errorf("analyze: %w", err)
+	}
 	vals := map[core.HardwareComponent][]float64{}
 	var weights []float64
-	for _, j := range jobs {
-		bd, err := m.Breakdown(j)
-		if err != nil {
-			return HardwareCDFs{}, fmt.Errorf("analyze: %s: %w", j.Name, err)
-		}
+	for i, j := range jobs {
+		bd := times[i]
 		for _, h := range core.HardwareComponents() {
 			fr, err := bd.HardwareFraction(h)
 			if err != nil {

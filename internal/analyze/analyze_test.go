@@ -1,9 +1,11 @@
 package analyze
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/tracegen"
@@ -29,6 +31,16 @@ func testModel(t *testing.T) *core.Model {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// testBackend builds the registered analytical backend under the defaults.
+func testBackend(t *testing.T) backend.Backend {
+	t.Helper()
+	b, err := backend.New(backend.AnalyticalName, backend.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func TestLevelString(t *testing.T) {
@@ -102,7 +114,7 @@ func TestScales(t *testing.T) {
 func TestBreakdowns(t *testing.T) {
 	jobs := testTrace(t)
 	m := testModel(t)
-	rows, err := Breakdowns(m, jobs)
+	rows, err := Breakdowns(context.Background(), m, 4, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +138,11 @@ func TestBreakdowns(t *testing.T) {
 			t.Error("1w1g should have zero weight share")
 		}
 	}
-	if _, err := Breakdowns(m, nil); err == nil {
+	if _, err := Breakdowns(context.Background(), m, 4, nil); err == nil {
 		t.Error("expected error for empty trace")
 	}
 	bad := []workload.Features{{Name: "x"}}
-	if _, err := Breakdowns(m, bad); err == nil {
+	if _, err := Breakdowns(context.Background(), m, 4, bad); err == nil {
 		t.Error("expected error for invalid job")
 	}
 }
@@ -138,7 +150,7 @@ func TestBreakdowns(t *testing.T) {
 func TestOverallBreakdownHeadlines(t *testing.T) {
 	jobs := testTrace(t)
 	m := testModel(t)
-	cn, err := OverallBreakdown(m, jobs, CNodeLevel)
+	cn, err := OverallBreakdown(context.Background(), m, 4, jobs, CNodeLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +166,7 @@ func TestOverallBreakdownHeadlines(t *testing.T) {
 	if cn[core.CompComputeMem] <= cn[core.CompComputeFLOPs] {
 		t.Error("memory-bound share should exceed compute-bound share")
 	}
-	jb, err := OverallBreakdown(m, jobs, JobLevel)
+	jb, err := OverallBreakdown(context.Background(), m, 4, jobs, JobLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +174,7 @@ func TestOverallBreakdownHeadlines(t *testing.T) {
 	if v := jb[core.CompWeights]; v < 0.15 || v > 0.30 {
 		t.Errorf("job-level comm share = %v, want ~0.22", v)
 	}
-	if _, err := OverallBreakdown(m, nil, JobLevel); err == nil {
+	if _, err := OverallBreakdown(context.Background(), m, 4, nil, JobLevel); err == nil {
 		t.Error("expected error for empty trace")
 	}
 }
@@ -170,7 +182,7 @@ func TestOverallBreakdownHeadlines(t *testing.T) {
 func TestBreakdownCDFs(t *testing.T) {
 	jobs := testTrace(t)
 	m := testModel(t)
-	ps, err := BreakdownCDFs(m, jobs, workload.PSWorker, JobLevel)
+	ps, err := BreakdownCDFs(context.Background(), m, 4, jobs, workload.PSWorker, JobLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,14 +192,14 @@ func TestBreakdownCDFs(t *testing.T) {
 		t.Errorf("PS jobs >80%% comm = %v, want > 0.40", frac)
 	}
 	// cNode level shifts comm right (bigger jobs more comm-bound).
-	psCN, err := BreakdownCDFs(m, jobs, workload.PSWorker, CNodeLevel)
+	psCN, err := BreakdownCDFs(context.Background(), m, 4, jobs, workload.PSWorker, CNodeLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if psCN.CDF[core.CompWeights].Mean() <= w.Mean() {
 		t.Error("cNode-level comm share should exceed job-level for PS jobs")
 	}
-	if _, err := BreakdownCDFs(m, jobs, workload.AllReduceLocal, JobLevel); err == nil {
+	if _, err := BreakdownCDFs(context.Background(), m, 4, jobs, workload.AllReduceLocal, JobLevel); err == nil {
 		t.Error("expected error for class with no jobs")
 	}
 }
@@ -195,7 +207,7 @@ func TestBreakdownCDFs(t *testing.T) {
 func TestBreakdownHardwareCDFs(t *testing.T) {
 	jobs := testTrace(t)
 	m := testModel(t)
-	h, err := BreakdownHardwareCDFs(m, jobs, CNodeLevel)
+	h, err := BreakdownHardwareCDFs(context.Background(), m, 4, jobs, CNodeLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +224,7 @@ func TestBreakdownHardwareCDFs(t *testing.T) {
 	if h.CDF[core.HWEthernet].Mean() < h.CDF[core.HWGPUFLOPs].Mean() {
 		t.Error("Ethernet mean share should exceed GPU FLOPs at cNode level")
 	}
-	if _, err := BreakdownHardwareCDFs(m, nil, JobLevel); err == nil {
+	if _, err := BreakdownHardwareCDFs(context.Background(), m, 4, nil, JobLevel); err == nil {
 		t.Error("expected error for empty trace")
 	}
 }

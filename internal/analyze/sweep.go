@@ -1,9 +1,11 @@
 package analyze
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/project"
@@ -36,20 +38,26 @@ type SweepPanel struct {
 
 // HardwareSweep evaluates the Table III grid for the given jobs: for each
 // resource and candidate value, the mean speedup of per-job step time
-// relative to the baseline model. Jobs must all be analyzable under the
-// model (the caller filters by class).
-func HardwareSweep(base *core.Model, jobs []workload.Features, label string) (SweepPanel, error) {
+// relative to the baseline backend. Jobs must all be analyzable under the
+// backend (the caller filters by class). The backend must be Sweepable; each
+// grid point re-instantiates it via Reconfigure and batch-evaluates the jobs
+// over the worker pool.
+func HardwareSweep(ctx context.Context, base backend.Backend, parallelism int, jobs []workload.Features, label string) (SweepPanel, error) {
 	if len(jobs) == 0 {
 		return SweepPanel{}, fmt.Errorf("analyze: empty job set for sweep %q", label)
 	}
+	if !base.Capabilities().Sweepable {
+		return SweepPanel{}, fmt.Errorf("analyze: backend %q does not support hardware sweeps", base.Name())
+	}
+	baseBreakdowns, err := backend.EvaluateBatch(ctx, base, jobs, parallelism)
+	if err != nil {
+		return SweepPanel{}, fmt.Errorf("analyze: sweep %q baseline: %w", label, err)
+	}
 	baseTimes := make([]float64, len(jobs))
-	for i, j := range jobs {
-		t, err := base.StepTime(j)
-		if err != nil {
-			return SweepPanel{}, fmt.Errorf("analyze: sweep %q baseline: %w", label, err)
-		}
+	for i, bd := range baseBreakdowns {
+		t := bd.Total()
 		if t <= 0 {
-			return SweepPanel{}, fmt.Errorf("analyze: sweep %q: job %q has zero step time", label, j.Name)
+			return SweepPanel{}, fmt.Errorf("analyze: sweep %q: job %q has zero step time", label, jobs[i].Name)
 		}
 		baseTimes[i] = t
 	}
@@ -59,19 +67,21 @@ func HardwareSweep(base *core.Model, jobs []workload.Features, label string) (Sw
 		vars := grid[res]
 		series := SweepSeries{Resource: res}
 		for _, v := range vars {
-			cfg, err := base.Config.Apply(v)
+			cfg, err := base.Spec().Config.Apply(v)
 			if err != nil {
 				return SweepPanel{}, err
 			}
-			m := *base
-			m.Config = cfg
+			b, err := base.Reconfigure(base.Spec().WithConfig(cfg))
+			if err != nil {
+				return SweepPanel{}, fmt.Errorf("analyze: sweep %q %v: %w", label, v, err)
+			}
+			breakdowns, err := backend.EvaluateBatch(ctx, b, jobs, parallelism)
+			if err != nil {
+				return SweepPanel{}, fmt.Errorf("analyze: sweep %q %v: %w", label, v, err)
+			}
 			var sum float64
-			for i, j := range jobs {
-				t, err := m.StepTime(j)
-				if err != nil {
-					return SweepPanel{}, fmt.Errorf("analyze: sweep %q %v: %w", label, v, err)
-				}
-				sum += baseTimes[i] / t
+			for i, bd := range breakdowns {
+				sum += baseTimes[i] / bd.Total()
 			}
 			series.Points = append(series.Points, SweepPoint{
 				Resource:    res,
@@ -159,27 +169,27 @@ func Fig15Cases() []struct {
 }
 
 // EfficiencySensitivity computes Fig. 15 over the PS/Worker jobs of a trace.
-func EfficiencySensitivity(base *core.Model, jobs []workload.Features) ([]SensitivityCase, error) {
-	var ps []workload.Features
-	for _, j := range jobs {
-		if j.Class == workload.PSWorker {
-			ps = append(ps, j)
-		}
-	}
+// Each efficiency setting re-instantiates the backend via Reconfigure.
+func EfficiencySensitivity(ctx context.Context, base backend.Backend, parallelism int, jobs []workload.Features) ([]SensitivityCase, error) {
+	ps := Filter(jobs, workload.PSWorker)
 	if len(ps) == 0 {
 		return nil, fmt.Errorf("analyze: no PS/Worker jobs for sensitivity study")
 	}
 	var out []SensitivityCase
 	for _, c := range Fig15Cases() {
-		m := *base
-		m.Eff = c.Eff
+		spec := base.Spec()
+		spec.Eff = c.Eff
+		b, err := base.Reconfigure(spec)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: sensitivity %q: %w", c.Label, err)
+		}
+		times, err := backend.EvaluateBatch(ctx, b, ps, parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: sensitivity %q: %w", c.Label, err)
+		}
 		var shares []float64
 		var sum float64
-		for _, j := range ps {
-			bd, err := m.Breakdown(j)
-			if err != nil {
-				return nil, fmt.Errorf("analyze: sensitivity %s: %w", j.Name, err)
-			}
+		for _, bd := range times {
 			fr, err := bd.Fraction(core.CompWeights)
 			if err != nil {
 				return nil, err
@@ -221,13 +231,10 @@ type OverlapStudy struct {
 }
 
 // OverlapComparison computes Fig. 16 over the PS/Worker jobs of a trace.
-func OverlapComparison(base *core.Model, jobs []workload.Features) (OverlapStudy, error) {
-	var ps []workload.Features
-	for _, j := range jobs {
-		if j.Class == workload.PSWorker {
-			ps = append(ps, j)
-		}
-	}
+// Each overlap mode re-instantiates the backend via Reconfigure; the
+// projections run through the evaluator-based projector.
+func OverlapComparison(ctx context.Context, base backend.Backend, parallelism int, jobs []workload.Features) (OverlapStudy, error) {
+	ps := Filter(jobs, workload.PSWorker)
 	if len(ps) == 0 {
 		return OverlapStudy{}, fmt.Errorf("analyze: no PS/Worker jobs for overlap study")
 	}
@@ -237,28 +244,32 @@ func OverlapComparison(base *core.Model, jobs []workload.Features) (OverlapStudy
 		FracNotSped:    map[core.OverlapMode]float64{},
 	}
 	for _, mode := range []core.OverlapMode{core.OverlapNone, core.OverlapIdeal} {
-		m := *base
-		m.Overlap = mode
-		pr, err := project.New(&m)
+		spec := base.Spec()
+		spec.Overlap = mode
+		b, err := base.Reconfigure(spec)
+		if err != nil {
+			return OverlapStudy{}, err
+		}
+		pr, err := project.NewFromBackend(b)
+		if err != nil {
+			return OverlapStudy{}, err
+		}
+		results, err := pr.ProjectBatch(ctx, ps, project.ToAllReduceLocal, parallelism)
 		if err != nil {
 			return OverlapStudy{}, err
 		}
 		var shares, speedups []float64
 		var notSped, at21 int
-		for _, j := range ps {
-			bd, err := m.Breakdown(j)
-			if err != nil {
-				return OverlapStudy{}, fmt.Errorf("analyze: overlap %s: %w", j.Name, err)
-			}
+		for i, j := range ps {
+			// Result.OriginalTimes carries the per-job breakdown under this
+			// overlap mode, so no separate batch evaluation is needed.
+			bd := results[i].OriginalTimes
 			total := bd.Total()
 			if total <= 0 {
 				return OverlapStudy{}, fmt.Errorf("analyze: overlap %s: zero total", j.Name)
 			}
 			shares = append(shares, bd.Weights/total)
-			r, err := pr.Project(j, project.ToAllReduceLocal)
-			if err != nil {
-				return OverlapStudy{}, err
-			}
+			r := results[i]
 			speedups = append(speedups, r.NodeSpeedup)
 			if r.NodeSpeedup < 1 {
 				notSped++

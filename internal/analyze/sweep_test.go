@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -11,11 +12,11 @@ import (
 
 func TestHardwareSweepShapes(t *testing.T) {
 	jobs := testTrace(t)
-	m := testModel(t)
+	bk := testBackend(t)
 
 	// Panel (c): PS/Worker jobs are most sensitive to Ethernet.
 	ps := Filter(jobs, workload.PSWorker)
-	panel, err := HardwareSweep(m, ps, "PS/Worker")
+	panel, err := HardwareSweep(context.Background(), bk, 4, ps, "PS/Worker")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestHardwareSweepShapes(t *testing.T) {
 
 	// Panel (a): 1w1g most sensitive to GPU memory bandwidth.
 	w1 := Filter(jobs, workload.OneWorkerOneGPU)
-	panelA, err := HardwareSweep(m, w1, "1w1g")
+	panelA, err := HardwareSweep(context.Background(), bk, 4, w1, "1w1g")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestHardwareSweepShapes(t *testing.T) {
 
 	// Panel (b): 1wng varies most with PCIe.
 	nw := Filter(jobs, workload.OneWorkerNGPU)
-	panelB, err := HardwareSweep(m, nw, "1wng")
+	panelB, err := HardwareSweep(context.Background(), bk, 4, nw, "1wng")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +88,11 @@ func TestHardwareSweepShapes(t *testing.T) {
 
 	// Panel (d): after projection to AllReduce-Local, GPU memory matters
 	// most (bottleneck shift, Sec. III-D).
-	projected, err := ProjectedFeatures(jobs, m.Config.GPUsPerServer)
+	projected, err := ProjectedFeatures(jobs, bk.Spec().Config.GPUsPerServer)
 	if err != nil {
 		t.Fatal(err)
 	}
-	panelD, err := HardwareSweep(m, projected, "AllReduce-Local")
+	panelD, err := HardwareSweep(context.Background(), bk, 4, projected, "AllReduce-Local")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,12 +106,12 @@ func TestHardwareSweepShapes(t *testing.T) {
 }
 
 func TestHardwareSweepErrors(t *testing.T) {
-	m := testModel(t)
-	if _, err := HardwareSweep(m, nil, "empty"); err == nil {
+	bk := testBackend(t)
+	if _, err := HardwareSweep(context.Background(), bk, 4, nil, "empty"); err == nil {
 		t.Error("expected error for empty job set")
 	}
 	bad := []workload.Features{{Name: "bad"}}
-	if _, err := HardwareSweep(m, bad, "bad"); err == nil {
+	if _, err := HardwareSweep(context.Background(), bk, 4, bad, "bad"); err == nil {
 		t.Error("expected error for invalid job")
 	}
 	var empty SweepPanel
@@ -124,8 +125,8 @@ func TestHardwareSweepErrors(t *testing.T) {
 
 func TestEfficiencySensitivity(t *testing.T) {
 	jobs := testTrace(t)
-	m := testModel(t)
-	cases, err := EfficiencySensitivity(m, jobs)
+	bk := testBackend(t)
+	cases, err := EfficiencySensitivity(context.Background(), bk, 4, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,15 +152,15 @@ func TestEfficiencySensitivity(t *testing.T) {
 		t.Errorf("comp eff 25%% mean weight share = %v, paper says comm still dominates",
 			byLabel["Computation eff. 25%"].MeanShare)
 	}
-	if _, err := EfficiencySensitivity(m, nil); err == nil {
+	if _, err := EfficiencySensitivity(context.Background(), bk, 4, nil); err == nil {
 		t.Error("expected error without PS jobs")
 	}
 }
 
 func TestOverlapComparison(t *testing.T) {
 	jobs := testTrace(t)
-	m := testModel(t)
-	study, err := OverlapComparison(m, jobs)
+	bk := testBackend(t)
+	study, err := OverlapComparison(context.Background(), bk, 4, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestOverlapComparison(t *testing.T) {
 	if max := study.SpeedupCDF[core.OverlapIdeal].Max(); max > 21.01 {
 		t.Errorf("ideal overlap max speedup = %v, bound is 21", max)
 	}
-	if _, err := OverlapComparison(m, nil); err == nil {
+	if _, err := OverlapComparison(context.Background(), bk, 4, nil); err == nil {
 		t.Error("expected error without PS jobs")
 	}
 }

@@ -1,0 +1,159 @@
+// Package backend defines the pluggable evaluation layer behind the public
+// pai.Engine: a Backend turns one workload feature record into a Times
+// breakdown under a Spec (hardware configuration, efficiency assumption,
+// overlap mode, traffic-model options). Backends register themselves under a
+// name via Register, so new performance models — roofline-derated, learned,
+// trace-replay — join without changing the Engine or any caller.
+//
+// The package also hosts EvaluateBatch, the bounded worker pool every
+// cluster-scale pipeline (analyze, project, experiments) runs per-job
+// evaluations through.
+package backend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Spec is the full configuration a Backend is instantiated under. It is the
+// value the Engine's functional options assemble.
+type Spec struct {
+	// Config is the system configuration (Table I baseline, Table III
+	// variations, or the Sec. IV testbed).
+	Config hw.Config
+	// Eff is the hardware-efficiency assumption (70% everywhere by default).
+	Eff workload.Efficiency
+	// Overlap selects the total-time combination rule.
+	Overlap core.OverlapMode
+	// OverlapAlpha is the core.OverlapPartial interpolation factor in [0,1].
+	OverlapAlpha float64
+	// Arch tunes the derived traffic models.
+	Arch arch.Options
+}
+
+// DefaultSpec returns the paper's framework defaults: Table I baseline
+// configuration, blanket 70% efficiency, non-overlap, ring collectives.
+func DefaultSpec() Spec {
+	return Spec{
+		Config:  hw.Baseline(),
+		Eff:     workload.DefaultEfficiency(),
+		Overlap: core.OverlapNone,
+		Arch:    arch.DefaultOptions(),
+	}
+}
+
+// Validate checks the spec is instantiable.
+func (s Spec) Validate() error {
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if err := s.Eff.Validate(); err != nil {
+		return err
+	}
+	if s.Overlap == core.OverlapPartial &&
+		(s.OverlapAlpha < 0 || s.OverlapAlpha > 1 || math.IsNaN(s.OverlapAlpha)) {
+		return fmt.Errorf("backend: OverlapAlpha must be in [0,1], got %v", s.OverlapAlpha)
+	}
+	return nil
+}
+
+// WithConfig returns a copy of the spec under a different hardware
+// configuration (the hardware-sweep derivation).
+func (s Spec) WithConfig(cfg hw.Config) Spec {
+	s.Config = cfg
+	return s
+}
+
+// Capabilities reports what a backend supports beyond per-job breakdowns.
+type Capabilities struct {
+	// Sweepable backends can Reconfigure under varied hardware
+	// configurations (required by the Table III hardware sweeps).
+	Sweepable bool
+	// Projectable backends produce breakdowns comparable across the
+	// PS -> AllReduce feature mapping (required by the Fig. 9 projections).
+	Projectable bool
+}
+
+// Evaluator is the minimal per-job evaluation surface. Both *core.Model and
+// every Backend satisfy it; batch pipelines depend on nothing more.
+type Evaluator interface {
+	Breakdown(f workload.Features) (core.Times, error)
+}
+
+// Backend is the frozen evaluation interface the Engine drives. Backends
+// must be safe for concurrent use.
+type Backend interface {
+	Evaluator
+	// Name is the registered name the backend was constructed under.
+	Name() string
+	// Spec returns the configuration the backend was instantiated with.
+	Spec() Spec
+	// Capabilities reports supported pipelines.
+	Capabilities() Capabilities
+	// Reconfigure derives the same backend under a new spec (used by the
+	// hardware sweeps and sensitivity studies). The receiver is unchanged.
+	Reconfigure(Spec) (Backend, error)
+}
+
+// Factory instantiates a backend under a spec.
+type Factory func(Spec) (Backend, error)
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: map[string]Factory{}}
+
+// Register makes a backend constructible by name. Registering an empty name,
+// a nil factory, or a name that is already taken is an error.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("backend: Register with empty name")
+	}
+	if f == nil {
+		return fmt.Errorf("backend: Register %q with nil factory", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("backend: %q already registered", name)
+	}
+	registry.m[name] = f
+	return nil
+}
+
+// MustRegister is Register that panics on error, for package init blocks.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates the named backend under the spec.
+func New(name string, spec Spec) (Backend, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (registered: %v)", name, Names())
+	}
+	return f(spec)
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

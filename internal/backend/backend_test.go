@@ -1,0 +1,174 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func testJob() workload.Features {
+	return workload.Features{
+		Name: "job", Class: workload.PSWorker, CNodes: 16, BatchSize: 512,
+		FLOPs: 0.4e12, MemAccessBytes: 12e9, InputBytes: 80e6,
+		DenseWeightBytes: 1.5e9, WeightTrafficBytes: 2.2e9,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := map[string]bool{AnalyticalName: false, RooflineName: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("backend %q not registered (have %v)", n, names)
+		}
+	}
+
+	if err := Register("", func(Spec) (Backend, error) { return nil, nil }); err == nil {
+		t.Error("expected error for empty name")
+	}
+	if err := Register("nilfactory", nil); err == nil {
+		t.Error("expected error for nil factory")
+	}
+	if err := Register(AnalyticalName, func(Spec) (Backend, error) { return nil, nil }); err == nil {
+		t.Error("expected error for duplicate registration")
+	}
+
+	if _, err := New("no-such-backend", DefaultSpec()); err == nil {
+		t.Error("expected error for unknown backend")
+	} else if !strings.Contains(err.Error(), AnalyticalName) {
+		t.Errorf("unknown-backend error should list registered names, got %v", err)
+	}
+}
+
+func TestAnalyticalMatchesCoreModel(t *testing.T) {
+	spec := DefaultSpec()
+	b, err := New(AnalyticalName, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != AnalyticalName {
+		t.Errorf("Name() = %q", b.Name())
+	}
+	caps := b.Capabilities()
+	if !caps.Sweepable || !caps.Projectable {
+		t.Errorf("analytical capabilities = %+v, want full", caps)
+	}
+	m, err := core.New(spec.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob()
+	got, err := b.Breakdown(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Breakdown(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != want.Total() {
+		t.Errorf("backend total %v != model total %v", got.Total(), want.Total())
+	}
+}
+
+func TestAnalyticalReconfigure(t *testing.T) {
+	b, err := New(AnalyticalName, DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := b.Spec()
+	spec.Config.EthernetBandwidth *= 4
+	fast, err := b.Reconfigure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob()
+	t0, err := b.Breakdown(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := fast.Breakdown(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Weights >= t0.Weights {
+		t.Errorf("4x Ethernet should cut weight time: %v -> %v", t0.Weights, t1.Weights)
+	}
+	// Receiver unchanged.
+	if b.Spec().Config.EthernetBandwidth == spec.Config.EthernetBandwidth {
+		t.Error("Reconfigure mutated the receiver's spec")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultSpec()
+	bad.Overlap = core.OverlapPartial
+	bad.OverlapAlpha = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for alpha out of range")
+	}
+	if _, err := New(AnalyticalName, Spec{}); err == nil {
+		t.Error("expected error for zero spec")
+	}
+}
+
+func TestRooflineDeratesMemoryBound(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Config = hw.Testbed()
+	ana, err := New(AnalyticalName, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := New(RooflineName, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A memory-bound workload: low arithmetic intensity.
+	memBound := workload.Features{
+		Name: "mem", Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 512,
+		FLOPs: 330e9, MemAccessBytes: 25e9, InputBytes: 1.2e6,
+		DenseWeightBytes: 207e6,
+	}
+	ta, err := ana.Breakdown(memBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rf.Breakdown(memBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ComputeFLOPs <= ta.ComputeFLOPs {
+		t.Errorf("roofline compute time %v should exceed analytical %v for a memory-bound job",
+			tr.ComputeFLOPs, ta.ComputeFLOPs)
+	}
+	// A compute-bound workload (intensity far above machine balance) is
+	// unchanged.
+	compBound := workload.Features{
+		Name: "comp", Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 64,
+		FLOPs: 1e13, MemAccessBytes: 1e9, InputBytes: 1e6,
+		DenseWeightBytes: 1e8,
+	}
+	ta2, err := ana.Breakdown(compBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := rf.Breakdown(compBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.ComputeFLOPs != ta2.ComputeFLOPs {
+		t.Errorf("roofline should match analytical above the machine balance: %v vs %v",
+			tr2.ComputeFLOPs, ta2.ComputeFLOPs)
+	}
+}

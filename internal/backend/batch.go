@@ -1,0 +1,103 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// EvaluateBatch evaluates every job through the evaluator with a bounded
+// worker pool and returns the breakdowns in input order. parallelism <= 1
+// evaluates serially; higher values cap the number of concurrently running
+// evaluations. The first evaluation error (or a context cancellation) stops
+// the batch and is returned.
+func EvaluateBatch(ctx context.Context, ev Evaluator, jobs []workload.Features, parallelism int) ([]core.Times, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("backend: EvaluateBatch with nil evaluator")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]core.Times, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	if parallelism <= 1 {
+		for i, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			t, err := ev.Breakdown(j)
+			if err != nil {
+				return nil, fmt.Errorf("backend: job %q: %w", j.Name, err)
+			}
+			out[i] = t
+		}
+		return out, nil
+	}
+
+	// Workers steal fixed-size chunks off an atomic cursor: per-job
+	// evaluations are sub-microsecond, so per-index channel handoff would
+	// dominate on large traces.
+	chunk := len(jobs) / (parallelism * 32)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 1024 {
+		chunk = 1024
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		cursor   atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= len(jobs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				end := start + chunk
+				if end > len(jobs) {
+					end = len(jobs)
+				}
+				for i := start; i < end; i++ {
+					t, err := ev.Breakdown(jobs[i])
+					if err != nil {
+						fail(fmt.Errorf("backend: job %q: %w", jobs[i].Name, err))
+						return
+					}
+					out[i] = t
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

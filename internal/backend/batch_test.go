@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// countingEvaluator counts evaluations and can block until released.
+type countingEvaluator struct {
+	n       atomic.Int64
+	release chan struct{}
+}
+
+func (c *countingEvaluator) Breakdown(f workload.Features) (core.Times, error) {
+	if c.release != nil {
+		<-c.release
+	}
+	c.n.Add(1)
+	if f.Name == "boom" {
+		return core.Times{}, fmt.Errorf("synthetic failure")
+	}
+	return core.Times{ComputeFLOPs: float64(f.CNodes)}, nil
+}
+
+func batchJobs(n int) []workload.Features {
+	jobs := make([]workload.Features, n)
+	for i := range jobs {
+		jobs[i] = workload.Features{Name: fmt.Sprintf("j%d", i), CNodes: i + 1}
+	}
+	return jobs
+}
+
+func TestEvaluateBatchOrderAndParallelism(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 64} {
+		ev := &countingEvaluator{}
+		jobs := batchJobs(37)
+		out, err := EvaluateBatch(context.Background(), ev, jobs, par)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(out) != len(jobs) {
+			t.Fatalf("par=%d: got %d results", par, len(out))
+		}
+		for i, times := range out {
+			if times.ComputeFLOPs != float64(i+1) {
+				t.Fatalf("par=%d: result %d out of order: %v", par, i, times.ComputeFLOPs)
+			}
+		}
+		if got := ev.n.Load(); got != int64(len(jobs)) {
+			t.Fatalf("par=%d: %d evaluations, want %d", par, got, len(jobs))
+		}
+	}
+}
+
+func TestEvaluateBatchEmptyAndNil(t *testing.T) {
+	out, err := EvaluateBatch(context.Background(), &countingEvaluator{}, nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	if _, err := EvaluateBatch(context.Background(), nil, batchJobs(1), 4); err == nil {
+		t.Fatal("expected error for nil evaluator")
+	}
+}
+
+func TestEvaluateBatchPropagatesError(t *testing.T) {
+	jobs := batchJobs(20)
+	jobs[7].Name = "boom"
+	for _, par := range []int{1, 4} {
+		if _, err := EvaluateBatch(context.Background(), &countingEvaluator{}, jobs, par); err == nil {
+			t.Fatalf("par=%d: expected propagated failure", par)
+		}
+	}
+}
+
+func TestEvaluateBatchCancellation(t *testing.T) {
+	// Pre-cancelled context: no evaluations run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev := &countingEvaluator{}
+	if _, err := EvaluateBatch(ctx, ev, batchJobs(100), 4); err == nil {
+		t.Fatal("expected context error")
+	}
+
+	// Cancel mid-batch: workers sit blocked inside an evaluation while the
+	// context is cancelled, then get released; the batch must return the
+	// cancellation error without evaluating every job.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	blocked := &countingEvaluator{release: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		_, err := EvaluateBatch(ctx2, blocked, batchJobs(1000), 4)
+		done <- err
+	}()
+	cancel2()
+	close(blocked.release)
+	if err := <-done; err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if n := blocked.n.Load(); n >= 1000 {
+		t.Errorf("cancellation should stop the batch early, evaluated %d", n)
+	}
+}

@@ -1,0 +1,56 @@
+package backend
+
+import (
+	"repro/internal/core"
+	"repro/internal/roofline"
+	"repro/internal/workload"
+)
+
+// RooflineName is the registered name of the roofline-derated backend.
+const RooflineName = "roofline"
+
+// rooflineBackend refines the analytical model's compute-bound term with the
+// roofline ceiling: instead of derating peak FLOPs by the blanket GPUCompute
+// efficiency alone, the attainable rate is first capped at
+// min(peak, intensity x memory bandwidth). Memory-bound workloads (the
+// Multi-Interests/GCN recommenders of Table VI) therefore see longer
+// compute-bound time than under the blanket assumption; workloads above the
+// machine balance are unchanged.
+type rooflineBackend struct {
+	inner *analytical
+}
+
+func newRoofline(spec Spec) (Backend, error) {
+	b, err := newAnalytical(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &rooflineBackend{inner: b.(*analytical)}, nil
+}
+
+func (r *rooflineBackend) Name() string { return RooflineName }
+func (r *rooflineBackend) Spec() Spec   { return r.inner.spec }
+func (r *rooflineBackend) Capabilities() Capabilities {
+	return Capabilities{Sweepable: true, Projectable: true}
+}
+
+func (r *rooflineBackend) Breakdown(f workload.Features) (core.Times, error) {
+	t, err := r.inner.Breakdown(f)
+	if err != nil {
+		return core.Times{}, err
+	}
+	if f.FLOPs > 0 {
+		att, err := roofline.AttainableFLOPS(f, r.inner.spec.Config.GPU)
+		if err != nil {
+			return core.Times{}, err
+		}
+		t.ComputeFLOPs = f.FLOPs / (att * r.inner.spec.Eff.GPUCompute)
+	}
+	return t, nil
+}
+
+func (r *rooflineBackend) Reconfigure(spec Spec) (Backend, error) {
+	return newRoofline(spec)
+}
+
+func init() { MustRegister(RooflineName, newRoofline) }

@@ -9,6 +9,11 @@
 // (Ttotal = Td + Tc + Tw); OverlapIdeal switches to Ttotal = max(Td, Tc, Tw)
 // for the Sec. V-B sensitivity study. The goal is exposing fundamental
 // bottlenecks, not precise runtime prediction.
+//
+// Model is also the reference implementation behind the "analytical" entry
+// of the internal/backend registry, which the public pai.Engine drives;
+// alternative performance models plug in there without touching this
+// package.
 package core
 
 import (
@@ -258,6 +263,14 @@ func New(cfg hw.Config) (*Model, error) {
 		Overlap: OverlapNone,
 		Arch:    arch.DefaultOptions(),
 	}, nil
+}
+
+// Clone returns a copy of the model. Mutating the copy's assumptions (Eff,
+// Overlap, Config, Arch) leaves the receiver untouched; Breakdown allocates
+// fresh Times on every call, so the copy shares no mutable state.
+func (m *Model) Clone() *Model {
+	c := *m
+	return &c
 }
 
 // linkEfficiency maps a link class to the efficiency knob that derates it.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/analyze"
@@ -277,7 +278,7 @@ func (s *Suite) Fig14() (Artifact, error) {
 
 // Fig15 regenerates the hardware-efficiency sensitivity study.
 func (s *Suite) Fig15() (Artifact, error) {
-	cases, err := analyze.EfficiencySensitivity(s.Model, s.Trace.Jobs)
+	cases, err := analyze.EfficiencySensitivity(context.Background(), s.Backend, s.Parallelism, s.Trace.Jobs)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -296,7 +297,7 @@ func (s *Suite) Fig15() (Artifact, error) {
 
 // Fig16 regenerates the overlap-assumption study.
 func (s *Suite) Fig16() (Artifact, error) {
-	study, err := analyze.OverlapComparison(s.Model, s.Trace.Jobs)
+	study, err := analyze.OverlapComparison(context.Background(), s.Backend, s.Parallelism, s.Trace.Jobs)
 	if err != nil {
 		return Artifact{}, err
 	}

@@ -9,8 +9,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/tracegen"
@@ -34,7 +36,13 @@ type Suite struct {
 	// Trace is the (synthetic) cluster trace.
 	Trace *tracegen.Trace
 	// Model is the analytical model over Config with the 70% assumption.
+	// It backs the case-study pipelines that tune per-workload assumptions.
 	Model *core.Model
+	// Backend is the registered evaluation backend the cluster-scale
+	// pipelines (Figs. 7-11, 15, 16, extensions) run through.
+	Backend backend.Backend
+	// Parallelism caps the per-job evaluation worker pool.
+	Parallelism int
 }
 
 // NewSuite generates the default calibrated trace and model. Pass numJobs <=
@@ -51,8 +59,15 @@ func NewSuite(numJobs int) (*Suite, error) {
 	return NewSuiteFromTrace(p.Config, tr)
 }
 
-// NewSuiteFromTrace wraps an existing trace (e.g. loaded from JSON).
+// NewSuiteFromTrace wraps an existing trace (e.g. loaded from JSON) with the
+// default analytical backend.
 func NewSuiteFromTrace(cfg hw.Config, tr *tracegen.Trace) (*Suite, error) {
+	return NewSuiteWithBackend(cfg, tr, backend.AnalyticalName, runtime.GOMAXPROCS(0))
+}
+
+// NewSuiteWithBackend wraps an existing trace with a named registered
+// backend and an evaluation-parallelism cap (<= 0 uses GOMAXPROCS).
+func NewSuiteWithBackend(cfg hw.Config, tr *tracegen.Trace, backendName string, parallelism int) (*Suite, error) {
 	if tr == nil || len(tr.Jobs) == 0 {
 		return nil, fmt.Errorf("experiments: empty trace")
 	}
@@ -60,7 +75,15 @@ func NewSuiteFromTrace(cfg hw.Config, tr *tracegen.Trace) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Suite{Config: cfg, Trace: tr, Model: m}, nil
+	spec := backend.DefaultSpec().WithConfig(cfg)
+	b, err := backend.New(backendName, spec)
+	if err != nil {
+		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Suite{Config: cfg, Trace: tr, Model: m, Backend: b, Parallelism: parallelism}, nil
 }
 
 // Experiment names in execution order.

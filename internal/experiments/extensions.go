@@ -73,11 +73,11 @@ func (s *Suite) Ext1ResourceSavings() (Artifact, error) {
 		}
 		after = append(after, sched.Job{Features: mapped, Steps: steps})
 	}
-	resBefore, err := sched.Simulate(s.Model, numServers, before)
+	resBefore, err := sched.SimulateWith(s.Backend, s.Config, numServers, before)
 	if err != nil {
 		return Artifact{}, err
 	}
-	resAfter, err := sched.Simulate(s.Model, numServers, after)
+	resAfter, err := sched.SimulateWith(s.Backend, s.Config, numServers, after)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -118,15 +118,15 @@ func (s *Suite) Ext2OverlapSweep() (Artifact, error) {
 	t := &report.Table{Title: "Partial-overlap sensitivity (PS/Worker jobs)",
 		Headers: []string{"alpha", "mean step-time vs non-overlap", "AR-Local throughput winners"}}
 	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
-		m := *s.Model
+		m := s.Model.Clone()
 		if alpha > 0 {
 			m.Overlap = core.OverlapPartial
 			m.OverlapAlpha = alpha
 		}
-		base := *s.Model
+		base := s.Model.Clone()
 		var ratioSum float64
 		var winners int
-		pr, err := project.New(&m)
+		pr, err := project.New(m)
 		if err != nil {
 			return Artifact{}, err
 		}

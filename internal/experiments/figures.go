@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/analyze"
@@ -70,7 +71,7 @@ func (s *Suite) Fig6() (Artifact, error) {
 
 // Fig7 regenerates the average execution-time breakdown per class and level.
 func (s *Suite) Fig7() (Artifact, error) {
-	rows, err := analyze.Breakdowns(s.Model, s.Trace.Jobs)
+	rows, err := analyze.Breakdowns(context.Background(), s.Backend, s.Parallelism, s.Trace.Jobs)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -88,7 +89,7 @@ func (s *Suite) Fig7() (Artifact, error) {
 		return Artifact{}, err
 	}
 	for _, lvl := range []analyze.Level{analyze.JobLevel, analyze.CNodeLevel} {
-		overall, err := analyze.OverallBreakdown(s.Model, s.Trace.Jobs, lvl)
+		overall, err := analyze.OverallBreakdown(context.Background(), s.Backend, s.Parallelism, s.Trace.Jobs, lvl)
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -107,7 +108,7 @@ func (s *Suite) Fig8() (Artifact, error) {
 	var buf bytes.Buffer
 	fmt.Fprintln(&buf, "## CDFs of execution-time component shares")
 	for _, lvl := range []analyze.Level{analyze.JobLevel, analyze.CNodeLevel} {
-		hcdf, err := analyze.BreakdownHardwareCDFs(s.Model, s.Trace.Jobs, lvl)
+		hcdf, err := analyze.BreakdownHardwareCDFs(context.Background(), s.Backend, s.Parallelism, s.Trace.Jobs, lvl)
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -119,7 +120,7 @@ func (s *Suite) Fig8() (Artifact, error) {
 		}
 	}
 	for _, class := range classOrder() {
-		cdfs, err := analyze.BreakdownCDFs(s.Model, s.Trace.Jobs, class, analyze.JobLevel)
+		cdfs, err := analyze.BreakdownCDFs(context.Background(), s.Backend, s.Parallelism, s.Trace.Jobs, class, analyze.JobLevel)
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -131,7 +132,7 @@ func (s *Suite) Fig8() (Artifact, error) {
 		}
 	}
 	// Headline: fraction of PS jobs spending > 80% in communication.
-	ps, err := analyze.BreakdownCDFs(s.Model, s.Trace.Jobs, workload.PSWorker, analyze.JobLevel)
+	ps, err := analyze.BreakdownCDFs(context.Background(), s.Backend, s.Parallelism, s.Trace.Jobs, workload.PSWorker, analyze.JobLevel)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -142,16 +143,16 @@ func (s *Suite) Fig8() (Artifact, error) {
 
 // Fig9 regenerates the AllReduce projection speedups.
 func (s *Suite) Fig9() (Artifact, error) {
-	pr, err := project.New(s.Model)
+	pr, err := project.NewFromBackend(s.Backend)
 	if err != nil {
 		return Artifact{}, err
 	}
 	ps := analyze.Filter(s.Trace.Jobs, workload.PSWorker)
-	local, err := pr.ProjectAll(ps, project.ToAllReduceLocal)
+	local, err := pr.ProjectBatch(context.Background(), ps, project.ToAllReduceLocal, s.Parallelism)
 	if err != nil {
 		return Artifact{}, err
 	}
-	cluster, err := pr.ProjectAll(ps, project.ToAllReduceCluster)
+	cluster, err := pr.ProjectBatch(context.Background(), ps, project.ToAllReduceCluster, s.Parallelism)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -232,7 +233,7 @@ func (s *Suite) Fig10() (Artifact, error) {
 	}
 	var buf bytes.Buffer
 	fmt.Fprintln(&buf, "## PS/Worker workloads after mapping to AllReduce-Local")
-	cdfs, err := analyze.BreakdownCDFs(s.Model, projected, workload.AllReduceLocal, analyze.JobLevel)
+	cdfs, err := analyze.BreakdownCDFs(context.Background(), s.Backend, s.Parallelism, projected, workload.AllReduceLocal, analyze.JobLevel)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -241,11 +242,11 @@ func (s *Suite) Fig10() (Artifact, error) {
 			return Artifact{}, err
 		}
 	}
-	avgBefore, err := analyze.OverallBreakdown(s.Model, analyze.Filter(s.Trace.Jobs, workload.PSWorker), analyze.JobLevel)
+	avgBefore, err := analyze.OverallBreakdown(context.Background(), s.Backend, s.Parallelism, analyze.Filter(s.Trace.Jobs, workload.PSWorker), analyze.JobLevel)
 	if err != nil {
 		return Artifact{}, err
 	}
-	avgAfter, err := analyze.OverallBreakdown(s.Model, projected, analyze.JobLevel)
+	avgAfter, err := analyze.OverallBreakdown(context.Background(), s.Backend, s.Parallelism, projected, analyze.JobLevel)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -283,7 +284,7 @@ func (s *Suite) Fig11() (Artifact, error) {
 	var buf bytes.Buffer
 	fmt.Fprintln(&buf, "## Speedup with different hardware configurations")
 	for _, p := range panels {
-		panel, err := analyze.HardwareSweep(s.Model, p.jobs, p.label)
+		panel, err := analyze.HardwareSweep(context.Background(), s.Backend, s.Parallelism, p.jobs, p.label)
 		if err != nil {
 			return Artifact{}, err
 		}

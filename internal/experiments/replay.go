@@ -46,7 +46,7 @@ func (s *Suite) Ext6ClusterReplay() (Artifact, error) {
 		}
 		jobs = append(jobs, sched.Job{Features: j.Features, Arrival: j.Arrival, Steps: steps})
 	}
-	res, err := sched.Simulate(s.Model, numServers, jobs)
+	res, err := sched.SimulateWith(s.Backend, s.Config, numServers, jobs)
 	if err != nil {
 		return Artifact{}, err
 	}

@@ -10,9 +10,12 @@
 package project
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/hw"
 	"repro/internal/workload"
 )
 
@@ -84,38 +87,80 @@ type Result struct {
 	OriginalTimes, ProjectedTimes core.Times
 }
 
-// Projector evaluates projections under one analytical model. The model's
-// configuration must include NVLink.
+// Projector evaluates projections under one evaluation backend. The
+// configuration must include NVLink (the projection destinations are NVLink
+// architectures).
 type Projector struct {
+	// Model is the analytical model when the Projector was built via New;
+	// nil when built over a generic evaluator via NewWithEvaluator.
+	//
+	// Deprecated: use the evaluator-based construction; Model is retained
+	// for callers of the legacy New path.
 	Model *core.Model
+
+	ev  backend.Evaluator
+	cfg hw.Config
 }
 
-// New returns a Projector over the model.
+// New returns a Projector over the analytical model.
 func New(m *core.Model) (*Projector, error) {
 	if m == nil {
 		return nil, fmt.Errorf("project: nil model")
 	}
-	if !m.Config.HasNVLink {
+	p, err := NewWithEvaluator(m, m.Config)
+	if err != nil {
+		return nil, err
+	}
+	p.Model = m
+	return p, nil
+}
+
+// NewWithEvaluator returns a Projector over any per-job evaluator (an
+// Engine backend, the analytical model, ...) under the given configuration.
+func NewWithEvaluator(ev backend.Evaluator, cfg hw.Config) (*Projector, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("project: nil evaluator")
+	}
+	if !cfg.HasNVLink {
 		return nil, fmt.Errorf("project: projection target requires NVLink in the configuration")
 	}
-	return &Projector{Model: m}, nil
+	return &Projector{ev: ev, cfg: cfg}, nil
+}
+
+// NewFromBackend returns a Projector over a registered backend, enforcing
+// its Projectable capability (breakdowns comparable across the
+// PS -> AllReduce mapping).
+func NewFromBackend(b backend.Backend) (*Projector, error) {
+	if b == nil {
+		return nil, fmt.Errorf("project: nil backend")
+	}
+	if !b.Capabilities().Projectable {
+		return nil, fmt.Errorf("project: backend %q does not support projections", b.Name())
+	}
+	return NewWithEvaluator(b, b.Spec().Config)
 }
 
 // Project maps one PS/Worker workload to the target and evaluates both
 // sides.
 func (p *Projector) Project(f workload.Features, target Target) (Result, error) {
-	mapped, err := Map(f, target, p.Model.Config.GPUsPerServer)
+	mapped, err := Map(f, target, p.cfg.GPUsPerServer)
 	if err != nil {
 		return Result{}, err
 	}
-	origT, err := p.Model.Breakdown(f)
+	origT, err := p.ev.Breakdown(f)
 	if err != nil {
 		return Result{}, err
 	}
-	projT, err := p.Model.Breakdown(mapped)
+	projT, err := p.ev.Breakdown(mapped)
 	if err != nil {
 		return Result{}, err
 	}
+	return assembleResult(f, mapped, origT, projT)
+}
+
+// assembleResult derives the speedup figures from the two evaluated sides of
+// a projection (shared by the serial and batch paths).
+func assembleResult(f, mapped workload.Features, origT, projT core.Times) (Result, error) {
 	origTotal, projTotal := origT.Total(), projT.Total()
 	if origTotal <= 0 || projTotal <= 0 {
 		return Result{}, fmt.Errorf("project: degenerate step time for %q", f.Name)
@@ -145,6 +190,54 @@ func (p *Projector) ProjectAll(fs []workload.Features, target Target) ([]Result,
 			return nil, fmt.Errorf("project: job %q: %w", f.Name, err)
 		}
 		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ProjectBatch is ProjectAll over a bounded worker pool: every PS/Worker
+// workload in the list is projected concurrently (parallelism <= 1 falls
+// back to the serial path). Results preserve the input order of the
+// projected jobs; the first error or context cancellation stops the batch.
+func (p *Projector) ProjectBatch(ctx context.Context, fs []workload.Features, target Target, parallelism int) ([]Result, error) {
+	ps := make([]workload.Features, 0, len(fs))
+	for _, f := range fs {
+		if f.Class == workload.PSWorker {
+			ps = append(ps, f)
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return p.ProjectAll(ps, target)
+	}
+	// Evaluate both sides of every projection through the shared pool, then
+	// assemble results serially.
+	mapped := make([]workload.Features, len(ps))
+	for i, f := range ps {
+		m, err := Map(f, target, p.cfg.GPUsPerServer)
+		if err != nil {
+			return nil, fmt.Errorf("project: job %q: %w", f.Name, err)
+		}
+		mapped[i] = m
+	}
+	both := make([]workload.Features, 0, 2*len(ps))
+	both = append(both, ps...)
+	both = append(both, mapped...)
+	times, err := backend.EvaluateBatch(ctx, p.ev, both, parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("project: %w", err)
+	}
+	out := make([]Result, len(ps))
+	for i, f := range ps {
+		r, err := assembleResult(f, mapped[i], times[i], times[len(ps)+i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
 	}
 	return out, nil
 }

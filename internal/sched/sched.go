@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/hw"
 	"repro/internal/workload"
 )
 
@@ -130,6 +131,12 @@ type Result struct {
 	Utilization float64
 }
 
+// Evaluator predicts per-job step breakdowns; *core.Model and every Engine
+// backend satisfy it.
+type Evaluator interface {
+	Breakdown(f workload.Features) (core.Times, error)
+}
+
 // Simulate runs the job list on numServers identical servers under the
 // model's configuration. Jobs are scheduled FIFO by arrival time (ties by
 // input order).
@@ -137,11 +144,20 @@ func Simulate(m *core.Model, numServers int, jobs []Job) (Result, error) {
 	if m == nil {
 		return Result{}, fmt.Errorf("sched: nil model")
 	}
+	return SimulateWith(m, m.Config, numServers, jobs)
+}
+
+// SimulateWith runs the job list under any step-time evaluator and an
+// explicit cluster configuration (the Engine path).
+func SimulateWith(ev Evaluator, cfg hw.Config, numServers int, jobs []Job) (Result, error) {
+	if ev == nil {
+		return Result{}, fmt.Errorf("sched: nil evaluator")
+	}
 	if numServers <= 0 {
 		return Result{}, fmt.Errorf("sched: numServers must be positive, got %d", numServers)
 	}
-	gpusPerServer := m.Config.GPUsPerServer
-	hasNVLink := m.Config.HasNVLink
+	gpusPerServer := cfg.GPUsPerServer
+	hasNVLink := cfg.HasNVLink
 
 	type pending struct {
 		idx      int
@@ -161,11 +177,11 @@ func Simulate(m *core.Model, numServers int, jobs []Job) (Result, error) {
 		if place.needsNVLink && !hasNVLink {
 			return Result{}, fmt.Errorf("sched: job %q requires NVLink servers", j.Features.Name)
 		}
-		st, err := m.StepTime(j.Features)
+		bd, err := ev.Breakdown(j.Features)
 		if err != nil {
 			return Result{}, fmt.Errorf("sched: job %q: %w", j.Features.Name, err)
 		}
-		queue = append(queue, pending{idx: i, job: j, place: place, duration: st * float64(j.Steps)})
+		queue = append(queue, pending{idx: i, job: j, place: place, duration: bd.Total() * float64(j.Steps)})
 	}
 	sort.SliceStable(queue, func(a, b int) bool { return queue[a].job.Arrival < queue[b].job.Arrival })
 

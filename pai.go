@@ -5,25 +5,38 @@
 // executable collectives and the PEARL training strategy — behind a compact
 // surface.
 //
-// Typical use:
+// Typical use — build a configured Engine once, then evaluate traces
+// through it:
 //
-//	cfg := pai.BaselineConfig()
-//	model, _ := pai.NewModel(cfg)
+//	eng, _ := pai.New(pai.WithConfig(pai.BaselineConfig()))
 //	trace, _ := pai.GenerateTrace(pai.DefaultTraceParams())
-//	breakdown, _ := model.Breakdown(trace.Jobs[0])
-//	fmt.Println(breakdown.Total())
+//	times, _ := eng.EvaluateBatch(context.Background(), trace.Jobs)
+//	fmt.Printf("first job: %.3fs\n", times[0].Total())
+//
+// Engines are concurrency-safe and composed with functional options:
+// WithConfig, WithEfficiency, WithOverlap, WithBackend, WithParallelism.
+// Evaluation backends are pluggable (see Backends for the registered set);
+// EvaluateBatch and the analysis pipelines fan per-job evaluations over a
+// bounded worker pool.
 //
 // The experiment suite regenerates every table and figure of the paper:
 //
 //	suite, _ := pai.NewExperimentSuite(0)
 //	artifacts, _ := suite.RunAll()
+//
+// The free functions mirroring the Engine methods (NewModel, Breakdowns,
+// OverallBreakdown, HardwareSweep, NewProjector) predate the Engine and are
+// deprecated; they remain as thin shims.
 package pai
 
 import (
+	"context"
 	"io"
+	"runtime"
 
 	"repro/internal/analyze"
 	"repro/internal/arch"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hw"
@@ -79,12 +92,17 @@ type (
 	// ArchOptions tunes the derived traffic models.
 	ArchOptions = arch.Options
 
+	// Projector evaluates PS -> AllReduce projections (Fig. 9).
+	Projector = project.Projector
+
 	// SweepPanel is one Fig. 11 subplot.
 	SweepPanel = analyze.SweepPanel
 	// Level selects job-level or cNode-level aggregation.
 	Level = analyze.Level
 	// Constitution is the Fig. 5 composition.
 	Constitution = analyze.Constitution
+	// BreakdownRow is one Fig. 7 bar (average component shares).
+	BreakdownRow = analyze.BreakdownRow
 
 	// ExperimentSuite regenerates the paper's tables and figures.
 	ExperimentSuite = experiments.Suite
@@ -118,9 +136,17 @@ const (
 
 // Overlap modes.
 const (
-	OverlapNone  = core.OverlapNone
-	OverlapIdeal = core.OverlapIdeal
+	OverlapNone    = core.OverlapNone
+	OverlapIdeal   = core.OverlapIdeal
+	OverlapPartial = core.OverlapPartial
 )
+
+// Components lists the four breakdown components in figure-legend order.
+func Components() []Component { return core.Components() }
+
+// HardwareComponents lists the hardware attribution targets in Fig. 8a
+// order.
+func HardwareComponents() []HardwareComponent { return core.HardwareComponents() }
 
 // Projection targets.
 const (
@@ -140,6 +166,9 @@ func DefaultEfficiency() Efficiency { return workload.DefaultEfficiency() }
 
 // NewModel builds an analytical model over a configuration with the default
 // assumptions (70% efficiency, non-overlap, ring collectives).
+//
+// Deprecated: use New with WithConfig; the Engine subsumes direct model
+// construction and adds pluggable backends and batch evaluation.
 func NewModel(cfg Config) (*Model, error) { return core.New(cfg) }
 
 // DefaultTraceParams returns trace-generation parameters calibrated to the
@@ -163,7 +192,9 @@ func LookupCaseStudy(name string) (CaseStudy, error) { return workload.Lookup(na
 
 // NewProjector builds a projector over an analytical model (requires
 // NVLink in the configuration).
-func NewProjector(m *Model) (*project.Projector, error) { return project.New(m) }
+//
+// Deprecated: use Engine.Projector, Engine.Project or Engine.ProjectAll.
+func NewProjector(m *Model) (*Projector, error) { return project.New(m) }
 
 // SummarizeProjection aggregates projection results the way Fig. 9 reports
 // them.
@@ -175,20 +206,31 @@ func SummarizeProjection(rs []ProjectionResult) (ProjectionSummary, error) {
 func Constitute(jobs []Features) (Constitution, error) { return analyze.Constitute(jobs) }
 
 // Breakdowns computes the Fig. 7 average breakdown rows over a trace.
-func Breakdowns(m *Model, jobs []Features) ([]analyze.BreakdownRow, error) {
-	return analyze.Breakdowns(m, jobs)
+//
+// Deprecated: use Engine.Breakdowns, which takes a context and evaluates
+// over the engine's worker pool.
+func Breakdowns(m *Model, jobs []Features) ([]BreakdownRow, error) {
+	return analyze.Breakdowns(context.Background(), m, runtime.GOMAXPROCS(0), jobs)
 }
 
 // OverallBreakdown aggregates component shares over all jobs at one level
 // (the Sec. III-D headline numbers).
+//
+// Deprecated: use Engine.OverallBreakdown.
 func OverallBreakdown(m *Model, jobs []Features, lvl Level) (map[Component]float64, error) {
-	return analyze.OverallBreakdown(m, jobs, lvl)
+	return analyze.OverallBreakdown(context.Background(), m, runtime.GOMAXPROCS(0), jobs, lvl)
 }
 
 // HardwareSweep evaluates the Table III grid over a job set (one Fig. 11
 // panel).
+//
+// Deprecated: use Engine.HardwareSweep.
 func HardwareSweep(m *Model, jobs []Features, label string) (SweepPanel, error) {
-	return analyze.HardwareSweep(m, jobs, label)
+	b, err := backend.FromModel(m)
+	if err != nil {
+		return SweepPanel{}, err
+	}
+	return analyze.HardwareSweep(context.Background(), b, runtime.GOMAXPROCS(0), jobs, label)
 }
 
 // FilterClass returns the jobs of one class.
@@ -203,6 +245,12 @@ func NewExperimentSuite(numJobs int) (*ExperimentSuite, error) {
 // NewExperimentSuiteFromTrace wraps an existing trace.
 func NewExperimentSuiteFromTrace(cfg Config, tr *Trace) (*ExperimentSuite, error) {
 	return experiments.NewSuiteFromTrace(cfg, tr)
+}
+
+// NewExperimentSuiteWithBackend wraps an existing trace with a named
+// registered evaluation backend and worker-pool cap (<= 0 uses GOMAXPROCS).
+func NewExperimentSuiteWithBackend(cfg Config, tr *Trace, backendName string, parallelism int) (*ExperimentSuite, error) {
+	return experiments.NewSuiteWithBackend(cfg, tr, backendName, parallelism)
 }
 
 // ExperimentIDs lists the regenerable artifacts in paper order.
