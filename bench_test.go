@@ -9,6 +9,7 @@
 package pai_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -157,6 +158,63 @@ func BenchmarkEngineEvaluateBatch(b *testing.B) {
 			b.ReportMetric(float64(len(trace.Jobs)), "jobs/op")
 		})
 	}
+}
+
+// BenchmarkEngineEvaluateStream measures the bounded-memory streaming
+// pipeline end to end: synthetic-trace generation, sharded evaluation and
+// the aggregate fold, with and without the NDJSON codec round-trip. Run with
+// -benchmem: allocations are O(1) per job and the live heap O(workers),
+// which is what the paibench CI gate holds the pipeline to.
+func BenchmarkEngineEvaluateStream(b *testing.B) {
+	const jobs = 4000
+	p := pai.DefaultTraceParams()
+	p.NumJobs = jobs
+	eng, err := pai.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src, err := pai.NewTraceSource(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err := eng.StreamBreakdowns(ctx, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if acc.N() != jobs {
+				b.Fatal("short stream")
+			}
+		}
+		b.ReportMetric(jobs, "jobs/op")
+	})
+
+	b.Run("ndjson", func(b *testing.B) {
+		var buf bytes.Buffer
+		tr, err := pai.GenerateTrace(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.WriteNDJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		b.SetBytes(int64(len(raw)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := eng.EvaluateStream(ctx, bytes.NewReader(raw), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != jobs {
+				b.Fatal("short stream")
+			}
+		}
+		b.ReportMetric(jobs, "jobs/op")
+	})
 }
 
 // BenchmarkAnalyticalBreakdown measures a single model evaluation — the

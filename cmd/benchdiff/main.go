@@ -1,0 +1,143 @@
+// Command benchdiff gates CI on the streaming pipeline's benchmark results:
+// it compares a fresh paibench result JSON against the checked-in golden
+// baseline (BENCH_BASELINE.json) and exits non-zero when throughput
+// regresses beyond the allowed fraction or the trace's aggregate statistics
+// drift from the baseline.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_BASELINE.json -current result.json \
+//	          [-max-regress 0.20] [-share-tol 0.02] [-step-tol 0.05]
+//
+// Throughput gating is one-sided: running faster than baseline always
+// passes. The baseline's jobs_per_sec is a conservative floor chosen to
+// hold across CI runner generations; fidelity fields are deterministic for
+// a given seed and compared tightly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// result mirrors the paibench schema fields benchdiff compares.
+type result struct {
+	Schema     string  `json:"schema"`
+	Jobs       int     `json:"jobs"`
+	Seed       int64   `json:"seed"`
+	Backend    string  `json:"backend"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	Fidelity   struct {
+		ClassJobShare   map[string]float64 `json:"class_job_share"`
+		ClassCNodeShare map[string]float64 `json:"class_cnode_share"`
+		OverallCNode    map[string]float64 `json:"overall_cnode_level"`
+		MeanStepSec     float64            `json:"mean_step_sec"`
+		P50StepSec      float64            `json:"p50_step_sec"`
+		P99StepSec      float64            `json:"p99_step_sec"`
+	} `json:"fidelity"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	basePath := fs.String("baseline", "BENCH_BASELINE.json", "golden baseline result JSON")
+	curPath := fs.String("current", "", "fresh paibench result JSON")
+	maxRegress := fs.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
+	shareTol := fs.Float64("share-tol", 0.02, "maximum absolute drift of any share aggregate")
+	stepTol := fs.Float64("step-tol", 0.05, "maximum relative drift of step-time aggregates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *curPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	if base.Seed != cur.Seed || base.Jobs != cur.Jobs {
+		fmt.Fprintf(stdout, "warning: comparing different traces (baseline %d jobs seed %d, current %d jobs seed %d); share tolerances still apply\n",
+			base.Jobs, base.Seed, cur.Jobs, cur.Seed)
+	}
+
+	var failures []string
+	check := func(ok bool, format string, a ...any) {
+		line := fmt.Sprintf(format, a...)
+		if ok {
+			fmt.Fprintf(stdout, "ok   %s\n", line)
+		} else {
+			fmt.Fprintf(stdout, "FAIL %s\n", line)
+			failures = append(failures, line)
+		}
+	}
+
+	floor := base.JobsPerSec * (1 - *maxRegress)
+	check(cur.JobsPerSec >= floor,
+		"throughput: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
+		cur.JobsPerSec, base.JobsPerSec, floor, *maxRegress*100)
+
+	compareShares := func(name string, base, cur map[string]float64) {
+		for key, b := range base {
+			c := cur[key]
+			check(math.Abs(c-b) <= *shareTol,
+				"%s[%s]: %.4f vs baseline %.4f (tol %.4f)", name, key, c, b, *shareTol)
+		}
+	}
+	compareShares("class_job_share", base.Fidelity.ClassJobShare, cur.Fidelity.ClassJobShare)
+	compareShares("class_cnode_share", base.Fidelity.ClassCNodeShare, cur.Fidelity.ClassCNodeShare)
+	compareShares("overall_cnode_level", base.Fidelity.OverallCNode, cur.Fidelity.OverallCNode)
+
+	relOK := func(b, c float64) bool {
+		if b == 0 {
+			return c == 0
+		}
+		return math.Abs(c-b)/math.Abs(b) <= *stepTol
+	}
+	check(relOK(base.Fidelity.MeanStepSec, cur.Fidelity.MeanStepSec),
+		"mean_step_sec: %.5f vs baseline %.5f (rel tol %.0f%%)",
+		cur.Fidelity.MeanStepSec, base.Fidelity.MeanStepSec, *stepTol*100)
+	check(relOK(base.Fidelity.P50StepSec, cur.Fidelity.P50StepSec),
+		"p50_step_sec: %.5f vs baseline %.5f (rel tol %.0f%%)",
+		cur.Fidelity.P50StepSec, base.Fidelity.P50StepSec, *stepTol*100)
+	check(relOK(base.Fidelity.P99StepSec, cur.Fidelity.P99StepSec),
+		"p99_step_sec: %.5f vs baseline %.5f (rel tol %.0f%%)",
+		cur.Fidelity.P99StepSec, base.Fidelity.P99StepSec, *stepTol*100)
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s) against %s", len(failures), *basePath)
+	}
+	fmt.Fprintln(stdout, "benchdiff: no regressions")
+	return nil
+}
+
+func load(path string) (*result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r result
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.Schema != "paibench/1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, r.Schema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeResult(t *testing.T, name string, mutate func(*result)) string {
+	t.Helper()
+	r := &result{Schema: "paibench/1", Jobs: 1000, Seed: 1, Backend: "analytical", JobsPerSec: 100000}
+	r.Fidelity.ClassJobShare = map[string]float64{"1w1g": 0.59, "1wng": 0.12, "PS/Worker": 0.29}
+	r.Fidelity.ClassCNodeShare = map[string]float64{"1w1g": 0.08, "1wng": 0.07, "PS/Worker": 0.85}
+	r.Fidelity.OverallCNode = map[string]float64{"data_io": 0.04, "weights": 0.62, "compute": 0.34}
+	r.Fidelity.MeanStepSec = 0.75
+	r.Fidelity.P50StepSec = 0.50
+	r.Fidelity.P99StepSec = 4.1
+	if mutate != nil {
+		mutate(r)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNoRegression(t *testing.T) {
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) { r.JobsPerSec = 95000 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestThroughputRegressionFails(t *testing.T) {
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) { r.JobsPerSec = 70000 }) // -30%
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatalf("expected >20%% throughput regression to fail\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL throughput") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestFasterAlwaysPasses(t *testing.T) {
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) { r.JobsPerSec = 1e9 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("faster run must pass: %v", err)
+	}
+}
+
+func TestFidelityDriftFails(t *testing.T) {
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) {
+		r.Fidelity.OverallCNode["weights"] = 0.55 // drifted by 0.07 > 0.02 tol
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatalf("expected fidelity drift to fail\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL overall_cnode_level[weights]") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestStepTimeDriftFails(t *testing.T) {
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) { r.Fidelity.P99StepSec = 5.0 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("expected p99 drift to fail")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-current", "x.json"}, &out); err == nil {
+		t.Error("expected missing baseline to fail")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Error("expected missing -current to fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := writeResult(t, "base.json", nil)
+	if err := run([]string{"-baseline", base, "-current", bad}, &out); err == nil {
+		t.Error("expected schema mismatch to fail")
+	}
+}
+
+// TestCheckedInBaselineLoads guards the repository's golden file against
+// schema drift.
+func TestCheckedInBaselineLoads(t *testing.T) {
+	r, err := load(filepath.Join("..", "..", "BENCH_BASELINE.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobsPerSec <= 0 || len(r.Fidelity.OverallCNode) != 3 {
+		t.Errorf("baseline incomplete: %+v", r)
+	}
+}

@@ -1,0 +1,319 @@
+// Command paibench measures the streaming evaluation pipeline end to end:
+// it generates a parameterized synthetic trace (10k to millions of jobs),
+// streams it through a registered evaluation backend without ever
+// materializing it, and emits a machine-readable result JSON — throughput,
+// allocation rates, peak heap, and the aggregate fidelity of the streamed
+// trace against the paper's Fig. 5 / Sec. III-D headline statistics.
+//
+// Usage:
+//
+//	paibench [-jobs N] [-seed S] [-backend name] [-par N] [-codec] [-o result.json]
+//
+// With -codec the jobs additionally round-trip through the NDJSON
+// encoder/decoder over an in-process pipe, measuring the full
+// decode→shard→evaluate→fold path a recorded trace would take.
+//
+// The result JSON doubles as the golden baseline for CI regression gating:
+// BENCH_BASELINE.json at the repository root is a checked-in paibench
+// result, and cmd/benchdiff fails the build when a run regresses against it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	pai "repro"
+)
+
+// Result is the machine-readable paibench output (schema "paibench/1").
+type Result struct {
+	Schema  string `json:"schema"`
+	Jobs    int    `json:"jobs"`
+	Seed    int64  `json:"seed"`
+	Backend string `json:"backend"`
+	Workers int    `json:"workers"`
+	Codec   bool   `json:"codec"`
+
+	ElapsedSec float64 `json:"elapsed_sec"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+
+	AllocsPerJob  float64 `json:"allocs_per_job"`
+	BytesPerJob   float64 `json:"bytes_per_job"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+
+	Fidelity Fidelity `json:"fidelity"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// Fidelity holds the streamed trace's collective aggregates next to the
+// paper's published headline values, so a baseline diff catches both
+// performance and statistical drift.
+type Fidelity struct {
+	ClassJobShare   map[string]float64 `json:"class_job_share"`
+	ClassCNodeShare map[string]float64 `json:"class_cnode_share"`
+	// OverallCNode maps data_io/weights/compute to the cNode-level overall
+	// share (Sec. III-D reports weights 62%, compute 35%).
+	OverallCNode map[string]float64 `json:"overall_cnode_level"`
+	MeanStepSec  float64            `json:"mean_step_sec"`
+	P50StepSec   float64            `json:"p50_step_sec"`
+	P99StepSec   float64            `json:"p99_step_sec"`
+	// PaperAbsDelta maps headline-stat name to |streamed - paper|:
+	// ps_cnode_share (0.81), overall_weights (0.62), overall_compute (0.35).
+	PaperAbsDelta map[string]float64 `json:"paper_abs_delta"`
+}
+
+// Paper headline references: Fig. 5b (PS/Worker cNode share ~81%) and
+// Sec. III-D (cNode-level communication 62%, computation 35%).
+const (
+	paperPSCNodeShare  = 0.81
+	paperOverallComm   = 0.62
+	paperOverallComput = 0.35
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "paibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("paibench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jobs := fs.Int("jobs", 100000, "trace size to stream (10k-1M+)")
+	seed := fs.Int64("seed", 1, "trace generation seed")
+	backendName := fs.String("backend", "analytical",
+		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
+	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
+	codec := fs.Bool("codec", false, "round-trip jobs through the NDJSON codec over a pipe")
+	out := fs.String("o", "", "result JSON file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs < 1 {
+		return fmt.Errorf("-jobs must be positive, got %d", *jobs)
+	}
+
+	opts := []pai.Option{pai.WithBackend(*backendName)}
+	if *par > 0 {
+		opts = append(opts, pai.WithParallelism(*par))
+	}
+	eng, err := pai.New(opts...)
+	if err != nil {
+		return err
+	}
+
+	p := pai.DefaultTraceParams()
+	p.NumJobs = *jobs
+	p.Seed = *seed
+
+	res, err := measure(eng, p, *codec)
+	if err != nil {
+		return err
+	}
+	res.Backend = eng.Backend()
+	res.Workers = eng.Parallelism()
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "paibench: %d jobs in %.2fs — %.0f jobs/sec, %.1f allocs/job, peak heap %.1f MiB\n",
+		res.Jobs, res.ElapsedSec, res.JobsPerSec, res.AllocsPerJob,
+		float64(res.PeakHeapBytes)/(1<<20))
+	return nil
+}
+
+// measure streams the parameterized trace through the engine, sampling the
+// heap as it goes, and assembles the result.
+func measure(eng *pai.Engine, p pai.TraceParams, codec bool) (*Result, error) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	// Sample peak live heap while the pipeline runs: with O(workers)
+	// memory the peak is flat in the job count.
+	peak := newPeakSampler(5 * time.Millisecond)
+
+	start := time.Now()
+	acc, n, err := stream(eng, p, codec)
+	elapsed := time.Since(start)
+	peak.stop()
+	if err != nil {
+		return nil, err
+	}
+	if n != p.NumJobs {
+		return nil, fmt.Errorf("streamed %d of %d jobs", n, p.NumJobs)
+	}
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	fid, err := fidelity(acc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schema:        "paibench/1",
+		Jobs:          n,
+		Seed:          p.Seed,
+		Codec:         codec,
+		ElapsedSec:    elapsed.Seconds(),
+		JobsPerSec:    float64(n) / elapsed.Seconds(),
+		AllocsPerJob:  float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerJob:   float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		PeakHeapBytes: peak.max(),
+		Fidelity:      *fid,
+	}, nil
+}
+
+// stream runs the generator through the engine, either directly or through
+// the NDJSON codec over an in-process pipe, folding into an accumulator.
+func stream(eng *pai.Engine, p pai.TraceParams, codec bool) (*pai.BreakdownAccumulator, int, error) {
+	src, err := pai.NewTraceSource(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx := context.Background()
+	if !codec {
+		acc, err := eng.StreamBreakdowns(ctx, src)
+		if err != nil {
+			return nil, 0, err
+		}
+		return acc, acc.N(), nil
+	}
+
+	// Codec mode: generator → NDJSON encoder → pipe → streaming decoder →
+	// pipeline. The pipe bounds the in-flight bytes, so memory stays
+	// O(workers) here too.
+	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		enc := pai.NewTraceEncoder(pw)
+		for {
+			f, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if err := enc.Encode(f); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.CloseWithError(enc.Flush())
+	}()
+	acc := pai.NewBreakdownAccumulator()
+	n, err := eng.EvaluateStream(ctx, pr, func(r pai.StreamResult) error {
+		return acc.Add(r.Job, r.Times)
+	})
+	pr.CloseWithError(err)
+	wg.Wait()
+	if err != nil {
+		return nil, n, err
+	}
+	return acc, n, nil
+}
+
+// fidelity extracts the headline aggregates and their deltas vs the paper.
+func fidelity(acc *pai.BreakdownAccumulator) (*Fidelity, error) {
+	c, err := acc.Constitution()
+	if err != nil {
+		return nil, err
+	}
+	overall, err := acc.Overall(pai.CNodeLevel)
+	if err != nil {
+		return nil, err
+	}
+	p50, err := acc.StepTimeQuantile(0.50)
+	if err != nil {
+		return nil, err
+	}
+	p99, err := acc.StepTimeQuantile(0.99)
+	if err != nil {
+		return nil, err
+	}
+	fid := &Fidelity{
+		ClassJobShare:   map[string]float64{},
+		ClassCNodeShare: map[string]float64{},
+		OverallCNode: map[string]float64{
+			"data_io": overall[pai.CompDataIO],
+			"weights": overall[pai.CompWeights],
+			"compute": overall[pai.CompComputeFLOPs] + overall[pai.CompComputeMem],
+		},
+		MeanStepSec: acc.StepTime().Mean(),
+		P50StepSec:  p50,
+		P99StepSec:  p99,
+	}
+	for class, share := range c.JobShare {
+		fid.ClassJobShare[class.String()] = share
+	}
+	for class, share := range c.CNodeShare {
+		fid.ClassCNodeShare[class.String()] = share
+	}
+	fid.PaperAbsDelta = map[string]float64{
+		"ps_cnode_share":  math.Abs(fid.ClassCNodeShare[pai.PSWorker.String()] - paperPSCNodeShare),
+		"overall_weights": math.Abs(fid.OverallCNode["weights"] - paperOverallComm),
+		"overall_compute": math.Abs(fid.OverallCNode["compute"] - paperOverallComput),
+	}
+	return fid, nil
+}
+
+// peakSampler polls the live heap on a fixed period until stopped.
+type peakSampler struct {
+	stopc chan struct{}
+	donec chan struct{}
+	peak  uint64
+}
+
+func newPeakSampler(period time.Duration) *peakSampler {
+	s := &peakSampler{stopc: make(chan struct{}), donec: make(chan struct{})}
+	go func() {
+		defer close(s.donec)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > s.peak {
+				s.peak = ms.HeapAlloc
+			}
+			select {
+			case <-t.C:
+			case <-s.stopc:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *peakSampler) stop() { close(s.stopc); <-s.donec }
+
+// max reports the largest sampled live heap; valid after stop.
+func (s *peakSampler) max() uint64 { return s.peak }

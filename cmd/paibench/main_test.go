@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func runToFile(t *testing.T, args []string) Result {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "result.json")
+	var out, errw bytes.Buffer
+	if err := run(append(args, "-o", path), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("result is not valid JSON: %v", err)
+	}
+	return r
+}
+
+func TestResultSchema(t *testing.T) {
+	r := runToFile(t, []string{"-jobs", "3000", "-seed", "7"})
+	if r.Schema != "paibench/1" {
+		t.Errorf("schema = %q", r.Schema)
+	}
+	if r.Jobs != 3000 || r.Seed != 7 {
+		t.Errorf("jobs/seed = %d/%d", r.Jobs, r.Seed)
+	}
+	if r.Backend != "analytical" {
+		t.Errorf("backend = %q", r.Backend)
+	}
+	if r.JobsPerSec <= 0 || r.ElapsedSec <= 0 {
+		t.Errorf("throughput not measured: %v jobs/sec in %vs", r.JobsPerSec, r.ElapsedSec)
+	}
+	if r.PeakHeapBytes == 0 {
+		t.Error("peak heap not sampled")
+	}
+	var jobShare, cNodeShare, overall float64
+	for _, v := range r.Fidelity.ClassJobShare {
+		jobShare += v
+	}
+	for _, v := range r.Fidelity.ClassCNodeShare {
+		cNodeShare += v
+	}
+	for _, v := range r.Fidelity.OverallCNode {
+		overall += v
+	}
+	for name, sum := range map[string]float64{
+		"class_job_share": jobShare, "class_cnode_share": cNodeShare, "overall_cnode_level": overall,
+	} {
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s sums to %v, want 1", name, sum)
+		}
+	}
+	if len(r.Fidelity.PaperAbsDelta) != 3 {
+		t.Errorf("paper deltas = %v", r.Fidelity.PaperAbsDelta)
+	}
+}
+
+// TestCodecModeMatchesDirect checks the NDJSON round-trip pipeline folds the
+// same aggregates as the direct generator path.
+func TestCodecModeMatchesDirect(t *testing.T) {
+	direct := runToFile(t, []string{"-jobs", "2000", "-seed", "5"})
+	codec := runToFile(t, []string{"-jobs", "2000", "-seed", "5", "-codec"})
+	if !codec.Codec || direct.Codec {
+		t.Fatalf("codec flags: direct=%v codec=%v", direct.Codec, codec.Codec)
+	}
+	if d, c := direct.Fidelity.MeanStepSec, codec.Fidelity.MeanStepSec; math.Abs(d-c) > 1e-9*math.Abs(d) {
+		t.Errorf("mean step: direct %v vs codec %v", d, c)
+	}
+	for class, d := range direct.Fidelity.ClassCNodeShare {
+		if c := codec.Fidelity.ClassCNodeShare[class]; c != d {
+			t.Errorf("cNode share[%s]: direct %v vs codec %v", class, d, c)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-jobs", "0"}, &out, &errw); err == nil {
+		t.Error("expected error for zero jobs")
+	}
+	if err := run([]string{"-backend", "no-such"}, &out, &errw); err == nil {
+		t.Error("expected error for unknown backend")
+	}
+	if err := run([]string{"-bogus"}, &out, &errw); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+}
+
+// TestPeakHeapIndependentOfJobs is the allocation-bounded acceptance check:
+// streaming 16x more jobs must not grow the live-heap peak materially,
+// because the pipeline holds O(workers) chunks, never the trace.
+func TestPeakHeapIndependentOfJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams 320k jobs")
+	}
+	small := runToFile(t, []string{"-jobs", "20000"})
+	large := runToFile(t, []string{"-jobs", "320000"})
+	// Allow generous slack for GC timing noise; an O(jobs) pipeline would
+	// show ~16x growth here (the 320k trace alone is >80 MiB).
+	limit := float64(small.PeakHeapBytes)*3 + 8<<20
+	if float64(large.PeakHeapBytes) > limit {
+		t.Errorf("peak heap grew with job count: %d bytes at 20k jobs vs %d at 320k (limit %.0f)",
+			small.PeakHeapBytes, large.PeakHeapBytes, limit)
+	}
+}

@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	paichar [-trace trace.json] [-jobs N] [-class PS/Worker]
+//	paichar [-trace trace.json|trace.ndjson] [-jobs N] [-class PS/Worker]
 //
 // Without -trace a calibrated synthetic trace of -jobs jobs is generated.
+// NDJSON traces (.ndjson/.jsonl, or -ndjson) are streamed through the
+// bounded pipeline instead of being materialized, so they can hold millions
+// of jobs; streaming mode reports the constitution and breakdown sections.
 package main
 
 import (
@@ -34,7 +37,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("paichar", flag.ContinueOnError)
 	fs.SetOutput(stdout)
-	tracePath := fs.String("trace", "", "trace JSON (default: generate synthetic)")
+	tracePath := fs.String("trace", "", "trace file: whole-document JSON, or NDJSON (streamed; detected by .ndjson/.jsonl extension or -ndjson)")
+	ndjson := fs.Bool("ndjson", false, "treat -trace as NDJSON and stream it (constitution + breakdowns only)")
 	jobs := fs.Int("jobs", 5000, "synthetic trace size when no -trace given")
 	sweepClass := fs.String("class", "PS/Worker", "class for the hardware sweep panel")
 	backendName := fs.String("backend", "analytical",
@@ -42,6 +46,10 @@ func run(args []string, stdout io.Writer) error {
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *tracePath != "" && (*ndjson || pai.IsNDJSONTracePath(*tracePath)) {
+		return runStreaming(*tracePath, *backendName, *par, stdout)
 	}
 
 	var trace *pai.Trace
@@ -83,13 +91,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	t := &report.Table{Title: "Workload constitution",
-		Headers: []string{"class", "jobs", "job share", "cNode share"}}
-	for _, class := range []pai.Class{pai.OneWorkerOneGPU, pai.OneWorkerNGPU, pai.PSWorker} {
-		t.AddRow(class.String(), fmt.Sprintf("%d", c.Jobs[class]),
-			report.Pct(c.JobShare[class]), report.Pct(c.CNodeShare[class]))
-	}
-	if err := t.Render(stdout); err != nil {
+	if err := renderConstitution(stdout, "Workload constitution", c); err != nil {
 		return err
 	}
 
@@ -98,26 +100,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	bt := &report.Table{Title: "Execution-time breakdown (averages)",
-		Headers: []string{"class", "level", "data I/O", "weights", "compute-bound", "memory-bound"}}
-	for _, r := range rows {
-		bt.AddRow(r.Class.String(), r.Level.String(),
-			report.Pct(r.Share[core.CompDataIO]),
-			report.Pct(r.Share[core.CompWeights]),
-			report.Pct(r.Share[core.CompComputeFLOPs]),
-			report.Pct(r.Share[core.CompComputeMem]))
-	}
-	if err := bt.Render(stdout); err != nil {
-		return err
-	}
 	overall, err := eng.OverallBreakdown(ctx, trace.Jobs, pai.CNodeLevel)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "cNode-level overall: weights %s, compute %s, data I/O %s\n\n",
-		report.Pct(overall[pai.CompWeights]),
-		report.Pct(overall[pai.CompComputeFLOPs]+overall[pai.CompComputeMem]),
-		report.Pct(overall[pai.CompDataIO]))
+	if err := renderBreakdowns(stdout, rows, overall); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
 
 	// Projection (Fig. 9).
 	ps := pai.FilterClass(trace.Jobs, pai.PSWorker)
@@ -167,5 +157,91 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "  most sensitive resource: %s (max mean speedup %.3f)\n", res, gain)
+	return nil
+}
+
+// renderConstitution prints the Fig. 5 composition table; shared by the
+// in-memory and streaming paths so their output stays identical.
+func renderConstitution(stdout io.Writer, title string, c pai.Constitution) error {
+	t := &report.Table{Title: title,
+		Headers: []string{"class", "jobs", "job share", "cNode share"}}
+	for _, class := range []pai.Class{pai.OneWorkerOneGPU, pai.OneWorkerNGPU, pai.PSWorker} {
+		t.AddRow(class.String(), fmt.Sprintf("%d", c.Jobs[class]),
+			report.Pct(c.JobShare[class]), report.Pct(c.CNodeShare[class]))
+	}
+	return t.Render(stdout)
+}
+
+// renderBreakdowns prints the Fig. 7 averages table and the Sec. III-D
+// cNode-level overall line.
+func renderBreakdowns(stdout io.Writer, rows []pai.BreakdownRow, overall map[pai.Component]float64) error {
+	bt := &report.Table{Title: "Execution-time breakdown (averages)",
+		Headers: []string{"class", "level", "data I/O", "weights", "compute-bound", "memory-bound"}}
+	for _, r := range rows {
+		bt.AddRow(r.Class.String(), r.Level.String(),
+			report.Pct(r.Share[core.CompDataIO]),
+			report.Pct(r.Share[core.CompWeights]),
+			report.Pct(r.Share[core.CompComputeFLOPs]),
+			report.Pct(r.Share[core.CompComputeMem]))
+	}
+	if err := bt.Render(stdout); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(stdout, "cNode-level overall: weights %s, compute %s, data I/O %s\n",
+		report.Pct(overall[pai.CompWeights]),
+		report.Pct(overall[pai.CompComputeFLOPs]+overall[pai.CompComputeMem]),
+		report.Pct(overall[pai.CompDataIO]))
+	return err
+}
+
+// runStreaming characterizes an NDJSON trace through the streaming pipeline:
+// the trace is never materialized, so it can be arbitrarily large. The
+// projection and hardware-sweep sections need per-job feature access and are
+// skipped.
+func runStreaming(path, backendName string, par int, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	opts := []pai.Option{
+		pai.WithConfig(pai.BaselineConfig()),
+		pai.WithBackend(backendName),
+	}
+	if par > 0 {
+		opts = append(opts, pai.WithParallelism(par))
+	}
+	eng, err := pai.New(opts...)
+	if err != nil {
+		return err
+	}
+	acc, err := eng.StreamBreakdowns(context.Background(), pai.NewTraceDecoder(f))
+	if err != nil {
+		return err
+	}
+
+	c, err := acc.Constitution()
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Workload constitution (%d jobs, streamed)", acc.N())
+	if err := renderConstitution(stdout, title, c); err != nil {
+		return err
+	}
+	overall, err := acc.Overall(pai.CNodeLevel)
+	if err != nil {
+		return err
+	}
+	if err := renderBreakdowns(stdout, acc.Rows(), overall); err != nil {
+		return err
+	}
+	p50, err := acc.StepTimeQuantile(0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "step time: mean %.4fs, p50 %.4fs over %d jobs (%s backend, %d workers)\n",
+		acc.StepTime().Mean(), p50, acc.N(), eng.Backend(), eng.Parallelism())
+	fmt.Fprintln(stdout, "(projection and hardware-sweep sections need an in-memory trace; rerun with a whole-document JSON trace)")
 	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-jobs N] [-only "Fig. 9"] [-ext] [-list]
+//	repro [-jobs N] [-trace trace.json|trace.ndjson] [-only "Fig. 9"] [-ext] [-list]
 package main
 
 import (
@@ -27,6 +27,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	jobs := fs.Int("jobs", 20000, "synthetic trace size")
+	tracePath := fs.String("trace", "", "evaluate a recorded trace instead of generating one (whole-document JSON, or NDJSON by .ndjson/.jsonl extension)")
 	only := fs.String("only", "", "regenerate a single artifact (e.g. 'Fig. 9' or 'table1')")
 	ext := fs.Bool("ext", false, "also run the extension experiments (EXT-1..6)")
 	list := fs.Bool("list", false, "list artifact ids and exit")
@@ -47,7 +48,13 @@ func run(args []string, stdout io.Writer) error {
 	if *jobs > 0 {
 		p.NumJobs = *jobs
 	}
-	tr, err := pai.GenerateTrace(p)
+	var tr *pai.Trace
+	var err error
+	if *tracePath != "" {
+		tr, err = loadTrace(*tracePath)
+	} else {
+		tr, err = pai.GenerateTrace(p)
+	}
 	if err != nil {
 		return err
 	}
@@ -80,4 +87,18 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// loadTrace reads a recorded trace, decoding NDJSON through the incremental
+// codec when the extension marks it as line-delimited.
+func loadTrace(path string) (*pai.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if pai.IsNDJSONTracePath(path) {
+		return pai.ReadTraceNDJSON(f)
+	}
+	return pai.ReadTrace(f)
 }

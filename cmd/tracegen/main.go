@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracegen [-jobs N] [-seed S] [-o trace.json] [-summary]
+//	tracegen [-jobs N] [-seed S] [-o trace.json] [-ndjson] [-summary]
 //
 // With -summary the generated trace is batch-evaluated through a default
 // Engine and the modeled mean step time is reported on stderr.
@@ -32,7 +32,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("jobs", 20000, "number of jobs to generate")
 	seed := fs.Int64("seed", 1, "generation seed")
 	out := fs.String("o", "", "output file (default stdout)")
-	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time")
+	ndjson := fs.Bool("ndjson", false, "write NDJSON (one job per line) instead of a whole-trace document; generation streams, so -jobs can be millions")
+	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time (ignored with -ndjson)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,7 +41,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	p := pai.DefaultTraceParams()
 	p.NumJobs = *jobs
 	p.Seed = *seed
-	tr, err := pai.GenerateTrace(p)
+
+	// Validate parameters (and, for the in-memory path, generate) before
+	// creating -o, so a bad flag never truncates an existing trace file.
+	var src *pai.TraceSource
+	var tr *pai.Trace
+	var err error
+	if *ndjson {
+		src, err = pai.NewTraceSource(p)
+	} else {
+		tr, err = pai.GenerateTrace(p)
+	}
 	if err != nil {
 		return err
 	}
@@ -54,6 +65,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		w = f
 	}
+
+	if *ndjson {
+		// Streaming path: jobs go straight from the generator to the
+		// encoder, so memory is independent of -jobs.
+		enc := pai.NewTraceEncoder(w)
+		var cNodes int
+		for {
+			f, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+			cNodes += f.CNodes
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "generated %d jobs (%d cNodes) with seed %d\n", enc.N(), cNodes, *seed)
+		return nil
+	}
+
 	if err := tr.WriteJSON(w); err != nil {
 		return err
 	}

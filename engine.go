@@ -3,12 +3,15 @@ package pai
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
 	"repro/internal/analyze"
 	"repro/internal/backend"
 	"repro/internal/project"
+	"repro/internal/stream"
+	"repro/internal/tracegen"
 )
 
 // Engine is a configured, reusable, concurrency-safe evaluation object: one
@@ -272,6 +275,45 @@ func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Features) ([]Times, e
 		return nil, err
 	}
 	return backend.EvaluateBatch(ctx, b, jobs, e.parallelism)
+}
+
+// EvaluateStream decodes NDJSON job records from r incrementally, evaluates
+// them across the engine's worker pool, and calls fn once per job in input
+// order from a single goroutine. Memory stays O(parallelism) regardless of
+// how many records the stream holds, so million-job traces run in the
+// footprint of a thousand-job trace. A nil fn discards results. It returns
+// the number of jobs delivered and the first error — a decode error (with
+// the offending line number), an evaluation error, an fn error, or the
+// context's cancellation.
+func (e *Engine) EvaluateStream(ctx context.Context, r io.Reader, fn func(StreamResult) error) (int, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return 0, err
+	}
+	return stream.Evaluate(ctx, b, tracegen.NewDecoder(r), e.parallelism, fn)
+}
+
+// EvaluateSource is EvaluateStream over any job source — a streaming
+// synthetic-trace generator (NewTraceSource), an NDJSON decoder, or an
+// in-memory slice — instead of an NDJSON reader.
+func (e *Engine) EvaluateSource(ctx context.Context, src JobSource, fn func(StreamResult) error) (int, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return 0, err
+	}
+	return stream.Evaluate(ctx, b, src, e.parallelism, fn)
+}
+
+// StreamBreakdowns streams every job from src through the engine and folds
+// the full set of collective aggregates — constitution, per-class and
+// overall breakdowns, step-time summary — into one accumulator without
+// materializing the trace.
+func (e *Engine) StreamBreakdowns(ctx context.Context, src JobSource) (*BreakdownAccumulator, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Fold(ctx, b, e.parallelism, src)
 }
 
 // Breakdowns computes the Fig. 7 average breakdown rows over a trace.

@@ -1,6 +1,7 @@
 package pai_test
 
 import (
+	"bytes"
 	"context"
 	"runtime"
 	"strings"
@@ -357,5 +358,95 @@ func TestEngineRooflineBackendSlower(t *testing.T) {
 	if tr.ComputeFLOPs <= ta.ComputeFLOPs {
 		t.Errorf("roofline compute %v should exceed analytical %v for Multi-Interests",
 			tr.ComputeFLOPs, ta.ComputeFLOPs)
+	}
+}
+
+func TestEngineEvaluateStreamMatchesBatch(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 1200
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pai.New(pai.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := eng.EvaluateBatch(ctx, trace.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []pai.Times
+	n, err := eng.EvaluateStream(ctx, &buf, func(r pai.StreamResult) error {
+		if r.Index != len(got) {
+			t.Fatalf("result %d arrived at position %d", r.Index, len(got))
+		}
+		got = append(got, r.Times)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("streamed %d of %d jobs", n, len(want))
+	}
+	for i := range want {
+		if got[i].Total() != want[i].Total() {
+			t.Fatalf("job %d: stream %v vs batch %v", i, got[i].Total(), want[i].Total())
+		}
+	}
+}
+
+func TestEngineEvaluateStreamDecodeError(t *testing.T) {
+	eng, err := pai.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`{"name":"x","class":"1w1g","c_nodes":1,"batch_size":8,"flops":1e9}` + "\n" + "garbage\n")
+	n, err := eng.EvaluateStream(context.Background(), in, nil)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered decode error, got %v (n=%d)", err, n)
+	}
+}
+
+func TestEngineStreamBreakdownsFromSource(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 1500
+	src, err := pai.NewTraceSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pai.New(pai.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := eng.StreamBreakdowns(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.N() != p.NumJobs {
+		t.Fatalf("folded %d of %d jobs", acc.N(), p.NumJobs)
+	}
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overallStream, err := acc.Overall(pai.CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overallBatch, err := eng.OverallBreakdown(context.Background(), trace.Jobs, pai.CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for comp, want := range overallBatch {
+		if got := overallStream[comp]; got != want {
+			t.Errorf("%v: stream %v vs batch %v", comp, got, want)
+		}
 	}
 }

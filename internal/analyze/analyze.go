@@ -19,6 +19,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -144,60 +145,17 @@ type BreakdownRow struct {
 }
 
 // Breakdowns computes Fig. 7 (average component shares per class, at both
-// levels) over a trace. Per-job evaluations fan out over the worker pool.
+// levels) over a trace. Evaluations stream through the bounded pipeline and
+// fold into a BreakdownAccumulator, so memory stays O(parallelism).
 func Breakdowns(ctx context.Context, ev backend.Evaluator, parallelism int, jobs []workload.Features) ([]BreakdownRow, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("analyze: empty trace")
 	}
-	times, err := backend.EvaluateBatch(ctx, ev, jobs, parallelism)
+	acc, err := Fold(ctx, ev, parallelism, stream.NewSliceSource(jobs))
 	if err != nil {
-		return nil, fmt.Errorf("analyze: %w", err)
+		return nil, err
 	}
-	type acc struct {
-		sum map[core.Component]float64
-		w   float64
-		n   int
-	}
-	accs := map[workload.Class]map[Level]*acc{}
-	for i, j := range jobs {
-		bd := times[i]
-		if accs[j.Class] == nil {
-			accs[j.Class] = map[Level]*acc{
-				JobLevel:   {sum: map[core.Component]float64{}},
-				CNodeLevel: {sum: map[core.Component]float64{}},
-			}
-		}
-		for _, lvl := range []Level{JobLevel, CNodeLevel} {
-			a := accs[j.Class][lvl]
-			w := lvl.weight(j)
-			for _, c := range core.Components() {
-				fr, err := bd.Fraction(c)
-				if err != nil {
-					return nil, err
-				}
-				a.sum[c] += fr * w
-			}
-			a.w += w
-			a.n++
-		}
-	}
-	var rows []BreakdownRow
-	for _, class := range workload.AllClasses() {
-		byLevel, ok := accs[class]
-		if !ok {
-			continue
-		}
-		for _, lvl := range []Level{JobLevel, CNodeLevel} {
-			a := byLevel[lvl]
-			row := BreakdownRow{Class: class, Level: lvl,
-				Share: map[core.Component]float64{}, N: a.n}
-			for c, s := range a.sum {
-				row.Share[c] = s / a.w
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+	return acc.Rows(), nil
 }
 
 // OverallBreakdown aggregates the component shares over all jobs at one
@@ -207,28 +165,11 @@ func OverallBreakdown(ctx context.Context, ev backend.Evaluator, parallelism int
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("analyze: empty trace")
 	}
-	times, err := backend.EvaluateBatch(ctx, ev, jobs, parallelism)
+	acc, err := Fold(ctx, ev, parallelism, stream.NewSliceSource(jobs))
 	if err != nil {
-		return nil, fmt.Errorf("analyze: %w", err)
+		return nil, err
 	}
-	sum := map[core.Component]float64{}
-	var wTot float64
-	for i, j := range jobs {
-		bd := times[i]
-		w := lvl.weight(j)
-		for _, c := range core.Components() {
-			fr, err := bd.Fraction(c)
-			if err != nil {
-				return nil, err
-			}
-			sum[c] += fr * w
-		}
-		wTot += w
-	}
-	for c := range sum {
-		sum[c] /= wTot
-	}
-	return sum, nil
+	return acc.Overall(lvl)
 }
 
 // ComponentCDFs is one panel of Fig. 8(b-d): per-component CDFs of the

@@ -1,0 +1,255 @@
+package analyze
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// compAcc accumulates weighted component-fraction sums at one (class, level)
+// cell. Plain sums merge trivially, which is what keeps the whole breakdown
+// fold associative across shards.
+type compAcc struct {
+	sum map[core.Component]float64
+	w   float64
+	n   int
+}
+
+func newCompAcc() *compAcc { return &compAcc{sum: map[core.Component]float64{}} }
+
+func (a *compAcc) add(t core.Times, w float64) error {
+	for _, c := range core.Components() {
+		fr, err := t.Fraction(c)
+		if err != nil {
+			return err
+		}
+		a.sum[c] += fr * w
+	}
+	a.w += w
+	a.n++
+	return nil
+}
+
+func (a *compAcc) merge(b *compAcc) {
+	for c, s := range b.sum {
+		a.sum[c] += s
+	}
+	a.w += b.w
+	a.n += b.n
+}
+
+func (a *compAcc) shares() map[core.Component]float64 {
+	out := map[core.Component]float64{}
+	for c, s := range a.sum {
+		out[c] = s / a.w
+	}
+	return out
+}
+
+// stepHistEdges are the shared log-spaced bin edges of the step-time
+// histogram every accumulator uses, so per-shard histograms always merge.
+// The range covers 100 µs to ~3 hours per step, far beyond the calibrated
+// lognormal's support.
+var stepHistEdges = func() []float64 {
+	edges, err := stats.LogGrid(1e-4, 1e4, 161)
+	if err != nil {
+		panic(err)
+	}
+	return edges
+}()
+
+// BreakdownAccumulator folds per-job evaluation results into every
+// collective aggregate the characterization reports — constitution (Fig. 5),
+// average component breakdowns per class and overall at both levels
+// (Fig. 7 / Sec. III-D), and step-time summary statistics — in O(1) memory
+// per job. It is the sink the streaming pipeline hands results to, and
+// per-shard accumulators Merge into the bulk result exactly.
+//
+// An accumulator is not safe for concurrent use; the streaming pipeline
+// calls Add from a single goroutine.
+type BreakdownAccumulator struct {
+	byClass map[workload.Class]map[Level]*compAcc
+	overall map[Level]*compAcc
+
+	jobs, cnodes map[workload.Class]int
+	totalJobs    int
+	totalCNodes  int
+
+	step     stats.MeanVar
+	stepHist *stats.Histogram
+}
+
+// NewBreakdownAccumulator returns an empty accumulator. The zero value is
+// also usable: Add and Merge initialize it lazily.
+func NewBreakdownAccumulator() *BreakdownAccumulator {
+	a := &BreakdownAccumulator{}
+	a.init()
+	return a
+}
+
+// init backfills the map and histogram state, so the zero value works like
+// the rest of the package's API objects.
+func (a *BreakdownAccumulator) init() {
+	if a.byClass != nil {
+		return
+	}
+	h, err := stats.NewHistogram(stepHistEdges)
+	if err != nil {
+		panic(err) // edges are a package constant; cannot fail
+	}
+	a.byClass = map[workload.Class]map[Level]*compAcc{}
+	a.overall = map[Level]*compAcc{JobLevel: newCompAcc(), CNodeLevel: newCompAcc()}
+	a.jobs = map[workload.Class]int{}
+	a.cnodes = map[workload.Class]int{}
+	a.stepHist = h
+}
+
+// Add folds one evaluated job into every aggregate.
+func (a *BreakdownAccumulator) Add(f workload.Features, t core.Times) error {
+	a.init()
+	cell := a.byClass[f.Class]
+	if cell == nil {
+		cell = map[Level]*compAcc{JobLevel: newCompAcc(), CNodeLevel: newCompAcc()}
+		a.byClass[f.Class] = cell
+	}
+	for _, lvl := range []Level{JobLevel, CNodeLevel} {
+		w := lvl.weight(f)
+		if err := cell[lvl].add(t, w); err != nil {
+			return err
+		}
+		if err := a.overall[lvl].add(t, w); err != nil {
+			return err
+		}
+	}
+	a.jobs[f.Class]++
+	a.cnodes[f.Class] += f.CNodes
+	a.totalJobs++
+	a.totalCNodes += f.CNodes
+	total := t.Total()
+	a.step.Add(total)
+	a.stepHist.Add(total)
+	return nil
+}
+
+// Merge folds another accumulator into the receiver (the per-shard
+// reduction step). Merging is associative: merging shard accumulators in
+// any grouping equals accumulating the whole stream.
+func (a *BreakdownAccumulator) Merge(b *BreakdownAccumulator) error {
+	if b == nil || b.byClass == nil {
+		return nil
+	}
+	a.init()
+	for class, cell := range b.byClass {
+		mine := a.byClass[class]
+		if mine == nil {
+			mine = map[Level]*compAcc{JobLevel: newCompAcc(), CNodeLevel: newCompAcc()}
+			a.byClass[class] = mine
+		}
+		for lvl, acc := range cell {
+			mine[lvl].merge(acc)
+		}
+	}
+	for lvl, acc := range b.overall {
+		a.overall[lvl].merge(acc)
+	}
+	for class, n := range b.jobs {
+		a.jobs[class] += n
+	}
+	for class, n := range b.cnodes {
+		a.cnodes[class] += n
+	}
+	a.totalJobs += b.totalJobs
+	a.totalCNodes += b.totalCNodes
+	a.step.Merge(&b.step)
+	return a.stepHist.Merge(b.stepHist)
+}
+
+// N reports the number of jobs folded in.
+func (a *BreakdownAccumulator) N() int { return a.totalJobs }
+
+// Rows returns the Fig. 7 average breakdown rows, in the same class/level
+// order Breakdowns produces.
+func (a *BreakdownAccumulator) Rows() []BreakdownRow {
+	var rows []BreakdownRow
+	for _, class := range workload.AllClasses() {
+		cell, ok := a.byClass[class]
+		if !ok {
+			continue
+		}
+		for _, lvl := range []Level{JobLevel, CNodeLevel} {
+			acc := cell[lvl]
+			rows = append(rows, BreakdownRow{
+				Class: class, Level: lvl,
+				Share: acc.shares(), N: acc.n,
+			})
+		}
+	}
+	return rows
+}
+
+// Overall returns the aggregate component shares over all jobs at one level
+// (the Sec. III-D headline numbers).
+func (a *BreakdownAccumulator) Overall(lvl Level) (map[core.Component]float64, error) {
+	acc, ok := a.overall[lvl]
+	if !ok || acc.n == 0 {
+		return nil, fmt.Errorf("analyze: empty accumulator")
+	}
+	return acc.shares(), nil
+}
+
+// Constitution returns the Fig. 5 workload composition.
+func (a *BreakdownAccumulator) Constitution() (Constitution, error) {
+	if a.totalJobs == 0 {
+		return Constitution{}, fmt.Errorf("analyze: empty accumulator")
+	}
+	c := Constitution{
+		JobShare:    map[workload.Class]float64{},
+		CNodeShare:  map[workload.Class]float64{},
+		Jobs:        map[workload.Class]int{},
+		CNodes:      map[workload.Class]int{},
+		TotalJobs:   a.totalJobs,
+		TotalCNodes: a.totalCNodes,
+	}
+	for class, n := range a.jobs {
+		c.Jobs[class] = n
+		c.JobShare[class] = float64(n) / float64(a.totalJobs)
+	}
+	for class, n := range a.cnodes {
+		c.CNodes[class] = n
+		if a.totalCNodes > 0 {
+			c.CNodeShare[class] = float64(n) / float64(a.totalCNodes)
+		}
+	}
+	return c, nil
+}
+
+// StepTime returns the streaming summary of per-step total times.
+func (a *BreakdownAccumulator) StepTime() *stats.MeanVar { return &a.step }
+
+// StepTimeQuantile returns an interpolated quantile of the per-step total
+// time from the accumulator's histogram sketch.
+func (a *BreakdownAccumulator) StepTimeQuantile(q float64) (float64, error) {
+	a.init()
+	return a.stepHist.Quantile(q)
+}
+
+// Fold streams every job from src through ev over the worker pool and
+// returns the filled accumulator — the one-call streaming counterpart of
+// Breakdowns + OverallBreakdown + Constitute.
+func Fold(ctx context.Context, ev backend.Evaluator, parallelism int, src stream.Source) (*BreakdownAccumulator, error) {
+	acc := NewBreakdownAccumulator()
+	if _, err := stream.Evaluate(ctx, ev, src, parallelism, func(r stream.Result) error {
+		return acc.Add(r.Job, r.Times)
+	}); err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	if acc.N() == 0 {
+		return nil, fmt.Errorf("analyze: empty trace")
+	}
+	return acc, nil
+}

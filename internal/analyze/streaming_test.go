@@ -1,0 +1,233 @@
+package analyze
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+func accJobs(t *testing.T, n int) []workload.Features {
+	t.Helper()
+	p := tracegen.Default()
+	p.NumJobs = n
+	tr, err := tracegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Jobs
+}
+
+func accBackend(t *testing.T) backend.Backend {
+	t.Helper()
+	b, err := backend.New(backend.AnalyticalName, backend.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func fill(t *testing.T, ev backend.Evaluator, jobs []workload.Features) *BreakdownAccumulator {
+	t.Helper()
+	acc := NewBreakdownAccumulator()
+	for _, j := range jobs {
+		bd, err := ev.Breakdown(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.Add(j, bd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+// TestAccumulatorMatchesConstitute: the streamed constitution must equal the
+// batch one.
+func TestAccumulatorMatchesConstitute(t *testing.T) {
+	jobs := accJobs(t, 2000)
+	acc := fill(t, accBackend(t), jobs)
+	got, err := acc.Constitution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Constitute(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("constitution mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFoldMatchesBatchPipelines: the one-call streaming fold must agree
+// with Breakdowns/OverallBreakdown (which themselves now run on the
+// streaming path, sequenced in input order, so equality is exact).
+func TestFoldMatchesBatchPipelines(t *testing.T) {
+	jobs := accJobs(t, 2000)
+	ev := accBackend(t)
+	ctx := context.Background()
+	acc, err := Fold(ctx, ev, 4, stream.NewSliceSource(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Breakdowns(ctx, ev, 4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(acc.Rows(), rows) {
+		t.Error("Rows() differs from Breakdowns")
+	}
+	for _, lvl := range []Level{JobLevel, CNodeLevel} {
+		got, err := acc.Overall(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := OverallBreakdown(ctx, ev, 4, jobs, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v overall mismatch", lvl)
+		}
+	}
+}
+
+// TestAccumulatorMergeEqualsBulk: merging shard accumulators must reproduce
+// the bulk accumulator — shares exactly (same addition order within cells is
+// not guaranteed, so compare within tight tolerance), counts exactly.
+func TestAccumulatorMergeEqualsBulk(t *testing.T) {
+	jobs := accJobs(t, 3000)
+	ev := accBackend(t)
+	bulk := fill(t, ev, jobs)
+
+	for _, cuts := range [][2]int{{1000, 2000}, {1, 2999}, {1500, 1501}} {
+		a := fill(t, ev, jobs[:cuts[0]])
+		b := fill(t, ev, jobs[cuts[0]:cuts[1]])
+		c := fill(t, ev, jobs[cuts[1]:])
+		// Associativity: fold left and right groupings.
+		left := fill(t, ev, jobs[:cuts[0]])
+		if err := left.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		bc := fill(t, ev, jobs[cuts[0]:cuts[1]])
+		if err := bc.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+
+		for name, merged := range map[string]*BreakdownAccumulator{"left": left, "right": a} {
+			if merged.N() != bulk.N() {
+				t.Fatalf("%s cuts %v: N %d vs %d", name, cuts, merged.N(), bulk.N())
+			}
+			gotC, err := merged.Constitution()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC, err := bulk.Constitution()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotC, wantC) {
+				t.Errorf("%s cuts %v: constitution drift", name, cuts)
+			}
+			gotRows, wantRows := merged.Rows(), bulk.Rows()
+			if len(gotRows) != len(wantRows) {
+				t.Fatalf("%s cuts %v: %d rows vs %d", name, cuts, len(gotRows), len(wantRows))
+			}
+			for i := range wantRows {
+				if gotRows[i].Class != wantRows[i].Class || gotRows[i].Level != wantRows[i].Level ||
+					gotRows[i].N != wantRows[i].N {
+					t.Fatalf("%s cuts %v: row %d identity drift", name, cuts, i)
+				}
+				for _, comp := range core.Components() {
+					if d := math.Abs(gotRows[i].Share[comp] - wantRows[i].Share[comp]); d > 1e-12 {
+						t.Errorf("%s cuts %v: row %d %v share drift %v", name, cuts, i, comp, d)
+					}
+				}
+			}
+			if math.Abs(merged.StepTime().Mean()-bulk.StepTime().Mean()) > 1e-12 {
+				t.Errorf("%s cuts %v: step-time mean drift", name, cuts)
+			}
+			gq, err := merged.StepTimeQuantile(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wq, err := bulk.StepTimeQuantile(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gq != wq {
+				t.Errorf("%s cuts %v: p50 %v vs %v", name, cuts, gq, wq)
+			}
+		}
+	}
+}
+
+// TestAccumulatorZeroValue: the zero value must behave like
+// NewBreakdownAccumulator (the public alias makes it reachable).
+func TestAccumulatorZeroValue(t *testing.T) {
+	jobs := accJobs(t, 50)
+	ev := accBackend(t)
+	var zero BreakdownAccumulator
+	for _, j := range jobs {
+		bd, err := ev.Breakdown(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := zero.Add(j, bd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := fill(t, ev, jobs)
+	if zero.N() != want.N() || zero.StepTime().Mean() != want.StepTime().Mean() {
+		t.Error("zero value diverges from constructed accumulator")
+	}
+	var zeroMergeTarget BreakdownAccumulator
+	if err := zeroMergeTarget.Merge(&zero); err != nil {
+		t.Fatal(err)
+	}
+	if zeroMergeTarget.N() != want.N() {
+		t.Error("merge into zero value lost jobs")
+	}
+	var empty BreakdownAccumulator
+	if _, err := empty.StepTimeQuantile(0.5); err == nil {
+		t.Error("empty zero-value quantile must error, not panic")
+	}
+	if err := zero.Merge(&BreakdownAccumulator{}); err != nil {
+		t.Fatal(err)
+	}
+	if zero.N() != want.N() {
+		t.Error("merging an empty zero value must be a no-op")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	acc := NewBreakdownAccumulator()
+	if _, err := acc.Constitution(); err == nil {
+		t.Error("empty constitution must error")
+	}
+	if _, err := acc.Overall(JobLevel); err == nil {
+		t.Error("empty overall must error")
+	}
+	if rows := acc.Rows(); len(rows) != 0 {
+		t.Errorf("empty accumulator has %d rows", len(rows))
+	}
+	if err := acc.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	if err := acc.Merge(NewBreakdownAccumulator()); err != nil {
+		t.Errorf("empty merge: %v", err)
+	}
+}

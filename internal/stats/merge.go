@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MeanVar is a mergeable streaming accumulator of count, mean, variance and
+// extrema (Welford's algorithm; merging uses the parallel variant of Chan et
+// al.). It is the O(1)-memory substitute for Summarize on streams too large
+// to hold, and the per-shard aggregate the streaming evaluation pipeline
+// folds together. The zero value is an empty accumulator.
+type MeanVar struct {
+	n        float64
+	mean, m2 float64
+	min, max float64
+	sum      float64
+}
+
+// Add inserts one sample with weight 1. NaN samples are ignored.
+func (a *MeanVar) Add(x float64) { a.AddWeighted(x, 1) }
+
+// AddWeighted inserts one sample carrying weight w. Non-positive or NaN
+// weights and NaN samples are ignored.
+func (a *MeanVar) AddWeighted(x, w float64) {
+	if math.IsNaN(x) || math.IsNaN(w) || w <= 0 {
+		return
+	}
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n += w
+	a.sum += x * w
+	d := x - a.mean
+	a.mean += d * w / a.n
+	a.m2 += w * d * (x - a.mean)
+}
+
+// Merge folds another accumulator into the receiver. Merging is associative
+// and commutative up to floating-point rounding: merging per-shard
+// accumulators equals accumulating the concatenated stream.
+func (a *MeanVar) Merge(b *MeanVar) {
+	if b == nil || b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*a.n*b.n/n
+	a.mean += d * b.n / n
+	a.sum += b.sum
+	a.n = n
+}
+
+// N returns the total inserted weight.
+func (a *MeanVar) N() float64 { return a.n }
+
+// Sum returns the weighted sum of samples.
+func (a *MeanVar) Sum() float64 { return a.sum }
+
+// Mean returns the weighted mean, or 0 for an empty accumulator.
+func (a *MeanVar) Mean() float64 { return a.mean }
+
+// Var returns the population variance (weight-normalized), or 0 when fewer
+// than two units of weight have been inserted.
+func (a *MeanVar) Var() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.m2 / a.n
+}
+
+// Std returns the population standard deviation.
+func (a *MeanVar) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample, or 0 for an empty accumulator.
+func (a *MeanVar) Min() float64 { return a.min }
+
+// Max returns the largest sample, or 0 for an empty accumulator.
+func (a *MeanVar) Max() float64 { return a.max }
+
+// Merge folds another histogram with identical bin edges into the receiver.
+// Like MeanVar.Merge it is associative, so per-shard histograms fold into
+// the bulk histogram exactly.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.edges) != len(o.edges) {
+		return fmt.Errorf("stats: merge of histograms with %d vs %d edges", len(h.edges), len(o.edges))
+	}
+	for i, e := range h.edges {
+		if e != o.edges[i] {
+			return fmt.Errorf("stats: merge of histograms with mismatched edge %d (%v vs %v)", i, e, o.edges[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+	h.under += o.under
+	h.over += o.over
+	return nil
+}
+
+// Quantile returns an interpolated q-quantile of the in-range weight,
+// assuming samples are uniform within each bin. Out-of-range weight is
+// clamped to the outer edges. It errors when the histogram is empty.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.total <= 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * h.total
+	if target <= h.under {
+		return h.edges[0], nil
+	}
+	run := h.under
+	for i, c := range h.counts {
+		if run+c >= target && c > 0 {
+			frac := (target - run) / c
+			return h.edges[i] + frac*(h.edges[i+1]-h.edges[i]), nil
+		}
+		run += c
+	}
+	return h.edges[len(h.edges)-1], nil
+}

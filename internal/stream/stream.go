@@ -1,0 +1,242 @@
+// Package stream is the bounded-memory evaluation pipeline behind
+// pai.Engine.EvaluateStream: it pulls job records one at a time from a
+// Source (an NDJSON decoder, a synthetic-trace generator, or an in-memory
+// slice), shards them in fixed-size chunks across a bounded worker pool, and
+// delivers per-job results to a single-goroutine sink in input order.
+//
+// Peak memory is O(parallelism): at most maxOutstanding chunks of chunkSize
+// jobs exist at any moment — in the work queue, inside workers, in the done
+// queue, or parked in the collector's reorder buffer — regardless of how
+// many jobs the source yields. That is what lets million-job traces run in
+// the footprint of a thousand-job trace.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Source yields job records one at a time; Next returns io.EOF after the
+// last record. Sources are consumed from a single goroutine.
+type Source interface {
+	Next() (workload.Features, error)
+}
+
+// SliceSource adapts an in-memory trace to the Source interface.
+type SliceSource struct {
+	jobs []workload.Features
+	i    int
+}
+
+// NewSliceSource returns a Source over the given jobs.
+func NewSliceSource(jobs []workload.Features) *SliceSource {
+	return &SliceSource{jobs: jobs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (workload.Features, error) {
+	if s.i >= len(s.jobs) {
+		return workload.Features{}, io.EOF
+	}
+	f := s.jobs[s.i]
+	s.i++
+	return f, nil
+}
+
+// Result pairs one evaluated job with its breakdown and position in the
+// stream.
+type Result struct {
+	// Index is the job's 0-based position in the stream.
+	Index int
+	// Job is the evaluated feature record.
+	Job workload.Features
+	// Times is the backend's execution-time breakdown.
+	Times core.Times
+}
+
+// chunkSize is the shard granularity: big enough to amortize channel
+// handoffs over sub-microsecond evaluations, small enough that the reorder
+// buffer stays tiny.
+const chunkSize = 256
+
+type chunk struct {
+	seq  int
+	base int
+	jobs []workload.Features
+}
+
+type evaluated struct {
+	chunk
+	times []core.Times
+}
+
+// Evaluate pulls jobs from src until io.EOF, evaluates each through ev over
+// a pool of parallelism workers, and calls fn once per job in input order
+// from a single goroutine. A nil fn discards results (useful for pure
+// throughput measurement). It returns the number of jobs delivered and the
+// first error: a source/decode error, an evaluation error, an fn error, or
+// the context's cancellation cause; any error cancels the whole pipeline.
+func Evaluate(ctx context.Context, ev backend.Evaluator, src Source, parallelism int, fn func(Result) error) (int, error) {
+	if ev == nil {
+		return 0, fmt.Errorf("stream: Evaluate with nil evaluator")
+	}
+	if src == nil {
+		return 0, fmt.Errorf("stream: Evaluate with nil source")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// maxOutstanding bounds chunks alive anywhere in the pipeline; the
+	// reader blocks on a token before materializing the next chunk and the
+	// collector releases it after delivery, so a straggler shard cannot let
+	// the reorder buffer grow toward O(jobs).
+	maxOutstanding := 2 * parallelism
+	tokens := make(chan struct{}, maxOutstanding)
+	work := make(chan chunk, parallelism)
+	done := make(chan evaluated, parallelism)
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Reader: chunk the source.
+	go func() {
+		defer close(work)
+		seq, base := 0, 0
+		for {
+			jobs := make([]workload.Features, 0, chunkSize)
+			for len(jobs) < chunkSize {
+				f, err := src.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				jobs = append(jobs, f)
+			}
+			if len(jobs) == 0 {
+				return
+			}
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				fail(context.Cause(ctx))
+				return
+			}
+			select {
+			case work <- chunk{seq: seq, base: base, jobs: jobs}:
+			case <-ctx.Done():
+				fail(context.Cause(ctx))
+				return
+			}
+			base += len(jobs)
+			seq++
+			if len(jobs) < chunkSize {
+				return // short chunk: source exhausted
+			}
+		}
+	}()
+
+	// Workers: evaluate chunks.
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				if ctx.Err() != nil {
+					fail(context.Cause(ctx))
+					return
+				}
+				times := make([]core.Times, len(c.jobs))
+				for i, j := range c.jobs {
+					t, err := ev.Breakdown(j)
+					if err != nil {
+						fail(fmt.Errorf("stream: job %q: %w", j.Name, err))
+						return
+					}
+					times[i] = t
+				}
+				select {
+				case done <- evaluated{chunk: c, times: times}:
+				case <-ctx.Done():
+					fail(context.Cause(ctx))
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Collector (caller's goroutine): reorder and deliver.
+	var (
+		delivered int
+		next      int
+		pending   = make(map[int]evaluated, maxOutstanding)
+		failed    bool
+	)
+	for e := range done {
+		// Stop delivering as soon as the pipeline is failed or cancelled;
+		// keep draining so no goroutine blocks on a full channel.
+		if !failed && ctx.Err() != nil {
+			fail(context.Cause(ctx))
+			failed = true
+		}
+		if failed {
+			<-tokens
+			continue
+		}
+		pending[e.seq] = e
+		for {
+			c, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			for i := range c.jobs {
+				if fn != nil {
+					if err := fn(Result{Index: c.base + i, Job: c.jobs[i], Times: c.times[i]}); err != nil {
+						fail(fmt.Errorf("stream: sink: %w", err))
+						failed = true
+						break
+					}
+				}
+				delivered++
+			}
+			<-tokens
+			next++
+			if failed {
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return delivered, firstErr
+	}
+	return delivered, nil
+}

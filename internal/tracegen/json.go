@@ -1,15 +1,21 @@
 package tracegen
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/workload"
 )
 
 // jobJSON is the on-disk record for one job. Field names follow the workload
-// feature schema of Fig. 4.
+// feature schema of Fig. 4. The same record is one line of an NDJSON stream
+// and one element of the legacy whole-trace document.
 type jobJSON struct {
 	Name                 string  `json:"name"`
 	Class                string  `json:"class"`
@@ -23,11 +29,6 @@ type jobJSON struct {
 	WeightTrafficBytes   float64 `json:"weight_traffic_bytes,omitempty"`
 }
 
-type traceJSON struct {
-	Seed int64     `json:"seed"`
-	Jobs []jobJSON `json:"jobs"`
-}
-
 var classFromName = func() map[string]workload.Class {
 	m := map[string]workload.Class{}
 	for _, c := range workload.AllClasses() {
@@ -36,56 +37,224 @@ var classFromName = func() map[string]workload.Class {
 	return m
 }()
 
-// WriteJSON serializes the trace.
-func (t *Trace) WriteJSON(w io.Writer) error {
-	out := traceJSON{Seed: t.Seed, Jobs: make([]jobJSON, 0, len(t.Jobs))}
-	for _, j := range t.Jobs {
-		out.Jobs = append(out.Jobs, jobJSON{
-			Name:                 j.Name,
-			Class:                j.Class.String(),
-			CNodes:               j.CNodes,
-			BatchSize:            j.BatchSize,
-			FLOPs:                j.FLOPs,
-			MemAccessBytes:       j.MemAccessBytes,
-			InputBytes:           j.InputBytes,
-			DenseWeightBytes:     j.DenseWeightBytes,
-			EmbeddingWeightBytes: j.EmbeddingWeightBytes,
-			WeightTrafficBytes:   j.WeightTrafficBytes,
-		})
+func recordFromFeatures(f workload.Features) jobJSON {
+	return jobJSON{
+		Name:                 f.Name,
+		Class:                f.Class.String(),
+		CNodes:               f.CNodes,
+		BatchSize:            f.BatchSize,
+		FLOPs:                f.FLOPs,
+		MemAccessBytes:       f.MemAccessBytes,
+		InputBytes:           f.InputBytes,
+		DenseWeightBytes:     f.DenseWeightBytes,
+		EmbeddingWeightBytes: f.EmbeddingWeightBytes,
+		WeightTrafficBytes:   f.WeightTrafficBytes,
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
 }
 
-// ReadJSON deserializes and validates a trace.
+func featuresFromRecord(j jobJSON) (workload.Features, error) {
+	class, ok := classFromName[j.Class]
+	if !ok {
+		return workload.Features{}, fmt.Errorf("unknown class %q", j.Class)
+	}
+	f := workload.Features{
+		Name:                 j.Name,
+		Class:                class,
+		CNodes:               j.CNodes,
+		BatchSize:            j.BatchSize,
+		FLOPs:                j.FLOPs,
+		MemAccessBytes:       j.MemAccessBytes,
+		InputBytes:           j.InputBytes,
+		DenseWeightBytes:     j.DenseWeightBytes,
+		EmbeddingWeightBytes: j.EmbeddingWeightBytes,
+		WeightTrafficBytes:   j.WeightTrafficBytes,
+	}
+	if err := f.Validate(); err != nil {
+		return workload.Features{}, err
+	}
+	return f, nil
+}
+
+// WriteJSON serializes the trace as the legacy whole-trace document
+// ({"seed": ..., "jobs": [...]}). Records are encoded one at a time through
+// a buffered writer, so peak memory is O(1) in the trace size; the final
+// flush error is returned.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\n \"seed\": %d,\n \"jobs\": [", t.Seed); err != nil {
+		return err
+	}
+	for i, j := range t.Jobs {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(bw, "%s\n  ", sep); err != nil {
+			return err
+		}
+		b, err := json.Marshal(recordFromFeatures(j))
+		if err != nil {
+			return fmt.Errorf("tracegen: encode job %d: %w", i, err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "\n ]\n}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadJSON deserializes and validates a legacy whole-trace document.
 func ReadJSON(r io.Reader) (*Trace, error) {
-	var in traceJSON
+	var in struct {
+		Seed int64     `json:"seed"`
+		Jobs []jobJSON `json:"jobs"`
+	}
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("tracegen: decode: %w", err)
 	}
 	tr := &Trace{Seed: in.Seed, Jobs: make([]workload.Features, 0, len(in.Jobs))}
 	for i, j := range in.Jobs {
-		class, ok := classFromName[j.Class]
-		if !ok {
-			return nil, fmt.Errorf("tracegen: job %d: unknown class %q", i, j.Class)
-		}
-		f := workload.Features{
-			Name:                 j.Name,
-			Class:                class,
-			CNodes:               j.CNodes,
-			BatchSize:            j.BatchSize,
-			FLOPs:                j.FLOPs,
-			MemAccessBytes:       j.MemAccessBytes,
-			InputBytes:           j.InputBytes,
-			DenseWeightBytes:     j.DenseWeightBytes,
-			EmbeddingWeightBytes: j.EmbeddingWeightBytes,
-			WeightTrafficBytes:   j.WeightTrafficBytes,
-		}
-		if err := f.Validate(); err != nil {
+		f, err := featuresFromRecord(j)
+		if err != nil {
 			return nil, fmt.Errorf("tracegen: job %d: %w", i, err)
 		}
 		tr.Jobs = append(tr.Jobs, f)
 	}
 	return tr, nil
+}
+
+// Encoder writes job records as NDJSON: one JSON object per line, no
+// enclosing document. It buffers through a bufio.Writer; call Flush (or
+// Close) when done and check its error.
+type Encoder struct {
+	bw *bufio.Writer
+	n  int
+}
+
+// NewEncoder returns an NDJSON encoder over w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{bw: bufio.NewWriter(w)}
+}
+
+// Encode appends one job record line.
+func (e *Encoder) Encode(f workload.Features) error {
+	b, err := json.Marshal(recordFromFeatures(f))
+	if err != nil {
+		return fmt.Errorf("tracegen: encode job %d: %w", e.n, err)
+	}
+	if _, err := e.bw.Write(b); err != nil {
+		return err
+	}
+	if err := e.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	e.n++
+	return nil
+}
+
+// N reports the number of records encoded so far.
+func (e *Encoder) N() int { return e.n }
+
+// Flush writes any buffered data to the underlying writer and returns the
+// write error, if any.
+func (e *Encoder) Flush() error { return e.bw.Flush() }
+
+// WriteNDJSON streams the trace's jobs as NDJSON.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	enc := NewEncoder(w)
+	for i, j := range t.Jobs {
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("tracegen: job %d: %w", i, err)
+		}
+	}
+	return enc.Flush()
+}
+
+// maxRecordBytes bounds one NDJSON line; a single job record is a few
+// hundred bytes, so 1 MiB leaves ample slack while still catching runaway
+// input early.
+const maxRecordBytes = 1 << 20
+
+// Decoder reads job records incrementally from an NDJSON stream. Errors
+// carry the 1-based line number of the offending record.
+type Decoder struct {
+	s    *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewDecoder returns an NDJSON decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), maxRecordBytes)
+	return &Decoder{s: s}
+}
+
+// Next decodes and validates the next job record. It returns io.EOF after
+// the last record; any other error is terminal and repeats on subsequent
+// calls.
+func (d *Decoder) Next() (workload.Features, error) {
+	if d.err != nil {
+		return workload.Features{}, d.err
+	}
+	for {
+		if !d.s.Scan() {
+			if err := d.s.Err(); err != nil {
+				d.err = fmt.Errorf("tracegen: line %d: %w", d.line+1, err)
+			} else {
+				d.err = io.EOF
+			}
+			return workload.Features{}, d.err
+		}
+		d.line++
+		b := bytes.TrimSpace(d.s.Bytes())
+		if len(b) == 0 {
+			continue // tolerate blank lines (e.g. trailing newline)
+		}
+		var rec jobJSON
+		if err := json.Unmarshal(b, &rec); err != nil {
+			d.err = fmt.Errorf("tracegen: line %d: %w", d.line, err)
+			return workload.Features{}, d.err
+		}
+		f, err := featuresFromRecord(rec)
+		if err != nil {
+			d.err = fmt.Errorf("tracegen: line %d: %w", d.line, err)
+			return workload.Features{}, d.err
+		}
+		return f, nil
+	}
+}
+
+// Line reports the number of lines consumed so far.
+func (d *Decoder) Line() int { return d.line }
+
+// IsNDJSONPath reports whether a trace file's extension marks it as
+// line-delimited JSON — the shared detection rule every CLI uses to decide
+// between the streaming and whole-document codecs.
+func IsNDJSONPath(path string) bool {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ndjson", ".jsonl":
+		return true
+	}
+	return false
+}
+
+// ReadNDJSON slurps an entire NDJSON stream into a trace (the convenience
+// counterpart of the streaming Decoder).
+func ReadNDJSON(r io.Reader) (*Trace, error) {
+	d := NewDecoder(r)
+	tr := &Trace{}
+	for {
+		f, err := d.Next()
+		if errors.Is(err, io.EOF) {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Jobs = append(tr.Jobs, f)
+	}
 }

@@ -1,0 +1,268 @@
+package tracegen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func smallTrace(t *testing.T, n int) *Trace {
+	t.Helper()
+	p := Default()
+	p.NumJobs = n
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestNDJSONRoundTrip: encode→decode must reproduce the in-memory trace
+// exactly, through both the streaming Decoder and the slurping ReadNDJSON.
+func TestNDJSONRoundTrip(t *testing.T) {
+	tr := smallTrace(t, 300)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(tr.Jobs) {
+		t.Fatalf("expected %d lines, got %d", len(tr.Jobs), got)
+	}
+
+	got, err := ReadNDJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Jobs, tr.Jobs) {
+		t.Error("ReadNDJSON round-trip mismatch")
+	}
+
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i := range tr.Jobs {
+		f, err := d.Next()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(f, tr.Jobs[i]) {
+			t.Fatalf("job %d mismatch", i)
+		}
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected io.EOF after last record, got %v", err)
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("EOF must be sticky, got %v", err)
+	}
+}
+
+// TestDocumentRoundTrip: the legacy whole-trace document written through the
+// buffered streaming writer must still load identically.
+func TestDocumentRoundTrip(t *testing.T) {
+	tr := smallTrace(t, 120)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != tr.Seed || !reflect.DeepEqual(got.Jobs, tr.Jobs) {
+		t.Error("WriteJSON/ReadJSON round-trip mismatch")
+	}
+}
+
+// TestFormatsAgree: both serializations carry the same job records.
+func TestFormatsAgree(t *testing.T) {
+	tr := smallTrace(t, 50)
+	var doc, nd bytes.Buffer
+	if err := tr.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteNDJSON(&nd); err != nil {
+		t.Fatal(err)
+	}
+	fromDoc, err := ReadJSON(&doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromND, err := ReadNDJSON(&nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromDoc.Jobs, fromND.Jobs) {
+		t.Error("document and NDJSON decode to different jobs")
+	}
+}
+
+// TestDecoderMalformedLineNumbers: decode errors must name the 1-based line
+// of the offending record and be sticky.
+func TestDecoderMalformedLineNumbers(t *testing.T) {
+	tr := smallTrace(t, 3)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, j := range tr.Jobs {
+		if err := enc.Encode(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mangle  func(lines []string) []string
+		wantErr string
+	}{
+		{
+			name:    "invalid JSON",
+			mangle:  func(l []string) []string { l[1] = "{not json"; return l },
+			wantErr: "line 2",
+		},
+		{
+			name:    "unknown class",
+			mangle:  func(l []string) []string { l[2] = strings.Replace(l[2], "\"class\":\"", "\"class\":\"x-", 1); return l },
+			wantErr: "line 3",
+		},
+		{
+			name: "invalid features",
+			mangle: func(l []string) []string {
+				l[0] = strings.Replace(l[0], "\"batch_size\":", "\"batch_size\":-", 1)
+				return l
+			},
+			wantErr: "line 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+			lines = tc.mangle(lines)
+			d := NewDecoder(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+			var err error
+			for {
+				_, err = d.Next()
+				if err != nil {
+					break
+				}
+			}
+			if errors.Is(err, io.EOF) {
+				t.Fatal("expected a decode error, got clean EOF")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name %q", err, tc.wantErr)
+			}
+			// Terminal errors repeat.
+			if _, err2 := d.Next(); err2 == nil || errors.Is(err2, io.EOF) {
+				t.Errorf("error must be sticky, got %v", err2)
+			}
+		})
+	}
+}
+
+func TestDecoderToleratesBlankLines(t *testing.T) {
+	tr := smallTrace(t, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	padded := "\n" + strings.Replace(buf.String(), "\n", "\n\n", 1)
+	got, err := ReadNDJSON(strings.NewReader(padded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 2 {
+		t.Errorf("got %d jobs, want 2", len(got.Jobs))
+	}
+}
+
+// failAfterWriter errors once n bytes have been written — exercising both
+// mid-stream write errors and the final Flush error path.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriteErrorsPropagate: the buffered writers must surface write/flush
+// errors instead of dropping silently buffered bytes.
+func TestWriteErrorsPropagate(t *testing.T) {
+	tr := smallTrace(t, 200)
+	sentinel := fmt.Errorf("disk full")
+
+	if err := tr.WriteJSON(&failAfterWriter{n: 1000, err: sentinel}); !errors.Is(err, sentinel) {
+		t.Errorf("WriteJSON: want sentinel error, got %v", err)
+	}
+	// A tiny sink forces the error out at Flush time rather than mid-write.
+	if err := tr.WriteJSON(&failAfterWriter{n: 0, err: sentinel}); !errors.Is(err, sentinel) {
+		t.Errorf("WriteJSON flush: want sentinel error, got %v", err)
+	}
+
+	if err := tr.WriteNDJSON(&failAfterWriter{n: 1000, err: sentinel}); !errors.Is(err, sentinel) {
+		t.Errorf("WriteNDJSON: want sentinel error, got %v", err)
+	}
+	enc := NewEncoder(&failAfterWriter{n: 0, err: sentinel})
+	if err := enc.Encode(tr.Jobs[0]); err != nil && !errors.Is(err, sentinel) {
+		t.Errorf("Encode: unexpected error %v", err)
+	}
+	if err := enc.Flush(); !errors.Is(err, sentinel) {
+		t.Errorf("Flush: want sentinel error, got %v", err)
+	}
+}
+
+// TestSourceMatchesGenerate: the streaming generator must sample the exact
+// job sequence Generate materializes.
+func TestSourceMatchesGenerate(t *testing.T) {
+	p := Default()
+	p.NumJobs = 500
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Remaining() != 500 {
+		t.Errorf("Remaining = %d, want 500", src.Remaining())
+	}
+	for i, want := range tr.Jobs {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("job %d diverges from Generate", i)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected io.EOF, got %v", err)
+	}
+	if src.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", src.Remaining())
+	}
+}
+
+func TestNewSourceValidates(t *testing.T) {
+	p := Default()
+	p.NumJobs = 0
+	if _, err := NewSource(p); err == nil {
+		t.Error("expected validation error for NumJobs=0")
+	}
+}

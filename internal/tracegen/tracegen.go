@@ -24,6 +24,7 @@ package tracegen
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/hw"
@@ -204,30 +205,69 @@ type Trace struct {
 	Seed int64
 }
 
-// Generate produces a deterministic synthetic trace.
+// Generate produces a deterministic synthetic trace, materialized in memory.
+// For traces too large to hold, stream jobs one at a time from a Source
+// instead; both paths sample identically for the same parameters.
 func Generate(p Params) (*Trace, error) {
+	src, err := NewSource(p)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Seed: p.Seed, Jobs: make([]workload.Features, 0, p.NumJobs)}
+	for {
+		job, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+}
+
+// Source generates the jobs of a synthetic trace one at a time, so
+// million-job traces can be evaluated without ever materializing them. A
+// Source is single-goroutine; its sampling order matches Generate exactly.
+type Source struct {
+	p       Params
+	r       *rng
+	classes []workload.Class
+	weights []float64
+	i       int
+}
+
+// NewSource validates the parameters and returns a streaming generator over
+// p.NumJobs jobs.
+func NewSource(p Params) (*Source, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	r := newRNG(p.Seed)
-	tr := &Trace{Seed: p.Seed, Jobs: make([]workload.Features, 0, p.NumJobs)}
-
 	classes := []workload.Class{workload.OneWorkerOneGPU, workload.OneWorkerNGPU, workload.PSWorker}
 	weights := make([]float64, len(classes))
 	for i, c := range classes {
 		weights[i] = p.ClassShares[c]
 	}
-
-	for i := 0; i < p.NumJobs; i++ {
-		class := classes[r.pick(weights)]
-		job, err := p.generateJob(r, i, class)
-		if err != nil {
-			return nil, fmt.Errorf("tracegen: job %d: %w", i, err)
-		}
-		tr.Jobs = append(tr.Jobs, job)
-	}
-	return tr, nil
+	return &Source{p: p, r: newRNG(p.Seed), classes: classes, weights: weights}, nil
 }
+
+// Next returns the next generated job, or io.EOF once NumJobs have been
+// produced.
+func (s *Source) Next() (workload.Features, error) {
+	if s.i >= s.p.NumJobs {
+		return workload.Features{}, io.EOF
+	}
+	class := s.classes[s.r.pick(s.weights)]
+	job, err := s.p.generateJob(s.r, s.i, class)
+	if err != nil {
+		return workload.Features{}, fmt.Errorf("tracegen: job %d: %w", s.i, err)
+	}
+	s.i++
+	return job, nil
+}
+
+// Remaining reports how many jobs the source has yet to produce.
+func (s *Source) Remaining() int { return s.p.NumJobs - s.i }
 
 // generateJob samples one job of the given class.
 func (p Params) generateJob(r *rng, idx int, class workload.Class) (workload.Features, error) {

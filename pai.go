@@ -41,6 +41,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/project"
+	"repro/internal/stream"
 	"repro/internal/tracegen"
 	"repro/internal/workload"
 )
@@ -108,6 +109,25 @@ type (
 	ExperimentSuite = experiments.Suite
 	// Artifact is one regenerated table or figure.
 	Artifact = experiments.Artifact
+
+	// StreamResult is one evaluated job from the streaming pipeline:
+	// stream index, feature record, breakdown.
+	StreamResult = stream.Result
+	// JobSource yields job records one at a time (io.EOF terminates); the
+	// streaming pipeline's input surface.
+	JobSource = stream.Source
+	// TraceSource generates synthetic-trace jobs one at a time, so
+	// million-job traces stream without ever being materialized.
+	TraceSource = tracegen.Source
+	// TraceDecoder decodes NDJSON job records incrementally, with
+	// line-numbered errors.
+	TraceDecoder = tracegen.Decoder
+	// TraceEncoder writes job records as NDJSON through a buffered writer.
+	TraceEncoder = tracegen.Encoder
+	// BreakdownAccumulator folds streamed evaluation results into the
+	// collective aggregates in O(1) memory per job; shard accumulators
+	// merge exactly.
+	BreakdownAccumulator = analyze.BreakdownAccumulator
 )
 
 // Workload classes (Table II + PEARL).
@@ -175,11 +195,36 @@ func NewModel(cfg Config) (*Model, error) { return core.New(cfg) }
 // paper's published aggregates.
 func DefaultTraceParams() TraceParams { return tracegen.Default() }
 
-// GenerateTrace produces a deterministic synthetic cluster trace.
+// GenerateTrace produces a deterministic synthetic cluster trace,
+// materialized in memory. For traces too large to hold, stream jobs from
+// NewTraceSource instead; both sample identically for the same parameters.
 func GenerateTrace(p TraceParams) (*Trace, error) { return tracegen.Generate(p) }
 
-// ReadTrace loads a trace from JSON.
+// NewTraceSource returns a streaming generator over p.NumJobs synthetic
+// jobs, for feeding Engine.EvaluateSource without materializing the trace.
+func NewTraceSource(p TraceParams) (*TraceSource, error) { return tracegen.NewSource(p) }
+
+// ReadTrace loads a whole-document JSON trace into memory.
 func ReadTrace(r io.Reader) (*Trace, error) { return tracegen.ReadJSON(r) }
+
+// ReadTraceNDJSON slurps an NDJSON trace into memory. To stream instead,
+// use Engine.EvaluateStream or NewTraceDecoder.
+func ReadTraceNDJSON(r io.Reader) (*Trace, error) { return tracegen.ReadNDJSON(r) }
+
+// IsNDJSONTracePath reports whether a trace file's extension (.ndjson,
+// .jsonl) marks it as line-delimited JSON for the streaming codec.
+func IsNDJSONTracePath(path string) bool { return tracegen.IsNDJSONPath(path) }
+
+// NewTraceDecoder returns an incremental NDJSON trace decoder; decode
+// errors carry the 1-based line number of the offending record.
+func NewTraceDecoder(r io.Reader) *TraceDecoder { return tracegen.NewDecoder(r) }
+
+// NewTraceEncoder returns a buffered NDJSON trace encoder; call Flush when
+// done and check its error.
+func NewTraceEncoder(w io.Writer) *TraceEncoder { return tracegen.NewEncoder(w) }
+
+// NewBreakdownAccumulator returns an empty streaming aggregate accumulator.
+func NewBreakdownAccumulator() *BreakdownAccumulator { return analyze.NewBreakdownAccumulator() }
 
 // CaseStudies returns the six production case-study models (Tables IV-VI).
 func CaseStudies() map[string]CaseStudy { return workload.Zoo() }
