@@ -10,9 +10,12 @@
 //	          [-max-regress 0.20] [-share-tol 0.02] [-step-tol 0.05]
 //
 // Throughput gating is one-sided: running faster than baseline always
-// passes. The baseline's jobs_per_sec is a conservative floor chosen to
-// hold across CI runner generations; fidelity fields are deterministic for
-// a given seed and compared tightly.
+// passes. The baseline's jobs_per_sec — and, since the hand-rolled NDJSON
+// scanner landed, codec_records_per_sec — are conservative floors chosen
+// to hold across CI runner generations; fidelity fields are deterministic
+// for a given seed and compared tightly. The codec gate only engages when
+// both result files carry the codec fields, so older baselines stay
+// comparable.
 package main
 
 import (
@@ -31,7 +34,10 @@ type result struct {
 	Seed       int64   `json:"seed"`
 	Backend    string  `json:"backend"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
-	Fidelity   struct {
+	// CodecRecordsPerSec is the decode-only NDJSON codec speed; zero in
+	// result files predating the codec benchmark.
+	CodecRecordsPerSec float64 `json:"codec_records_per_sec"`
+	Fidelity           struct {
 		ClassJobShare   map[string]float64 `json:"class_job_share"`
 		ClassCNodeShare map[string]float64 `json:"class_cnode_share"`
 		OverallCNode    map[string]float64 `json:"overall_cnode_level"`
@@ -91,6 +97,15 @@ func run(args []string, stdout io.Writer) error {
 	check(cur.JobsPerSec >= floor,
 		"throughput: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
 		cur.JobsPerSec, base.JobsPerSec, floor, *maxRegress*100)
+
+	// NDJSON decode hot path, gated the same one-sided way once both
+	// results measure it.
+	if base.CodecRecordsPerSec > 0 && cur.CodecRecordsPerSec > 0 {
+		codecFloor := base.CodecRecordsPerSec * (1 - *maxRegress)
+		check(cur.CodecRecordsPerSec >= codecFloor,
+			"codec: %.0f records/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
+			cur.CodecRecordsPerSec, base.CodecRecordsPerSec, codecFloor, *maxRegress*100)
+	}
 
 	compareShares := func(name string, base, cur map[string]float64) {
 		for key, b := range base {

@@ -117,3 +117,38 @@ func TestCheckedInBaselineLoads(t *testing.T) {
 		t.Errorf("baseline incomplete: %+v", r)
 	}
 }
+
+func TestCodecRegressionFails(t *testing.T) {
+	base := writeResult(t, "base.json", func(r *result) { r.CodecRecordsPerSec = 130000 })
+	cur := writeResult(t, "cur.json", func(r *result) { r.CodecRecordsPerSec = 50000 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("codec regression should fail the gate")
+	}
+	if !strings.Contains(out.String(), "FAIL codec") {
+		t.Errorf("output does not name the codec gate:\n%s", out.String())
+	}
+}
+
+func TestCodecGateSkippedWhenAbsent(t *testing.T) {
+	// Baselines predating the codec benchmark carry no codec field; the
+	// gate must not engage.
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) { r.CodecRecordsPerSec = 50000 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("gate engaged without a baseline codec figure: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "codec") {
+		t.Errorf("codec line emitted without baseline figure:\n%s", out.String())
+	}
+}
+
+func TestCodecFasterAlwaysPasses(t *testing.T) {
+	base := writeResult(t, "base.json", func(r *result) { r.CodecRecordsPerSec = 130000 })
+	cur := writeResult(t, "cur.json", func(r *result) { r.CodecRecordsPerSec = 900000 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("faster codec failed the gate: %v", err)
+	}
+}

@@ -2,25 +2,45 @@
 // it generates a parameterized synthetic trace (10k to millions of jobs),
 // streams it through a registered evaluation backend without ever
 // materializing it, and emits a machine-readable result JSON — throughput,
-// allocation rates, peak heap, and the aggregate fidelity of the streamed
-// trace against the paper's Fig. 5 / Sec. III-D headline statistics.
+// allocation rates, peak heap, cache effectiveness, per-shard throughput,
+// NDJSON codec speed, and the aggregate fidelity of the streamed trace
+// against the paper's Fig. 5 / Sec. III-D headline statistics.
 //
 // Usage:
 //
-//	paibench [-jobs N] [-seed S] [-backend name] [-par N] [-codec] [-o result.json]
+//	paibench [-jobs N] [-seed S] [-backend name] [-par N] [-shards N]
+//	         [-cache N] [-distinct N] [-codec] [-o result.json]
+//
+// With -shards N the trace is split into N generator partitions drained
+// concurrently by independent worker sets into per-shard accumulators and
+// folded with the exact merge (Engine.EvaluateSources). Multi-shard mode
+// models the production fast path, where traces are heavily repetitive —
+// the same feature records recur thousands of times (the motivation for
+// content-keyed result caching) — so it defaults to a repetitive trace
+// (-distinct 4096) with the result cache on (-cache 16384). Single-shard
+// mode defaults to the cold path: every job distinct, no cache — the
+// configuration the golden baseline gates. Every default is overridable:
+// -distinct 0 forces a fully distinct trace, -cache 0 disables the cache
+// in any mode.
 //
 // With -codec the jobs additionally round-trip through the NDJSON
-// encoder/decoder over an in-process pipe, measuring the full
-// decode→shard→evaluate→fold path a recorded trace would take.
+// encoder/decoder over an in-process pipe (one pipe per shard), measuring
+// the full decode→shard→evaluate→fold path a recorded trace would take.
+// Independently of -codec, every run reports the decode-only speed of the
+// NDJSON codec (codec_ns_per_record), measured on an in-memory sample
+// after the pipeline finishes so it cannot disturb the heap statistics.
 //
 // The result JSON doubles as the golden baseline for CI regression gating:
 // BENCH_BASELINE.json at the repository root is a checked-in paibench
-// result, and cmd/benchdiff fails the build when a run regresses against it.
+// result, and cmd/benchdiff fails the build when a run regresses against
+// it.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,7 +54,8 @@ import (
 	pai "repro"
 )
 
-// Result is the machine-readable paibench output (schema "paibench/1").
+// Result is the machine-readable paibench output (schema "paibench/1";
+// fields are strictly additive so older baselines stay comparable).
 type Result struct {
 	Schema  string `json:"schema"`
 	Jobs    int    `json:"jobs"`
@@ -43,12 +64,32 @@ type Result struct {
 	Workers int    `json:"workers"`
 	Codec   bool   `json:"codec"`
 
+	// Shards is the number of generator partitions drained concurrently;
+	// DistinctJobs is the number of distinct feature records across the
+	// whole trace (0 = every job distinct).
+	Shards       int `json:"shards"`
+	DistinctJobs int `json:"distinct_jobs"`
+
 	ElapsedSec float64 `json:"elapsed_sec"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// ShardJobsPerSec is each partition's delivered jobs over the wall
+	// clock of the whole run.
+	ShardJobsPerSec []float64 `json:"shard_jobs_per_sec,omitempty"`
+
+	// Result-cache effectiveness (zero when the cache is off).
+	CacheEntries int     `json:"cache_entries"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 
 	AllocsPerJob  float64 `json:"allocs_per_job"`
 	BytesPerJob   float64 `json:"bytes_per_job"`
 	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+
+	// Decode-only speed of the NDJSON codec, measured on an in-memory
+	// sample outside the pipeline's heap-sampling window.
+	CodecNsPerRecord   float64 `json:"codec_ns_per_record"`
+	CodecRecordsPerSec float64 `json:"codec_records_per_sec"`
 
 	Fidelity Fidelity `json:"fidelity"`
 
@@ -80,11 +121,28 @@ const (
 	paperOverallComput = 0.35
 )
 
+// Multi-shard defaults: a production-shaped repetitive trace small enough
+// that its distinct set fits the default cache with room to spare.
+const (
+	autoDistinct     = 4096
+	autoCacheEntries = 16384
+)
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "paibench:", err)
 		os.Exit(1)
 	}
+}
+
+// config is the fully resolved benchmark parameterization.
+type config struct {
+	jobs     int
+	seed     int64
+	shards   int
+	distinct int
+	cache    int
+	codec    bool
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -95,7 +153,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	backendName := fs.String("backend", "analytical",
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
-	codec := fs.Bool("codec", false, "round-trip jobs through the NDJSON codec over a pipe")
+	shards := fs.Int("shards", 1, "generator partitions drained concurrently (multi-trace sharding)")
+	distinct := fs.Int("distinct", -1,
+		"distinct feature records across the trace; later jobs are exact resubmissions (-1 = auto: 0 for -shards 1, 4096 otherwise; 0 = all distinct)")
+	cacheEntries := fs.Int("cache", -1,
+		"result-cache entry budget (-1 = auto: 0 for -shards 1, 16384 otherwise; 0 = off)")
+	codec := fs.Bool("codec", false, "round-trip jobs through the NDJSON codec over a pipe (one per shard)")
 	out := fs.String("o", "", "result JSON file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,26 +166,56 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *jobs < 1 {
 		return fmt.Errorf("-jobs must be positive, got %d", *jobs)
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be positive, got %d", *shards)
+	}
+	if *shards > *jobs {
+		return fmt.Errorf("-shards %d exceeds -jobs %d", *shards, *jobs)
+	}
+	cfg := config{jobs: *jobs, seed: *seed, shards: *shards, distinct: *distinct, cache: *cacheEntries, codec: *codec}
+	if cfg.distinct < 0 {
+		if cfg.shards > 1 {
+			cfg.distinct = autoDistinct
+		} else {
+			cfg.distinct = 0
+		}
+	}
+	if cfg.cache < 0 {
+		if cfg.shards > 1 {
+			cfg.cache = autoCacheEntries
+		} else {
+			cfg.cache = 0
+		}
+	}
+	if cfg.distinct > cfg.jobs {
+		cfg.distinct = 0 // a distinct budget beyond the trace is no repetition at all
+	}
 
 	opts := []pai.Option{pai.WithBackend(*backendName)}
 	if *par > 0 {
 		opts = append(opts, pai.WithParallelism(*par))
+	}
+	if cfg.cache > 0 {
+		opts = append(opts, pai.WithCache(cfg.cache))
 	}
 	eng, err := pai.New(opts...)
 	if err != nil {
 		return err
 	}
 
-	p := pai.DefaultTraceParams()
-	p.NumJobs = *jobs
-	p.Seed = *seed
-
-	res, err := measure(eng, p, *codec)
+	res, err := measure(eng, cfg)
 	if err != nil {
 		return err
 	}
 	res.Backend = eng.Backend()
 	res.Workers = eng.Parallelism()
+
+	// Decode-only codec benchmark, after the pipeline so the sample buffer
+	// never shows up in the pipeline's peak-heap measurement.
+	res.CodecNsPerRecord, res.CodecRecordsPerSec, err = benchCodec(cfg)
+	if err != nil {
+		return err
+	}
 
 	w := stdout
 	if *out != "" {
@@ -138,15 +231,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := enc.Encode(res); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "paibench: %d jobs in %.2fs — %.0f jobs/sec, %.1f allocs/job, peak heap %.1f MiB\n",
-		res.Jobs, res.ElapsedSec, res.JobsPerSec, res.AllocsPerJob,
-		float64(res.PeakHeapBytes)/(1<<20))
+	fmt.Fprintf(stderr, "paibench: %d jobs in %.2fs — %.0f jobs/sec (%d shard(s)), %.1f allocs/job, peak heap %.1f MiB, cache hit rate %.1f%%, codec %.0f ns/record\n",
+		res.Jobs, res.ElapsedSec, res.JobsPerSec, res.Shards, res.AllocsPerJob,
+		float64(res.PeakHeapBytes)/(1<<20), res.CacheHitRate*100, res.CodecNsPerRecord)
 	return nil
+}
+
+// shardParams splits the trace across cfg.shards generator partitions:
+// partition k gets an even slice of the job and distinct budgets and its
+// own seed, so partitions are diverse across shards and repetitive within
+// one — the shape of production multi-trace workloads.
+func shardParams(cfg config) []pai.TraceParams {
+	ps := make([]pai.TraceParams, cfg.shards)
+	for k := range ps {
+		p := pai.DefaultTraceParams()
+		p.Seed = cfg.seed + int64(k)
+		p.NumJobs = cfg.jobs / cfg.shards
+		if k < cfg.jobs%cfg.shards {
+			p.NumJobs++
+		}
+		if cfg.distinct > 0 {
+			p.DistinctJobs = cfg.distinct / cfg.shards
+			if k < cfg.distinct%cfg.shards {
+				p.DistinctJobs++
+			}
+			if p.DistinctJobs < 1 {
+				p.DistinctJobs = 1
+			}
+		}
+		ps[k] = p
+	}
+	return ps
 }
 
 // measure streams the parameterized trace through the engine, sampling the
 // heap as it goes, and assembles the result.
-func measure(eng *pai.Engine, p pai.TraceParams, codec bool) (*Result, error) {
+func measure(eng *pai.Engine, cfg config) (*Result, error) {
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -156,14 +276,18 @@ func measure(eng *pai.Engine, p pai.TraceParams, codec bool) (*Result, error) {
 	peak := newPeakSampler(5 * time.Millisecond)
 
 	start := time.Now()
-	acc, n, err := stream(eng, p, codec)
+	acc, counts, err := stream(eng, cfg)
 	elapsed := time.Since(start)
 	peak.stop()
 	if err != nil {
 		return nil, err
 	}
-	if n != p.NumJobs {
-		return nil, fmt.Errorf("streamed %d of %d jobs", n, p.NumJobs)
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n != cfg.jobs {
+		return nil, fmt.Errorf("streamed %d of %d jobs", n, cfg.jobs)
 	}
 
 	var after runtime.MemStats
@@ -173,71 +297,148 @@ func measure(eng *pai.Engine, p pai.TraceParams, codec bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Schema:        "paibench/1",
 		Jobs:          n,
-		Seed:          p.Seed,
-		Codec:         codec,
+		Seed:          cfg.seed,
+		Codec:         cfg.codec,
+		Shards:        cfg.shards,
+		DistinctJobs:  cfg.distinct,
 		ElapsedSec:    elapsed.Seconds(),
 		JobsPerSec:    float64(n) / elapsed.Seconds(),
 		AllocsPerJob:  float64(after.Mallocs-before.Mallocs) / float64(n),
 		BytesPerJob:   float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
 		PeakHeapBytes: peak.max(),
 		Fidelity:      *fid,
-	}, nil
+	}
+	if cfg.shards > 1 {
+		res.ShardJobsPerSec = make([]float64, len(counts))
+		for i, c := range counts {
+			res.ShardJobsPerSec[i] = float64(c) / elapsed.Seconds()
+		}
+	}
+	st := eng.CacheStats()
+	res.CacheEntries = cfg.cache
+	res.CacheHits = st.Hits
+	res.CacheMisses = st.Misses
+	res.CacheHitRate = st.HitRate()
+	return res, nil
 }
 
-// stream runs the generator through the engine, either directly or through
-// the NDJSON codec over an in-process pipe, folding into an accumulator.
-func stream(eng *pai.Engine, p pai.TraceParams, codec bool) (*pai.BreakdownAccumulator, int, error) {
+// stream drains the shard partitions through the engine — directly, or each
+// through the NDJSON codec over its own in-process pipe — into the merged
+// accumulator, returning per-shard delivered counts.
+func stream(eng *pai.Engine, cfg config) (*pai.BreakdownAccumulator, []int, error) {
+	params := shardParams(cfg)
+	srcs := make([]pai.JobSource, len(params))
+	var cleanup []func()
+	defer func() {
+		for _, f := range cleanup {
+			f()
+		}
+	}()
+	for i, p := range params {
+		src, err := pai.NewTraceSource(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !cfg.codec {
+			srcs[i] = src
+			continue
+		}
+		// Codec mode: generator → NDJSON encoder → pipe → streaming
+		// decoder. The pipe bounds in-flight bytes, so memory stays
+		// O(workers) here too.
+		pr, pw := io.Pipe()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			enc := pai.NewTraceEncoder(pw)
+			for {
+				f, err := src.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					pw.CloseWithError(err)
+					return
+				}
+				if err := enc.Encode(f); err != nil {
+					pw.CloseWithError(err)
+					return
+				}
+			}
+			pw.CloseWithError(enc.Flush())
+		}()
+		srcs[i] = pai.NewTraceDecoder(pr)
+		cleanup = append(cleanup, func() {
+			pr.Close()
+			wg.Wait()
+		})
+	}
+	acc, counts, err := eng.EvaluateSources(context.Background(), srcs...)
+	if err != nil {
+		return nil, counts, err
+	}
+	return acc, counts, nil
+}
+
+// benchCodec measures decode-only NDJSON speed: a sample of the seed trace
+// is encoded once into memory, then decoded repeatedly until enough time
+// has elapsed for a stable ns/record figure.
+func benchCodec(cfg config) (nsPerRecord, recordsPerSec float64, err error) {
+	p := pai.DefaultTraceParams()
+	p.Seed = cfg.seed
+	p.NumJobs = cfg.jobs
+	if p.NumJobs > 50000 {
+		p.NumJobs = 50000
+	}
 	src, err := pai.NewTraceSource(p)
 	if err != nil {
-		return nil, 0, err
+		return 0, 0, err
 	}
-	ctx := context.Background()
-	if !codec {
-		acc, err := eng.StreamBreakdowns(ctx, src)
-		if err != nil {
-			return nil, 0, err
+	var buf bytes.Buffer
+	enc := pai.NewTraceEncoder(&buf)
+	for {
+		f, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
 		}
-		return acc, acc.N(), nil
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := enc.Encode(f); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return 0, 0, err
 	}
 
-	// Codec mode: generator → NDJSON encoder → pipe → streaming decoder →
-	// pipeline. The pipe bounds the in-flight bytes, so memory stays
-	// O(workers) here too.
-	pr, pw := io.Pipe()
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		enc := pai.NewTraceEncoder(pw)
+	const minDuration = 200 * time.Millisecond
+	var records int
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		dec := pai.NewTraceDecoder(bytes.NewReader(buf.Bytes()))
 		for {
-			f, err := src.Next()
-			if err == io.EOF {
+			_, err := dec.Next()
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			if err != nil {
-				pw.CloseWithError(err)
-				return
+				return 0, 0, err
 			}
-			if err := enc.Encode(f); err != nil {
-				pw.CloseWithError(err)
-				return
-			}
+			records++
 		}
-		pw.CloseWithError(enc.Flush())
-	}()
-	acc := pai.NewBreakdownAccumulator()
-	n, err := eng.EvaluateStream(ctx, pr, func(r pai.StreamResult) error {
-		return acc.Add(r.Job, r.Times)
-	})
-	pr.CloseWithError(err)
-	wg.Wait()
-	if err != nil {
-		return nil, n, err
 	}
-	return acc, n, nil
+	elapsed := time.Since(start)
+	if records == 0 {
+		return 0, 0, fmt.Errorf("codec benchmark decoded no records")
+	}
+	nsPerRecord = float64(elapsed.Nanoseconds()) / float64(records)
+	recordsPerSec = float64(records) / elapsed.Seconds()
+	return nsPerRecord, recordsPerSec, nil
 }
 
 // fidelity extracts the headline aggregates and their deltas vs the paper.

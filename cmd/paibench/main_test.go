@@ -114,3 +114,74 @@ func TestPeakHeapIndependentOfJobs(t *testing.T) {
 			small.PeakHeapBytes, large.PeakHeapBytes, limit)
 	}
 }
+
+// TestShardedCachedRun: multi-shard mode must deliver every job across the
+// partitions, hit the defaulted result cache on its repetitive trace, and
+// report per-shard throughput and codec speed.
+func TestShardedCachedRun(t *testing.T) {
+	r := runToFile(t, []string{"-jobs", "40000", "-seed", "3", "-shards", "4"})
+	if r.Jobs != 40000 || r.Shards != 4 {
+		t.Fatalf("jobs/shards = %d/%d", r.Jobs, r.Shards)
+	}
+	if r.DistinctJobs != autoDistinct || r.CacheEntries != autoCacheEntries {
+		t.Errorf("multi-shard defaults not applied: distinct %d cache %d", r.DistinctJobs, r.CacheEntries)
+	}
+	if r.CacheHitRate <= 0 || r.CacheHits == 0 {
+		t.Errorf("repetitive sharded run should hit the cache: %+v", r)
+	}
+	if r.CacheHits+r.CacheMisses < uint64(r.Jobs) {
+		t.Errorf("hits %d + misses %d < %d jobs", r.CacheHits, r.CacheMisses, r.Jobs)
+	}
+	if len(r.ShardJobsPerSec) != 4 {
+		t.Fatalf("shard throughput rows = %d", len(r.ShardJobsPerSec))
+	}
+	for i, tput := range r.ShardJobsPerSec {
+		if tput <= 0 {
+			t.Errorf("shard %d throughput %v", i, tput)
+		}
+	}
+	if r.CodecNsPerRecord <= 0 || r.CodecRecordsPerSec <= 0 {
+		t.Errorf("codec speed not measured: %v ns, %v rec/s", r.CodecNsPerRecord, r.CodecRecordsPerSec)
+	}
+}
+
+// TestSingleShardDefaultsStayCold: the baseline configuration (one shard)
+// must keep the pre-sharding cold path — fully distinct trace, no cache —
+// so the golden baseline remains comparable across releases.
+func TestSingleShardDefaultsStayCold(t *testing.T) {
+	r := runToFile(t, []string{"-jobs", "2000", "-seed", "5"})
+	if r.Shards != 1 || r.DistinctJobs != 0 || r.CacheEntries != 0 {
+		t.Errorf("cold-path defaults drifted: shards %d distinct %d cache %d",
+			r.Shards, r.DistinctJobs, r.CacheEntries)
+	}
+	if r.CacheHits != 0 || r.CacheMisses != 0 {
+		t.Errorf("cache counters active without a cache: %+v", r)
+	}
+	if len(r.ShardJobsPerSec) != 0 {
+		t.Errorf("single-shard run should not emit per-shard rows: %v", r.ShardJobsPerSec)
+	}
+}
+
+// TestShardedFidelityMatchesUnsharded: the per-shard accumulators must fold
+// into the same aggregates an unsharded pass over the same partitions
+// produces (the merge is exact).
+func TestShardedFidelityMatchesUnsharded(t *testing.T) {
+	// Same partitions, forced distinct and uncached on both sides so only
+	// the fold topology differs.
+	sharded := runToFile(t, []string{"-jobs", "12000", "-seed", "2", "-shards", "3", "-distinct", "0", "-cache", "0"})
+	shardedCached := runToFile(t, []string{"-jobs", "12000", "-seed", "2", "-shards", "3", "-distinct", "0", "-cache", "65536"})
+	for name, pair := range map[string][2]map[string]float64{
+		"class_job_share":     {sharded.Fidelity.ClassJobShare, shardedCached.Fidelity.ClassJobShare},
+		"class_cnode_share":   {sharded.Fidelity.ClassCNodeShare, shardedCached.Fidelity.ClassCNodeShare},
+		"overall_cnode_level": {sharded.Fidelity.OverallCNode, shardedCached.Fidelity.OverallCNode},
+	} {
+		for k, a := range pair[0] {
+			if b := pair[1][k]; math.Abs(a-b) > 1e-12 {
+				t.Errorf("%s[%s]: cached sharded %v vs uncached %v", name, k, b, a)
+			}
+		}
+	}
+	if sharded.Fidelity.P99StepSec != shardedCached.Fidelity.P99StepSec {
+		t.Errorf("p99 drift under cache: %v vs %v", shardedCached.Fidelity.P99StepSec, sharded.Fidelity.P99StepSec)
+	}
+}

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	paichar [-trace trace.json|trace.ndjson] [-jobs N] [-class PS/Worker]
+//	paichar [-trace trace.json|trace.ndjson]... [-jobs N] [-class PS/Worker]
 //
 // Without -trace a calibrated synthetic trace of -jobs jobs is generated.
 // NDJSON traces (.ndjson/.jsonl, or -ndjson) are streamed through the
 // bounded pipeline instead of being materialized, so they can hold millions
 // of jobs; streaming mode reports the constitution and breakdown sections.
+//
+// -trace may repeat: multiple NDJSON traces are drained concurrently as
+// shards, each by its own worker set into its own accumulator, and folded
+// with the exact merge into one characterization (Engine.EvaluateSources).
+// -cache N puts a content-keyed result cache in front of the backend, which
+// pays off on production-shaped traces where the same jobs recur.
 package main
 
 import (
@@ -34,27 +40,46 @@ func main() {
 	}
 }
 
+// traceList collects repeated -trace flags.
+type traceList []string
+
+func (t *traceList) String() string { return strings.Join(*t, ",") }
+func (t *traceList) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("paichar", flag.ContinueOnError)
 	fs.SetOutput(stdout)
-	tracePath := fs.String("trace", "", "trace file: whole-document JSON, or NDJSON (streamed; detected by .ndjson/.jsonl extension or -ndjson)")
+	var traces traceList
+	fs.Var(&traces, "trace", "trace file: whole-document JSON, or NDJSON (streamed; detected by .ndjson/.jsonl extension or -ndjson); repeat for sharded multi-trace evaluation (all NDJSON)")
 	ndjson := fs.Bool("ndjson", false, "treat -trace as NDJSON and stream it (constitution + breakdowns only)")
 	jobs := fs.Int("jobs", 5000, "synthetic trace size when no -trace given")
 	sweepClass := fs.String("class", "PS/Worker", "class for the hardware sweep panel")
 	backendName := fs.String("backend", "analytical",
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache", 0, "content-keyed result-cache entry budget (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *tracePath != "" && (*ndjson || pai.IsNDJSONTracePath(*tracePath)) {
-		return runStreaming(*tracePath, *backendName, *par, stdout)
+	if len(traces) > 1 {
+		for _, path := range traces {
+			if !*ndjson && !pai.IsNDJSONTracePath(path) {
+				return fmt.Errorf("multi-trace mode streams NDJSON only; %q is not (.ndjson/.jsonl or -ndjson)", path)
+			}
+		}
+		return runStreaming(traces, *backendName, *par, *cacheEntries, stdout)
+	}
+	if len(traces) == 1 && (*ndjson || pai.IsNDJSONTracePath(traces[0])) {
+		return runStreaming(traces, *backendName, *par, *cacheEntries, stdout)
 	}
 
 	var trace *pai.Trace
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	if len(traces) == 1 {
+		f, err := os.Open(traces[0])
 		if err != nil {
 			return err
 		}
@@ -79,6 +104,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *par > 0 {
 		opts = append(opts, pai.WithParallelism(*par))
+	}
+	if *cacheEntries > 0 {
+		opts = append(opts, pai.WithCache(*cacheEntries))
 	}
 	eng, err := pai.New(opts...)
 	if err != nil {
@@ -194,16 +222,21 @@ func renderBreakdowns(stdout io.Writer, rows []pai.BreakdownRow, overall map[pai
 	return err
 }
 
-// runStreaming characterizes an NDJSON trace through the streaming pipeline:
-// the trace is never materialized, so it can be arbitrarily large. The
-// projection and hardware-sweep sections need per-job feature access and are
-// skipped.
-func runStreaming(path, backendName string, par int, stdout io.Writer) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
+// runStreaming characterizes one or more NDJSON traces through the
+// streaming pipeline: traces are never materialized, so they can be
+// arbitrarily large, and multiple traces drain concurrently as shards
+// folded with the exact merge. The projection and hardware-sweep sections
+// need per-job feature access and are skipped.
+func runStreaming(paths []string, backendName string, par, cacheEntries int, stdout io.Writer) error {
+	srcs := make([]pai.JobSource, len(paths))
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		srcs[i] = pai.NewTraceDecoder(f)
 	}
-	defer f.Close()
 
 	opts := []pai.Option{
 		pai.WithConfig(pai.BaselineConfig()),
@@ -212,11 +245,14 @@ func runStreaming(path, backendName string, par int, stdout io.Writer) error {
 	if par > 0 {
 		opts = append(opts, pai.WithParallelism(par))
 	}
+	if cacheEntries > 0 {
+		opts = append(opts, pai.WithCache(cacheEntries))
+	}
 	eng, err := pai.New(opts...)
 	if err != nil {
 		return err
 	}
-	acc, err := eng.StreamBreakdowns(context.Background(), pai.NewTraceDecoder(f))
+	acc, counts, err := eng.EvaluateSources(context.Background(), srcs...)
 	if err != nil {
 		return err
 	}
@@ -226,6 +262,9 @@ func runStreaming(path, backendName string, par int, stdout io.Writer) error {
 		return err
 	}
 	title := fmt.Sprintf("Workload constitution (%d jobs, streamed)", acc.N())
+	if len(paths) > 1 {
+		title = fmt.Sprintf("Workload constitution (%d jobs over %d trace shards, streamed)", acc.N(), len(paths))
+	}
 	if err := renderConstitution(stdout, title, c); err != nil {
 		return err
 	}
@@ -242,6 +281,15 @@ func runStreaming(path, backendName string, par int, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "step time: mean %.4fs, p50 %.4fs over %d jobs (%s backend, %d workers)\n",
 		acc.StepTime().Mean(), p50, acc.N(), eng.Backend(), eng.Parallelism())
+	if len(paths) > 1 {
+		for i, path := range paths {
+			fmt.Fprintf(stdout, "  shard %d: %d jobs from %s\n", i, counts[i], path)
+		}
+	}
+	if st := eng.CacheStats(); st.Hits+st.Misses > 0 {
+		fmt.Fprintf(stdout, "result cache: %.1f%% hit rate (%d hits, %d misses, %d resident)\n",
+			st.HitRate()*100, st.Hits, st.Misses, st.Entries)
+	}
 	fmt.Fprintln(stdout, "(projection and hardware-sweep sections need an in-memory trace; rerun with a whole-document JSON trace)")
 	return nil
 }

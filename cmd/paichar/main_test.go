@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -65,5 +66,59 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-jobs", "0"}, &buf); err == nil {
 		t.Error("expected error for zero jobs")
+	}
+}
+
+// TestRunMultiTraceShards: repeated -trace flags drain NDJSON shards
+// concurrently and fold them into one characterization.
+func TestRunMultiTraceShards(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 900
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths := []string{}
+	third := len(tr.Jobs) / 3
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.ndjson", i))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := &pai.Trace{Jobs: tr.Jobs[i*third : (i+1)*third]}
+		if err := part.WriteNDJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, path)
+	}
+	var buf bytes.Buffer
+	args := []string{"-cache", "1024"}
+	for _, p := range paths {
+		args = append(args, "-trace", p)
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "900 jobs over 3 trace shards") {
+		t.Errorf("missing sharded constitution header:\n%s", out)
+	}
+	if !strings.Contains(out, "shard 2: 300 jobs") {
+		t.Errorf("missing per-shard counts:\n%s", out)
+	}
+	if !strings.Contains(out, "result cache:") {
+		t.Errorf("missing cache stats line:\n%s", out)
+	}
+}
+
+// TestRunMultiTraceRejectsWholeDocument: sharded mode is NDJSON-only.
+func TestRunMultiTraceRejectsWholeDocument(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-trace", "a.ndjson", "-trace", "b.json"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "NDJSON") {
+		t.Errorf("want NDJSON-only error, got %v", err)
 	}
 }

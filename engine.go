@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/backend"
+	"repro/internal/evalcache"
 	"repro/internal/project"
 	"repro/internal/stream"
 	"repro/internal/tracegen"
@@ -32,11 +33,17 @@ import (
 // GOMAXPROCS parallelism). An Engine is immutable after construction; derive
 // variants with With.
 type Engine struct {
-	spec        backend.Spec
-	backendName string
-	parallelism int
+	spec         backend.Spec
+	backendName  string
+	parallelism  int
+	cacheEntries int
 
 	b backend.Backend
+	// ev is the per-job evaluation surface every batch and streaming
+	// pipeline runs through: the backend itself, or — under WithCache — a
+	// sharded content-keyed memo wrapping it.
+	ev    backend.Evaluator
+	cache *evalcache.Cache
 
 	// initOnce guards lazy initialization of the zero value.
 	initOnce sync.Once
@@ -124,6 +131,26 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithCache puts a sharded, content-keyed result cache (internal/evalcache)
+// in front of the backend, bounded to roughly `entries` resident
+// breakdowns. Every per-job evaluation path — Evaluate, EvaluateBatch, the
+// streaming folds — transparently hits it, so production-shaped traces
+// where the same feature record recurs thousands of times stop re-running
+// the model. entries <= 0 disables caching (the default). Inspect
+// effectiveness with CacheStats.
+//
+// Breakdowns served from the cache share one immutable WeightsByLink map
+// per entry; treat it as read-only (copy it before mutating).
+func WithCache(entries int) Option {
+	return func(e *Engine) error {
+		if entries < 0 {
+			entries = 0
+		}
+		e.cacheEntries = entries
+		return nil
+	}
+}
+
 // New builds an Engine from the defaults plus the given options.
 func New(opts ...Option) (*Engine, error) {
 	e := &Engine{
@@ -141,6 +168,15 @@ func New(opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	e.b = b
+	e.ev = b
+	if e.cacheEntries > 0 {
+		c, err := evalcache.New(b, e.spec, e.cacheEntries)
+		if err != nil {
+			return nil, err
+		}
+		e.cache = c
+		e.ev = c
+	}
 	return e, nil
 }
 
@@ -155,11 +191,21 @@ func (e *Engine) ensure() (backend.Backend, error) {
 		e.backendName = backend.AnalyticalName
 		e.parallelism = runtime.GOMAXPROCS(0)
 		e.b, e.initErr = backend.New(e.backendName, e.spec)
+		e.ev = e.b
 	})
 	if e.initErr != nil {
 		return nil, e.initErr
 	}
 	return e.b, nil
+}
+
+// evaluator returns the engine's per-job evaluation surface: the cache when
+// WithCache is configured, the bare backend otherwise.
+func (e *Engine) evaluator() (backend.Evaluator, error) {
+	if _, err := e.ensure(); err != nil {
+		return nil, err
+	}
+	return e.ev, nil
 }
 
 // With derives a new Engine: the receiver's configuration plus the given
@@ -168,7 +214,7 @@ func (e *Engine) With(opts ...Option) (*Engine, error) {
 	if _, err := e.ensure(); err != nil {
 		return nil, err
 	}
-	merged := make([]Option, 0, len(opts)+4)
+	merged := make([]Option, 0, len(opts)+8)
 	merged = append(merged,
 		WithConfig(e.spec.Config),
 		WithEfficiency(e.spec.Eff),
@@ -176,6 +222,7 @@ func (e *Engine) With(opts ...Option) (*Engine, error) {
 		WithArchOptions(e.spec.Arch),
 		WithBackend(e.backendName),
 		WithParallelism(e.parallelism),
+		WithCache(e.cacheEntries),
 		func(d *Engine) error { d.spec.OverlapAlpha = e.spec.OverlapAlpha; return nil },
 	)
 	merged = append(merged, opts...)
@@ -216,11 +263,11 @@ func (e *Engine) Parallelism() int {
 
 // Evaluate computes the per-step execution-time breakdown of one workload.
 func (e *Engine) Evaluate(f Features) (Times, error) {
-	b, err := e.ensure()
+	ev, err := e.evaluator()
 	if err != nil {
 		return Times{}, err
 	}
-	return b.Breakdown(f)
+	return ev.Breakdown(f)
 }
 
 // StepTime returns the modeled per-step execution time of one workload.
@@ -270,11 +317,11 @@ func (e *Engine) Bottleneck(f Features) (HardwareComponent, float64, error) {
 // pool and returns the breakdowns in input order. The context cancels the
 // batch; the first evaluation error stops it.
 func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Features) ([]Times, error) {
-	b, err := e.ensure()
+	ev, err := e.evaluator()
 	if err != nil {
 		return nil, err
 	}
-	return backend.EvaluateBatch(ctx, b, jobs, e.parallelism)
+	return backend.EvaluateBatch(ctx, ev, jobs, e.parallelism)
 }
 
 // EvaluateStream decodes NDJSON job records from r incrementally, evaluates
@@ -286,22 +333,22 @@ func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Features) ([]Times, e
 // the offending line number), an evaluation error, an fn error, or the
 // context's cancellation.
 func (e *Engine) EvaluateStream(ctx context.Context, r io.Reader, fn func(StreamResult) error) (int, error) {
-	b, err := e.ensure()
+	ev, err := e.evaluator()
 	if err != nil {
 		return 0, err
 	}
-	return stream.Evaluate(ctx, b, tracegen.NewDecoder(r), e.parallelism, fn)
+	return stream.Evaluate(ctx, ev, tracegen.NewDecoder(r), e.parallelism, fn)
 }
 
 // EvaluateSource is EvaluateStream over any job source — a streaming
 // synthetic-trace generator (NewTraceSource), an NDJSON decoder, or an
 // in-memory slice — instead of an NDJSON reader.
 func (e *Engine) EvaluateSource(ctx context.Context, src JobSource, fn func(StreamResult) error) (int, error) {
-	b, err := e.ensure()
+	ev, err := e.evaluator()
 	if err != nil {
 		return 0, err
 	}
-	return stream.Evaluate(ctx, b, src, e.parallelism, fn)
+	return stream.Evaluate(ctx, ev, src, e.parallelism, fn)
 }
 
 // StreamBreakdowns streams every job from src through the engine and folds
@@ -309,30 +356,55 @@ func (e *Engine) EvaluateSource(ctx context.Context, src JobSource, fn func(Stre
 // overall breakdowns, step-time summary — into one accumulator without
 // materializing the trace.
 func (e *Engine) StreamBreakdowns(ctx context.Context, src JobSource) (*BreakdownAccumulator, error) {
-	b, err := e.ensure()
+	ev, err := e.evaluator()
 	if err != nil {
 		return nil, err
 	}
-	return analyze.Fold(ctx, b, e.parallelism, src)
+	return analyze.Fold(ctx, ev, e.parallelism, src)
+}
+
+// EvaluateSources is the sharded StreamBreakdowns: N job sources — NDJSON
+// decoders over N trace files, N generator partitions, in-memory slices —
+// are drained concurrently, each by its own worker set into its own
+// per-shard accumulator, and the shard accumulators are folded with the
+// exact BreakdownAccumulator.Merge into one aggregate. The engine's
+// parallelism budget is split evenly across shards. It returns the merged
+// accumulator and the per-shard job counts; any shard error cancels every
+// shard.
+func (e *Engine) EvaluateSources(ctx context.Context, srcs ...JobSource) (*BreakdownAccumulator, []int, error) {
+	ev, err := e.evaluator()
+	if err != nil {
+		return nil, nil, err
+	}
+	return analyze.FoldSources(ctx, ev, e.parallelism, srcs)
+}
+
+// CacheStats snapshots the result cache's hit/miss counters and residency.
+// Without WithCache it returns zero stats.
+func (e *Engine) CacheStats() CacheStats {
+	if _, err := e.ensure(); err != nil || e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
 }
 
 // Breakdowns computes the Fig. 7 average breakdown rows over a trace.
 func (e *Engine) Breakdowns(ctx context.Context, jobs []Features) ([]BreakdownRow, error) {
-	b, err := e.ensure()
+	ev, err := e.evaluator()
 	if err != nil {
 		return nil, err
 	}
-	return analyze.Breakdowns(ctx, b, e.parallelism, jobs)
+	return analyze.Breakdowns(ctx, ev, e.parallelism, jobs)
 }
 
 // OverallBreakdown aggregates component shares over all jobs at one level
 // (the Sec. III-D headline numbers).
 func (e *Engine) OverallBreakdown(ctx context.Context, jobs []Features, lvl Level) (map[Component]float64, error) {
-	b, err := e.ensure()
+	ev, err := e.evaluator()
 	if err != nil {
 		return nil, err
 	}
-	return analyze.OverallBreakdown(ctx, b, e.parallelism, jobs, lvl)
+	return analyze.OverallBreakdown(ctx, ev, e.parallelism, jobs, lvl)
 }
 
 // HardwareSweep evaluates the Table III grid over a job set (one Fig. 11

@@ -332,9 +332,11 @@ func TestEngineWithDerivation(t *testing.T) {
 	}
 }
 
-func TestEngineRooflineBackendSlower(t *testing.T) {
-	// Memory-bound recommender: roofline backend must predict a longer
-	// compute-bound time than the blanket-efficiency analytical backend.
+func TestEngineRooflineBackend(t *testing.T) {
+	// Memory-bound recommender: under the classic roofline the memory
+	// stream binds, the compute stream hides beneath it, and the device is
+	// charged once — so total compute time is max(tFLOPs, tMem), strictly
+	// below the analytical model's sequential sum.
 	cs, err := pai.LookupCaseStudy("Multi-Interests")
 	if err != nil {
 		t.Fatal(err)
@@ -355,9 +357,13 @@ func TestEngineRooflineBackendSlower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.ComputeFLOPs <= ta.ComputeFLOPs {
-		t.Errorf("roofline compute %v should exceed analytical %v for Multi-Interests",
-			tr.ComputeFLOPs, ta.ComputeFLOPs)
+	if tr.ComputeMem != ta.ComputeMem || tr.ComputeFLOPs != 0 {
+		t.Errorf("Multi-Interests is memory-bound: want compute folded under the transfer, got FLOPs %v mem %v (analytical mem %v)",
+			tr.ComputeFLOPs, tr.ComputeMem, ta.ComputeMem)
+	}
+	if tr.Compute() >= ta.Compute() {
+		t.Errorf("roofline overlapped compute %v should beat analytical sum %v",
+			tr.Compute(), ta.Compute())
 	}
 }
 
@@ -447,6 +453,138 @@ func TestEngineStreamBreakdownsFromSource(t *testing.T) {
 	for comp, want := range overallBatch {
 		if got := overallStream[comp]; got != want {
 			t.Errorf("%v: stream %v vs batch %v", comp, got, want)
+		}
+	}
+}
+
+// TestEngineWithCache: a cached engine must return identical breakdowns to
+// an uncached one and report hits once a record recurs.
+func TestEngineWithCache(t *testing.T) {
+	plain, err := pai.New(pai.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := pai.New(pai.WithParallelism(2), pai.WithCache(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := engineTestJob()
+	want, err := plain.Evaluate(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := cached.Evaluate(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Total() != want.Total() || got.Weights != want.Weights {
+			t.Fatalf("cached breakdown differs on call %d: %v vs %v", i, got.Total(), want.Total())
+		}
+	}
+	st := cached.CacheStats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("cache stats = %+v, want 1 miss / 2 hits", st)
+	}
+	if st.HitRate() <= 0.6 || st.HitRate() >= 0.7 {
+		t.Errorf("hit rate = %v, want 2/3", st.HitRate())
+	}
+	// Batch evaluation over a repetitive trace flows through the same cache.
+	jobs := make([]pai.Features, 100)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	times, err := cached.EvaluateBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		if tm.Total() != want.Total() {
+			t.Fatalf("batch result %d differs under cache", i)
+		}
+	}
+	if got := cached.CacheStats(); got.Hits < 100 {
+		t.Errorf("batch over repetitive trace produced only %d hits", got.Hits)
+	}
+	// Derivation carries the cache configuration.
+	derived, err := cached.With(pai.WithOverlap(pai.OverlapIdeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := derived.Evaluate(job); err != nil {
+		t.Fatal(err)
+	}
+	if got := derived.CacheStats(); got.Misses != 1 {
+		t.Errorf("derived engine should have a fresh cache with 1 miss, got %+v", got)
+	}
+	// An uncached engine reports zero stats.
+	if got := plain.CacheStats(); got != (pai.CacheStats{}) {
+		t.Errorf("uncached engine stats = %+v, want zero", got)
+	}
+}
+
+// TestEngineEvaluateSources: the sharded multi-source fold must agree with
+// the single-source streaming fold over the same jobs.
+func TestEngineEvaluateSources(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 4000
+	trace, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pai.New(pai.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bulk, err := eng.StreamBreakdowns(ctx, pai.NewSliceJobSource(trace.Jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(trace.Jobs) / 2
+	merged, counts, err := eng.EvaluateSources(ctx,
+		pai.NewSliceJobSource(trace.Jobs[:mid]),
+		pai.NewSliceJobSource(trace.Jobs[mid:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 || counts[0] != mid || counts[1] != len(trace.Jobs)-mid {
+		t.Fatalf("per-shard counts = %v", counts)
+	}
+	if merged.N() != bulk.N() {
+		t.Fatalf("merged %d jobs, want %d", merged.N(), bulk.N())
+	}
+	gotO, err := merged.Overall(pai.CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantO, err := bulk.Overall(pai.CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for comp, want := range wantO {
+		if d := gotO[comp] - want; d > 1e-12 || d < -1e-12 {
+			t.Errorf("%v: sharded %v vs bulk %v", comp, gotO[comp], want)
+		}
+	}
+	// Sharded evaluation through a cached engine stays correct.
+	cached, err := eng.With(pai.WithCache(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedC, _, err := cached.EvaluateSources(ctx,
+		pai.NewSliceJobSource(trace.Jobs[:mid]),
+		pai.NewSliceJobSource(trace.Jobs[mid:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := mergedC.Overall(pai.CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for comp, want := range gotO {
+		if d := gotC[comp] - want; d > 1e-12 || d < -1e-12 {
+			t.Errorf("%v: cached sharded %v vs %v", comp, gotC[comp], want)
 		}
 	}
 }

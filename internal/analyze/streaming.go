@@ -13,42 +13,67 @@ import (
 
 // compAcc accumulates weighted component-fraction sums at one (class, level)
 // cell. Plain sums merge trivially, which is what keeps the whole breakdown
-// fold associative across shards.
+// fold associative across shards. The sums live in a fixed array indexed by
+// core.Component — the accumulator sits on the per-job hot path of the
+// streaming fold, where a map per cell used to cost more than the
+// evaluation itself.
 type compAcc struct {
-	sum map[core.Component]float64
+	sum [numComponents]float64
 	w   float64
 	n   int
 }
 
-func newCompAcc() *compAcc { return &compAcc{sum: map[core.Component]float64{}} }
+// numComponents covers the closed component set (data I/O, weights,
+// compute-bound, memory-bound) the array cells index by.
+const numComponents = 4
 
-func (a *compAcc) add(t core.Times, w float64) error {
-	for _, c := range core.Components() {
-		fr, err := t.Fraction(c)
-		if err != nil {
-			return err
-		}
-		a.sum[c] += fr * w
+// fractions computes the component-fraction vector of one breakdown once
+// per job, in the exact expression Times.Fraction uses, so array cells
+// accumulate bit-identical values to the former per-component calls.
+func fractions(t core.Times) [numComponents]float64 {
+	sum := t.DataIO + t.Compute() + t.Weights
+	if sum == 0 {
+		return [numComponents]float64{}
+	}
+	return [numComponents]float64{
+		core.CompDataIO:       t.DataIO / sum,
+		core.CompWeights:      t.Weights / sum,
+		core.CompComputeFLOPs: t.ComputeFLOPs / sum,
+		core.CompComputeMem:   t.ComputeMem / sum,
+	}
+}
+
+func (a *compAcc) add(fr *[numComponents]float64, w float64) {
+	for c := range fr {
+		a.sum[c] += fr[c] * w
 	}
 	a.w += w
 	a.n++
-	return nil
 }
 
 func (a *compAcc) merge(b *compAcc) {
-	for c, s := range b.sum {
-		a.sum[c] += s
+	for c := range b.sum {
+		a.sum[c] += b.sum[c]
 	}
 	a.w += b.w
 	a.n += b.n
 }
 
 func (a *compAcc) shares() map[core.Component]float64 {
-	out := map[core.Component]float64{}
+	out := make(map[core.Component]float64, numComponents)
 	for c, s := range a.sum {
-		out[c] = s / a.w
+		out[core.Component(c)] = s / a.w
 	}
 	return out
+}
+
+// classCell bundles everything the accumulator tracks per workload class —
+// both aggregation levels plus the constitution counters — so the hot path
+// pays one map lookup per job instead of one per statistic.
+type classCell struct {
+	level  [2]compAcc // indexed by Level (JobLevel, CNodeLevel)
+	jobs   int
+	cnodes int
 }
 
 // stepHistEdges are the shared log-spaced bin edges of the step-time
@@ -73,12 +98,11 @@ var stepHistEdges = func() []float64 {
 // An accumulator is not safe for concurrent use; the streaming pipeline
 // calls Add from a single goroutine.
 type BreakdownAccumulator struct {
-	byClass map[workload.Class]map[Level]*compAcc
-	overall map[Level]*compAcc
+	byClass map[workload.Class]*classCell
+	overall [2]compAcc // indexed by Level
 
-	jobs, cnodes map[workload.Class]int
-	totalJobs    int
-	totalCNodes  int
+	totalJobs   int
+	totalCNodes int
 
 	step     stats.MeanVar
 	stepHist *stats.Histogram
@@ -102,10 +126,7 @@ func (a *BreakdownAccumulator) init() {
 	if err != nil {
 		panic(err) // edges are a package constant; cannot fail
 	}
-	a.byClass = map[workload.Class]map[Level]*compAcc{}
-	a.overall = map[Level]*compAcc{JobLevel: newCompAcc(), CNodeLevel: newCompAcc()}
-	a.jobs = map[workload.Class]int{}
-	a.cnodes = map[workload.Class]int{}
+	a.byClass = map[workload.Class]*classCell{}
 	a.stepHist = h
 }
 
@@ -114,20 +135,17 @@ func (a *BreakdownAccumulator) Add(f workload.Features, t core.Times) error {
 	a.init()
 	cell := a.byClass[f.Class]
 	if cell == nil {
-		cell = map[Level]*compAcc{JobLevel: newCompAcc(), CNodeLevel: newCompAcc()}
+		cell = &classCell{}
 		a.byClass[f.Class] = cell
 	}
-	for _, lvl := range []Level{JobLevel, CNodeLevel} {
-		w := lvl.weight(f)
-		if err := cell[lvl].add(t, w); err != nil {
-			return err
-		}
-		if err := a.overall[lvl].add(t, w); err != nil {
-			return err
-		}
-	}
-	a.jobs[f.Class]++
-	a.cnodes[f.Class] += f.CNodes
+	fr := fractions(t)
+	wj, wc := JobLevel.weight(f), CNodeLevel.weight(f)
+	cell.level[JobLevel].add(&fr, wj)
+	a.overall[JobLevel].add(&fr, wj)
+	cell.level[CNodeLevel].add(&fr, wc)
+	a.overall[CNodeLevel].add(&fr, wc)
+	cell.jobs++
+	cell.cnodes += f.CNodes
 	a.totalJobs++
 	a.totalCNodes += f.CNodes
 	total := t.Total()
@@ -147,21 +165,17 @@ func (a *BreakdownAccumulator) Merge(b *BreakdownAccumulator) error {
 	for class, cell := range b.byClass {
 		mine := a.byClass[class]
 		if mine == nil {
-			mine = map[Level]*compAcc{JobLevel: newCompAcc(), CNodeLevel: newCompAcc()}
+			mine = &classCell{}
 			a.byClass[class] = mine
 		}
-		for lvl, acc := range cell {
-			mine[lvl].merge(acc)
+		for lvl := range cell.level {
+			mine.level[lvl].merge(&cell.level[lvl])
 		}
+		mine.jobs += cell.jobs
+		mine.cnodes += cell.cnodes
 	}
-	for lvl, acc := range b.overall {
-		a.overall[lvl].merge(acc)
-	}
-	for class, n := range b.jobs {
-		a.jobs[class] += n
-	}
-	for class, n := range b.cnodes {
-		a.cnodes[class] += n
+	for lvl := range b.overall {
+		a.overall[lvl].merge(&b.overall[lvl])
 	}
 	a.totalJobs += b.totalJobs
 	a.totalCNodes += b.totalCNodes
@@ -182,7 +196,7 @@ func (a *BreakdownAccumulator) Rows() []BreakdownRow {
 			continue
 		}
 		for _, lvl := range []Level{JobLevel, CNodeLevel} {
-			acc := cell[lvl]
+			acc := &cell.level[lvl]
 			rows = append(rows, BreakdownRow{
 				Class: class, Level: lvl,
 				Share: acc.shares(), N: acc.n,
@@ -195,8 +209,11 @@ func (a *BreakdownAccumulator) Rows() []BreakdownRow {
 // Overall returns the aggregate component shares over all jobs at one level
 // (the Sec. III-D headline numbers).
 func (a *BreakdownAccumulator) Overall(lvl Level) (map[core.Component]float64, error) {
-	acc, ok := a.overall[lvl]
-	if !ok || acc.n == 0 {
+	if lvl != JobLevel && lvl != CNodeLevel {
+		return nil, fmt.Errorf("analyze: unknown level %v", lvl)
+	}
+	acc := &a.overall[lvl]
+	if acc.n == 0 {
 		return nil, fmt.Errorf("analyze: empty accumulator")
 	}
 	return acc.shares(), nil
@@ -215,14 +232,12 @@ func (a *BreakdownAccumulator) Constitution() (Constitution, error) {
 		TotalJobs:   a.totalJobs,
 		TotalCNodes: a.totalCNodes,
 	}
-	for class, n := range a.jobs {
-		c.Jobs[class] = n
-		c.JobShare[class] = float64(n) / float64(a.totalJobs)
-	}
-	for class, n := range a.cnodes {
-		c.CNodes[class] = n
+	for class, cell := range a.byClass {
+		c.Jobs[class] = cell.jobs
+		c.JobShare[class] = float64(cell.jobs) / float64(a.totalJobs)
+		c.CNodes[class] = cell.cnodes
 		if a.totalCNodes > 0 {
-			c.CNodeShare[class] = float64(n) / float64(a.totalCNodes)
+			c.CNodeShare[class] = float64(cell.cnodes) / float64(a.totalCNodes)
 		}
 	}
 	return c, nil
@@ -252,4 +267,34 @@ func Fold(ctx context.Context, ev backend.Evaluator, parallelism int, src stream
 		return nil, fmt.Errorf("analyze: empty trace")
 	}
 	return acc, nil
+}
+
+// FoldSources is the sharded Fold: every source is drained by its own
+// worker set into its own accumulator (so the hot path never shares state
+// across shards), and the per-shard accumulators are merged in shard order
+// into one aggregate. With a single source the result is identical to Fold;
+// with N sources the merge is the exact per-shard reduction Merge
+// documents. It returns the merged accumulator and the per-shard job
+// counts.
+func FoldSources(ctx context.Context, ev backend.Evaluator, parallelism int, srcs []stream.Source) (*BreakdownAccumulator, []int, error) {
+	accs := make([]*BreakdownAccumulator, len(srcs))
+	for i := range accs {
+		accs[i] = NewBreakdownAccumulator()
+	}
+	counts, err := stream.EvaluateMulti(ctx, ev, srcs, parallelism, func(shard int, r stream.Result) error {
+		return accs[shard].Add(r.Job, r.Times)
+	})
+	if err != nil {
+		return nil, counts, fmt.Errorf("analyze: %w", err)
+	}
+	total := NewBreakdownAccumulator()
+	for _, acc := range accs {
+		if err := total.Merge(acc); err != nil {
+			return nil, counts, fmt.Errorf("analyze: %w", err)
+		}
+	}
+	if total.N() == 0 {
+		return nil, counts, fmt.Errorf("analyze: empty trace")
+	}
+	return total, counts, nil
 }

@@ -231,3 +231,119 @@ func TestAccumulatorEmpty(t *testing.T) {
 		t.Errorf("empty merge: %v", err)
 	}
 }
+
+// TestFoldSourcesMatchesFold: the sharded fold over N partitions of one
+// trace must reproduce the single-source fold — counts and constitution
+// exactly, shares within the same tolerance the Merge contract gives.
+func TestFoldSourcesMatchesFold(t *testing.T) {
+	jobs := accJobs(t, 3000)
+	ev := accBackend(t)
+	ctx := context.Background()
+	bulk, err := Fold(ctx, ev, 4, stream.NewSliceSource(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nShards := range []int{1, 3, 5} {
+		srcs := make([]stream.Source, 0, nShards)
+		per := len(jobs) / nShards
+		for s := 0; s < nShards; s++ {
+			hi := (s + 1) * per
+			if s == nShards-1 {
+				hi = len(jobs)
+			}
+			srcs = append(srcs, stream.NewSliceSource(jobs[s*per:hi]))
+		}
+		merged, counts, err := FoldSources(ctx, ev, 4, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int
+		for _, n := range counts {
+			total += n
+		}
+		if total != len(jobs) || merged.N() != bulk.N() {
+			t.Fatalf("%d shards: delivered %d, merged N %d, want %d", nShards, total, merged.N(), bulk.N())
+		}
+		gotC, err := merged.Constitution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantC, err := bulk.Constitution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotC, wantC) {
+			t.Errorf("%d shards: constitution drift", nShards)
+		}
+		gotO, err := merged.Overall(CNodeLevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantO, err := bulk.Overall(CNodeLevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, comp := range core.Components() {
+			if d := math.Abs(gotO[comp] - wantO[comp]); d > 1e-12 {
+				t.Errorf("%d shards: overall %v drift %v", nShards, comp, d)
+			}
+		}
+		gq, err := merged.StepTimeQuantile(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wq, err := bulk.StepTimeQuantile(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gq != wq {
+			t.Errorf("%d shards: p99 %v vs %v", nShards, gq, wq)
+		}
+	}
+}
+
+// TestFoldSourcesSingleSourceBitExact: with one source the sharded fold is
+// the plain fold — Merge into an empty accumulator adds to zero sums, so
+// every aggregate is bit-identical, which is what lets paibench -shards 1
+// share the golden baseline.
+func TestFoldSourcesSingleSourceBitExact(t *testing.T) {
+	jobs := accJobs(t, 1200)
+	ev := accBackend(t)
+	ctx := context.Background()
+	bulk, err := Fold(ctx, ev, 3, stream.NewSliceSource(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err := FoldSources(ctx, ev, 3, []stream.Source{stream.NewSliceSource(jobs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotO, err := merged.Overall(CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantO, err := bulk.Overall(CNodeLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range core.Components() {
+		if gotO[comp] != wantO[comp] {
+			t.Errorf("overall %v: %v != %v (must be bit-exact)", comp, gotO[comp], wantO[comp])
+		}
+	}
+	if merged.StepTime().Mean() != bulk.StepTime().Mean() {
+		t.Error("step-time mean not bit-exact for single-source fold")
+	}
+}
+
+func TestFoldSourcesEmpty(t *testing.T) {
+	ev := accBackend(t)
+	if _, _, err := FoldSources(context.Background(), ev, 2, nil); err == nil {
+		t.Error("expected error for no sources")
+	}
+	if _, _, err := FoldSources(context.Background(), ev, 2,
+		[]stream.Source{stream.NewSliceSource(nil)}); err == nil {
+		t.Error("expected error for an empty trace")
+	}
+}

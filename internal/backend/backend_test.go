@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -134,7 +135,8 @@ func TestRooflineDeratesMemoryBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A memory-bound workload: low arithmetic intensity.
+	// A memory-bound workload: low arithmetic intensity, so the memory
+	// stream binds and the compute stream hides under it.
 	memBound := workload.Features{
 		Name: "mem", Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 512,
 		FLOPs: 330e9, MemAccessBytes: 25e9, InputBytes: 1.2e6,
@@ -148,12 +150,28 @@ func TestRooflineDeratesMemoryBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.ComputeFLOPs <= ta.ComputeFLOPs {
-		t.Errorf("roofline compute time %v should exceed analytical %v for a memory-bound job",
-			tr.ComputeFLOPs, ta.ComputeFLOPs)
+	// Classic roofline: computation time is max(FLOPs/peak, bytes/BW), the
+	// transfer is charged exactly once. (The pre-fix formulation rewrote
+	// ComputeFLOPs to equal ComputeMem below the machine balance, so the
+	// sum double-charged the same bytes.)
+	wantCompute := math.Max(ta.ComputeFLOPs, ta.ComputeMem)
+	if got := tr.Compute(); math.Abs(got-wantCompute) > 1e-15*wantCompute {
+		t.Errorf("roofline compute time = %v, want max(%v, %v) = %v",
+			got, ta.ComputeFLOPs, ta.ComputeMem, wantCompute)
 	}
-	// A compute-bound workload (intensity far above machine balance) is
-	// unchanged.
+	if tr.ComputeMem != ta.ComputeMem {
+		t.Errorf("memory-bound job: binding memory term %v should be unchanged from analytical %v",
+			tr.ComputeMem, ta.ComputeMem)
+	}
+	if tr.ComputeFLOPs != 0 {
+		t.Errorf("memory-bound job: hidden compute term should fold under the transfer, got %v",
+			tr.ComputeFLOPs)
+	}
+	if tr.Compute() >= ta.Compute() {
+		t.Errorf("overlapped compute %v must beat the sequential sum %v", tr.Compute(), ta.Compute())
+	}
+	// A compute-bound workload (intensity far above machine balance) keeps
+	// its analytical compute-bound term; the memory stream hides.
 	compBound := workload.Features{
 		Name: "comp", Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 64,
 		FLOPs: 1e13, MemAccessBytes: 1e9, InputBytes: 1e6,
@@ -168,7 +186,10 @@ func TestRooflineDeratesMemoryBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	if tr2.ComputeFLOPs != ta2.ComputeFLOPs {
-		t.Errorf("roofline should match analytical above the machine balance: %v vs %v",
+		t.Errorf("roofline should keep the analytical compute term above the machine balance: %v vs %v",
 			tr2.ComputeFLOPs, ta2.ComputeFLOPs)
+	}
+	if tr2.ComputeMem != 0 {
+		t.Errorf("compute-bound job: memory term should fold under compute, got %v", tr2.ComputeMem)
 	}
 }

@@ -1,0 +1,265 @@
+package evalcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// countingEvaluator wraps a real backend and counts forwarded evaluations.
+type countingEvaluator struct {
+	mu    sync.Mutex
+	calls int
+	inner backend.Evaluator
+}
+
+func (c *countingEvaluator) Breakdown(f workload.Features) (core.Times, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.inner.Breakdown(f)
+}
+
+func (c *countingEvaluator) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func newCounting(t *testing.T) (*countingEvaluator, backend.Spec) {
+	t.Helper()
+	spec := backend.DefaultSpec()
+	b, err := backend.New(backend.AnalyticalName, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &countingEvaluator{inner: b}, spec
+}
+
+// job builds a distinct valid feature record from an index.
+func job(i int) workload.Features {
+	return workload.Features{
+		Name: fmt.Sprintf("job-%d", i), Class: workload.OneWorkerOneGPU,
+		CNodes: 1, BatchSize: 64,
+		FLOPs: 1e12 + float64(i), MemAccessBytes: 1e9,
+		InputBytes: 1e6, DenseWeightBytes: 1e8,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ev, spec := newCounting(t)
+	if _, err := New(nil, spec, 10); err == nil {
+		t.Error("expected error for nil evaluator")
+	}
+	if _, err := New(ev, spec, 0); err == nil {
+		t.Error("expected error for zero entry budget")
+	}
+}
+
+func TestHitReturnsIdenticalBreakdown(t *testing.T) {
+	ev, spec := newCounting(t)
+	c, err := New(ev, spec, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := job(1)
+	t0, err := c.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := c.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0.Total() != t1.Total() || t0.ComputeFLOPs != t1.ComputeFLOPs {
+		t.Errorf("cached breakdown differs: %+v vs %+v", t0, t1)
+	}
+	if ev.count() != 1 {
+		t.Errorf("inner evaluated %d times, want 1", ev.count())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", st.HitRate())
+	}
+
+	// The miss returns the backend's own breakdown while the cache stores a
+	// private copy, so mutating the miss result must not poison later hits.
+	for l := range t0.WeightsByLink {
+		t0.WeightsByLink[l] = -1
+	}
+	t2, err := c.Breakdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, v := range t2.WeightsByLink {
+		if v < 0 {
+			t.Errorf("cached breakdown link %v poisoned by miss-result mutation", l)
+		}
+	}
+}
+
+// TestNameExcludedFromKey verifies the content key ignores the job name, so
+// recurring production jobs resubmitted under fresh names still hit.
+func TestNameExcludedFromKey(t *testing.T) {
+	ev, spec := newCounting(t)
+	c, err := New(ev, spec, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := job(7)
+	b := a
+	b.Name = "resubmitted-under-new-name"
+	if _, err := c.Breakdown(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Breakdown(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Hits != 1 {
+		t.Errorf("rename should hit: stats %+v", got)
+	}
+}
+
+// TestShardCollisionKeepsEntriesDistinct forces two distinct feature records
+// into the same shard (a single-shard cache makes every pair collide) and
+// verifies each gets its own correct breakdown: the shard hash only
+// co-locates entries, equality is on the full content key.
+func TestShardCollisionKeepsEntriesDistinct(t *testing.T) {
+	ev, spec := newCounting(t)
+	c, err := New(ev, spec, 1) // 1 entry budget -> exactly one shard
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.shards) != 1 {
+		t.Fatalf("want a single shard for budget 1, got %d", len(c.shards))
+	}
+	a, b := job(1), job(2)
+	ta, err := c.Breakdown(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := c.Breakdown(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.ComputeFLOPs == tb.ComputeFLOPs {
+		t.Fatal("test needs jobs with distinct breakdowns")
+	}
+	// Re-request both; each must return its own result, never the
+	// colliding neighbor's.
+	ta2, err := c.Breakdown(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := c.Breakdown(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta2.ComputeFLOPs != ta.ComputeFLOPs || tb2.ComputeFLOPs != tb.ComputeFLOPs {
+		t.Errorf("shard collision corrupted results: %v/%v vs %v/%v",
+			ta2.ComputeFLOPs, tb2.ComputeFLOPs, ta.ComputeFLOPs, tb.ComputeFLOPs)
+	}
+}
+
+// TestConcurrentHitMissCounting hammers one cache from many goroutines under
+// the race detector: every call must be classified as exactly one hit or
+// miss, and cached results must match uncached evaluation.
+func TestConcurrentHitMissCounting(t *testing.T) {
+	ev, spec := newCounting(t)
+	c, err := New(ev, spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers   = 8
+		perWorker = 2000
+		distinct  = 32
+	)
+	want := make([]core.Times, distinct)
+	for i := range want {
+		tt, err := ev.inner.Breakdown(job(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = tt
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				j := (w + i) % distinct
+				got, err := c.Breakdown(job(j))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got.Total() != want[j].Total() {
+					errc <- fmt.Errorf("job %d: cached total %v, want %v", j, got.Total(), want[j].Total())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != workers*perWorker {
+		t.Errorf("hits %d + misses %d != %d calls", st.Hits, st.Misses, workers*perWorker)
+	}
+	// Concurrent first-touch misses may duplicate a handful of evaluations,
+	// but misses can never exceed inner calls nor fall below the distinct
+	// key count.
+	if int(st.Misses) != ev.count() {
+		t.Errorf("misses %d != inner evaluations %d", st.Misses, ev.count())
+	}
+	if st.Misses < distinct {
+		t.Errorf("misses %d < %d distinct keys", st.Misses, distinct)
+	}
+	if st.Hits == 0 {
+		t.Error("expected hits on a 32-key working set")
+	}
+}
+
+// TestEvictionBoundsResidency streams a no-repeat trace far larger than the
+// entry budget through the cache and verifies residency stays flat at the
+// two-generation bound — the property that keeps a million-distinct-job
+// trace at O(budget) memory.
+func TestEvictionBoundsResidency(t *testing.T) {
+	ev, spec := newCounting(t)
+	const budget = 256
+	c, err := New(ev, spec, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two generations per shard, and per-shard capacity rounds up: the hard
+	// ceiling is 2 * nShards * ceil(budget/nShards).
+	bound := 2 * len(c.shards) * c.shardCap
+	for i := 0; i < 20*budget; i++ {
+		if _, err := c.Breakdown(job(i)); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Stats().Entries; got > bound {
+			t.Fatalf("after %d distinct jobs: %d resident entries exceeds bound %d", i+1, got, bound)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 0 {
+		t.Errorf("no-repeat trace produced %d hits", st.Hits)
+	}
+	if st.Misses != 20*budget {
+		t.Errorf("misses = %d, want %d", st.Misses, 20*budget)
+	}
+}

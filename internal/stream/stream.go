@@ -77,6 +77,22 @@ type evaluated struct {
 	times []core.Times
 }
 
+// Chunk buffers recycle through pools: at millions of jobs per second the
+// pipeline would otherwise retire two ~25KB slices per 256 jobs, and the
+// garbage-collection pressure becomes visible next to sub-microsecond
+// evaluations. The collector returns both slices after delivery; buffers
+// dropped on error paths are simply collected.
+var (
+	jobsPool = sync.Pool{New: func() any {
+		s := make([]workload.Features, 0, chunkSize)
+		return &s
+	}}
+	timesPool = sync.Pool{New: func() any {
+		s := make([]core.Times, 0, chunkSize)
+		return &s
+	}}
+)
+
 // Evaluate pulls jobs from src until io.EOF, evaluates each through ev over
 // a pool of parallelism workers, and calls fn once per job in input order
 // from a single goroutine. A nil fn discards results (useful for pure
@@ -124,7 +140,7 @@ func Evaluate(ctx context.Context, ev backend.Evaluator, src Source, parallelism
 		defer close(work)
 		seq, base := 0, 0
 		for {
-			jobs := make([]workload.Features, 0, chunkSize)
+			jobs := (*jobsPool.Get().(*[]workload.Features))[:0]
 			for len(jobs) < chunkSize {
 				f, err := src.Next()
 				if errors.Is(err, io.EOF) {
@@ -170,7 +186,7 @@ func Evaluate(ctx context.Context, ev backend.Evaluator, src Source, parallelism
 					fail(context.Cause(ctx))
 					return
 				}
-				times := make([]core.Times, len(c.jobs))
+				times := (*timesPool.Get().(*[]core.Times))[:len(c.jobs)]
 				for i, j := range c.jobs {
 					t, err := ev.Breakdown(j)
 					if err != nil {
@@ -228,6 +244,11 @@ func Evaluate(ctx context.Context, ev backend.Evaluator, src Source, parallelism
 				}
 				delivered++
 			}
+			// Results were handed to fn by value; the chunk buffers can
+			// recycle.
+			js, ts := c.jobs, c.times
+			jobsPool.Put(&js)
+			timesPool.Put(&ts)
 			<-tokens
 			next++
 			if failed {
@@ -239,4 +260,67 @@ func Evaluate(ctx context.Context, ev backend.Evaluator, src Source, parallelism
 		return delivered, firstErr
 	}
 	return delivered, nil
+}
+
+// EvaluateMulti drains N sources concurrently — the multi-trace sharding
+// step: each source gets its own independent Evaluate pipeline (reader,
+// worker set, collector), so N NDJSON files or N generator partitions flow
+// in parallel with no cross-shard synchronization on the hot path. The
+// overall parallelism budget is split evenly across shards (at least one
+// worker each).
+//
+// fn is called as fn(shard, r): sequentially and in input order within one
+// shard, but concurrently across shards — give each shard its own sink (for
+// example a per-shard accumulator, merged afterward) and fn needs no
+// locking. It returns per-shard delivered counts and the first error; any
+// error cancels every shard's pipeline.
+func EvaluateMulti(ctx context.Context, ev backend.Evaluator, srcs []Source, parallelism int, fn func(shard int, r Result) error) ([]int, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("stream: EvaluateMulti with no sources")
+	}
+	for i, src := range srcs {
+		if src == nil {
+			return nil, fmt.Errorf("stream: EvaluateMulti with nil source %d", i)
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	perShard := parallelism / len(srcs)
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	counts := make([]int, len(srcs))
+	for i, src := range srcs {
+		wg.Add(1)
+		go func(shard int, src Source) {
+			defer wg.Done()
+			var sink func(Result) error
+			if fn != nil {
+				sink = func(r Result) error { return fn(shard, r) }
+			}
+			n, err := Evaluate(ctx, ev, src, perShard, sink)
+			counts[shard] = n
+			if err != nil {
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("stream: shard %d: %w", shard, err)
+					cancel()
+				})
+			}
+		}(i, src)
+	}
+	wg.Wait()
+	return counts, firstErr
 }

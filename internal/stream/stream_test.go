@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -296,4 +297,105 @@ func BenchmarkStreamEvaluate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(jobs)), "jobs/op")
+}
+
+// TestEvaluateMultiMatchesSingle: draining N partitions of one trace through
+// EvaluateMulti must deliver every job exactly once, in input order within
+// each shard, with breakdowns identical to the single-source pipeline.
+func TestEvaluateMultiMatchesSingle(t *testing.T) {
+	jobs := testJobs(t, 1800)
+	ev := testBackend(t)
+	want, err := backend.EvaluateBatch(context.Background(), ev, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{0, 500, 1100, len(jobs)}
+	srcs := make([]Source, 0, 3)
+	for i := 0; i+1 < len(cuts); i++ {
+		srcs = append(srcs, NewSliceSource(jobs[cuts[i]:cuts[i+1]]))
+	}
+	type shardResult struct {
+		mu  sync.Mutex
+		got []Result
+	}
+	perShard := make([]shardResult, len(srcs))
+	counts, err := EvaluateMulti(context.Background(), ev, srcs, 6, func(shard int, r Result) error {
+		s := &perShard[shard]
+		s.mu.Lock()
+		s.got = append(s.got, r)
+		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for shard, n := range counts {
+		if want := cuts[shard+1] - cuts[shard]; n != want {
+			t.Errorf("shard %d delivered %d jobs, want %d", shard, n, want)
+		}
+		total += n
+	}
+	if total != len(jobs) {
+		t.Fatalf("delivered %d of %d jobs", total, len(jobs))
+	}
+	for shard := range perShard {
+		for i, r := range perShard[shard].got {
+			if r.Index != i {
+				t.Fatalf("shard %d result %d carries index %d (out of order)", shard, i, r.Index)
+			}
+			global := cuts[shard] + i
+			if !reflect.DeepEqual(r.Job, jobs[global]) {
+				t.Fatalf("shard %d result %d job mismatch", shard, i)
+			}
+			if !reflect.DeepEqual(r.Times, want[global]) {
+				t.Fatalf("shard %d result %d breakdown differs from EvaluateBatch", shard, i)
+			}
+		}
+	}
+}
+
+func TestEvaluateMultiValidation(t *testing.T) {
+	ev := testBackend(t)
+	if _, err := EvaluateMulti(context.Background(), ev, nil, 2, nil); err == nil {
+		t.Error("expected error for no sources")
+	}
+	if _, err := EvaluateMulti(context.Background(), ev, []Source{NewSliceSource(nil), nil}, 2, nil); err == nil {
+		t.Error("expected error for a nil source")
+	}
+}
+
+// TestEvaluateMultiShardErrorCancelsAll: a failing shard must cancel its
+// siblings and surface the shard-tagged error.
+func TestEvaluateMultiShardErrorCancelsAll(t *testing.T) {
+	jobs := testJobs(t, 600)
+	ev := testBackend(t)
+	bad := errors.New("shard source exploded")
+	srcs := []Source{
+		NewSliceSource(jobs),
+		&errorSource{jobs: jobs[:10], err: bad},
+	}
+	_, err := EvaluateMulti(context.Background(), ev, srcs, 4, func(int, Result) error { return nil })
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want wrapped %v", err, bad)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("error %q does not name the failing shard", err)
+	}
+}
+
+// errorSource yields a few jobs then fails.
+type errorSource struct {
+	jobs []workload.Features
+	i    int
+	err  error
+}
+
+func (s *errorSource) Next() (workload.Features, error) {
+	if s.i >= len(s.jobs) {
+		return workload.Features{}, s.err
+	}
+	f := s.jobs[s.i]
+	s.i++
+	return f, nil
 }

@@ -1,0 +1,52 @@
+package tracegen
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func BenchmarkDecodeOnly(b *testing.B) {
+	p := Default()
+	p.NumJobs = 20000
+	tr, _ := Generate(p)
+	var buf bytes.Buffer
+	tr.WriteNDJSON(&buf)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+		for {
+			_, err := dec.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/record")
+}
+
+func BenchmarkDecodeOnlyEncodingJSON(b *testing.B) {
+	p := Default()
+	p.NumJobs = 20000
+	tr, _ := Generate(p)
+	var buf bytes.Buffer
+	tr.WriteNDJSON(&buf)
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for _, ln := range lines {
+			if _, err := decodeRecordSlow(ln); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/record")
+}

@@ -180,6 +180,13 @@ const maxRecordBytes = 1 << 20
 
 // Decoder reads job records incrementally from an NDJSON stream. Errors
 // carry the 1-based line number of the offending record.
+//
+// Decoding is a two-tier codec: a hand-rolled field scanner (scan.go)
+// handles the machine-generated common case in a single allocation per
+// record, and encoding/json remains the semantic oracle for every line
+// outside that proven subset — unusual escapes, exotic numbers, unknown
+// fields — so observable behavior (accepted records, rejected records,
+// line-numbered errors) is identical to a pure encoding/json decoder.
 type Decoder struct {
 	s    *bufio.Scanner
 	line int
@@ -214,18 +221,31 @@ func (d *Decoder) Next() (workload.Features, error) {
 		if len(b) == 0 {
 			continue // tolerate blank lines (e.g. trailing newline)
 		}
-		var rec jobJSON
-		if err := json.Unmarshal(b, &rec); err != nil {
-			d.err = fmt.Errorf("tracegen: line %d: %w", d.line, err)
-			return workload.Features{}, d.err
+		var f workload.Features
+		if ok, err := fastDecodeRecord(b, &f); ok {
+			if err != nil {
+				d.err = fmt.Errorf("tracegen: line %d: %w", d.line, err)
+				return workload.Features{}, d.err
+			}
+			return f, nil
 		}
-		f, err := featuresFromRecord(rec)
+		f, err := decodeRecordSlow(b)
 		if err != nil {
 			d.err = fmt.Errorf("tracegen: line %d: %w", d.line, err)
 			return workload.Features{}, d.err
 		}
 		return f, nil
 	}
+}
+
+// decodeRecordSlow is the encoding/json reference decode of one record line
+// — the oracle the fast scanner defers to and is fuzz-verified against.
+func decodeRecordSlow(b []byte) (workload.Features, error) {
+	var rec jobJSON
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return workload.Features{}, err
+	}
+	return featuresFromRecord(rec)
 }
 
 // Line reports the number of lines consumed so far.

@@ -1,0 +1,362 @@
+package tracegen
+
+import (
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+// This file is the NDJSON decode hot path: a hand-rolled field scanner that
+// turns one machine-generated job-record line into workload.Features with a
+// single allocation (the Name string) instead of the ~dozens encoding/json
+// spends per line. It is deliberately conservative — it only accepts inputs
+// whose decoding it can prove identical to encoding/json (ASCII strings
+// without escapes, plain JSON numbers, the known field set) and reports
+// "not mine" for everything else, which the Decoder then routes through
+// encoding/json itself. The stdlib therefore remains the semantic oracle
+// for every unusual line, and FuzzDecoderMatchesEncodingJSON pins the two
+// paths together.
+
+// fastDecodeRecord scans one trimmed, non-empty NDJSON record into f.
+// ok reports whether the line was within the fast subset; when ok is true
+// the outcome (f or err) is definitive and matches what the
+// encoding/json-based slow path would have produced. When ok is false the
+// caller must re-decode through the slow path.
+func fastDecodeRecord(b []byte, f *workload.Features) (ok bool, err error) {
+	s := scanner{b: b}
+	s.skipSpace()
+	if !s.consume('{') {
+		return false, nil
+	}
+	var rec workload.Features
+	classSet := false
+	s.skipSpace()
+	if !s.consume('}') {
+		for {
+			key, kok := s.simpleString()
+			if !kok {
+				return false, nil
+			}
+			s.skipSpace()
+			if !s.consume(':') {
+				return false, nil
+			}
+			s.skipSpace()
+			if !s.value(string(key), &rec, &classSet) {
+				return false, nil
+			}
+			s.skipSpace()
+			if s.consume(',') {
+				s.skipSpace()
+				continue
+			}
+			if s.consume('}') {
+				break
+			}
+			return false, nil
+		}
+	}
+	s.skipSpace()
+	if !s.eof() {
+		return false, nil
+	}
+	if !classSet {
+		// A record without an explicit class errors through the slow path
+		// ("unknown class"); a zero-valued Class here would silently mean
+		// 1w1g instead.
+		return false, nil
+	}
+	// The slow path validates after decoding; doing the same on identical
+	// field values yields the identical error.
+	if err := rec.Validate(); err != nil {
+		return true, err
+	}
+	*f = rec
+	return true, nil
+}
+
+// scanner walks one record without allocating.
+type scanner struct {
+	b []byte
+	i int
+}
+
+func (s *scanner) eof() bool { return s.i >= len(s.b) }
+
+func (s *scanner) skipSpace() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\r', '\n':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) consume(c byte) bool {
+	if s.i < len(s.b) && s.b[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// simpleString scans a double-quoted string containing only printable ASCII
+// and no escapes — the alphabet every generated key and value uses. The
+// returned slice aliases the input.
+func (s *scanner) simpleString() ([]byte, bool) {
+	if !s.consume('"') {
+		return nil, false
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		if c == '"' {
+			out := s.b[start:s.i]
+			s.i++
+			return out, true
+		}
+		// Escapes, control characters and non-ASCII bytes leave the proven
+		// subset (encoding/json replaces invalid UTF-8, unescapes, etc.).
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			return nil, false
+		}
+		s.i++
+	}
+	return nil, false
+}
+
+// value dispatches one "key": value pair into f. Unknown keys, mismatched
+// value types and exotic encodings all report false (slow path).
+func (s *scanner) value(key string, f *workload.Features, classSet *bool) bool {
+	switch key {
+	case "name":
+		if s.null() {
+			return true
+		}
+		v, ok := s.simpleString()
+		if !ok {
+			return false
+		}
+		f.Name = string(v)
+		return true
+	case "class":
+		// null would leave the class string empty through encoding/json and
+		// fail its unknown-class check, as does any name outside the known
+		// set — both belong to the slow path.
+		v, ok := s.simpleString()
+		if !ok {
+			return false
+		}
+		class, known := classFromName[string(v)]
+		if !known {
+			return false
+		}
+		f.Class = class
+		*classSet = true
+		return true
+	case "c_nodes":
+		return s.intField(&f.CNodes)
+	case "batch_size":
+		return s.intField(&f.BatchSize)
+	case "flops":
+		return s.floatField(&f.FLOPs)
+	case "mem_access_bytes":
+		return s.floatField(&f.MemAccessBytes)
+	case "input_bytes":
+		return s.floatField(&f.InputBytes)
+	case "dense_weight_bytes":
+		return s.floatField(&f.DenseWeightBytes)
+	case "embedding_weight_bytes":
+		return s.floatField(&f.EmbeddingWeightBytes)
+	case "weight_traffic_bytes":
+		return s.floatField(&f.WeightTrafficBytes)
+	default:
+		return false
+	}
+}
+
+// null consumes a JSON null, which encoding/json treats as "leave the field
+// alone" for every record field.
+func (s *scanner) null() bool {
+	if s.i+4 <= len(s.b) && string(s.b[s.i:s.i+4]) == "null" {
+		s.i += 4
+		return true
+	}
+	return false
+}
+
+// intField scans a JSON integer literal. Fractions, exponents and overflow
+// leave the subset: encoding/json rejects them for Go int fields, so the
+// slow path must produce that error.
+func (s *scanner) intField(dst *int) bool {
+	if s.null() {
+		return true
+	}
+	start := s.i
+	neg := s.consume('-')
+	digits := s.digits()
+	if digits == 0 || !validLeadingZero(s.b[start:s.i], neg) {
+		return false
+	}
+	if s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '.', 'e', 'E':
+			return false
+		}
+	}
+	// 18 digits always fit in int64; longer literals are so far outside any
+	// plausible cNode/batch count that the slow path can own them (it agrees
+	// with encoding/json on range errors by construction).
+	if digits > 18 {
+		return false
+	}
+	var v int64
+	lit := s.b[start:s.i]
+	if neg {
+		lit = lit[1:]
+	}
+	for _, c := range lit {
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	if int64(int(v)) != v {
+		// Fits int64 but not this platform's int (32-bit builds):
+		// encoding/json rejects such records, so the slow path must own
+		// them.
+		return false
+	}
+	*dst = int(v)
+	return true
+}
+
+// digits consumes a run of ASCII digits and returns its length.
+func (s *scanner) digits() int {
+	start := s.i
+	for s.i < len(s.b) && s.b[s.i] >= '0' && s.b[s.i] <= '9' {
+		s.i++
+	}
+	return s.i - start
+}
+
+// validLeadingZero enforces JSON's number grammar: a leading zero may only
+// stand alone ("0", "-0"), never prefix more digits.
+func validLeadingZero(lit []byte, neg bool) bool {
+	d := lit
+	if neg {
+		d = d[1:]
+	}
+	return len(d) == 1 || d[0] != '0'
+}
+
+// pow10 holds the powers of ten exactly representable in float64; 1e22 is
+// the largest. Multiplying or dividing by one of these is a single
+// correctly-rounded operation, which is what makes the Clinger fast path
+// below exact.
+var pow10 = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// floatField scans a JSON number into a float64 with the classic Clinger
+// fast path: when the significand fits in 53 bits and the decimal exponent
+// is within ±22, mantissa × 10^exp is one exactly-representable operand
+// times one correctly-rounded multiply/divide — bit-identical to
+// strconv.ParseFloat. Everything else (17+ significant digits with a big
+// exponent, overflow, malformed syntax) falls back to strconv on just that
+// literal, or leaves the subset entirely.
+func (s *scanner) floatField(dst *float64) bool {
+	if s.null() {
+		return true
+	}
+	start := s.i
+	neg := s.consume('-')
+	intDigits := s.i
+	if n := s.digits(); n == 0 || !validLeadingZero(s.b[start:s.i], neg) {
+		return false
+	}
+	var mant uint64
+	sig := 0       // significant digits accumulated into mant
+	trunc := false // dropped digits beyond uint64 capacity
+	exp10 := 0
+	for _, c := range s.b[intDigits:s.i] {
+		if sig < 19 {
+			mant = mant*10 + uint64(c-'0')
+			if mant > 0 {
+				sig++
+			}
+		} else {
+			trunc = true
+			exp10++
+		}
+	}
+	if s.consume('.') {
+		fracStart := s.i
+		if s.digits() == 0 {
+			return false
+		}
+		for _, c := range s.b[fracStart:s.i] {
+			if sig < 19 {
+				mant = mant*10 + uint64(c-'0')
+				if mant > 0 {
+					sig++
+				}
+				exp10--
+			} else {
+				trunc = true
+			}
+		}
+	}
+	if s.i < len(s.b) && (s.b[s.i] == 'e' || s.b[s.i] == 'E') {
+		s.i++
+		expNeg := false
+		switch {
+		case s.consume('+'):
+		case s.consume('-'):
+			expNeg = true
+		}
+		expStart := s.i
+		if s.digits() == 0 {
+			return false
+		}
+		e := 0
+		for _, c := range s.b[expStart:s.i] {
+			if e < 10000 { // anything larger over/underflows regardless
+				e = e*10 + int(c-'0')
+			}
+		}
+		if expNeg {
+			exp10 -= e
+		} else {
+			exp10 += e
+		}
+	}
+	lit := s.b[start:s.i]
+
+	if !trunc && mant < 1<<53 && exp10 >= -22 && exp10 <= 22 {
+		v := float64(mant)
+		if exp10 > 0 {
+			v *= pow10[exp10]
+		} else if exp10 < 0 {
+			v /= pow10[-exp10]
+		}
+		if neg {
+			v = -v
+		}
+		*dst = v
+		return true
+	}
+	// Rare: 17+ significant digits or a large exponent. strconv performs the
+	// correctly-rounded conversion on just this literal (one small string
+	// allocation); out-of-range errors defer to the slow path, which agrees
+	// with encoding/json by construction.
+	v, err := strconv.ParseFloat(string(lit), 64)
+	if err != nil {
+		return false
+	}
+	*dst = v
+	return true
+}

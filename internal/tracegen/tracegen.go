@@ -38,6 +38,15 @@ type Params struct {
 	NumJobs int
 	// Seed makes generation deterministic.
 	Seed int64
+	// DistinctJobs, when positive, makes the trace repetitive the way the
+	// production window is: only the first DistinctJobs jobs are freshly
+	// sampled, and every later job is an exact resubmission of job
+	// i % DistinctJobs (same name, same feature volumes). Zero (the
+	// default) samples every job independently. A repetitive trace is what
+	// content-keyed result caching exploits; the sampled aggregate
+	// statistics are those of the distinct prefix. The streaming Source
+	// retains the distinct prefix, so memory is O(DistinctJobs).
+	DistinctJobs int
 	// Config is the hardware configuration volumes are back-solved against
 	// (Table I baseline in the paper).
 	Config hw.Config
@@ -146,6 +155,9 @@ func (p Params) Validate() error {
 	if p.NumJobs <= 0 {
 		return fmt.Errorf("tracegen: NumJobs must be positive, got %d", p.NumJobs)
 	}
+	if p.DistinctJobs < 0 {
+		return fmt.Errorf("tracegen: DistinctJobs must be >= 0, got %d", p.DistinctJobs)
+	}
 	if err := p.Config.Validate(); err != nil {
 		return err
 	}
@@ -235,6 +247,9 @@ type Source struct {
 	classes []workload.Class
 	weights []float64
 	i       int
+	// distinct retains the freshly sampled prefix when DistinctJobs > 0,
+	// so later jobs replay it as exact resubmissions.
+	distinct []workload.Features
 }
 
 // NewSource validates the parameters and returns a streaming generator over
@@ -257,10 +272,19 @@ func (s *Source) Next() (workload.Features, error) {
 	if s.i >= s.p.NumJobs {
 		return workload.Features{}, io.EOF
 	}
+	if d := s.p.DistinctJobs; d > 0 && s.i >= d {
+		// Resubmission: replay the distinct prefix verbatim.
+		job := s.distinct[s.i%d]
+		s.i++
+		return job, nil
+	}
 	class := s.classes[s.r.pick(s.weights)]
 	job, err := s.p.generateJob(s.r, s.i, class)
 	if err != nil {
 		return workload.Features{}, fmt.Errorf("tracegen: job %d: %w", s.i, err)
+	}
+	if d := s.p.DistinctJobs; d > 0 && d < s.p.NumJobs {
+		s.distinct = append(s.distinct, job)
 	}
 	s.i++
 	return job, nil

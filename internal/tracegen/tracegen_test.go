@@ -3,6 +3,7 @@ package tracegen
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -256,5 +257,60 @@ func TestMediaDenominator(t *testing.T) {
 	}
 	if _, err := p.mediaDenominator(workload.OneWorkerOneGPU); err == nil {
 		t.Error("expected error for class with no weight media")
+	}
+}
+
+// TestDistinctJobsRepetition: with DistinctJobs set, the trace's prefix is
+// freshly sampled and every later job is an exact resubmission of
+// job i % DistinctJobs, in O(DistinctJobs) memory.
+func TestDistinctJobsRepetition(t *testing.T) {
+	p := Default()
+	p.NumJobs = 1000
+	p.DistinctJobs = 64
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1000 {
+		t.Fatalf("generated %d jobs", len(tr.Jobs))
+	}
+	for i := p.DistinctJobs; i < len(tr.Jobs); i++ {
+		if !reflect.DeepEqual(tr.Jobs[i], tr.Jobs[i%p.DistinctJobs]) {
+			t.Fatalf("job %d is not a resubmission of job %d", i, i%p.DistinctJobs)
+		}
+	}
+	// The distinct prefix matches a fully distinct trace of the same seed:
+	// repetition only extends, never resamples.
+	fresh := Default()
+	fresh.NumJobs = p.DistinctJobs
+	ftr, err := Generate(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Jobs[:p.DistinctJobs], ftr.Jobs) {
+		t.Error("distinct prefix drifted from plain generation")
+	}
+	// Validation rejects a negative budget.
+	bad := Default()
+	bad.DistinctJobs = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative DistinctJobs")
+	}
+	// A budget at or above NumJobs means no repetition.
+	full := Default()
+	full.NumJobs = 50
+	full.DistinctJobs = 50
+	ftr2, err := Generate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Default()
+	plain.NumJobs = 50
+	ptr, err := Generate(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ftr2.Jobs, ptr.Jobs) {
+		t.Error("DistinctJobs == NumJobs should sample like a plain trace")
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/evalcache"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/project"
@@ -128,6 +129,10 @@ type (
 	// collective aggregates in O(1) memory per job; shard accumulators
 	// merge exactly.
 	BreakdownAccumulator = analyze.BreakdownAccumulator
+
+	// CacheStats snapshots the WithCache result cache: hit/miss counters,
+	// residency, and capacity.
+	CacheStats = evalcache.Stats
 )
 
 // Workload classes (Table II + PEARL).
@@ -203,6 +208,11 @@ func GenerateTrace(p TraceParams) (*Trace, error) { return tracegen.Generate(p) 
 // NewTraceSource returns a streaming generator over p.NumJobs synthetic
 // jobs, for feeding Engine.EvaluateSource without materializing the trace.
 func NewTraceSource(p TraceParams) (*TraceSource, error) { return tracegen.NewSource(p) }
+
+// NewSliceJobSource adapts an in-memory job slice to the JobSource
+// interface, for feeding Engine.EvaluateSource or one shard of
+// Engine.EvaluateSources.
+func NewSliceJobSource(jobs []Features) JobSource { return stream.NewSliceSource(jobs) }
 
 // ReadTrace loads a whole-document JSON trace into memory.
 func ReadTrace(r io.Reader) (*Trace, error) { return tracegen.ReadJSON(r) }
