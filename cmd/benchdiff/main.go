@@ -7,7 +7,8 @@
 // Usage:
 //
 //	benchdiff -baseline BENCH_BASELINE.json -current result.json \
-//	          [-max-regress 0.20] [-share-tol 0.02] [-step-tol 0.05]
+//	          [-max-regress 0.20] [-share-tol 0.02] [-step-tol 0.05] \
+//	          [-fidelity-only]
 //
 // Throughput gating is one-sided: running faster than baseline always
 // passes. The baseline's jobs_per_sec — and, since the hand-rolled NDJSON
@@ -16,6 +17,13 @@
 // for a given seed and compared tightly. The codec gate only engages when
 // both result files carry the codec fields, so older baselines stay
 // comparable.
+//
+// -fidelity-only skips the timing gates and compares only the
+// deterministic aggregates — the mode the distributed shard-merge smoke
+// uses, where the merged result JSON carries no timing fields. When both
+// results carry the cdf/projection sketch sections, those are compared for
+// exact equality: the multi-process merge is defined to be bit-identical
+// to the single-process sharded run.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"reflect"
 )
 
 // result mirrors the paibench schema fields benchdiff compares.
@@ -37,7 +46,12 @@ type result struct {
 	// CodecRecordsPerSec is the decode-only NDJSON codec speed; zero in
 	// result files predating the codec benchmark.
 	CodecRecordsPerSec float64 `json:"codec_records_per_sec"`
-	Fidelity           struct {
+	// CDF and Projection are the sketch-backed sections of -full/-merge
+	// runs; decoded generically and compared for exact equality when both
+	// sides carry them.
+	CDF        map[string]any `json:"cdf"`
+	Projection map[string]any `json:"projection"`
+	Fidelity   struct {
 		ClassJobShare   map[string]float64 `json:"class_job_share"`
 		ClassCNodeShare map[string]float64 `json:"class_cnode_share"`
 		OverallCNode    map[string]float64 `json:"overall_cnode_level"`
@@ -62,6 +76,8 @@ func run(args []string, stdout io.Writer) error {
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
 	shareTol := fs.Float64("share-tol", 0.02, "maximum absolute drift of any share aggregate")
 	stepTol := fs.Float64("step-tol", 0.05, "maximum relative drift of step-time aggregates")
+	fidelityOnly := fs.Bool("fidelity-only", false,
+		"skip the throughput and codec gates; compare only deterministic aggregates (for merged shard results without timing fields)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,18 +109,32 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	floor := base.JobsPerSec * (1 - *maxRegress)
-	check(cur.JobsPerSec >= floor,
-		"throughput: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
-		cur.JobsPerSec, base.JobsPerSec, floor, *maxRegress*100)
+	if *fidelityOnly {
+		fmt.Fprintln(stdout, "skip throughput and codec gates (-fidelity-only)")
+	} else {
+		floor := base.JobsPerSec * (1 - *maxRegress)
+		check(cur.JobsPerSec >= floor,
+			"throughput: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
+			cur.JobsPerSec, base.JobsPerSec, floor, *maxRegress*100)
 
-	// NDJSON decode hot path, gated the same one-sided way once both
-	// results measure it.
-	if base.CodecRecordsPerSec > 0 && cur.CodecRecordsPerSec > 0 {
-		codecFloor := base.CodecRecordsPerSec * (1 - *maxRegress)
-		check(cur.CodecRecordsPerSec >= codecFloor,
-			"codec: %.0f records/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
-			cur.CodecRecordsPerSec, base.CodecRecordsPerSec, codecFloor, *maxRegress*100)
+		// NDJSON decode hot path, gated the same one-sided way once both
+		// results measure it.
+		if base.CodecRecordsPerSec > 0 && cur.CodecRecordsPerSec > 0 {
+			codecFloor := base.CodecRecordsPerSec * (1 - *maxRegress)
+			check(cur.CodecRecordsPerSec >= codecFloor,
+				"codec: %.0f records/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
+				cur.CodecRecordsPerSec, base.CodecRecordsPerSec, codecFloor, *maxRegress*100)
+		}
+	}
+
+	// Sketch sections: deterministic for a given trace, and the
+	// multi-process merge is bit-identical to the single-process sharded
+	// run, so equality is exact.
+	if base.CDF != nil && cur.CDF != nil {
+		check(reflect.DeepEqual(base.CDF, cur.CDF), "cdf section identical")
+	}
+	if base.Projection != nil && cur.Projection != nil {
+		check(reflect.DeepEqual(base.Projection, cur.Projection), "projection section identical")
 	}
 
 	compareShares := func(name string, base, cur map[string]float64) {

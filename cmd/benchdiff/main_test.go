@@ -152,3 +152,62 @@ func TestCodecFasterAlwaysPasses(t *testing.T) {
 		t.Fatalf("faster codec failed the gate: %v", err)
 	}
 }
+
+func TestFidelityOnlySkipsTimingGates(t *testing.T) {
+	base := writeResult(t, "base.json", nil)
+	// A merged shard result: no timing fields at all.
+	cur := writeResult(t, "cur.json", func(r *result) { r.JobsPerSec = 0; r.CodecRecordsPerSec = 0 })
+	var out bytes.Buffer
+	if err := run([]string{"-fidelity-only", "-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("fidelity-only run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "skip throughput and codec gates") {
+		t.Errorf("output: %s", out.String())
+	}
+	// Without the flag the same result fails the throughput floor.
+	var out2 bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out2); err == nil {
+		t.Error("zero throughput passed without -fidelity-only")
+	}
+}
+
+func TestSketchSectionMismatchFails(t *testing.T) {
+	section := func(r *result) {
+		r.CDF = map[string]any{"weights_fraction": map[string]any{"PS/Worker": map[string]any{"p50": 0.64}}}
+		r.Projection = map[string]any{"n": float64(500), "mean_node_speedup": 3.4}
+	}
+	base := writeResult(t, "base.json", section)
+	same := writeResult(t, "cur.json", section)
+	var out bytes.Buffer
+	if err := run([]string{"-fidelity-only", "-baseline", base, "-current", same}, &out); err != nil {
+		t.Fatalf("identical sections failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "cdf section identical") {
+		t.Errorf("cdf comparison not reported:\n%s", out.String())
+	}
+
+	drifted := writeResult(t, "cur2.json", func(r *result) {
+		section(r)
+		r.Projection["mean_node_speedup"] = 3.5
+	})
+	var out2 bytes.Buffer
+	if err := run([]string{"-fidelity-only", "-baseline", base, "-current", drifted}, &out2); err == nil {
+		t.Error("drifted projection section passed")
+	}
+}
+
+func TestSketchSectionsSkippedWhenAbsent(t *testing.T) {
+	// Older baselines without the sections must still compare cleanly
+	// against new results that have them.
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) {
+		r.CDF = map[string]any{"weights_fraction": map[string]any{}}
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("asymmetric sections failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "cdf section") {
+		t.Errorf("cdf gate engaged with absent baseline section:\n%s", out.String())
+	}
+}

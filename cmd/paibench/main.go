@@ -9,7 +9,10 @@
 // Usage:
 //
 //	paibench [-jobs N] [-seed S] [-backend name] [-par N] [-shards N]
-//	         [-cache N] [-distinct N] [-codec] [-o result.json]
+//	         [-cache N] [-cache-bytes N] [-distinct N] [-codec] [-full]
+//	         [-o result.json]
+//	paibench -emit-shard shard.snap -shards M -shard-index K [flags]
+//	paibench -merge [-o result.json] shard0.snap shard1.snap ...
 //
 // With -shards N the trace is split into N generator partitions drained
 // concurrently by independent worker sets into per-shard accumulators and
@@ -21,7 +24,24 @@
 // mode defaults to the cold path: every job distinct, no cache — the
 // configuration the golden baseline gates. Every default is overridable:
 // -distinct 0 forces a fully distinct trace, -cache 0 disables the cache
-// in any mode.
+// in any mode. -cache-bytes swaps the entry budget for an adaptive byte
+// budget (entry count derived from the measured entry footprint).
+//
+// Distributed evaluation splits one logical run across OS processes:
+// a worker invoked with -emit-shard evaluates exactly one of the M
+// partitions (-shard-index K of -shards M) through the full report sink —
+// breakdown aggregates, CDF sketches, projection summary — and writes its
+// versioned binary snapshot to a file instead of a result JSON. A
+// coordinator invoked with -merge folds any number of snapshot files, in
+// argument order, into the final result JSON. Because per-shard folds and
+// the shard-order merge are deterministic, the merged snapshot is
+// byte-identical to a single-process -shards M run over the same
+// parameters (compare with benchdiff -fidelity-only).
+//
+// -full runs the same full report sink in a single process, adding the
+// cdf/projection sections to the result JSON; the timing gates of CI use
+// the default breakdown-only sink, so -full numbers are not comparable to
+// the golden baseline.
 //
 // With -codec the jobs additionally round-trip through the NDJSON
 // encoder/decoder over an in-process pipe (one pipe per shard), measuring
@@ -81,6 +101,11 @@ type Result struct {
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Rotation/eviction churn and byte-budget telemetry (WithCacheBytes).
+	CacheRotations     uint64  `json:"cache_rotations,omitempty"`
+	CacheEvictions     uint64  `json:"cache_evictions,omitempty"`
+	CacheTargetBytes   int64   `json:"cache_target_bytes,omitempty"`
+	CacheAvgEntryBytes float64 `json:"cache_avg_entry_bytes,omitempty"`
 
 	AllocsPerJob  float64 `json:"allocs_per_job"`
 	BytesPerJob   float64 `json:"bytes_per_job"`
@@ -93,7 +118,41 @@ type Result struct {
 
 	Fidelity Fidelity `json:"fidelity"`
 
+	// CDF and Projection report the sketch-backed sections; populated only
+	// under -full and -merge, where the full report sink runs.
+	CDF        *CDFSection  `json:"cdf,omitempty"`
+	Projection *ProjSection `json:"projection,omitempty"`
+
 	Note string `json:"note,omitempty"`
+}
+
+// Quantiles is a compact p50/p90/p99 triple of one sketched distribution.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// CDFSection carries the per-class CDF headline quantiles of the Fig. 8
+// sketches (job level).
+type CDFSection struct {
+	// WeightsFraction maps class -> quantiles of the weights-traffic time
+	// fraction (Fig. 8b-d headline lines).
+	WeightsFraction map[string]Quantiles `json:"weights_fraction"`
+	// EthernetFraction is the all-workloads Ethernet-attribution fraction
+	// (Fig. 8a headline line).
+	EthernetFraction Quantiles `json:"ethernet_fraction"`
+}
+
+// ProjSection carries the streamed Fig. 9 projection summary.
+type ProjSection struct {
+	N                     int     `json:"n"`
+	FracNodeNotSped       float64 `json:"frac_node_not_sped"`
+	FracThroughputNotSped float64 `json:"frac_throughput_not_sped"`
+	MeanNodeSpeedup       float64 `json:"mean_node_speedup"`
+	MeanThroughputSpeedup float64 `json:"mean_throughput_speedup"`
+	NodeSpeedupP50        float64 `json:"node_speedup_p50"`
+	NodeSpeedupP99        float64 `json:"node_speedup_p99"`
 }
 
 // Fidelity holds the streamed trace's collective aggregates next to the
@@ -137,12 +196,15 @@ func main() {
 
 // config is the fully resolved benchmark parameterization.
 type config struct {
-	jobs     int
-	seed     int64
-	shards   int
-	distinct int
-	cache    int
-	codec    bool
+	jobs       int
+	seed       int64
+	shards     int
+	shardIndex int // -1 = all partitions in this process
+	distinct   int
+	cache      int
+	cacheBytes int64
+	codec      bool
+	full       bool
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -154,14 +216,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "generator partitions drained concurrently (multi-trace sharding)")
+	shardIndex := fs.Int("shard-index", -1,
+		"evaluate only this partition of the -shards grid (worker mode; requires -emit-shard)")
 	distinct := fs.Int("distinct", -1,
 		"distinct feature records across the trace; later jobs are exact resubmissions (-1 = auto: 0 for -shards 1, 4096 otherwise; 0 = all distinct)")
 	cacheEntries := fs.Int("cache", -1,
 		"result-cache entry budget (-1 = auto: 0 for -shards 1, 16384 otherwise; 0 = off)")
+	cacheBytes := fs.Int64("cache-bytes", 0,
+		"result-cache byte budget; entry budget adapts to the measured entry footprint (overrides -cache; 0 = off)")
 	codec := fs.Bool("codec", false, "round-trip jobs through the NDJSON codec over a pipe (one per shard)")
+	full := fs.Bool("full", false, "stream through the full report sink (breakdowns + CDF sketches + projection) and emit the cdf/projection sections")
+	emitShard := fs.String("emit-shard", "",
+		"worker mode: write this process's full-sink snapshot to the given file instead of a result JSON")
+	merge := fs.Bool("merge", false,
+		"coordinator mode: merge the snapshot files given as positional arguments into the final result JSON")
 	out := fs.String("o", "", "result JSON file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *merge {
+		if *emitShard != "" {
+			return fmt.Errorf("-merge and -emit-shard are mutually exclusive")
+		}
+		return runMerge(fs.Args(), *seed, *out, stdout, stderr)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (snapshot files need -merge)", fs.Args())
 	}
 	if *jobs < 1 {
 		return fmt.Errorf("-jobs must be positive, got %d", *jobs)
@@ -172,7 +252,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *shards > *jobs {
 		return fmt.Errorf("-shards %d exceeds -jobs %d", *shards, *jobs)
 	}
-	cfg := config{jobs: *jobs, seed: *seed, shards: *shards, distinct: *distinct, cache: *cacheEntries, codec: *codec}
+	if *shardIndex >= 0 && *emitShard == "" {
+		return fmt.Errorf("-shard-index is worker mode; it requires -emit-shard")
+	}
+	if *shardIndex >= *shards {
+		return fmt.Errorf("-shard-index %d out of range for -shards %d", *shardIndex, *shards)
+	}
+	cfg := config{
+		jobs: *jobs, seed: *seed, shards: *shards, shardIndex: *shardIndex,
+		distinct: *distinct, cache: *cacheEntries, cacheBytes: *cacheBytes,
+		codec: *codec, full: *full || *emitShard != "",
+	}
 	if cfg.distinct < 0 {
 		if cfg.shards > 1 {
 			cfg.distinct = autoDistinct
@@ -195,12 +285,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *par > 0 {
 		opts = append(opts, pai.WithParallelism(*par))
 	}
-	if cfg.cache > 0 {
+	switch {
+	case cfg.cacheBytes > 0:
+		opts = append(opts, pai.WithCacheBytes(cfg.cacheBytes))
+	case cfg.cache > 0:
 		opts = append(opts, pai.WithCache(cfg.cache))
 	}
 	eng, err := pai.New(opts...)
 	if err != nil {
 		return err
+	}
+
+	if *emitShard != "" {
+		return runEmitShard(eng, cfg, *emitShard, stderr)
 	}
 
 	res, err := measure(eng, cfg)
@@ -217,9 +314,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if err := writeResult(res, *out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "paibench: %d jobs in %.2fs — %.0f jobs/sec (%d shard(s)), %.1f allocs/job, peak heap %.1f MiB, cache hit rate %.1f%%, codec %.0f ns/record\n",
+		res.Jobs, res.ElapsedSec, res.JobsPerSec, res.Shards, res.AllocsPerJob,
+		float64(res.PeakHeapBytes)/(1<<20), res.CacheHitRate*100, res.CodecNsPerRecord)
+	return nil
+}
+
+// writeResult emits the result JSON to the -o file or stdout.
+func writeResult(res *Result, out string, stdout io.Writer) error {
 	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
@@ -228,13 +336,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(res); err != nil {
-		return err
-	}
-	fmt.Fprintf(stderr, "paibench: %d jobs in %.2fs — %.0f jobs/sec (%d shard(s)), %.1f allocs/job, peak heap %.1f MiB, cache hit rate %.1f%%, codec %.0f ns/record\n",
-		res.Jobs, res.ElapsedSec, res.JobsPerSec, res.Shards, res.AllocsPerJob,
-		float64(res.PeakHeapBytes)/(1<<20), res.CacheHitRate*100, res.CodecNsPerRecord)
-	return nil
+	return enc.Encode(res)
 }
 
 // shardParams splits the trace across cfg.shards generator partitions:
@@ -276,7 +378,7 @@ func measure(eng *pai.Engine, cfg config) (*Result, error) {
 	peak := newPeakSampler(5 * time.Millisecond)
 
 	start := time.Now()
-	acc, counts, err := stream(eng, cfg)
+	sink, counts, err := stream(eng, cfg)
 	elapsed := time.Since(start)
 	peak.stop()
 	if err != nil {
@@ -293,6 +395,10 @@ func measure(eng *pai.Engine, cfg config) (*Result, error) {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
+	acc, err := breakdownOf(sink)
+	if err != nil {
+		return nil, err
+	}
 	fid, err := fidelity(acc)
 	if err != nil {
 		return nil, err
@@ -322,14 +428,39 @@ func measure(eng *pai.Engine, cfg config) (*Result, error) {
 	res.CacheHits = st.Hits
 	res.CacheMisses = st.Misses
 	res.CacheHitRate = st.HitRate()
+	res.CacheRotations = st.Rotations
+	res.CacheEvictions = st.Evictions
+	res.CacheTargetBytes = st.TargetBytes
+	res.CacheAvgEntryBytes = st.AvgEntryBytes
+	if cfg.full {
+		res.CDF, res.Projection, err = sketchSections(sink)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// sinkFactory returns the per-shard sink builder: the full report sink
+// (breakdowns + CDF sketches + projection) under -full/-emit-shard, the
+// breakdown accumulator alone on the timing-gated default path.
+func sinkFactory(eng *pai.Engine, cfg config) func() (pai.Sink, error) {
+	if cfg.full {
+		return func() (pai.Sink, error) { return eng.NewReportSink(pai.ToAllReduceLocal) }
+	}
+	return func() (pai.Sink, error) { return pai.NewBreakdownAccumulator(), nil }
 }
 
 // stream drains the shard partitions through the engine — directly, or each
 // through the NDJSON codec over its own in-process pipe — into the merged
-// accumulator, returning per-shard delivered counts.
-func stream(eng *pai.Engine, cfg config) (*pai.BreakdownAccumulator, []int, error) {
+// sink, returning per-shard delivered counts. Worker mode (shardIndex >= 0)
+// evaluates exactly one partition of the same grid, so per-process runs
+// compose into the identical merged state.
+func stream(eng *pai.Engine, cfg config) (pai.Sink, []int, error) {
 	params := shardParams(cfg)
+	if cfg.shardIndex >= 0 {
+		params = params[cfg.shardIndex : cfg.shardIndex+1]
+	}
 	srcs := make([]pai.JobSource, len(params))
 	var cleanup []func()
 	defer func() {
@@ -377,11 +508,198 @@ func stream(eng *pai.Engine, cfg config) (*pai.BreakdownAccumulator, []int, erro
 			wg.Wait()
 		})
 	}
-	acc, counts, err := eng.EvaluateSources(context.Background(), srcs...)
+	sink, counts, err := eng.EvaluateSourcesInto(context.Background(), sinkFactory(eng, cfg), srcs...)
 	if err != nil {
 		return nil, counts, err
 	}
-	return acc, counts, nil
+	return sink, counts, nil
+}
+
+// breakdownOf extracts the breakdown accumulator from a sink (directly or
+// out of a MultiSink).
+func breakdownOf(sink pai.Sink) (*pai.BreakdownAccumulator, error) {
+	switch s := sink.(type) {
+	case *pai.BreakdownAccumulator:
+		return s, nil
+	case *pai.MultiSink:
+		for _, inner := range s.Sinks() {
+			if acc, ok := inner.(*pai.BreakdownAccumulator); ok {
+				return acc, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("sink %q carries no breakdown accumulator", sink.Kind())
+}
+
+// sketchSections assembles the cdf/projection result sections from a full
+// report sink.
+func sketchSections(sink pai.Sink) (*CDFSection, *ProjSection, error) {
+	ms, ok := sink.(*pai.MultiSink)
+	if !ok {
+		return nil, nil, fmt.Errorf("sink %q is not a full report sink", sink.Kind())
+	}
+	cdf := &CDFSection{WeightsFraction: map[string]Quantiles{}}
+	var proj *ProjSection
+	for _, inner := range ms.Sinks() {
+		switch s := inner.(type) {
+		case *pai.ComponentCDFSink:
+			for _, class := range s.Classes() {
+				sk, err := s.CDF(class, pai.JobLevel, pai.CompWeights)
+				if err != nil {
+					return nil, nil, err
+				}
+				cdf.WeightsFraction[class.String()] = quantilesOf(sk)
+			}
+		case *pai.HardwareCDFSink:
+			sk, err := s.CDF(pai.JobLevel, pai.HWEthernet)
+			if err != nil {
+				return nil, nil, err
+			}
+			cdf.EthernetFraction = quantilesOf(sk)
+		case *pai.ProjectionSink:
+			if s.N() == 0 {
+				// No PS/Worker job streamed by (tiny traces); omit the
+				// section rather than failing the whole run.
+				continue
+			}
+			sum, err := s.Summary()
+			if err != nil {
+				return nil, nil, err
+			}
+			node := s.NodeSpeedups()
+			proj = &ProjSection{
+				N:                     sum.N,
+				FracNodeNotSped:       sum.FracNodeNotSped,
+				FracThroughputNotSped: sum.FracThroughputNotSped,
+				MeanNodeSpeedup:       sum.MeanNodeSpeedup,
+				MeanThroughputSpeedup: sum.MeanThroughputSpeedup,
+				NodeSpeedupP50:        node.Quantile(0.50),
+				NodeSpeedupP99:        node.Quantile(0.99),
+			}
+		}
+	}
+	return cdf, proj, nil
+}
+
+func quantilesOf(s *pai.Sketch) Quantiles {
+	return Quantiles{P50: s.Quantile(0.50), P90: s.Quantile(0.90), P99: s.Quantile(0.99)}
+}
+
+// shardMeta renders the worker's run parameters into the snapshot's
+// provenance string. Everything that changes the evaluated jobs or their
+// breakdowns is included; the shard index is the one field allowed to
+// differ between mergeable shards.
+func shardMeta(cfg config, backendName string) string {
+	return fmt.Sprintf("paibench jobs=%d seed=%d shards=%d distinct=%d backend=%s shard-index=%d",
+		cfg.jobs, cfg.seed, cfg.shards, cfg.distinct, backendName, cfg.shardIndex)
+}
+
+// mergeableMeta strips the shard index, leaving the part of the provenance
+// string every shard of one run must share.
+func mergeableMeta(meta string) string {
+	if i := strings.LastIndex(meta, " shard-index="); i >= 0 {
+		return meta[:i]
+	}
+	return meta
+}
+
+// runEmitShard is worker mode: evaluate this process's partition(s) through
+// the full report sink and write the framed snapshot, stamped with the run
+// parameters so the coordinator can refuse foreign shards.
+func runEmitShard(eng *pai.Engine, cfg config, path string, stderr io.Writer) error {
+	start := time.Now()
+	sink, counts, err := stream(eng, cfg)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pai.WriteSinkSnapshotMeta(f, sink, shardMeta(cfg, eng.Backend())); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	which := "all partitions"
+	if cfg.shardIndex >= 0 {
+		which = fmt.Sprintf("partition %d/%d", cfg.shardIndex, cfg.shards)
+	}
+	fmt.Fprintf(stderr, "paibench: emitted %s (%d jobs) to %s in %.2fs\n",
+		which, n, path, time.Since(start).Seconds())
+	return nil
+}
+
+// runMerge is coordinator mode: fold the shard snapshot files, in argument
+// order, into the final result JSON. The merge is byte-for-byte the same
+// reduction Engine.EvaluateSourcesInto applies in-process, so a single
+// -shards M run and an M-process -emit-shard/-merge run agree exactly.
+func runMerge(paths []string, seed int64, out string, stdout, stderr io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs at least one snapshot file argument")
+	}
+	var total pai.Sink
+	var runMeta string
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sink, meta, err := pai.ReadSinkSnapshotMeta(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		// Refuse to fold shards of different runs: everything but the
+		// shard index must agree. Snapshots without provenance (written
+		// through the generic API) skip the check.
+		if m := mergeableMeta(meta); m != "" {
+			if i > 0 && runMeta != "" && m != runMeta {
+				return fmt.Errorf("%s: shard from a different run (%q vs %q)", path, m, runMeta)
+			}
+			runMeta = m
+		}
+		if total == nil {
+			total = sink
+			continue
+		}
+		if err := total.Merge(sink); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	acc, err := breakdownOf(total)
+	if err != nil {
+		return err
+	}
+	fid, err := fidelity(acc)
+	if err != nil {
+		return err
+	}
+	res := &Result{
+		Schema:   "paibench/1",
+		Jobs:     acc.N(),
+		Seed:     seed,
+		Shards:   len(paths),
+		Fidelity: *fid,
+		Note:     fmt.Sprintf("merged from %d shard snapshot(s); timing fields not populated", len(paths)),
+	}
+	if _, isMulti := total.(*pai.MultiSink); isMulti {
+		res.CDF, res.Projection, err = sketchSections(total)
+		if err != nil {
+			return err
+		}
+	}
+	if err := writeResult(res, out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "paibench: merged %d snapshot(s), %d jobs\n", len(paths), res.Jobs)
+	return nil
 }
 
 // benchCodec measures decode-only NDJSON speed: a sample of the seed trace

@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -183,5 +185,113 @@ func TestShardedFidelityMatchesUnsharded(t *testing.T) {
 	}
 	if sharded.Fidelity.P99StepSec != shardedCached.Fidelity.P99StepSec {
 		t.Errorf("p99 drift under cache: %v vs %v", shardedCached.Fidelity.P99StepSec, sharded.Fidelity.P99StepSec)
+	}
+}
+
+// TestEmitShardMergeMatchesSingleProcess drives the coordinator/worker
+// flow end to end through run(): two worker invocations emit snapshot
+// files, a merge invocation folds them, and every deterministic section
+// must equal the single-process -full run over the same grid.
+func TestEmitShardMergeMatchesSingleProcess(t *testing.T) {
+	dir := t.TempDir()
+	s0 := filepath.Join(dir, "s0.snap")
+	s1 := filepath.Join(dir, "s1.snap")
+	common := []string{"-jobs", "4000", "-seed", "5", "-shards", "2"}
+	var out, errw bytes.Buffer
+	if err := run(append(common, "-shard-index", "0", "-emit-shard", s0), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(common, "-shard-index", "1", "-emit-shard", s1), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+
+	mergedPath := filepath.Join(dir, "merged.json")
+	if err := run([]string{"-merge", "-seed", "5", "-o", mergedPath, s0, s1}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var merged Result
+	b, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &merged); err != nil {
+		t.Fatal(err)
+	}
+
+	single := runToFile(t, append(common, "-full"))
+
+	if merged.Jobs != 4000 || single.Jobs != 4000 {
+		t.Fatalf("jobs = %d (merged) / %d (single)", merged.Jobs, single.Jobs)
+	}
+	if !reflect.DeepEqual(merged.Fidelity, single.Fidelity) {
+		t.Errorf("fidelity differs:\nmerged: %+v\nsingle: %+v", merged.Fidelity, single.Fidelity)
+	}
+	if merged.CDF == nil || single.CDF == nil || !reflect.DeepEqual(*merged.CDF, *single.CDF) {
+		t.Errorf("cdf section differs:\nmerged: %+v\nsingle: %+v", merged.CDF, single.CDF)
+	}
+	if merged.Projection == nil || single.Projection == nil || !reflect.DeepEqual(*merged.Projection, *single.Projection) {
+		t.Errorf("projection section differs:\nmerged: %+v\nsingle: %+v", merged.Projection, single.Projection)
+	}
+	if merged.Note == "" {
+		t.Error("merged result carries no provenance note")
+	}
+}
+
+// TestWorkerModeValidation pins the coordinator/worker flag rules.
+func TestWorkerModeValidation(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-shard-index", "0"}, &out, &errw); err == nil {
+		t.Error("-shard-index without -emit-shard accepted")
+	}
+	if err := run([]string{"-shards", "2", "-shard-index", "2", "-emit-shard", "x"}, &out, &errw); err == nil {
+		t.Error("out-of-range -shard-index accepted")
+	}
+	if err := run([]string{"-merge", "-emit-shard", "x"}, &out, &errw); err == nil {
+		t.Error("-merge with -emit-shard accepted")
+	}
+	if err := run([]string{"-merge"}, &out, &errw); err == nil {
+		t.Error("-merge without snapshot files accepted")
+	}
+	if err := run([]string{"stray.snap"}, &out, &errw); err == nil {
+		t.Error("stray positional arguments accepted without -merge")
+	}
+	if err := run([]string{"-merge", filepath.Join(t.TempDir(), "missing.snap")}, &out, &errw); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+}
+
+// TestMergeRejectsForeignShards: snapshots from runs with different
+// parameters must refuse to merge instead of folding into a plausible but
+// wrong report.
+func TestMergeRejectsForeignShards(t *testing.T) {
+	dir := t.TempDir()
+	s0 := filepath.Join(dir, "s0.snap")
+	s1 := filepath.Join(dir, "s1.snap")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-jobs", "2000", "-seed", "1", "-shards", "2", "-shard-index", "0", "-emit-shard", s0}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	// Same grid position, different seed: a different run.
+	if err := run([]string{"-jobs", "2000", "-seed", "9", "-shards", "2", "-shard-index", "1", "-emit-shard", s1}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-merge", s0, s1}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Errorf("foreign shard merge not rejected: %v", err)
+	}
+}
+
+// TestCacheBytesMode: -cache-bytes runs the adaptive cache and reports the
+// byte-budget telemetry.
+func TestCacheBytesMode(t *testing.T) {
+	r := runToFile(t, []string{"-jobs", "4000", "-shards", "2", "-distinct", "512", "-cache-bytes", "262144"})
+	if r.CacheTargetBytes != 262144 {
+		t.Errorf("cache_target_bytes = %d", r.CacheTargetBytes)
+	}
+	if r.CacheAvgEntryBytes <= 0 {
+		t.Error("no measured entry footprint in result")
+	}
+	if r.CacheHits == 0 {
+		t.Error("repetitive multi-shard trace produced no cache hits")
 	}
 }

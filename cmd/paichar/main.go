@@ -1,7 +1,7 @@
 // Command paichar characterizes a cluster trace the way the paper's
 // framework does: workload constitution, execution-time breakdowns at job
-// and cNode level, the PS->AllReduce projection study, and the hardware
-// sweep for a chosen class.
+// and cNode level, component/hardware CDFs, the PS->AllReduce projection
+// study, and the hardware sweep for a chosen class.
 //
 // Usage:
 //
@@ -10,13 +10,22 @@
 // Without -trace a calibrated synthetic trace of -jobs jobs is generated.
 // NDJSON traces (.ndjson/.jsonl, or -ndjson) are streamed through the
 // bounded pipeline instead of being materialized, so they can hold millions
-// of jobs; streaming mode reports the constitution and breakdown sections.
+// of jobs. Streaming mode covers every report section: the whole
+// characterization — breakdown aggregates, CDF sketches, the projection
+// summary, and the hardware sweep for -class — folds through one MultiSink
+// in a single pass at fixed memory (CDFs are quantile sketches: exact at
+// the q=0/1 boundaries, interior error under one bin, < 0.2% absolute for
+// fractions).
 //
 // -trace may repeat: multiple NDJSON traces are drained concurrently as
-// shards, each by its own worker set into its own accumulator, and folded
-// with the exact merge into one characterization (Engine.EvaluateSources).
-// -cache N puts a content-keyed result cache in front of the backend, which
-// pays off on production-shaped traces where the same jobs recur.
+// shards, each by its own worker set into its own sink, and folded with the
+// exact merge into one characterization (Engine.EvaluateSourcesInto).
+// -cache N puts a content-keyed result cache in front of the backend
+// (-cache-bytes N for an adaptive byte budget instead), which pays off on
+// production-shaped traces where the same jobs recur. The cache covers the
+// base evaluation only: the sweep section re-evaluates each swept job under
+// every Table III grid point through reconfigured backends (concurrently,
+// inside the sink), which the engine cache does not front.
 package main
 
 import (
@@ -61,9 +70,16 @@ func run(args []string, stdout io.Writer) error {
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	cacheEntries := fs.Int("cache", 0, "content-keyed result-cache entry budget (0 = off)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "content-keyed result-cache byte budget; adapts to the measured entry footprint (overrides -cache; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	target, err := resolveClass(*sweepClass)
+	if err != nil {
+		return err
+	}
+	engOpts := engineOptions(*backendName, *par, *cacheEntries, *cacheBytes)
 
 	if len(traces) > 1 {
 		for _, path := range traces {
@@ -71,10 +87,10 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("multi-trace mode streams NDJSON only; %q is not (.ndjson/.jsonl or -ndjson)", path)
 			}
 		}
-		return runStreaming(traces, *backendName, *par, *cacheEntries, stdout)
+		return runStreaming(traces, engOpts, target, stdout)
 	}
 	if len(traces) == 1 && (*ndjson || pai.IsNDJSONTracePath(traces[0])) {
-		return runStreaming(traces, *backendName, *par, *cacheEntries, stdout)
+		return runStreaming(traces, engOpts, target, stdout)
 	}
 
 	var trace *pai.Trace
@@ -98,17 +114,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	opts := []pai.Option{
-		pai.WithConfig(pai.BaselineConfig()),
-		pai.WithBackend(*backendName),
-	}
-	if *par > 0 {
-		opts = append(opts, pai.WithParallelism(*par))
-	}
-	if *cacheEntries > 0 {
-		opts = append(opts, pai.WithCache(*cacheEntries))
-	}
-	eng, err := pai.New(opts...)
+	eng, err := pai.New(engOpts...)
 	if err != nil {
 		return err
 	}
@@ -153,17 +159,6 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// Hardware sweep for the chosen class (Fig. 11 panel).
-	var target pai.Class
-	found := false
-	for _, class := range workload.AllClasses() {
-		if class.String() == *sweepClass {
-			target, found = class, true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown class %q", *sweepClass)
-	}
 	subset := pai.FilterClass(trace.Jobs, target)
 	if len(subset) == 0 {
 		return fmt.Errorf("trace has no %s jobs", target)
@@ -172,6 +167,40 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return renderSweep(stdout, target, panel)
+}
+
+// resolveClass maps a class flag value to the workload class.
+func resolveClass(name string) (pai.Class, error) {
+	for _, class := range workload.AllClasses() {
+		if class.String() == name {
+			return class, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown class %q", name)
+}
+
+// engineOptions assembles the shared engine configuration of both paths.
+func engineOptions(backendName string, par, cacheEntries int, cacheBytes int64) []pai.Option {
+	opts := []pai.Option{
+		pai.WithConfig(pai.BaselineConfig()),
+		pai.WithBackend(backendName),
+	}
+	if par > 0 {
+		opts = append(opts, pai.WithParallelism(par))
+	}
+	switch {
+	case cacheBytes > 0:
+		opts = append(opts, pai.WithCacheBytes(cacheBytes))
+	case cacheEntries > 0:
+		opts = append(opts, pai.WithCache(cacheEntries))
+	}
+	return opts
+}
+
+// renderSweep prints the Fig. 11 panel; shared by the in-memory and
+// streaming paths so their output stays identical.
+func renderSweep(stdout io.Writer, target pai.Class, panel pai.SweepPanel) error {
 	fmt.Fprintf(stdout, "Hardware sweep for %s:\n", target)
 	for _, s := range panel.Series {
 		fmt.Fprintf(stdout, "  %-10s:", s.Resource)
@@ -184,8 +213,8 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "  most sensitive resource: %s (max mean speedup %.3f)\n", res, gain)
-	return nil
+	_, err = fmt.Fprintf(stdout, "  most sensitive resource: %s (max mean speedup %.3f)\n", res, gain)
+	return err
 }
 
 // renderConstitution prints the Fig. 5 composition table; shared by the
@@ -225,9 +254,10 @@ func renderBreakdowns(stdout io.Writer, rows []pai.BreakdownRow, overall map[pai
 // runStreaming characterizes one or more NDJSON traces through the
 // streaming pipeline: traces are never materialized, so they can be
 // arbitrarily large, and multiple traces drain concurrently as shards
-// folded with the exact merge. The projection and hardware-sweep sections
-// need per-job feature access and are skipped.
-func runStreaming(paths []string, backendName string, par, cacheEntries int, stdout io.Writer) error {
+// folded with the exact merge. Every report section folds through one
+// MultiSink in a single pass — breakdown aggregates, CDF sketches, the
+// projection summary, and the hardware sweep for the chosen class.
+func runStreaming(paths []string, engOpts []pai.Option, target pai.Class, stdout io.Writer) error {
 	srcs := make([]pai.JobSource, len(paths))
 	for i, path := range paths {
 		f, err := os.Open(path)
@@ -238,25 +268,49 @@ func runStreaming(paths []string, backendName string, par, cacheEntries int, std
 		srcs[i] = pai.NewTraceDecoder(f)
 	}
 
-	opts := []pai.Option{
-		pai.WithConfig(pai.BaselineConfig()),
-		pai.WithBackend(backendName),
-	}
-	if par > 0 {
-		opts = append(opts, pai.WithParallelism(par))
-	}
-	if cacheEntries > 0 {
-		opts = append(opts, pai.WithCache(cacheEntries))
-	}
-	eng, err := pai.New(opts...)
+	eng, err := pai.New(engOpts...)
 	if err != nil {
 		return err
 	}
-	acc, counts, err := eng.EvaluateSources(context.Background(), srcs...)
+	factory := func() (pai.Sink, error) {
+		report, err := eng.NewReportSink(pai.ToAllReduceLocal)
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := eng.NewSweepSink(target)
+		if err != nil {
+			return nil, err
+		}
+		return pai.NewMultiSink(append(report.Sinks(), sweep)...), nil
+	}
+	sink, counts, err := eng.EvaluateSourcesInto(context.Background(), factory, srcs...)
 	if err != nil {
 		return err
+	}
+	ms := sink.(*pai.MultiSink)
+	var (
+		acc      *pai.BreakdownAccumulator
+		cdfs     *pai.ComponentCDFSink
+		hwCDFs   *pai.HardwareCDFSink
+		projSink *pai.ProjectionSink
+		sweep    *pai.SweepSink
+	)
+	for _, inner := range ms.Sinks() {
+		switch s := inner.(type) {
+		case *pai.BreakdownAccumulator:
+			acc = s
+		case *pai.ComponentCDFSink:
+			cdfs = s
+		case *pai.HardwareCDFSink:
+			hwCDFs = s
+		case *pai.ProjectionSink:
+			projSink = s
+		case *pai.SweepSink:
+			sweep = s
+		}
 	}
 
+	// Constitution (Fig. 5) and breakdowns (Fig. 7 / Sec. III-D).
 	c, err := acc.Constitution()
 	if err != nil {
 		return err
@@ -275,6 +329,54 @@ func runStreaming(paths []string, backendName string, par, cacheEntries int, std
 	if err := renderBreakdowns(stdout, acc.Rows(), overall); err != nil {
 		return err
 	}
+	fmt.Fprintln(stdout)
+
+	// CDF sketches (Fig. 8): the weights-traffic fraction per class plus
+	// the all-workloads hardware attribution, job level.
+	fmt.Fprintln(stdout, "Weights-traffic time fraction CDFs (job-level, sketched):")
+	for _, class := range cdfs.Classes() {
+		sk, err := cdfs.CDF(class, pai.JobLevel, pai.CompWeights)
+		if err != nil {
+			return err
+		}
+		if err := report.CDFSeries(stdout, "  "+class.String(), sk, nil); err != nil {
+			return err
+		}
+	}
+	for _, hw := range []pai.HardwareComponent{pai.HWEthernet, pai.HWGPUFLOPs} {
+		sk, err := hwCDFs.CDF(pai.JobLevel, hw)
+		if err != nil {
+			return err
+		}
+		if err := report.CDFSeries(stdout, "  all workloads "+hw.String(), sk, nil); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(stdout)
+
+	// Projection (Fig. 9), streamed.
+	if projSink.N() > 0 {
+		sum, err := projSink.Summary()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "PS -> AllReduce-Local: %d jobs, %s gain throughput, mean node speedup %.2fx\n\n",
+			sum.N, report.Pct(1-sum.FracThroughputNotSped), sum.MeanNodeSpeedup)
+	}
+
+	// Hardware sweep (Fig. 11 panel), streamed.
+	if sweep.N() > 0 {
+		panel, err := sweep.Panel(target.String())
+		if err != nil {
+			return err
+		}
+		if err := renderSweep(stdout, target, panel); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "(no %s jobs; hardware sweep skipped)\n", target)
+	}
+
 	p50, err := acc.StepTimeQuantile(0.5)
 	if err != nil {
 		return err
@@ -287,9 +389,8 @@ func runStreaming(paths []string, backendName string, par, cacheEntries int, std
 		}
 	}
 	if st := eng.CacheStats(); st.Hits+st.Misses > 0 {
-		fmt.Fprintf(stdout, "result cache: %.1f%% hit rate (%d hits, %d misses, %d resident)\n",
-			st.HitRate()*100, st.Hits, st.Misses, st.Entries)
+		fmt.Fprintf(stdout, "result cache: %.1f%% hit rate (%d hits, %d misses, %d resident, %d evicted)\n",
+			st.HitRate()*100, st.Hits, st.Misses, st.Entries, st.Evictions)
 	}
-	fmt.Fprintln(stdout, "(projection and hardware-sweep sections need an in-memory trace; rerun with a whole-document JSON trace)")
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -111,6 +112,74 @@ func TestRunMultiTraceShards(t *testing.T) {
 	}
 	if !strings.Contains(out, "result cache:") {
 		t.Errorf("missing cache stats line:\n%s", out)
+	}
+	// Streaming mode now covers every report section: CDF sketches,
+	// the projection study, and the hardware sweep.
+	if !strings.Contains(out, "Weights-traffic time fraction CDFs") {
+		t.Errorf("missing CDF section:\n%s", out)
+	}
+	if !strings.Contains(out, "PS -> AllReduce-Local:") {
+		t.Errorf("missing projection section:\n%s", out)
+	}
+	if !strings.Contains(out, "Hardware sweep for PS/Worker:") || !strings.Contains(out, "most sensitive resource:") {
+		t.Errorf("missing hardware sweep section:\n%s", out)
+	}
+}
+
+// TestStreamingMatchesInMemorySections: on the same trace, the streamed
+// projection and sweep sections must render identically to the in-memory
+// path.
+func TestStreamingMatchesInMemorySections(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 800
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "trace.json")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(jf); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	ndPath := filepath.Join(dir, "trace.ndjson")
+	nf, err := os.Create(ndPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteNDJSON(nf); err != nil {
+		t.Fatal(err)
+	}
+	nf.Close()
+
+	var memOut, streamOut bytes.Buffer
+	if err := run([]string{"-trace", jsonPath}, &memOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", ndPath}, &streamOut); err != nil {
+		t.Fatal(err)
+	}
+	sectionLines := func(out string) []string {
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "PS -> AllReduce-Local") ||
+				strings.Contains(line, "most sensitive resource") ||
+				strings.Contains(line, "Ethernet  :") {
+				keep = append(keep, line)
+			}
+		}
+		return keep
+	}
+	mem, stream := sectionLines(memOut.String()), sectionLines(streamOut.String())
+	if len(mem) == 0 {
+		t.Fatalf("no comparable sections in in-memory output:\n%s", memOut.String())
+	}
+	if !reflect.DeepEqual(mem, stream) {
+		t.Errorf("streamed sections differ from in-memory:\nmem: %q\nstream: %q", mem, stream)
 	}
 }
 

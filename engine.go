@@ -37,6 +37,7 @@ type Engine struct {
 	backendName  string
 	parallelism  int
 	cacheEntries int
+	cacheBytes   int64
 
 	b backend.Backend
 	// ev is the per-job evaluation surface every batch and streaming
@@ -147,6 +148,24 @@ func WithCache(entries int) Option {
 			entries = 0
 		}
 		e.cacheEntries = entries
+		e.cacheBytes = 0
+		return nil
+	}
+}
+
+// WithCacheBytes is WithCache with a byte budget instead of an entry
+// budget: the cache derives its entry budget adaptively from targetBytes
+// divided by the measured average entry footprint, so the resident set
+// tracks a memory target rather than a guessed entry count. n <= 0 disables
+// caching. WithCacheBytes and WithCache override each other; the last one
+// given wins.
+func WithCacheBytes(n int64) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			n = 0
+		}
+		e.cacheBytes = n
+		e.cacheEntries = 0
 		return nil
 	}
 }
@@ -169,8 +188,16 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	e.b = b
 	e.ev = b
-	if e.cacheEntries > 0 {
+	switch {
+	case e.cacheEntries > 0:
 		c, err := evalcache.New(b, e.spec, e.cacheEntries)
+		if err != nil {
+			return nil, err
+		}
+		e.cache = c
+		e.ev = c
+	case e.cacheBytes > 0:
+		c, err := evalcache.NewBytes(b, e.spec, e.cacheBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +249,13 @@ func (e *Engine) With(opts ...Option) (*Engine, error) {
 		WithArchOptions(e.spec.Arch),
 		WithBackend(e.backendName),
 		WithParallelism(e.parallelism),
-		WithCache(e.cacheEntries),
+		func(d *Engine) error {
+			// Copied directly rather than via WithCache/WithCacheBytes: the
+			// options are last-wins, so replaying both would zero whichever
+			// budget was actually set.
+			d.cacheEntries, d.cacheBytes = e.cacheEntries, e.cacheBytes
+			return nil
+		},
 		func(d *Engine) error { d.spec.OverlapAlpha = e.spec.OverlapAlpha; return nil },
 	)
 	merged = append(merged, opts...)
@@ -446,6 +479,80 @@ func (e *Engine) ProjectAll(ctx context.Context, jobs []Features, target Project
 		return nil, err
 	}
 	return pr.ProjectBatch(ctx, jobs, target, e.parallelism)
+}
+
+// StreamInto streams every job from src through the engine and folds each
+// result into sink — the generic form of StreamBreakdowns: any Sink (or
+// MultiSink bundling several) rides the same single-pass pipeline. It
+// returns the number of jobs folded.
+func (e *Engine) StreamInto(ctx context.Context, src JobSource, sink Sink) (int, error) {
+	ev, err := e.evaluator()
+	if err != nil {
+		return 0, err
+	}
+	return analyze.FoldInto(ctx, ev, e.parallelism, src, sink)
+}
+
+// EvaluateSourcesInto is the sharded StreamInto: every source is drained by
+// its own worker set into its own sink built by factory, and the per-shard
+// sinks are merged in shard order — exactly the merge a coordinator applies
+// to per-process snapshot files, so the two produce byte-identical
+// snapshots. It returns the merged sink and per-shard job counts.
+func (e *Engine) EvaluateSourcesInto(ctx context.Context, factory func() (Sink, error), srcs ...JobSource) (Sink, []int, error) {
+	ev, err := e.evaluator()
+	if err != nil {
+		return nil, nil, err
+	}
+	return analyze.FoldSinks(ctx, ev, e.parallelism, srcs, factory)
+}
+
+// NewProjectionSink returns a Sink folding the Fig. 9 PS -> AllReduce
+// projection study through the engine's evaluator (cache included when
+// configured). The engine's backend must be projectable and its
+// configuration must include NVLink.
+func (e *Engine) NewProjectionSink(target ProjectionTarget) (*ProjectionSink, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return nil, err
+	}
+	if !b.Capabilities().Projectable {
+		return nil, fmt.Errorf("pai: backend %q does not support projections", b.Name())
+	}
+	pr, err := project.NewWithEvaluator(e.ev, e.spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.NewProjectionSink(pr, target)
+}
+
+// NewSweepSink returns a Sink folding the Fig. 11 hardware-evolution sweep
+// for one class. The engine's backend must be sweepable; every job of the
+// class is re-evaluated under each Table III grid point as it streams by.
+func (e *Engine) NewSweepSink(class Class) (*SweepSink, error) {
+	b, err := e.ensure()
+	if err != nil {
+		return nil, err
+	}
+	return analyze.NewSweepSink(b, class)
+}
+
+// NewReportSink bundles the full streaming characterization — breakdown
+// aggregates, per-class component CDF sketches, hardware CDF sketches, and
+// the projection summary — into one MultiSink, so a single streamed pass
+// (or a set of per-process shards) fills every report section that does not
+// require reconfiguring the backend. Add a sweep sink via NewSweepSink when
+// the hardware-sweep section is wanted too.
+func (e *Engine) NewReportSink(target ProjectionTarget) (*MultiSink, error) {
+	ps, err := e.NewProjectionSink(target)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.NewMultiSink(
+		analyze.NewBreakdownAccumulator(),
+		analyze.NewComponentCDFSink(),
+		analyze.NewHardwareCDFSink(),
+		ps,
+	), nil
 }
 
 // Backends lists the registered evaluation backend names.

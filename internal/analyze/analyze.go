@@ -172,85 +172,45 @@ func OverallBreakdown(ctx context.Context, ev backend.Evaluator, parallelism int
 	return acc.Overall(lvl)
 }
 
-// ComponentCDFs is one panel of Fig. 8(b-d): per-component CDFs of the
-// time fraction across jobs of one class, at one level.
+// ComponentCDFs is one panel of Fig. 8(b-d): per-component CDF sketches of
+// the time fraction across jobs of one class, at one level.
 type ComponentCDFs struct {
 	Class workload.Class
 	Level Level
-	// CDF maps component -> distribution of its per-job fraction.
-	CDF map[core.Component]*stats.CDF
+	// CDF maps component -> sketched distribution of its per-job fraction
+	// (exact at the q=0/1 boundaries, interior quantile error under one
+	// fraction-sketch bin, i.e. < 0.2% absolute).
+	CDF map[core.Component]*stats.Sketch
 }
 
-// BreakdownCDFs computes the Fig. 8(b-d) panels for one class and level.
+// BreakdownCDFs computes the Fig. 8(b-d) panel for one class and level. It
+// streams the trace through a ComponentCDFSink, so memory is fixed in the
+// trace size; callers wanting every panel from one pass should fold a
+// ComponentCDFSink directly.
 func BreakdownCDFs(ctx context.Context, ev backend.Evaluator, parallelism int, jobs []workload.Features, class workload.Class, lvl Level) (ComponentCDFs, error) {
-	matched := Filter(jobs, class)
-	times, err := backend.EvaluateBatch(ctx, ev, matched, parallelism)
-	if err != nil {
-		return ComponentCDFs{}, fmt.Errorf("analyze: %w", err)
+	sink := NewComponentCDFSink()
+	if _, err := FoldInto(ctx, ev, parallelism, stream.NewSliceSource(Filter(jobs, class)), sink); err != nil {
+		return ComponentCDFs{}, err
 	}
-	vals := map[core.Component][]float64{}
-	var weights []float64
-	for i, j := range matched {
-		bd := times[i]
-		for _, c := range core.Components() {
-			fr, err := bd.Fraction(c)
-			if err != nil {
-				return ComponentCDFs{}, err
-			}
-			vals[c] = append(vals[c], fr)
-		}
-		weights = append(weights, lvl.weight(j))
-	}
-	if len(weights) == 0 {
-		return ComponentCDFs{}, fmt.Errorf("analyze: no jobs of class %v", class)
-	}
-	out := ComponentCDFs{Class: class, Level: lvl, CDF: map[core.Component]*stats.CDF{}}
-	for c, xs := range vals {
-		cdf, err := stats.NewWeightedCDF(xs, weights)
-		if err != nil {
-			return ComponentCDFs{}, err
-		}
-		out.CDF[c] = cdf
-	}
-	return out, nil
+	return sink.Panel(class, lvl)
 }
 
-// HardwareCDFs is the Fig. 8(a) panel: CDFs of the time fraction attributed
-// to each hardware component, over all jobs, at one level.
+// HardwareCDFs is the Fig. 8(a) panel: CDF sketches of the time fraction
+// attributed to each hardware component, over all jobs, at one level.
 type HardwareCDFs struct {
 	Level Level
-	CDF   map[core.HardwareComponent]*stats.CDF
+	CDF   map[core.HardwareComponent]*stats.Sketch
 }
 
-// BreakdownHardwareCDFs computes Fig. 8(a).
+// BreakdownHardwareCDFs computes Fig. 8(a) by streaming the trace through a
+// HardwareCDFSink.
 func BreakdownHardwareCDFs(ctx context.Context, ev backend.Evaluator, parallelism int, jobs []workload.Features, lvl Level) (HardwareCDFs, error) {
 	if len(jobs) == 0 {
 		return HardwareCDFs{}, fmt.Errorf("analyze: empty trace")
 	}
-	times, err := backend.EvaluateBatch(ctx, ev, jobs, parallelism)
-	if err != nil {
-		return HardwareCDFs{}, fmt.Errorf("analyze: %w", err)
+	sink := NewHardwareCDFSink()
+	if _, err := FoldInto(ctx, ev, parallelism, stream.NewSliceSource(jobs), sink); err != nil {
+		return HardwareCDFs{}, err
 	}
-	vals := map[core.HardwareComponent][]float64{}
-	var weights []float64
-	for i, j := range jobs {
-		bd := times[i]
-		for _, h := range core.HardwareComponents() {
-			fr, err := bd.HardwareFraction(h)
-			if err != nil {
-				return HardwareCDFs{}, err
-			}
-			vals[h] = append(vals[h], fr)
-		}
-		weights = append(weights, lvl.weight(j))
-	}
-	out := HardwareCDFs{Level: lvl, CDF: map[core.HardwareComponent]*stats.CDF{}}
-	for h, xs := range vals {
-		cdf, err := stats.NewWeightedCDF(xs, weights)
-		if err != nil {
-			return HardwareCDFs{}, err
-		}
-		out.CDF[h] = cdf
-	}
-	return out, nil
+	return sink.Panel(lvl)
 }

@@ -3,8 +3,10 @@ package analyze
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/backend"
+	"repro/internal/binenc"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -154,10 +156,20 @@ func (a *BreakdownAccumulator) Add(f workload.Features, t core.Times) error {
 	return nil
 }
 
+// Kind implements Sink.
+func (a *BreakdownAccumulator) Kind() string { return kindBreakdown }
+
 // Merge folds another accumulator into the receiver (the per-shard
 // reduction step). Merging is associative: merging shard accumulators in
 // any grouping equals accumulating the whole stream.
-func (a *BreakdownAccumulator) Merge(b *BreakdownAccumulator) error {
+func (a *BreakdownAccumulator) Merge(other Sink) error {
+	if other == nil {
+		return nil
+	}
+	b, ok := other.(*BreakdownAccumulator)
+	if !ok {
+		return fmt.Errorf("analyze: cannot merge %T into BreakdownAccumulator", other)
+	}
 	if b == nil || b.byClass == nil {
 		return nil
 	}
@@ -253,15 +265,171 @@ func (a *BreakdownAccumulator) StepTimeQuantile(q float64) (float64, error) {
 	return a.stepHist.Quantile(q)
 }
 
+// breakdownAccVersion tags the BreakdownAccumulator snapshot layout.
+const breakdownAccVersion = 1
+
+// marshalCompAcc appends one component accumulator's exact state.
+func marshalCompAcc(w *binenc.Writer, c *compAcc) {
+	for _, s := range c.sum {
+		w.F64(s)
+	}
+	w.F64(c.w)
+	w.Int(c.n)
+}
+
+// unmarshalCompAcc reads one component accumulator.
+func unmarshalCompAcc(r *binenc.Reader, c *compAcc) {
+	for i := range c.sum {
+		c.sum[i] = r.F64()
+	}
+	c.w = r.F64()
+	c.n = int(r.Uvarint())
+}
+
+// MarshalBinary encodes the accumulator as a versioned binary snapshot.
+// Classes are written in sorted order, so identical state always yields
+// identical bytes regardless of map iteration order — the property the
+// multi-process byte-identity guarantee rests on.
+func (a *BreakdownAccumulator) MarshalBinary() ([]byte, error) {
+	a.init()
+	w := binenc.NewWriter(512)
+	w.U8(breakdownAccVersion)
+	w.Int(a.totalJobs)
+	w.Int(a.totalCNodes)
+	stepRaw, err := a.step.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Raw(stepRaw)
+	histRaw, err := a.stepHist.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Raw(histRaw)
+	for lvl := range a.overall {
+		marshalCompAcc(w, &a.overall[lvl])
+	}
+	classes := make([]workload.Class, 0, len(a.byClass))
+	for class := range a.byClass {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	w.Int(len(classes))
+	for _, class := range classes {
+		cell := a.byClass[class]
+		w.Uvarint(uint64(class))
+		for lvl := range cell.level {
+			marshalCompAcc(w, &cell.level[lvl])
+		}
+		w.Int(cell.jobs)
+		w.Int(cell.cnodes)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary snapshot, replacing the receiver.
+func (a *BreakdownAccumulator) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != breakdownAccVersion {
+		return fmt.Errorf("analyze: breakdown snapshot version %d, want %d", v, breakdownAccVersion)
+	}
+	b := NewBreakdownAccumulator()
+	b.totalJobs = int(r.Uvarint())
+	b.totalCNodes = int(r.Uvarint())
+	stepRaw := r.Raw()
+	histRaw := r.Raw()
+	for lvl := range b.overall {
+		unmarshalCompAcc(r, &b.overall[lvl])
+	}
+	nClasses := r.Int()
+	for i := 0; i < nClasses && r.Err() == nil; i++ {
+		class := workload.Class(r.Uvarint())
+		cell := &classCell{}
+		for lvl := range cell.level {
+			unmarshalCompAcc(r, &cell.level[lvl])
+		}
+		cell.jobs = int(r.Uvarint())
+		cell.cnodes = int(r.Uvarint())
+		if _, dup := b.byClass[class]; dup {
+			return fmt.Errorf("analyze: breakdown snapshot repeats class %v", class)
+		}
+		b.byClass[class] = cell
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("analyze: breakdown snapshot: %w", err)
+	}
+	if err := b.step.UnmarshalBinary(stepRaw); err != nil {
+		return err
+	}
+	if err := b.stepHist.UnmarshalBinary(histRaw); err != nil {
+		return err
+	}
+	*a = *b
+	return nil
+}
+
+// FoldInto streams every job from src through ev over the worker pool and
+// folds each result into sink — the generic core every analysis fold runs
+// through. It returns the number of jobs folded.
+func FoldInto(ctx context.Context, ev backend.Evaluator, parallelism int, src stream.Source, sink Sink) (int, error) {
+	if sink == nil {
+		return 0, fmt.Errorf("analyze: FoldInto with nil sink")
+	}
+	n, err := stream.Evaluate(ctx, ev, src, parallelism, func(r stream.Result) error {
+		return sink.Add(r.Job, r.Times)
+	})
+	if err != nil {
+		return n, fmt.Errorf("analyze: %w", err)
+	}
+	return n, nil
+}
+
+// FoldSinks is the sharded FoldInto: every source is drained by its own
+// worker set into its own sink built by factory (so the hot path never
+// shares state across shards), and the per-shard sinks are merged in shard
+// order into one aggregate — the same merge order a coordinator applies to
+// per-process snapshot files, which is what makes the two byte-identical.
+// It returns the merged sink and the per-shard job counts.
+func FoldSinks(ctx context.Context, ev backend.Evaluator, parallelism int, srcs []stream.Source, factory func() (Sink, error)) (Sink, []int, error) {
+	if factory == nil {
+		return nil, nil, fmt.Errorf("analyze: FoldSinks with nil sink factory")
+	}
+	sinks := make([]Sink, len(srcs))
+	for i := range sinks {
+		s, err := factory()
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyze: %w", err)
+		}
+		if s == nil {
+			return nil, nil, fmt.Errorf("analyze: sink factory returned nil")
+		}
+		sinks[i] = s
+	}
+	counts, err := stream.EvaluateMulti(ctx, ev, srcs, parallelism, func(shard int, r stream.Result) error {
+		return sinks[shard].Add(r.Job, r.Times)
+	})
+	if err != nil {
+		return nil, counts, fmt.Errorf("analyze: %w", err)
+	}
+	total, err := factory()
+	if err != nil {
+		return nil, counts, fmt.Errorf("analyze: %w", err)
+	}
+	for _, s := range sinks {
+		if err := total.Merge(s); err != nil {
+			return nil, counts, fmt.Errorf("analyze: %w", err)
+		}
+	}
+	return total, counts, nil
+}
+
 // Fold streams every job from src through ev over the worker pool and
 // returns the filled accumulator — the one-call streaming counterpart of
 // Breakdowns + OverallBreakdown + Constitute.
 func Fold(ctx context.Context, ev backend.Evaluator, parallelism int, src stream.Source) (*BreakdownAccumulator, error) {
 	acc := NewBreakdownAccumulator()
-	if _, err := stream.Evaluate(ctx, ev, src, parallelism, func(r stream.Result) error {
-		return acc.Add(r.Job, r.Times)
-	}); err != nil {
-		return nil, fmt.Errorf("analyze: %w", err)
+	if _, err := FoldInto(ctx, ev, parallelism, src, acc); err != nil {
+		return nil, err
 	}
 	if acc.N() == 0 {
 		return nil, fmt.Errorf("analyze: empty trace")
@@ -269,32 +437,20 @@ func Fold(ctx context.Context, ev backend.Evaluator, parallelism int, src stream
 	return acc, nil
 }
 
-// FoldSources is the sharded Fold: every source is drained by its own
-// worker set into its own accumulator (so the hot path never shares state
-// across shards), and the per-shard accumulators are merged in shard order
-// into one aggregate. With a single source the result is identical to Fold;
-// with N sources the merge is the exact per-shard reduction Merge
-// documents. It returns the merged accumulator and the per-shard job
-// counts.
+// FoldSources is the sharded Fold: the breakdown-only instantiation of
+// FoldSinks. With a single source the result is identical to Fold; with N
+// sources the merge is the exact per-shard reduction Merge documents. It
+// returns the merged accumulator and the per-shard job counts.
 func FoldSources(ctx context.Context, ev backend.Evaluator, parallelism int, srcs []stream.Source) (*BreakdownAccumulator, []int, error) {
-	accs := make([]*BreakdownAccumulator, len(srcs))
-	for i := range accs {
-		accs[i] = NewBreakdownAccumulator()
-	}
-	counts, err := stream.EvaluateMulti(ctx, ev, srcs, parallelism, func(shard int, r stream.Result) error {
-		return accs[shard].Add(r.Job, r.Times)
+	total, counts, err := FoldSinks(ctx, ev, parallelism, srcs, func() (Sink, error) {
+		return NewBreakdownAccumulator(), nil
 	})
 	if err != nil {
-		return nil, counts, fmt.Errorf("analyze: %w", err)
+		return nil, counts, err
 	}
-	total := NewBreakdownAccumulator()
-	for _, acc := range accs {
-		if err := total.Merge(acc); err != nil {
-			return nil, counts, fmt.Errorf("analyze: %w", err)
-		}
-	}
-	if total.N() == 0 {
+	acc := total.(*BreakdownAccumulator)
+	if acc.N() == 0 {
 		return nil, counts, fmt.Errorf("analyze: empty trace")
 	}
-	return total, counts, nil
+	return acc, counts, nil
 }

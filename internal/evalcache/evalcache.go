@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/backend"
 	"repro/internal/core"
@@ -122,7 +123,18 @@ type Cache struct {
 	mask     uint64
 	shardCap int
 
-	hits, misses atomic.Uint64
+	// targetBytes, when positive, switches the cache to byte-budget mode:
+	// the per-shard entry capacity is re-derived from the measured average
+	// entry footprint instead of staying fixed at shardCap (which then only
+	// seeds the budget until the first insert is measured).
+	targetBytes int64
+	// footprintSum and footprintN measure inserted entries: their ratio is
+	// the running average entry footprint the byte budget divides by.
+	footprintSum atomic.Int64
+	footprintN   atomic.Uint64
+
+	hits, misses         atomic.Uint64
+	rotations, evictions atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the cache's effectiveness counters.
@@ -130,11 +142,21 @@ type Stats struct {
 	// Hits and Misses count Breakdown calls served from memory vs forwarded
 	// to the wrapped evaluator.
 	Hits, Misses uint64
+	// Rotations counts generation turnovers (a young generation filling and
+	// displacing the old one); Evictions counts the entries dropped by those
+	// turnovers. A high eviction rate next to a low hit rate means the
+	// working set does not fit the budget.
+	Rotations, Evictions uint64
 	// Entries is the current number of resident breakdowns.
 	Entries int
-	// Capacity is the configured entry budget (residency can transiently
-	// reach about twice this across the two generations).
+	// Capacity is the current entry budget (residency can transiently reach
+	// about twice this across the two generations). In byte-budget mode it
+	// moves as the measured entry footprint converges.
 	Capacity int
+	// TargetBytes is the configured byte budget (0 in fixed-entry mode) and
+	// AvgEntryBytes the measured average footprint the budget divides by.
+	TargetBytes   int64
+	AvgEntryBytes float64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -156,6 +178,35 @@ func New(ev backend.Evaluator, spec backend.Spec, entries int) (*Cache, error) {
 	if entries < 1 {
 		return nil, fmt.Errorf("evalcache: need a positive entry budget, got %d", entries)
 	}
+	return build(ev, spec, entries, 0), nil
+}
+
+// assumedEntryBytes seeds the byte-budget entry estimate before any entry
+// has been measured; the first inserts replace it with the measured average.
+const assumedEntryBytes = 256
+
+// NewBytes wraps ev in a cache bounded to roughly targetBytes of resident
+// breakdown memory. The entry budget is adaptive: it starts from a
+// conservative assumed footprint and converges onto
+// targetBytes / measured-average-entry-footprint as real entries are
+// inserted, so traces with heavy link-attribution maps get fewer resident
+// entries than lean ones under the same byte budget.
+func NewBytes(ev backend.Evaluator, spec backend.Spec, targetBytes int64) (*Cache, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("evalcache: NewBytes with nil evaluator")
+	}
+	if targetBytes < 1 {
+		return nil, fmt.Errorf("evalcache: need a positive byte budget, got %d", targetBytes)
+	}
+	seedEntries := int(targetBytes / assumedEntryBytes)
+	if seedEntries < 1 {
+		seedEntries = 1
+	}
+	return build(ev, spec, seedEntries, targetBytes), nil
+}
+
+// build assembles the cache for both sizing modes.
+func build(ev backend.Evaluator, spec backend.Spec, entries int, targetBytes int64) *Cache {
 	// Power-of-two shard count scaled to the machine so concurrent workers
 	// rarely contend on one lock, but never more shards than entries.
 	n := 1
@@ -163,14 +214,54 @@ func New(ev backend.Evaluator, spec backend.Spec, entries int) (*Cache, error) {
 		n *= 2
 	}
 	perShard := (entries + n - 1) / n
-	c := &Cache{
-		inner:    ev,
-		seed:     specSeed(spec),
-		shards:   make([]shard, n),
-		mask:     uint64(n - 1),
-		shardCap: perShard,
+	return &Cache{
+		inner:       ev,
+		seed:        specSeed(spec),
+		shards:      make([]shard, n),
+		mask:        uint64(n - 1),
+		shardCap:    perShard,
+		targetBytes: targetBytes,
 	}
-	return c, nil
+}
+
+// entryFootprint estimates one resident entry's heap bytes: the entry
+// struct (key + breakdown), its share of the generation map's buckets, and
+// the cloned link-attribution map. Map overheads use the usual ~2x bucket
+// factor; the point is a consistent, monotone estimate for budget division,
+// not byte-perfect accounting.
+func entryFootprint(t core.Times) int64 {
+	const (
+		mapSlotOverhead  = 2 * (8 + 8) // hash key + entry pointer, ~2x bucket factor
+		mapHeaderBytes   = 48
+		linkElementBytes = 2 * (8 + 8) // LinkClass + float64, ~2x bucket factor
+	)
+	fp := int64(unsafe.Sizeof(entry{})) + mapSlotOverhead
+	if t.WeightsByLink != nil {
+		fp += mapHeaderBytes + int64(len(t.WeightsByLink))*linkElementBytes
+	}
+	return fp
+}
+
+// capacity returns the current per-shard entry budget. Fixed-entry caches
+// return the configured value; byte-budget caches divide the target by the
+// measured average footprint (seeded with assumedEntryBytes until the first
+// insert lands).
+func (c *Cache) capacity() int {
+	if c.targetBytes == 0 {
+		return c.shardCap
+	}
+	avg := int64(assumedEntryBytes)
+	if n := c.footprintN.Load(); n > 0 {
+		avg = c.footprintSum.Load() / int64(n)
+		if avg < 1 {
+			avg = 1
+		}
+	}
+	perShard := c.targetBytes / avg / int64(len(c.shards))
+	if perShard < 1 {
+		perShard = 1
+	}
+	return int(perShard)
 }
 
 // specSeed folds the backend spec into an FNV-1a seed. Construction-time
@@ -200,9 +291,10 @@ func (c *Cache) Breakdown(f workload.Features) (core.Times, error) {
 	}
 	if e, ok := s.prev[h]; ok && e.k == k {
 		// Promote to the young generation; drop the old slot so residency
-		// counts each breakdown once.
+		// counts each breakdown once. The promoted entry's footprint is
+		// already in the running measurement.
 		delete(s.prev, h)
-		s.insertLocked(h, e, c.shardCap)
+		c.insert(s, h, e)
 		s.mu.Unlock()
 		c.hits.Add(1)
 		return e.t, nil
@@ -217,10 +309,13 @@ func (c *Cache) Breakdown(f workload.Features) (core.Times, error) {
 		return core.Times{}, err
 	}
 	c.misses.Add(1)
+	e := &entry{k: k, t: cloneTimes(t)}
+	c.footprintSum.Add(entryFootprint(e.t))
+	c.footprintN.Add(1)
 	s.mu.Lock()
 	// Store a private copy of the link map: the caller keeps the backend's
 	// original, so whatever it does to it cannot poison the cache.
-	s.insertLocked(h, &entry{k: k, t: cloneTimes(t)}, c.shardCap)
+	c.insert(s, h, e)
 	s.mu.Unlock()
 	return t, nil
 }
@@ -230,13 +325,19 @@ func (c *Cache) Breakdown(f workload.Features) (core.Times, error) {
 // and maps grow fine on demand.
 const mapHint = 64
 
-// insertLocked stores one entry in the young generation, rotating
-// generations when it is full. Caller holds s.mu.
-func (s *shard) insertLocked(h uint64, e *entry, capacity int) {
+// insert stores one entry in the shard's young generation, rotating
+// generations when it reaches the current capacity and counting what the
+// rotation evicts. Caller holds s.mu.
+func (c *Cache) insert(s *shard, h uint64, e *entry) {
+	capacity := c.capacity()
 	if s.cur == nil {
 		s.cur = make(map[uint64]*entry, min(capacity, mapHint))
 	}
 	if _, ok := s.cur[h]; !ok && len(s.cur) >= capacity {
+		if dropped := len(s.prev); dropped > 0 {
+			c.evictions.Add(uint64(dropped))
+		}
+		c.rotations.Add(1)
 		s.prev = s.cur
 		s.cur = make(map[uint64]*entry, min(capacity, mapHint))
 	}
@@ -256,13 +357,19 @@ func cloneTimes(t core.Times) core.Times {
 	return t
 }
 
-// Stats snapshots the hit/miss counters and residency. Counters are read
-// atomically; residency walks the shard maps under their locks.
+// Stats snapshots the hit/miss/eviction counters and residency. Counters
+// are read atomically; residency walks the shard maps under their locks.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Capacity: c.shardCap * len(c.shards),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Rotations:   c.rotations.Load(),
+		Evictions:   c.evictions.Load(),
+		Capacity:    c.capacity() * len(c.shards),
+		TargetBytes: c.targetBytes,
+	}
+	if n := c.footprintN.Load(); n > 0 {
+		st.AvgEntryBytes = float64(c.footprintSum.Load()) / float64(n)
 	}
 	for i := range c.shards {
 		s := &c.shards[i]

@@ -263,3 +263,88 @@ func TestEvictionBoundsResidency(t *testing.T) {
 		t.Errorf("misses = %d, want %d", st.Misses, 20*budget)
 	}
 }
+
+func TestRotationAndEvictionCounters(t *testing.T) {
+	ev, spec := newCounting(t)
+	const budget = 64
+	c, err := New(ev, spec, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A no-repeat stream far beyond the budget must rotate generations and
+	// evict; a repeat of the most recent keys must not.
+	for i := 0; i < 50*budget; i++ {
+		if _, err := c.Breakdown(job(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Rotations == 0 {
+		t.Error("no rotations counted on a churn-heavy stream")
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions counted on a churn-heavy stream")
+	}
+	if st.TargetBytes != 0 {
+		t.Errorf("fixed-entry cache reports TargetBytes %d", st.TargetBytes)
+	}
+	if st.AvgEntryBytes <= 0 {
+		t.Errorf("AvgEntryBytes = %v, want measured positive footprint", st.AvgEntryBytes)
+	}
+}
+
+func TestNewBytesValidation(t *testing.T) {
+	ev, spec := newCounting(t)
+	if _, err := NewBytes(nil, spec, 1<<20); err == nil {
+		t.Error("expected error for nil evaluator")
+	}
+	if _, err := NewBytes(ev, spec, 0); err == nil {
+		t.Error("expected error for zero byte budget")
+	}
+}
+
+func TestByteBudgetAdaptsCapacity(t *testing.T) {
+	ev, spec := newCounting(t)
+	const target = 64 << 10 // 64 KiB
+	c, err := NewBytes(ev, spec, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any insert the capacity derives from the assumed footprint.
+	seeded := c.Stats().Capacity
+	if seeded < 1 {
+		t.Fatalf("seeded capacity = %d", seeded)
+	}
+	for i := 0; i < 4096; i++ {
+		if _, err := c.Breakdown(job(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.TargetBytes != target {
+		t.Errorf("TargetBytes = %d, want %d", st.TargetBytes, target)
+	}
+	if st.AvgEntryBytes <= 0 {
+		t.Fatalf("no measured footprint")
+	}
+	// The adapted capacity must track target / measured footprint within
+	// the per-shard rounding slack.
+	want := int(float64(target) / st.AvgEntryBytes)
+	slack := len(c.shards)
+	if st.Capacity > want+slack {
+		t.Errorf("capacity %d exceeds byte-derived budget %d (+%d shard slack)", st.Capacity, want, slack)
+	}
+	// And residency (two generations) stays within ~2x the byte budget's
+	// entry count.
+	if st.Entries > 2*(want+slack) {
+		t.Errorf("residency %d exceeds two generations of the byte budget %d", st.Entries, want)
+	}
+	// Hits still work in byte-budget mode.
+	before := st.Hits
+	if _, err := c.Breakdown(job(4095)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != before+1 {
+		t.Error("byte-budget cache did not serve a hit for a resident key")
+	}
+}

@@ -257,28 +257,13 @@ type Summary struct {
 	MeanNodeSpeedup, MeanThroughputSpeedup float64
 }
 
-// Summarize computes the Fig. 9 aggregates over projection results.
+// Summarize computes the Fig. 9 aggregates over projection results. It is
+// the materialized-slice entry to the same streaming SummaryAccumulator the
+// sink pipeline folds, so both paths produce identical numbers.
 func Summarize(rs []Result) (Summary, error) {
-	if len(rs) == 0 {
-		return Summary{}, fmt.Errorf("project: no results to summarize")
-	}
-	var s Summary
-	s.N = len(rs)
-	var notNode, notTp int
-	var sumNode, sumTp float64
+	var acc SummaryAccumulator
 	for _, r := range rs {
-		if r.NodeSpeedup <= 1 {
-			notNode++
-		}
-		if r.ThroughputSpeedup <= 1 {
-			notTp++
-		}
-		sumNode += r.NodeSpeedup
-		sumTp += r.ThroughputSpeedup
+		acc.Add(r)
 	}
-	s.FracNodeNotSped = float64(notNode) / float64(s.N)
-	s.FracThroughputNotSped = float64(notTp) / float64(s.N)
-	s.MeanNodeSpeedup = sumNode / float64(s.N)
-	s.MeanThroughputSpeedup = sumTp / float64(s.N)
-	return s, nil
+	return acc.Summary()
 }

@@ -105,7 +105,7 @@ func Bytes(v float64) string {
 
 // CDFSeries writes a CDF as "x p" pairs sampled at the given quantiles
 // (default decile grid when qs is nil).
-func CDFSeries(w io.Writer, label string, c *stats.CDF, qs []float64) error {
+func CDFSeries(w io.Writer, label string, c stats.Distribution, qs []float64) error {
 	if c == nil {
 		return fmt.Errorf("report: nil CDF for %q", label)
 	}

@@ -118,18 +118,25 @@ func (h *Histogram) Merge(o *Histogram) error {
 // Quantile returns an interpolated q-quantile of the in-range weight,
 // assuming samples are uniform within each bin. Out-of-range weight is
 // clamped to the outer edges. It errors when the histogram is empty.
+//
+// The boundaries are pinned so the sketch and exact-CDF paths agree there:
+// q = 0 is the lower edge of the histogram's occupied support (not
+// unconditionally the first edge) and q = 1 is its upper edge (the top of
+// the last non-empty bin, or the last edge when over-range weight exists).
+// Interior quantiles land on the occupied support too, so accumulated
+// floating-point drift in the bin scan can never push q = 1 past it.
 func (h *Histogram) Quantile(q float64) (float64, error) {
 	if h.total <= 0 {
 		return 0, ErrEmpty
 	}
-	if q < 0 {
-		q = 0
+	if q <= 0 {
+		return h.supportMin(), nil
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.supportMax(), nil
 	}
 	target := q * h.total
-	if target <= h.under {
+	if h.under > 0 && target <= h.under {
 		return h.edges[0], nil
 	}
 	run := h.under
@@ -140,5 +147,33 @@ func (h *Histogram) Quantile(q float64) (float64, error) {
 		}
 		run += c
 	}
-	return h.edges[len(h.edges)-1], nil
+	return h.supportMax(), nil
+}
+
+// supportMin is the lower edge of the occupied support: the first edge when
+// under-range weight exists, else the lower edge of the first non-empty bin.
+func (h *Histogram) supportMin() float64 {
+	if h.under > 0 {
+		return h.edges[0]
+	}
+	for i, c := range h.counts {
+		if c > 0 {
+			return h.edges[i]
+		}
+	}
+	return h.edges[len(h.edges)-1]
+}
+
+// supportMax is the upper edge of the occupied support: the last edge when
+// over-range weight exists, else the upper edge of the last non-empty bin.
+func (h *Histogram) supportMax() float64 {
+	if h.over > 0 {
+		return h.edges[len(h.edges)-1]
+	}
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if h.counts[i] > 0 {
+			return h.edges[i+1]
+		}
+	}
+	return h.edges[0]
 }

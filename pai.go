@@ -42,6 +42,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/project"
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/tracegen"
 	"repro/internal/workload"
@@ -130,8 +131,45 @@ type (
 	// merge exactly.
 	BreakdownAccumulator = analyze.BreakdownAccumulator
 
-	// CacheStats snapshots the WithCache result cache: hit/miss counters,
-	// residency, and capacity.
+	// Sink is the mergeable, serializable fold every streaming analysis
+	// implements: Add(Features, Times), Merge(Sink), and versioned binary
+	// snapshots via MarshalBinary/UnmarshalBinary. Per-shard sinks run in
+	// separate goroutines, processes or machines and merge at a
+	// coordinator.
+	Sink = analyze.Sink
+	// MultiSink fans one streamed pass over an ordered set of sinks and is
+	// itself a Sink, so a whole characterization snapshots as one unit.
+	MultiSink = analyze.MultiSink
+	// ComponentCDFSink folds per-class component-fraction CDF sketches
+	// (Fig. 8b-d) in fixed memory.
+	ComponentCDFSink = analyze.ComponentCDFSink
+	// HardwareCDFSink folds hardware-fraction CDF sketches (Fig. 8a) in
+	// fixed memory.
+	HardwareCDFSink = analyze.HardwareCDFSink
+	// ProjectionSink folds the PS -> AllReduce projection summary (Fig. 9)
+	// during the streamed pass.
+	ProjectionSink = analyze.ProjectionSink
+	// SweepSink folds the Fig. 11 hardware-evolution sweep for one class
+	// during the streamed pass.
+	SweepSink = analyze.SweepSink
+	// ComponentCDFs is one Fig. 8(b-d) panel of fraction sketches.
+	ComponentCDFs = analyze.ComponentCDFs
+	// HardwareCDFs is the Fig. 8(a) panel of fraction sketches.
+	HardwareCDFs = analyze.HardwareCDFs
+	// ProjectionSummaryAccumulator is the mergeable, serializable streaming
+	// form of ProjectionSummary.
+	ProjectionSummaryAccumulator = project.SummaryAccumulator
+
+	// Sketch is a fixed-memory mergeable quantile sketch: the streaming
+	// substitute for an exact CDF (exact at q=0/1, interior error bounded
+	// by one bin).
+	Sketch = stats.Sketch
+	// Distribution is the read surface shared by exact CDFs and sketches.
+	Distribution = stats.Distribution
+
+	// CacheStats snapshots the WithCache / WithCacheBytes result cache:
+	// hit/miss/eviction counters, residency, capacity, and the measured
+	// entry footprint driving byte-budget sizing.
 	CacheStats = evalcache.Stats
 )
 
@@ -151,6 +189,15 @@ const (
 	CompWeights      = core.CompWeights
 	CompComputeFLOPs = core.CompComputeFLOPs
 	CompComputeMem   = core.CompComputeMem
+)
+
+// Hardware attribution targets (Fig. 8a legend).
+const (
+	HWGPUFLOPs  = core.HWGPUFLOPs
+	HWGPUMemory = core.HWGPUMemory
+	HWPCIe      = core.HWPCIe
+	HWEthernet  = core.HWEthernet
+	HWNVLink    = core.HWNVLink
 )
 
 // Aggregation levels.
@@ -235,6 +282,45 @@ func NewTraceEncoder(w io.Writer) *TraceEncoder { return tracegen.NewEncoder(w) 
 
 // NewBreakdownAccumulator returns an empty streaming aggregate accumulator.
 func NewBreakdownAccumulator() *BreakdownAccumulator { return analyze.NewBreakdownAccumulator() }
+
+// NewMultiSink bundles sinks for a single streamed pass; order matters for
+// Merge and snapshots.
+func NewMultiSink(sinks ...Sink) *MultiSink { return analyze.NewMultiSink(sinks...) }
+
+// NewComponentCDFSink returns an empty per-class component-fraction CDF
+// sink (Fig. 8b-d, sketched).
+func NewComponentCDFSink() *ComponentCDFSink { return analyze.NewComponentCDFSink() }
+
+// NewHardwareCDFSink returns an empty hardware-fraction CDF sink (Fig. 8a,
+// sketched).
+func NewHardwareCDFSink() *HardwareCDFSink { return analyze.NewHardwareCDFSink() }
+
+// WriteSinkSnapshot frames one sink's versioned binary snapshot into w —
+// the worker side of multi-process evaluation. Identical sink state always
+// produces identical bytes.
+func WriteSinkSnapshot(w io.Writer, s Sink) error { return analyze.WriteSnapshot(w, s) }
+
+// WriteSinkSnapshotMeta is WriteSinkSnapshot with a provenance string
+// (trace seed, shard grid, backend, ...) the coordinator can check before
+// merging, so shards of different runs refuse to fold together.
+func WriteSinkSnapshotMeta(w io.Writer, s Sink, meta string) error {
+	return analyze.WriteSnapshotMeta(w, s, meta)
+}
+
+// ReadSinkSnapshot reads one framed sink snapshot, reconstructing the sink
+// from its registered kind and verifying the payload checksum — the
+// coordinator side of multi-process evaluation. Restored projection and
+// sweep sinks are merge/report-only.
+func ReadSinkSnapshot(r io.Reader) (Sink, error) { return analyze.ReadSnapshot(r) }
+
+// ReadSinkSnapshotMeta is ReadSinkSnapshot plus the provenance string the
+// snapshot was written with.
+func ReadSinkSnapshotMeta(r io.Reader) (Sink, string, error) {
+	return analyze.ReadSnapshotMeta(r)
+}
+
+// SinkKinds lists the registered sink kinds, sorted.
+func SinkKinds() []string { return analyze.SinkKinds() }
 
 // CaseStudies returns the six production case-study models (Tables IV-VI).
 func CaseStudies() map[string]CaseStudy { return workload.Zoo() }
