@@ -8,7 +8,23 @@
 //
 //	benchdiff -baseline BENCH_BASELINE.json -current result.json \
 //	          [-max-regress 0.20] [-share-tol 0.02] [-step-tol 0.05] \
-//	          [-fidelity-only]
+//	          [-fidelity-only] [-assert EXPR ...]
+//	benchdiff -smoke -current result.json -assert EXPR [-assert EXPR ...]
+//
+// -assert evaluates one comparison against the current result JSON, so CI
+// smoke checks need no python: EXPR is `path OP value` with OP one of
+// >, >=, <, <=, ==, != and path a dot-separated descent into the JSON
+// (array elements by index, array length via a trailing `len` segment,
+// booleans compared as 1/0). Examples:
+//
+//	-assert 'cache_hit_rate>0.5'
+//	-assert 'shard_jobs_per_sec.len==4'
+//	-assert 'projection.n>0'
+//
+// -smoke skips the baseline comparison entirely and evaluates only the
+// -assert expressions — the mode for results (merged or coordinated runs)
+// that have no meaningful baseline. Without -smoke, -assert expressions run
+// in addition to the baseline gates.
 //
 // Throughput gating is one-sided: running faster than baseline always
 // passes. The baseline's jobs_per_sec — and, since the hand-rolled NDJSON
@@ -34,6 +50,8 @@ import (
 	"math"
 	"os"
 	"reflect"
+	"strconv"
+	"strings"
 )
 
 // result mirrors the paibench schema fields benchdiff compares.
@@ -78,11 +96,22 @@ func run(args []string, stdout io.Writer) error {
 	stepTol := fs.Float64("step-tol", 0.05, "maximum relative drift of step-time aggregates")
 	fidelityOnly := fs.Bool("fidelity-only", false,
 		"skip the throughput and codec gates; compare only deterministic aggregates (for merged shard results without timing fields)")
+	var asserts assertList
+	fs.Var(&asserts, "assert",
+		"assert `path OP value` against the current result JSON (repeatable; e.g. 'cache_hit_rate>0.5', 'shard_jobs_per_sec.len==4')")
+	smoke := fs.Bool("smoke", false,
+		"standalone smoke mode: skip the baseline comparison and evaluate only the -assert expressions against -current")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *curPath == "" {
 		return fmt.Errorf("-current is required")
+	}
+	if *smoke {
+		if len(asserts) == 0 {
+			return fmt.Errorf("-smoke needs at least one -assert expression")
+		}
+		return runAsserts(*curPath, asserts, stdout)
 	}
 
 	base, err := load(*basePath)
@@ -164,11 +193,175 @@ func run(args []string, stdout io.Writer) error {
 		"p99_step_sec: %.5f vs baseline %.5f (rel tol %.0f%%)",
 		cur.Fidelity.P99StepSec, base.Fidelity.P99StepSec, *stepTol*100)
 
+	if len(asserts) > 0 {
+		doc, err := loadAny(*curPath)
+		if err != nil {
+			return fmt.Errorf("current: %w", err)
+		}
+		if err := evalAsserts(doc, asserts, func(ok bool, line string) {
+			check(ok, "%s", line)
+		}); err != nil {
+			return err
+		}
+	}
+
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s) against %s", len(failures), *basePath)
 	}
 	fmt.Fprintln(stdout, "benchdiff: no regressions")
 	return nil
+}
+
+// assertList collects repeated -assert flags.
+type assertList []string
+
+func (a *assertList) String() string { return strings.Join(*a, ", ") }
+func (a *assertList) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		return fmt.Errorf("empty assertion")
+	}
+	*a = append(*a, v)
+	return nil
+}
+
+// runAsserts is -smoke mode: every -assert expression evaluated against the
+// current result, no baseline involved.
+func runAsserts(curPath string, asserts assertList, stdout io.Writer) error {
+	doc, err := loadAny(curPath)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	failures := 0
+	if err := evalAsserts(doc, asserts, func(ok bool, line string) {
+		if ok {
+			fmt.Fprintf(stdout, "ok   %s\n", line)
+		} else {
+			fmt.Fprintf(stdout, "FAIL %s\n", line)
+			failures++
+		}
+	}); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d assertion(s) failed against %s", failures, curPath)
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d assertion(s) hold\n", len(asserts))
+	return nil
+}
+
+// evalAsserts evaluates every expression against doc, reporting each
+// outcome through report — the one assertion loop both the -smoke path and
+// the baseline-comparison path share.
+func evalAsserts(doc any, asserts assertList, report func(ok bool, line string)) error {
+	for _, expr := range asserts {
+		ok, desc, err := evalAssert(doc, expr)
+		if err != nil {
+			return fmt.Errorf("assert %q: %w", expr, err)
+		}
+		report(ok, "assert "+desc)
+	}
+	return nil
+}
+
+// assertOps lists the comparison operators, two-character ones first so
+// ">=" is never misread as ">" followed by "=0.5".
+var assertOps = []struct {
+	tok string
+	ok  func(got, want float64) bool
+}{
+	{">=", func(g, w float64) bool { return g >= w }},
+	{"<=", func(g, w float64) bool { return g <= w }},
+	{"==", func(g, w float64) bool { return g == w }},
+	{"!=", func(g, w float64) bool { return g != w }},
+	{">", func(g, w float64) bool { return g > w }},
+	{"<", func(g, w float64) bool { return g < w }},
+}
+
+// evalAssert evaluates one `path OP value` expression against a generically
+// decoded result document. It returns whether the assertion holds and a
+// rendered description carrying the observed value.
+func evalAssert(doc any, expr string) (ok bool, desc string, err error) {
+	for _, op := range assertOps {
+		i := strings.Index(expr, op.tok)
+		if i < 0 {
+			continue
+		}
+		path := strings.TrimSpace(expr[:i])
+		rhs := strings.TrimSpace(expr[i+len(op.tok):])
+		if path == "" || rhs == "" {
+			return false, "", fmt.Errorf("want `path %s value`", op.tok)
+		}
+		want, perr := strconv.ParseFloat(rhs, 64)
+		if perr != nil {
+			return false, "", fmt.Errorf("right-hand side %q is not a number", rhs)
+		}
+		got, lerr := lookup(doc, path)
+		if lerr != nil {
+			return false, "", lerr
+		}
+		return op.ok(got, want), fmt.Sprintf("%s %s %s (observed %v)", path, op.tok, rhs, got), nil
+	}
+	return false, "", fmt.Errorf("no comparison operator (>, >=, <, <=, ==, !=)")
+}
+
+// lookup descends a dot-separated path through decoded JSON: object fields
+// by name, array elements by index, array length via a `len` segment, and
+// booleans as 1/0.
+func lookup(v any, path string) (float64, error) {
+	cur := v
+	for _, seg := range strings.Split(path, ".") {
+		switch node := cur.(type) {
+		case map[string]any:
+			next, ok := node[seg]
+			if !ok {
+				return 0, fmt.Errorf("no field %q in path %q", seg, path)
+			}
+			cur = next
+		case []any:
+			if seg == "len" {
+				cur = float64(len(node))
+				continue
+			}
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(node) {
+				return 0, fmt.Errorf("array segment %q in path %q (have %d elements; use an index or `len`)", seg, path, len(node))
+			}
+			cur = node[i]
+		default:
+			return 0, fmt.Errorf("path %q descends past scalar at %q", path, seg)
+		}
+	}
+	switch n := cur.(type) {
+	case float64:
+		return n, nil
+	case bool:
+		if n {
+			return 1, nil
+		}
+		return 0, nil
+	case nil:
+		return 0, fmt.Errorf("path %q is null", path)
+	default:
+		return 0, fmt.Errorf("path %q is %T, not a number (address array lengths with `len`)", path, cur)
+	}
+}
+
+// loadAny decodes a result file generically for -assert paths, still
+// pinning the schema so an unrelated JSON file fails loudly.
+func loadAny(path string) (any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if s, _ := doc["schema"].(string); s != "paibench/1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, doc["schema"])
+	}
+	return doc, nil
 }
 
 func load(path string) (*result, error) {

@@ -211,3 +211,102 @@ func TestSketchSectionsSkippedWhenAbsent(t *testing.T) {
 		t.Errorf("cdf gate engaged with absent baseline section:\n%s", out.String())
 	}
 }
+
+// writeRawResult writes a result JSON with fields beyond the comparison
+// struct, for exercising the generic -assert path.
+func writeRawResult(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "raw.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const smokeResult = `{
+ "schema": "paibench/1",
+ "jobs": 100000,
+ "cache_hit_rate": 0.993,
+ "codec": false,
+ "shard_jobs_per_sec": [100, 200, 300, 400],
+ "projection": {"n": 29000, "mean_node_speedup": 1.4}
+}`
+
+// TestSmokeAsserts: -smoke evaluates expressions with no baseline at all.
+func TestSmokeAsserts(t *testing.T) {
+	cur := writeRawResult(t, smokeResult)
+	var out bytes.Buffer
+	err := run([]string{"-smoke", "-current", cur,
+		"-assert", "cache_hit_rate>0.5",
+		"-assert", "shard_jobs_per_sec.len==4",
+		"-assert", "shard_jobs_per_sec.2==300",
+		"-assert", "projection.n>0",
+		"-assert", "jobs==100000",
+		"-assert", "codec==0",
+		"-assert", "projection.mean_node_speedup>=1.4",
+		"-assert", "cache_hit_rate!=1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("asserts failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "8 assertion(s) hold") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+// TestSmokeAssertFailure: a false expression fails the run and names the
+// observed value.
+func TestSmokeAssertFailure(t *testing.T) {
+	cur := writeRawResult(t, smokeResult)
+	var out bytes.Buffer
+	err := run([]string{"-smoke", "-current", cur, "-assert", "cache_hit_rate>0.999"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "assertion") {
+		t.Errorf("false assertion passed: %v", err)
+	}
+	if !strings.Contains(out.String(), "observed 0.993") {
+		t.Errorf("failure does not show the observed value: %s", out.String())
+	}
+}
+
+// TestSmokeAssertErrors: malformed expressions and unknown paths error out
+// rather than silently passing.
+func TestSmokeAssertErrors(t *testing.T) {
+	cur := writeRawResult(t, smokeResult)
+	for _, expr := range []string{
+		"no-operator",
+		"cache_hit_rate>not-a-number",
+		"no_such_field>0",
+		"projection.missing>0",
+		"shard_jobs_per_sec.9==0",
+		"shard_jobs_per_sec>0",
+		"jobs.deeper==1",
+		">0.5",
+	} {
+		var out bytes.Buffer
+		if err := run([]string{"-smoke", "-current", cur, "-assert", expr}, &out); err == nil {
+			t.Errorf("expression %q accepted", expr)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-current", cur}, &out); err == nil {
+		t.Error("-smoke without -assert accepted")
+	}
+	bad := writeRawResult(t, `{"schema": "other/1"}`)
+	if err := run([]string{"-smoke", "-current", bad, "-assert", "jobs==1"}, &out); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}
+
+// TestAssertsAlongsideBaseline: without -smoke, -assert expressions run in
+// addition to the baseline gates.
+func TestAssertsAlongsideBaseline(t *testing.T) {
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", nil)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-assert", "jobs==1000"}, &out); err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"-baseline", base, "-current", cur, "-assert", "jobs==999"}, &out); err == nil {
+		t.Error("false assertion alongside baseline passed")
+	}
+}

@@ -13,6 +13,9 @@
 //	         [-o result.json]
 //	paibench -emit-shard shard.snap -shards M -shard-index K [flags]
 //	paibench -merge [-o result.json] shard0.snap shard1.snap ...
+//	paibench -coordinate ADDR [-workers N] [-chaos N] [-shard-timeout D]
+//	         [-retries N] [flags]
+//	paibench -worker HOST:PORT [-fail-after N]
 //
 // With -shards N the trace is split into N generator partitions drained
 // concurrently by independent worker sets into per-shard accumulators and
@@ -32,11 +35,27 @@
 // partitions (-shard-index K of -shards M) through the full report sink —
 // breakdown aggregates, CDF sketches, projection summary — and writes its
 // versioned binary snapshot to a file instead of a result JSON. A
-// coordinator invoked with -merge folds any number of snapshot files, in
-// argument order, into the final result JSON. Because per-shard folds and
-// the shard-order merge are deterministic, the merged snapshot is
-// byte-identical to a single-process -shards M run over the same
-// parameters (compare with benchdiff -fidelity-only).
+// coordinator invoked with -merge folds any number of snapshot files —
+// sorted by the shard index carried in each snapshot's provenance, so
+// argument order cannot change the output bytes — into the final result
+// JSON. Because per-shard folds and the shard-index merge order are
+// deterministic, the merged snapshot is byte-identical to a single-process
+// -shards M run over the same parameters (compare with benchdiff
+// -fidelity-only).
+//
+// Networked coordination replaces the snapshot files with TCP:
+// `-coordinate ADDR` listens, hands one shard assignment at a time to every
+// connected worker, streams each worker's snapshot back over the
+// connection, and folds them exactly like -merge. `-workers N` spawns N
+// local worker processes for the zero-config single-machine path;
+// `-worker HOST:PORT` connects out from any machine. A worker that dies
+// mid-shard (or exceeds -shard-timeout) has its shard requeued to another
+// worker, up to -retries attempts per shard; provenance carried in every
+// snapshot guards the fold against duplicates and foreign runs, so the
+// retried merged result is still byte-identical to the single-process
+// -shards M -full run. -chaos N gives the first N spawned workers
+// -fail-after, which hard-exits the worker (exit 137, the kill -9 status)
+// mid-shard — the failure-injection smoke CI runs on every push.
 //
 // -full runs the same full report sink in a single process, adding the
 // cdf/projection sections to the result JSON; the timing gates of CI use
@@ -65,8 +84,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"os"
+	"os/exec"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -196,15 +219,38 @@ func main() {
 
 // config is the fully resolved benchmark parameterization.
 type config struct {
-	jobs       int
-	seed       int64
-	shards     int
-	shardIndex int // -1 = all partitions in this process
-	distinct   int
-	cache      int
-	cacheBytes int64
-	codec      bool
-	full       bool
+	jobs        int
+	seed        int64
+	shards      int
+	shardIndex  int // -1 = all partitions in this process
+	distinct    int
+	cache       int
+	cacheBytes  int64
+	par         int
+	backendName string
+	codec       bool
+	full        bool
+	// failAfter > 0 hard-exits the process (exit 137, like kill -9) after
+	// that many jobs of the first partition — the chaos injection the
+	// coordinator smoke uses to exercise the retry path.
+	failAfter int
+}
+
+// newEngine builds the evaluation engine a resolved config describes; the
+// one construction path run(), worker mode and coordinate mode share, so a
+// worker reconstitutes exactly the engine the coordinator parameterized.
+func newEngine(cfg config) (*pai.Engine, error) {
+	opts := []pai.Option{pai.WithBackend(cfg.backendName)}
+	if cfg.par > 0 {
+		opts = append(opts, pai.WithParallelism(cfg.par))
+	}
+	switch {
+	case cfg.cacheBytes > 0:
+		opts = append(opts, pai.WithCacheBytes(cfg.cacheBytes))
+	case cfg.cache > 0:
+		opts = append(opts, pai.WithCache(cfg.cache))
+	}
+	return pai.New(opts...)
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -230,14 +276,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"worker mode: write this process's full-sink snapshot to the given file instead of a result JSON")
 	merge := fs.Bool("merge", false,
 		"coordinator mode: merge the snapshot files given as positional arguments into the final result JSON")
+	coordinate := fs.String("coordinate", "",
+		"network coordinator mode: listen on this address (e.g. :7070 or 127.0.0.1:0), hand shards to connected workers, and fold their snapshots into the final result JSON")
+	workers := fs.Int("workers", 0,
+		"with -coordinate: local worker processes to spawn (0 = wait for external -worker connections)")
+	chaos := fs.Int("chaos", 0,
+		"with -coordinate -workers: give this many spawned workers -fail-after, so they die mid-shard (failure-injection smoke)")
+	workerAddr := fs.String("worker", "",
+		"network worker mode: connect to a coordinator at HOST:PORT and evaluate assigned shards until the run completes")
+	failAfter := fs.Int("fail-after", 0,
+		"with -worker: hard-exit (code 137, like kill -9) after evaluating this many jobs of an assignment; with -coordinate, the value handed to -chaos workers (default 500)")
+	shardTimeout := fs.Duration("shard-timeout", 2*time.Minute,
+		"with -coordinate: per-shard attempt deadline before the shard is requeued to another worker (0 = none)")
+	retries := fs.Int("retries", 3,
+		"with -coordinate: per-shard assignment budget, first attempt included")
 	out := fs.String("o", "", "result JSON file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *merge {
-		if *emitShard != "" {
-			return fmt.Errorf("-merge and -emit-shard are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*merge, *emitShard != "", *coordinate != "", *workerAddr != ""} {
+		if on {
+			modes++
 		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-merge, -emit-shard, -coordinate and -worker are mutually exclusive")
+	}
+	if *workerAddr != "" {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("unexpected arguments %q in worker mode", fs.Args())
+		}
+		return runWorkerMode(*workerAddr, *failAfter, stderr)
+	}
+	if *merge {
 		return runMerge(fs.Args(), *seed, *out, stdout, stderr)
 	}
 	if fs.NArg() > 0 {
@@ -261,6 +333,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg := config{
 		jobs: *jobs, seed: *seed, shards: *shards, shardIndex: *shardIndex,
 		distinct: *distinct, cache: *cacheEntries, cacheBytes: *cacheBytes,
+		par: *par, backendName: *backendName,
 		codec: *codec, full: *full || *emitShard != "",
 	}
 	if cfg.distinct < 0 {
@@ -281,17 +354,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.distinct = 0 // a distinct budget beyond the trace is no repetition at all
 	}
 
-	opts := []pai.Option{pai.WithBackend(*backendName)}
-	if *par > 0 {
-		opts = append(opts, pai.WithParallelism(*par))
+	if *coordinate != "" {
+		if *workers < 0 || *chaos < 0 || *chaos > *workers {
+			return fmt.Errorf("-chaos %d must be between 0 and -workers %d", *chaos, *workers)
+		}
+		if *retries < 1 {
+			return fmt.Errorf("-retries %d: every shard needs at least one attempt", *retries)
+		}
+		chaosFailAfter := *failAfter
+		if chaosFailAfter <= 0 {
+			chaosFailAfter = defaultChaosFailAfter
+		}
+		return runCoordinate(cfg, *coordinate, *workers, *chaos, chaosFailAfter, *shardTimeout, *retries, *out, stdout, stderr)
 	}
-	switch {
-	case cfg.cacheBytes > 0:
-		opts = append(opts, pai.WithCacheBytes(cfg.cacheBytes))
-	case cfg.cache > 0:
-		opts = append(opts, pai.WithCache(cfg.cache))
-	}
-	eng, err := pai.New(opts...)
+
+	eng, err := newEngine(cfg)
 	if err != nil {
 		return err
 	}
@@ -508,11 +585,33 @@ func stream(eng *pai.Engine, cfg config) (pai.Sink, []int, error) {
 			wg.Wait()
 		})
 	}
+	if cfg.failAfter > 0 {
+		// Chaos injection: die abruptly partway into the first partition.
+		srcs[0] = &killSource{src: srcs[0], after: cfg.failAfter}
+	}
 	sink, counts, err := eng.EvaluateSourcesInto(context.Background(), sinkFactory(eng, cfg), srcs...)
 	if err != nil {
 		return nil, counts, err
 	}
 	return sink, counts, nil
+}
+
+// killSource models a worker lost to kill -9: after yielding `after` jobs
+// it terminates the whole process — no snapshot, no protocol goodbye, just
+// a dead TCP connection for the coordinator to notice. 137 is the exit
+// status a SIGKILLed process reports.
+type killSource struct {
+	src   pai.JobSource
+	after int
+	seen  int
+}
+
+func (k *killSource) Next() (pai.Features, error) {
+	if k.seen >= k.after {
+		os.Exit(137)
+	}
+	k.seen++
+	return k.src.Next()
 }
 
 // breakdownOf extracts the breakdown accumulator from a sink (directly or
@@ -585,22 +684,18 @@ func quantilesOf(s *pai.Sketch) Quantiles {
 	return Quantiles{P50: s.Quantile(0.50), P90: s.Quantile(0.90), P99: s.Quantile(0.99)}
 }
 
-// shardMeta renders the worker's run parameters into the snapshot's
-// provenance string. Everything that changes the evaluated jobs or their
-// breakdowns is included; the shard index is the one field allowed to
-// differ between mergeable shards.
-func shardMeta(cfg config, backendName string) string {
-	return fmt.Sprintf("paibench jobs=%d seed=%d shards=%d distinct=%d backend=%s shard-index=%d",
-		cfg.jobs, cfg.seed, cfg.shards, cfg.distinct, backendName, cfg.shardIndex)
+// shardMetaBase renders the run-identifying provenance base: everything
+// that changes the evaluated jobs or their breakdowns. Every shard of one
+// run must share it; the shard index is the one field allowed to differ.
+func shardMetaBase(cfg config) string {
+	return fmt.Sprintf("paibench jobs=%d seed=%d shards=%d distinct=%d backend=%s",
+		cfg.jobs, cfg.seed, cfg.shards, cfg.distinct, cfg.backendName)
 }
 
-// mergeableMeta strips the shard index, leaving the part of the provenance
-// string every shard of one run must share.
-func mergeableMeta(meta string) string {
-	if i := strings.LastIndex(meta, " shard-index="); i >= 0 {
-		return meta[:i]
-	}
-	return meta
+// shardMeta is the full per-shard provenance string: the base plus this
+// process's shard index.
+func shardMeta(cfg config) string {
+	return pai.ShardSnapshotMeta(shardMetaBase(cfg), cfg.shardIndex)
 }
 
 // runEmitShard is worker mode: evaluate this process's partition(s) through
@@ -620,7 +715,7 @@ func runEmitShard(eng *pai.Engine, cfg config, path string, stderr io.Writer) er
 	if err != nil {
 		return err
 	}
-	if err := pai.WriteSinkSnapshotMeta(f, sink, shardMeta(cfg, eng.Backend())); err != nil {
+	if err := pai.WriteSinkSnapshotMeta(f, sink, shardMeta(cfg)); err != nil {
 		f.Close()
 		return err
 	}
@@ -636,15 +731,25 @@ func runEmitShard(eng *pai.Engine, cfg config, path string, stderr io.Writer) er
 	return nil
 }
 
-// runMerge is coordinator mode: fold the shard snapshot files, in argument
-// order, into the final result JSON. The merge is byte-for-byte the same
-// reduction Engine.EvaluateSourcesInto applies in-process, so a single
-// -shards M run and an M-process -emit-shard/-merge run agree exactly.
+// runMerge is coordinator mode: fold the shard snapshot files into the
+// final result JSON. Snapshots are sorted by the shard index carried in
+// their provenance before folding — argument order (and thus the order
+// retried shards happened to be collected in) cannot change the output
+// bytes. The merge is byte-for-byte the same reduction
+// Engine.EvaluateSourcesInto applies in-process, so a single -shards M run
+// and an M-process -emit-shard/-merge run agree exactly.
 func runMerge(paths []string, seed int64, out string, stdout, stderr io.Writer) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-merge needs at least one snapshot file argument")
 	}
-	var total pai.Sink
+	type shardSnap struct {
+		path     string
+		sink     pai.Sink
+		index    int
+		hasIndex bool
+	}
+	snaps := make([]shardSnap, 0, len(paths))
+	seen := map[int]string{}
 	var runMeta string
 	for i, path := range paths {
 		f, err := os.Open(path)
@@ -659,21 +764,63 @@ func runMerge(paths []string, seed int64, out string, stdout, stderr io.Writer) 
 		// Refuse to fold shards of different runs: everything but the
 		// shard index must agree. Snapshots without provenance (written
 		// through the generic API) skip the check.
-		if m := mergeableMeta(meta); m != "" {
+		if m := pai.SnapshotMetaBase(meta); m != "" {
 			if i > 0 && runMeta != "" && m != runMeta {
 				return fmt.Errorf("%s: shard from a different run (%q vs %q)", path, m, runMeta)
 			}
 			runMeta = m
 		}
+		idx, ok := pai.SnapshotShardIndex(meta)
+		if ok {
+			// At-most-once, like the network coordinator: folding one shard
+			// twice (a copied or retried snapshot file) would silently
+			// double-count its jobs in every aggregate.
+			if prev, dup := seen[idx]; dup {
+				return fmt.Errorf("%s: duplicate snapshot for already-included shard %d (first seen in %s)", path, idx, prev)
+			}
+			seen[idx] = path
+		}
+		snaps = append(snaps, shardSnap{path: path, sink: sink, index: idx, hasIndex: ok})
+	}
+	// Pin the fold order to the shard grid: indexed snapshots first, by
+	// index; unindexed ones (generic API, whole-run snapshots) keep their
+	// argument order after them.
+	sort.SliceStable(snaps, func(i, j int) bool {
+		a, b := snaps[i], snaps[j]
+		if a.hasIndex != b.hasIndex {
+			return a.hasIndex
+		}
+		return a.hasIndex && a.index < b.index
+	})
+	var total pai.Sink
+	for _, s := range snaps {
 		if total == nil {
-			total = sink
+			total = s.sink
 			continue
 		}
-		if err := total.Merge(sink); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+		if err := total.Merge(s.sink); err != nil {
+			return fmt.Errorf("%s: %w", s.path, err)
 		}
 	}
-	acc, err := breakdownOf(total)
+	res := &Result{
+		Seed:   seed,
+		Shards: len(paths),
+		Note:   fmt.Sprintf("merged from %d shard snapshot(s); timing fields not populated", len(paths)),
+	}
+	if err := finishFoldedResult(total, res, out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "paibench: merged %d snapshot(s), %d jobs\n", len(paths), res.Jobs)
+	return nil
+}
+
+// finishFoldedResult fills the deterministic sections a folded sink can
+// provide — fidelity always, cdf/projection when it is a full report sink —
+// and writes the result JSON: the shared tail of every coordinator mode
+// (-merge and -coordinate), so the two emit the same schema by
+// construction.
+func finishFoldedResult(sink pai.Sink, res *Result, out string, stdout io.Writer) error {
+	acc, err := breakdownOf(sink)
 	if err != nil {
 		return err
 	}
@@ -681,24 +828,211 @@ func runMerge(paths []string, seed int64, out string, stdout, stderr io.Writer) 
 	if err != nil {
 		return err
 	}
-	res := &Result{
-		Schema:   "paibench/1",
-		Jobs:     acc.N(),
-		Seed:     seed,
-		Shards:   len(paths),
-		Fidelity: *fid,
-		Note:     fmt.Sprintf("merged from %d shard snapshot(s); timing fields not populated", len(paths)),
-	}
-	if _, isMulti := total.(*pai.MultiSink); isMulti {
-		res.CDF, res.Projection, err = sketchSections(total)
-		if err != nil {
+	res.Schema = "paibench/1"
+	res.Jobs = acc.N()
+	res.Fidelity = *fid
+	if _, isMulti := sink.(*pai.MultiSink); isMulti {
+		if res.CDF, res.Projection, err = sketchSections(sink); err != nil {
 			return err
 		}
 	}
-	if err := writeResult(res, out, stdout); err != nil {
+	return writeResult(res, out, stdout)
+}
+
+// coordPayloadVersion tags the assignment payload a coordinator hands its
+// workers; a worker from a different release refuses the run instead of
+// silently evaluating the wrong parameterization.
+const coordPayloadVersion = "paibench/coord/1"
+
+// defaultChaosFailAfter is how many jobs a -chaos worker evaluates before
+// dying, when -fail-after is not given: early enough to be unambiguously
+// mid-shard for every CI-sized trace.
+const defaultChaosFailAfter = 500
+
+// encodePayload renders the full run parameterization a worker needs to
+// reconstitute the coordinator's engine and trace grid.
+func encodePayload(cfg config) []byte {
+	return []byte(fmt.Sprintf("%s jobs=%d seed=%d shards=%d distinct=%d cache=%d cache-bytes=%d par=%d codec=%t backend=%s",
+		coordPayloadVersion, cfg.jobs, cfg.seed, cfg.shards, cfg.distinct,
+		cfg.cache, cfg.cacheBytes, cfg.par, cfg.codec, cfg.backendName))
+}
+
+// parsePayload is the worker-side inverse of encodePayload.
+func parsePayload(p []byte) (config, error) {
+	fields := strings.Fields(string(p))
+	if len(fields) == 0 || fields[0] != coordPayloadVersion {
+		return config{}, fmt.Errorf("assignment payload is not %q", coordPayloadVersion)
+	}
+	cfg := config{shardIndex: -1, full: true}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return config{}, fmt.Errorf("malformed payload field %q", f)
+		}
+		var err error
+		switch key {
+		case "jobs":
+			cfg.jobs, err = strconv.Atoi(val)
+		case "seed":
+			cfg.seed, err = strconv.ParseInt(val, 10, 64)
+		case "shards":
+			cfg.shards, err = strconv.Atoi(val)
+		case "distinct":
+			cfg.distinct, err = strconv.Atoi(val)
+		case "cache":
+			cfg.cache, err = strconv.Atoi(val)
+		case "cache-bytes":
+			cfg.cacheBytes, err = strconv.ParseInt(val, 10, 64)
+		case "par":
+			cfg.par, err = strconv.Atoi(val)
+		case "codec":
+			cfg.codec, err = strconv.ParseBool(val)
+		case "backend":
+			cfg.backendName = val
+		default:
+			return config{}, fmt.Errorf("unknown payload field %q", key)
+		}
+		if err != nil {
+			return config{}, fmt.Errorf("payload field %q: %w", f, err)
+		}
+	}
+	if cfg.jobs < 1 || cfg.shards < 1 || cfg.backendName == "" {
+		return config{}, fmt.Errorf("payload %q names no runnable benchmark", p)
+	}
+	return cfg, nil
+}
+
+// runWorkerMode is network worker mode: connect to the coordinator,
+// reconstitute the run from each assignment's payload, evaluate the
+// assigned partition through the full report sink, and stream the snapshot
+// back. failAfter > 0 arms chaos injection (see killSource).
+func runWorkerMode(addr string, failAfter int, stderr io.Writer) error {
+	runner := func(ctx context.Context, a pai.ShardAssignment) (pai.Sink, string, int, error) {
+		cfg, err := parsePayload(a.Payload)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		if a.Shards != cfg.shards {
+			return nil, "", 0, fmt.Errorf("assignment grid %d does not match payload shards %d", a.Shards, cfg.shards)
+		}
+		cfg.shardIndex = a.Index
+		cfg.failAfter = failAfter
+		eng, err := newEngine(cfg)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		start := time.Now()
+		sink, counts, err := stream(eng, cfg)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		fmt.Fprintf(stderr, "paibench worker: shard %d/%d attempt %d: %d jobs in %.2fs\n",
+			a.Index, a.Shards, a.Attempt, n, time.Since(start).Seconds())
+		return sink, shardMeta(cfg), n, nil
+	}
+	fmt.Fprintf(stderr, "paibench: worker connecting to %s\n", addr)
+	return pai.ServeShardWorker(context.Background(), addr, runner)
+}
+
+// syncWriter serializes writes from the coordinator's own logging and the
+// spawned workers' piped stderr, which arrive from separate goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// runCoordinate is network coordinator mode: listen, optionally spawn local
+// worker processes (the zero-config path), hand out the cfg.shards
+// partitions, fold the returned snapshots — retrying shards lost to worker
+// death or the per-shard deadline — and emit the same full result JSON a
+// -merge run produces.
+func runCoordinate(cfg config, addr string, workers, chaos, chaosFailAfter int, shardTimeout time.Duration, retries int, out string, stdout, stderr io.Writer) error {
+	sw := &syncWriter{w: stderr}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "paibench: merged %d snapshot(s), %d jobs\n", len(paths), res.Jobs)
+	defer ln.Close()
+	fmt.Fprintf(sw, "paibench: coordinating %d shard(s) on %s (%d local worker(s), %d chaos)\n",
+		cfg.shards, ln.Addr(), workers, chaos)
+
+	var cmds []*exec.Cmd
+	if workers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < workers; i++ {
+			wargs := []string{"-worker", ln.Addr().String()}
+			if i < chaos {
+				wargs = append(wargs, "-fail-after", strconv.Itoa(chaosFailAfter))
+			}
+			cmd := exec.Command(exe, wargs...)
+			cmd.Stderr = sw
+			// The marker lets a test binary recognize it was re-executed as
+			// a worker; the real paibench binary ignores it.
+			cmd.Env = append(os.Environ(), "PAIBENCH_EXEC_WORKER=1")
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("spawn worker %d: %w", i, err)
+			}
+			cmds = append(cmds, cmd)
+		}
+	}
+	defer func() {
+		// Chaos workers are already dead (exit 137) and healthy ones exit
+		// after the coordinator's done message or connection close; the
+		// kill only sweeps up workers stranded by a coordinator error.
+		for _, cmd := range cmds {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The coordinator evaluates nothing itself, but folding through the
+	// same report-sink factory the single-process run uses pins the fold
+	// base to the expected sink shape.
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return err
+	}
+	opts := pai.CoordinatorOptions{
+		ShardTimeout: shardTimeout,
+		MaxAttempts:  retries,
+		Provenance:   shardMetaBase(cfg),
+		// Spawn-local workers must connect promptly, so arm the stall
+		// detector from the start: if they all die before (or after)
+		// dialing in, the run fails at -shard-timeout instead of hanging.
+		ExpectWorkers: workers > 0,
+		NewSink:       func() (pai.Sink, error) { return eng.NewReportSink(pai.ToAllReduceLocal) },
+		Logf:          func(format string, args ...any) { fmt.Fprintf(sw, format+"\n", args...) },
+	}
+	start := time.Now()
+	sink, _, err := pai.CoordinateShards(context.Background(), ln, cfg.shards, encodePayload(cfg), opts)
+	if err != nil {
+		return err
+	}
+	res := &Result{
+		Seed:         cfg.seed,
+		Backend:      cfg.backendName,
+		Shards:       cfg.shards,
+		DistinctJobs: cfg.distinct,
+		Note:         fmt.Sprintf("coordinated %d shard(s) over TCP; timing fields not populated", cfg.shards),
+	}
+	if err := finishFoldedResult(sink, res, out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(sw, "paibench: coordinated %d shard(s), %d jobs in %.2fs\n",
+		cfg.shards, res.Jobs, time.Since(start).Seconds())
 	return nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"hash/fnv"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/binenc"
@@ -270,6 +272,49 @@ func WriteSnapshotMeta(w io.Writer, s Sink, meta string) error {
 	}
 	_, err = w.Write(bw.Bytes())
 	return err
+}
+
+// Shard provenance convention: a snapshot's provenance string ends with a
+// " shard-index=K" field naming the shard's position in the run grid, and
+// everything before it (the base) identifies the run. A coordinator folds
+// shards whose bases agree, refuses foreign bases, and uses the index for
+// at-most-once folding and deterministic fold order.
+
+// ShardMeta appends the shard-index provenance field to a run-identifying
+// base string. An empty base yields a bare "shard-index=K" provenance.
+func ShardMeta(base string, index int) string {
+	if base == "" {
+		return fmt.Sprintf("shard-index=%d", index)
+	}
+	return fmt.Sprintf("%s shard-index=%d", base, index)
+}
+
+// MetaShardIndex parses the shard index out of a ShardMeta-shaped
+// provenance string. It reports false when the string carries no
+// well-formed trailing shard-index field.
+func MetaShardIndex(meta string) (int, bool) {
+	i := strings.LastIndex(meta, "shard-index=")
+	if i < 0 || (i > 0 && meta[i-1] != ' ') {
+		return 0, false
+	}
+	n, err := strconv.Atoi(meta[i+len("shard-index="):])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// MetaBase strips the trailing shard-index field, returning the
+// run-identifying part every shard of one run must share. Strings without a
+// well-formed shard-index field are returned unchanged.
+func MetaBase(meta string) string {
+	if _, ok := MetaShardIndex(meta); !ok {
+		return meta
+	}
+	if i := strings.LastIndex(meta, " shard-index="); i >= 0 {
+		return meta[:i]
+	}
+	return ""
 }
 
 // ReadSnapshot reads one framed sink snapshot, discarding the provenance

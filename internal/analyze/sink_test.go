@@ -373,3 +373,47 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 	})
 }
+
+// TestShardMetaRoundTrip pins the provenance convention the coordinator's
+// at-most-once fold rests on.
+func TestShardMetaRoundTrip(t *testing.T) {
+	cases := []struct {
+		base  string
+		index int
+	}{
+		{"paibench jobs=100 seed=1 shards=2 distinct=0 backend=analytical", 1},
+		{"", 0},
+		{"run", 17},
+		{"run", -1}, // -1 marks a whole-run snapshot (no single shard)
+	}
+	for _, c := range cases {
+		meta := ShardMeta(c.base, c.index)
+		idx, ok := MetaShardIndex(meta)
+		if !ok || idx != c.index {
+			t.Errorf("MetaShardIndex(%q) = %d, %v", meta, idx, ok)
+		}
+		if base := MetaBase(meta); base != c.base {
+			t.Errorf("MetaBase(%q) = %q, want %q", meta, base, c.base)
+		}
+	}
+}
+
+// TestShardMetaMalformed: strings without a clean trailing shard-index field
+// neither parse an index nor lose any bytes to base-stripping.
+func TestShardMetaMalformed(t *testing.T) {
+	for _, meta := range []string{
+		"",
+		"no field at all",
+		"shard-index=",
+		"shard-index=2 trailing",
+		"ashard-index=2",
+		"shard-index=two",
+	} {
+		if idx, ok := MetaShardIndex(meta); ok {
+			t.Errorf("MetaShardIndex(%q) = %d, want not-ok", meta, idx)
+		}
+		if base := MetaBase(meta); base != meta {
+			t.Errorf("MetaBase(%q) = %q, want unchanged", meta, base)
+		}
+	}
+}

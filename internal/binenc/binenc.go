@@ -34,6 +34,13 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 
+// U32 appends a fixed-width little-endian uint32 — the width network frame
+// headers use, where a varint's data-dependent size would make the header
+// unseekable.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
 // U64 appends a fixed-width little-endian uint64.
 func (w *Writer) U64(v uint64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
@@ -108,6 +115,20 @@ func (r *Reader) U8() uint8 {
 	}
 	v := r.buf[r.off]
 	r.off++
+	return v
+}
+
+// U32 reads a fixed-width little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
 	return v
 }
 

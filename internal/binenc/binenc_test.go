@@ -108,3 +108,26 @@ func TestStickyError(t *testing.T) {
 		t.Error("error not sticky")
 	}
 }
+
+func TestU32RoundTripAndTruncation(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(0)
+	w.U32(1<<32 - 1)
+	r := NewReader(w.Bytes())
+	if got := r.U32(); got != 0 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := r.U32(); got != 1<<32-1 {
+		t.Errorf("U32 = %d", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	short := NewReader(w.Bytes()[:3])
+	if got := short.U32(); got != 0 {
+		t.Errorf("truncated U32 = %d", got)
+	}
+	if short.Err() == nil {
+		t.Error("truncated U32 did not error")
+	}
+}

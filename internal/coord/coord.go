@@ -1,0 +1,572 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/analyze"
+)
+
+// DefaultMaxAttempts is the per-shard assignment budget when Options leaves
+// MaxAttempts zero: the first attempt plus two retries.
+const DefaultMaxAttempts = 3
+
+// handshakeTimeout bounds the hello exchange, so a stray connection (port
+// scanner, misdirected client) cannot pin a handler goroutine.
+const handshakeTimeout = 30 * time.Second
+
+// failedShardBackoff is how long a handler sits out after pulling a shard
+// its own worker already failed: pushing the shard back while pausing hands
+// it to any other parked worker (a parked channel receiver gets it
+// directly), so one deterministically-broken worker cannot burn a shard's
+// whole attempt budget in milliseconds while healthy workers are busy.
+// Deferrals charge no attempts; if the worker is truly alone it re-takes
+// the shard after the pause and the budget still bounds total failures.
+const failedShardBackoff = 100 * time.Millisecond
+
+// ErrDuplicateShard reports a snapshot offered for a shard that has already
+// been folded — the at-most-once guard. The coordinator drops duplicates
+// (the retried shard is byte-identical by determinism); callers folding
+// snapshots by hand can test for it with errors.Is.
+var ErrDuplicateShard = errors.New("coord: duplicate snapshot for an already-folded shard")
+
+// Options tunes a coordinator run. The zero value is usable: no per-shard
+// deadline, DefaultMaxAttempts attempts, provenance bases required to agree
+// across shards but not pinned to an expected value.
+type Options struct {
+	// ShardTimeout is the per-assignment deadline: a worker that neither
+	// returns a snapshot nor fails within it is abandoned and the shard
+	// requeued. It also arms the stall detector: once any worker has
+	// connected, a run with shards pending, no attempt in flight, and no
+	// progress for a whole ShardTimeout fails with an error instead of
+	// waiting forever on workers that are all gone. Zero disables both —
+	// a hung or vanished worker then hangs the run, so set it whenever
+	// workers can die.
+	ShardTimeout time.Duration
+	// MaxAttempts bounds assignments per shard (first attempt included).
+	// When a shard exhausts it, the run fails. Zero means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// ExpectWorkers arms the stall detector from the start instead of
+	// waiting for the first connection. Set it when the caller is spawning
+	// the workers itself (spawn-local mode), where failing to connect at
+	// all is itself a stall; leave it false for connect-out runs that may
+	// legitimately idle until an operator starts workers elsewhere.
+	ExpectWorkers bool
+	// Provenance, when non-empty, is the run-identifying base every shard
+	// snapshot's provenance must carry (analyze.MetaBase); mismatches are
+	// treated as worker failures and retried elsewhere. When empty, the
+	// first accepted snapshot's base becomes the requirement.
+	Provenance string
+	// NewSink, when set, builds the empty aggregate the shard sinks merge
+	// into — the exact fold shape of analyze.FoldSinks. When nil, the
+	// lowest-indexed shard's sink is the fold base (the shape of
+	// `paibench -merge`). Both shapes produce identical bytes; NewSink
+	// also lets the caller pin the expected sink type.
+	NewSink func() (analyze.Sink, error)
+	// Logf receives retry/requeue diagnostics. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Run coordinates one sharded evaluation: it serves shard assignments
+// carrying payload to every worker that connects to ln, folds the returned
+// snapshots in shard-index order, and returns the merged sink plus
+// per-shard job counts. It returns when every shard has been folded, when a
+// shard exhausts its attempt budget, or when ctx is cancelled; the listener
+// is closed on return.
+func Run(ctx context.Context, ln net.Listener, shards int, payload []byte, opts Options) (analyze.Sink, []int, error) {
+	if ln == nil {
+		return nil, nil, fmt.Errorf("coord: Run with nil listener")
+	}
+	if shards < 1 {
+		// The contract is "listener closed on return" even for early
+		// errors: a caller that already pointed workers at ln must not be
+		// left with them blocked on a live socket.
+		ln.Close()
+		return nil, nil, fmt.Errorf("coord: Run with %d shards", shards)
+	}
+	st := newRunState(ctx, shards, payload, opts)
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				// The listener is closed when the run finishes; any earlier
+				// accept error is fatal (nobody else can join).
+				select {
+				case <-st.done:
+				default:
+					st.finish(fmt.Errorf("coord: accept: %w", err))
+				}
+				return
+			}
+			if !st.beginHandler(conn) {
+				// Run already finished; the loop will exit on the closed
+				// listener next iteration.
+				conn.Close()
+				continue
+			}
+			go st.serve(conn)
+		}
+	}()
+
+	if opts.ShardTimeout > 0 {
+		go func() {
+			period := opts.ShardTimeout / 4
+			if period < 10*time.Millisecond {
+				period = 10 * time.Millisecond
+			}
+			t := time.NewTicker(period)
+			defer t.Stop()
+			for {
+				select {
+				case <-st.done:
+					return
+				case <-t.C:
+					st.checkStalled(opts.ShardTimeout)
+				}
+			}
+		}()
+	}
+
+	select {
+	case <-st.done:
+	case <-ctx.Done():
+		st.finish(ctx.Err())
+	}
+	ln.Close()
+	st.closeConns()
+	st.handlers.Wait()
+
+	st.mu.Lock()
+	failure := st.failure
+	st.mu.Unlock()
+	if failure != nil {
+		return nil, nil, failure
+	}
+	return st.fold()
+}
+
+// runState is the shared coordination state of one Run.
+type runState struct {
+	ctx     context.Context
+	shards  int
+	payload []byte
+	opts    Options
+
+	// work holds the pending shard indexes; capacity shards, so a requeue
+	// can never block. done closes when every shard is folded or the run
+	// fails.
+	work chan int
+	done chan struct{}
+
+	handlers sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[net.Conn]connState
+	attempts []int
+	// failedBy[idx] is the set of connections whose worker has failed shard
+	// idx, so the shard prefers workers that have not — without ever
+	// deferring when every live worker has failed it (that must burn the
+	// attempt budget and terminate, not livelock).
+	failedBy  []map[net.Conn]bool
+	sinks     []analyze.Sink
+	counts    []int
+	remaining int
+	base      string
+	baseSet   bool
+	finished  bool
+	failure   error
+	// Stall detection: a requeued shard sitting in the work queue has no
+	// per-attempt deadline, so if every worker is gone the run would wait
+	// forever. everConnected arms the detector (a coordinator may
+	// legitimately idle indefinitely before the first worker dials in);
+	// lastProgress advances on every connect, assignment and fold.
+	everConnected bool
+	lastProgress  time.Time
+}
+
+func newRunState(ctx context.Context, shards int, payload []byte, opts Options) *runState {
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	st := &runState{
+		ctx:       ctx,
+		shards:    shards,
+		payload:   payload,
+		opts:      opts,
+		work:      make(chan int, shards),
+		done:      make(chan struct{}),
+		conns:     map[net.Conn]connState{},
+		attempts:  make([]int, shards),
+		failedBy:  make([]map[net.Conn]bool, shards),
+		sinks:     make([]analyze.Sink, shards),
+		counts:    make([]int, shards),
+		remaining: shards,
+		base:      opts.Provenance,
+		baseSet:   opts.Provenance != "",
+
+		everConnected: opts.ExpectWorkers,
+		lastProgress:  time.Now(),
+	}
+	for i := 0; i < shards; i++ {
+		st.work <- i
+	}
+	return st
+}
+
+// finish records the run outcome once and releases every waiter.
+func (st *runState) finish(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.finishLocked(err)
+}
+
+func (st *runState) finishLocked(err error) {
+	if st.finished {
+		return
+	}
+	st.finished = true
+	st.failure = err
+	close(st.done)
+}
+
+// connState tracks what a handler is doing with its connection, so teardown
+// can force-close only connections that are blocked in a read (handshake or
+// awaiting a shard result). Idle handlers are left alone to deliver the
+// final done message without racing a concurrent Close.
+type connState int8
+
+const (
+	connHandshake connState = iota
+	connIdle
+	connBusy
+)
+
+// beginHandler registers a new connection and charges the handler
+// WaitGroup — or reports false when the run has already finished, so no
+// handler can start (and thus Add can never race the teardown Wait: the
+// Add and the finish are serialized by the mutex, and Wait runs only after
+// finish).
+func (st *runState) beginHandler(conn net.Conn) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished {
+		return false
+	}
+	st.conns[conn] = connHandshake
+	st.handlers.Add(1)
+	st.everConnected = true
+	st.lastProgress = time.Now()
+	return true
+}
+
+func (st *runState) untrack(conn net.Conn) {
+	st.mu.Lock()
+	delete(st.conns, conn)
+	st.mu.Unlock()
+	conn.Close()
+}
+
+// setIdle marks a handler as parked between assignments.
+func (st *runState) setIdle(conn net.Conn) {
+	st.mu.Lock()
+	if _, ok := st.conns[conn]; ok {
+		st.conns[conn] = connIdle
+	}
+	st.mu.Unlock()
+}
+
+// setBusy marks a handler as mid-assignment — unless the run already
+// finished, in which case it reports false and the handler must bail out
+// (its connection may be force-closed at any moment).
+func (st *runState) setBusy(conn net.Conn) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished {
+		return false
+	}
+	if _, ok := st.conns[conn]; ok {
+		st.conns[conn] = connBusy
+	}
+	return true
+}
+
+// markFailed records that conn's worker failed shard idx.
+func (st *runState) markFailed(idx int, conn net.Conn) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failedBy[idx] == nil {
+		st.failedBy[idx] = map[net.Conn]bool{}
+	}
+	st.failedBy[idx][conn] = true
+}
+
+// shouldDefer reports whether conn should hand shard idx to another worker:
+// its own worker already failed the shard AND some other live connection
+// has not. When every live worker has failed it, nobody defers — the shard
+// is re-served and the attempt budget terminates the run.
+func (st *runState) shouldDefer(idx int, conn net.Conn) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.failedBy[idx][conn] {
+		return false
+	}
+	for c := range st.conns {
+		if c != conn && !st.failedBy[idx][c] {
+			return true
+		}
+	}
+	return false
+}
+
+// closeConns unblocks handlers stuck reading dead or slow workers at
+// teardown. Idle connections are spared so their handlers can send done.
+func (st *runState) closeConns() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for conn, state := range st.conns {
+		if state != connIdle {
+			conn.Close()
+		}
+	}
+}
+
+// beginAttempt charges one assignment of shard idx and returns its 1-based
+// attempt number.
+func (st *runState) beginAttempt(idx int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.attempts[idx]++
+	st.lastProgress = time.Now()
+	return st.attempts[idx]
+}
+
+// requeue returns a shard to the work queue after a failed attempt, or
+// fails the run when the shard's attempt budget is spent.
+func (st *runState) requeue(idx int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished || st.sinks[idx] != nil {
+		return
+	}
+	if st.attempts[idx] >= st.opts.MaxAttempts {
+		st.finishLocked(fmt.Errorf("coord: shard %d failed %d attempt(s), budget spent", idx, st.attempts[idx]))
+		return
+	}
+	// A requeue is scheduler progress: the stall clock restarts, so the
+	// detector only fires after the shard then sits unassigned for a whole
+	// ShardTimeout (time spent inside the failed attempt doesn't count).
+	st.lastProgress = time.Now()
+	st.work <- idx
+}
+
+// offer validates one returned snapshot — decodable, checksum-clean, carrying
+// the right shard index and an agreeing run base — and records it for the
+// fold. The shard is folded at most once: a second snapshot for the same
+// index returns ErrDuplicateShard.
+func (st *runState) offer(idx int, snapshot []byte, jobs int) error {
+	sink, meta, err := analyze.ReadSnapshotMeta(bytes.NewReader(snapshot))
+	if err != nil {
+		return err
+	}
+	mi, ok := analyze.MetaShardIndex(meta)
+	if !ok || mi != idx {
+		return fmt.Errorf("coord: snapshot provenance %q does not name shard %d", meta, idx)
+	}
+	base := analyze.MetaBase(meta)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.baseSet && base != st.base {
+		return fmt.Errorf("coord: shard %d from a different run (provenance %q, want base %q)", idx, base, st.base)
+	}
+	if st.sinks[idx] != nil {
+		return fmt.Errorf("%w: shard %d (provenance %q)", ErrDuplicateShard, idx, meta)
+	}
+	if !st.baseSet {
+		st.base, st.baseSet = base, true
+	}
+	st.sinks[idx] = sink
+	st.counts[idx] = jobs
+	st.remaining--
+	st.lastProgress = time.Now()
+	if st.remaining == 0 {
+		st.finishLocked(nil)
+	}
+	return nil
+}
+
+// checkStalled fails the run when shards are pending, no worker is busy,
+// and nothing has progressed for a whole ShardTimeout — the state a run
+// reaches when every worker died and their shards sit requeued with nobody
+// to take them (a queued shard has no per-attempt deadline of its own).
+func (st *runState) checkStalled(timeout time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished || st.remaining == 0 || !st.everConnected {
+		return
+	}
+	for _, state := range st.conns {
+		if state == connBusy {
+			return // an in-flight attempt; its own read deadline governs it
+		}
+	}
+	if idle := time.Since(st.lastProgress); idle > timeout {
+		st.finishLocked(fmt.Errorf("coord: %d shard(s) pending with no active workers for %v (all workers lost?)", st.remaining, idle.Round(time.Millisecond)))
+	}
+}
+
+// serve drives one worker connection: handshake, then assign/collect until
+// the run completes or the worker misbehaves. Any send/receive failure
+// requeues the in-flight shard and abandons the connection — a worker
+// killed mid-shard surfaces here as a read error.
+func (st *runState) serve(conn net.Conn) {
+	defer st.handlers.Done()
+	defer st.untrack(conn)
+
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	typ, p, err := readFrameCapped(conn, maxHelloFrame)
+	if err != nil || typ != msgHello || decodeHello(p) != nil {
+		st.opts.Logf("coord: %s: handshake rejected", conn.RemoteAddr())
+		return
+	}
+	if err := writeFrame(conn, msgHello, encodeHello()); err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	for {
+		st.setIdle(conn)
+		var idx int
+		select {
+		case idx = <-st.work:
+			if st.shouldDefer(idx, conn) {
+				// Defer to a worker that has not failed this shard; a
+				// parked one receives the pushed-back shard directly. When
+				// no such worker is connected, the shard is re-served here,
+				// so the attempt budget still terminates the run.
+				st.work <- idx
+				select {
+				case <-st.done:
+				case <-time.After(failedShardBackoff):
+				}
+				continue
+			}
+			if !st.setBusy(conn) {
+				st.requeue(idx)
+				return
+			}
+		case <-st.done:
+			// Best effort: a vanished worker can't read it anyway. A failed
+			// run is relayed as an abort so `paibench -worker` processes
+			// exit non-zero instead of reporting a clean completion.
+			st.mu.Lock()
+			failure := st.failure
+			st.mu.Unlock()
+			if failure != nil {
+				writeFrame(conn, msgAbort, encodeAbort(failure.Error()))
+			} else {
+				writeFrame(conn, msgDone, nil)
+			}
+			return
+		case <-st.ctx.Done():
+			return
+		}
+		attempt := st.beginAttempt(idx)
+		a := Assignment{
+			Shards:     st.shards,
+			Index:      idx,
+			Attempt:    attempt,
+			Provenance: st.opts.Provenance,
+			Payload:    st.payload,
+		}
+		if err := writeFrame(conn, msgAssign, encodeAssign(a)); err != nil {
+			st.opts.Logf("coord: shard %d attempt %d: send to %s failed (%v); requeueing", idx, attempt, conn.RemoteAddr(), err)
+			st.requeue(idx)
+			return
+		}
+		if st.opts.ShardTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(st.opts.ShardTimeout))
+		}
+		typ, p, err := readFrame(conn)
+		if err != nil {
+			st.opts.Logf("coord: shard %d attempt %d: worker %s lost (%v); requeueing", idx, attempt, conn.RemoteAddr(), err)
+			st.requeue(idx)
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		// The frame is in hand: this handler is no longer blocked on the
+		// network, so teardown must not force-close the connection out from
+		// under the done/abort message it may be about to send.
+		st.setIdle(conn)
+		switch typ {
+		case msgResult:
+			ri, _, jobs, snapshot, derr := decodeResult(p)
+			if derr != nil || ri != idx {
+				st.opts.Logf("coord: shard %d attempt %d: bad result from %s (%v, shard %d); requeueing", idx, attempt, conn.RemoteAddr(), derr, ri)
+				st.requeue(idx)
+				return
+			}
+			if err := st.offer(idx, snapshot, jobs); err != nil {
+				if errors.Is(err, ErrDuplicateShard) {
+					// Shard already folded (a requeued attempt raced the
+					// original); drop the byte-identical duplicate.
+					st.opts.Logf("coord: %v (dropped)", err)
+					continue
+				}
+				st.opts.Logf("coord: shard %d attempt %d: snapshot from %s rejected (%v); requeueing", idx, attempt, conn.RemoteAddr(), err)
+				st.requeue(idx)
+				return
+			}
+		case msgFail:
+			_, _, msg, derr := decodeFail(p)
+			if derr != nil {
+				msg = derr.Error()
+			}
+			// The worker is alive and spoke the protocol — requeue the shard
+			// and keep serving this worker, but remember the failure so the
+			// shard prefers workers that have not failed it.
+			st.markFailed(idx, conn)
+			st.opts.Logf("coord: shard %d attempt %d: worker %s reports: %s", idx, attempt, conn.RemoteAddr(), msg)
+			st.requeue(idx)
+		default:
+			st.opts.Logf("coord: shard %d attempt %d: unexpected %q frame from %s; requeueing", idx, attempt, typ, conn.RemoteAddr())
+			st.requeue(idx)
+			return
+		}
+	}
+}
+
+// fold merges the per-shard sinks in shard-index order — the same pinned
+// order `paibench -merge` and analyze.FoldSinks use, which is what makes a
+// retried, redistributed run byte-identical to the single-process one.
+func (st *runState) fold() (analyze.Sink, []int, error) {
+	var total analyze.Sink
+	start := 0
+	if st.opts.NewSink != nil {
+		s, err := st.opts.NewSink()
+		if err != nil {
+			return nil, nil, fmt.Errorf("coord: %w", err)
+		}
+		total = s
+	} else {
+		total = st.sinks[0]
+		start = 1
+	}
+	for i := start; i < st.shards; i++ {
+		if err := total.Merge(st.sinks[i]); err != nil {
+			return nil, nil, fmt.Errorf("coord: fold shard %d: %w", i, err)
+		}
+	}
+	counts := make([]int, st.shards)
+	copy(counts, st.counts)
+	return total, counts, nil
+}

@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+
+	"repro/internal/analyze"
+)
+
+// Runner evaluates one shard assignment on the worker side: it interprets
+// a.Payload, streams the shard's partition through an evaluation pipeline,
+// and returns the filled sink, its provenance string (analyze.ShardMeta of
+// the run base and a.Index, so the coordinator can verify and deduplicate),
+// and the number of jobs folded.
+type Runner func(ctx context.Context, a Assignment) (sink analyze.Sink, meta string, jobs int, err error)
+
+// Work dials a coordinator and serves shard assignments with run until the
+// coordinator sends done, the connection drops, or ctx is cancelled. A
+// clean done returns nil; everything else returns the underlying error, so
+// process-level workers can exit non-zero when the run ended without them.
+func Work(ctx context.Context, addr string, run Runner) error {
+	if run == nil {
+		return fmt.Errorf("coord: Work with nil runner")
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("coord: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	// Cancellation unblocks any in-flight read/write by closing the
+	// connection out from under it.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if err := ServeConn(ctx, conn, run); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+// ServeConn speaks the worker side of the protocol over an established
+// connection: handshake, then evaluate every assignment until done. Split
+// from Work so tests can drive it over arbitrary transports.
+func ServeConn(ctx context.Context, conn net.Conn, run Runner) error {
+	if err := writeFrame(conn, msgHello, encodeHello()); err != nil {
+		return fmt.Errorf("coord: worker hello: %w", err)
+	}
+	typ, p, err := readFrameCapped(conn, maxHelloFrame)
+	if err != nil {
+		return fmt.Errorf("coord: worker handshake: %w", err)
+	}
+	if typ != msgHello {
+		return fmt.Errorf("coord: worker handshake got %q frame", typ)
+	}
+	if err := decodeHello(p); err != nil {
+		return err
+	}
+	for {
+		typ, p, err := readFrame(conn)
+		if err != nil {
+			return fmt.Errorf("coord: worker read: %w", err)
+		}
+		switch typ {
+		case msgDone:
+			return nil
+		case msgAbort:
+			msg, derr := decodeAbort(p)
+			if derr != nil {
+				return derr
+			}
+			return fmt.Errorf("coord: run aborted by coordinator: %s", msg)
+		case msgAssign:
+			a, err := decodeAssign(p)
+			if err != nil {
+				return err
+			}
+			sink, meta, jobs, rerr := run(ctx, a)
+			if rerr != nil {
+				if err := writeFrame(conn, msgFail, encodeFail(a.Index, a.Attempt, rerr.Error())); err != nil {
+					return fmt.Errorf("coord: worker report failure: %w", err)
+				}
+				continue
+			}
+			var buf bytes.Buffer
+			if err := analyze.WriteSnapshotMeta(&buf, sink, meta); err != nil {
+				return fmt.Errorf("coord: worker snapshot shard %d: %w", a.Index, err)
+			}
+			if err := writeFrame(conn, msgResult, encodeResult(a.Index, a.Attempt, jobs, buf.Bytes())); err != nil {
+				return fmt.Errorf("coord: worker send shard %d: %w", a.Index, err)
+			}
+		default:
+			return fmt.Errorf("coord: worker got unexpected %q frame", typ)
+		}
+	}
+}

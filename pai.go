@@ -32,11 +32,13 @@ package pai
 import (
 	"context"
 	"io"
+	"net"
 	"runtime"
 
 	"repro/internal/analyze"
 	"repro/internal/arch"
 	"repro/internal/backend"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/evalcache"
 	"repro/internal/experiments"
@@ -171,6 +173,17 @@ type (
 	// hit/miss/eviction counters, residency, capacity, and the measured
 	// entry footprint driving byte-budget sizing.
 	CacheStats = evalcache.Stats
+
+	// ShardAssignment is one unit of distributed work a coordinator hands a
+	// worker: shard Index of a Shards-wide grid, with the opaque run Payload
+	// and the run-identifying Provenance base.
+	ShardAssignment = coord.Assignment
+	// CoordinatorOptions tunes a distributed run: per-shard deadline,
+	// per-shard attempt budget, expected provenance base, fold-base factory.
+	CoordinatorOptions = coord.Options
+	// DistributedRunner evaluates one shard assignment on the worker side,
+	// returning the filled sink, its provenance string, and the job count.
+	DistributedRunner = coord.Runner
 )
 
 // Workload classes (Table II + PEARL).
@@ -321,6 +334,39 @@ func ReadSinkSnapshotMeta(r io.Reader) (Sink, string, error) {
 
 // SinkKinds lists the registered sink kinds, sorted.
 func SinkKinds() []string { return analyze.SinkKinds() }
+
+// ShardSnapshotMeta appends the " shard-index=K" provenance field to a
+// run-identifying base string — the convention coordinators use for
+// at-most-once folding and deterministic fold order.
+func ShardSnapshotMeta(base string, index int) string { return analyze.ShardMeta(base, index) }
+
+// SnapshotShardIndex parses the shard index out of a snapshot's provenance
+// string; ok is false when the string carries no well-formed trailing
+// shard-index field.
+func SnapshotShardIndex(meta string) (index int, ok bool) { return analyze.MetaShardIndex(meta) }
+
+// SnapshotMetaBase strips the trailing shard-index field, returning the
+// run-identifying part every shard of one run must share.
+func SnapshotMetaBase(meta string) string { return analyze.MetaBase(meta) }
+
+// CoordinateShards runs the network coordinator standalone: it serves
+// shard assignments carrying payload to every worker that connects to ln,
+// retries shards lost to worker death or the per-shard deadline, folds the
+// returned snapshots in shard-index order, and returns the merged sink
+// plus per-shard job counts. Engine.EvaluateDistributed wraps it with
+// engine-built local workers; `paibench -coordinate` drives it directly.
+func CoordinateShards(ctx context.Context, ln net.Listener, shards int, payload []byte, opts CoordinatorOptions) (Sink, []int, error) {
+	return coord.Run(ctx, ln, shards, payload, opts)
+}
+
+// ServeShardWorker dials a coordinator and serves shard assignments with
+// run until the coordinator completes the run — the worker half of
+// CoordinateShards for callers that interpret assignment payloads
+// themselves (`paibench -worker` does; library users with a configured
+// Engine can use Engine.DistributedWorker instead).
+func ServeShardWorker(ctx context.Context, addr string, run DistributedRunner) error {
+	return coord.Work(ctx, addr, run)
+}
 
 // CaseStudies returns the six production case-study models (Tables IV-VI).
 func CaseStudies() map[string]CaseStudy { return workload.Zoo() }
