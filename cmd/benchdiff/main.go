@@ -52,6 +52,8 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+
+	"repro/internal/version"
 )
 
 // result mirrors the paibench schema fields benchdiff compares.
@@ -101,8 +103,13 @@ func run(args []string, stdout io.Writer) error {
 		"assert `path OP value` against the current result JSON (repeatable; e.g. 'cache_hit_rate>0.5', 'shard_jobs_per_sec.len==4')")
 	smoke := fs.Bool("smoke", false,
 		"standalone smoke mode: skip the baseline comparison and evaluate only the -assert expressions against -current")
+	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.Get())
+		return nil
 	}
 	if *curPath == "" {
 		return fmt.Errorf("-current is required")

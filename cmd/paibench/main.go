@@ -95,6 +95,7 @@ import (
 	"time"
 
 	pai "repro"
+	"repro/internal/version"
 )
 
 // Result is the machine-readable paibench output (schema "paibench/1";
@@ -291,8 +292,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	retries := fs.Int("retries", 3,
 		"with -coordinate: per-shard assignment budget, first attempt included")
 	out := fs.String("o", "", "result JSON file (default stdout)")
+	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.Get())
+		return nil
 	}
 	modes := 0
 	for _, on := range []bool{*merge, *emitShard != "", *coordinate != "", *workerAddr != ""} {

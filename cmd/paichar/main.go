@@ -39,6 +39,7 @@ import (
 	pai "repro"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -71,8 +72,13 @@ func run(args []string, stdout io.Writer) error {
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	cacheEntries := fs.Int("cache", 0, "content-keyed result-cache entry budget (0 = off)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "content-keyed result-cache byte budget; adapts to the measured entry footprint (overrides -cache; 0 = off)")
+	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.Get())
+		return nil
 	}
 
 	target, err := resolveClass(*sweepClass)

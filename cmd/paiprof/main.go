@@ -22,6 +22,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/roofline"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -40,8 +41,13 @@ func run(args []string, stdout io.Writer) error {
 	top := fs.Int("top", 10, "number of hottest kernels to list")
 	backendName := fs.String("backend", "analytical",
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
+	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.Get())
+		return nil
 	}
 
 	g, err := opgraph.Build(*model)

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	pai "repro"
+	"repro/internal/version"
 )
 
 func main() {
@@ -34,8 +35,13 @@ func run(args []string, stdout io.Writer) error {
 	backendName := fs.String("backend", "analytical",
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
+	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.Get())
+		return nil
 	}
 
 	if *list {

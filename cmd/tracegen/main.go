@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracegen [-jobs N] [-seed S] [-o trace.json] [-ndjson] [-summary]
+//	tracegen [-jobs N] [-seed S] [-rate R] [-o trace.json] [-ndjson] [-summary]
 //
 // With -summary the generated trace is batch-evaluated through a default
 // Engine and the modeled mean step time is reported on stderr.
@@ -17,6 +17,7 @@ import (
 	"os"
 
 	pai "repro"
+	"repro/internal/version"
 )
 
 func main() {
@@ -34,13 +35,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	ndjson := fs.Bool("ndjson", false, "write NDJSON (one job per line) instead of a whole-trace document; generation streams, so -jobs can be millions")
 	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time (ignored with -ndjson)")
+	rate := fs.Float64("rate", 0,
+		"stamp each job's arrival_sec with a Poisson arrival process of this rate in jobs/hour (0 = no stamping)")
+	fixedInterval := fs.Bool("fixed-interval", false,
+		"with -rate: stamp exactly periodic arrivals (every 3600/rate seconds) instead of Poisson gaps")
+	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.Get())
+		return nil
 	}
 
 	p := pai.DefaultTraceParams()
 	p.NumJobs = *jobs
 	p.Seed = *seed
+	p.ArrivalRate = *rate
+	p.ArrivalFixed = *fixedInterval
 
 	// Validate parameters (and, for the in-memory path, generate) before
 	// creating -o, so a bad flag never truncates an existing trace file.

@@ -37,7 +37,9 @@ import (
 // key is the content identity of one evaluation: every Features field that
 // the performance model reads. Name is deliberately excluded — breakdowns do
 // not depend on it — so recurring production jobs resubmitted under fresh
-// job names still hit.
+// job names still hit. ArrivalSec is excluded for the same reason: it routes
+// a record into a time window but never enters the model, so a job
+// resubmitted at a later time still hits.
 type key struct {
 	class     workload.Class
 	cNodes    int

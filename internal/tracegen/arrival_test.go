@@ -1,0 +1,163 @@
+package tracegen
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// stripArrival zeroes ArrivalSec so feature payloads can be compared across
+// rate-on/rate-off generations.
+func stripArrival(jobs []workload.Features) []workload.Features {
+	out := make([]workload.Features, len(jobs))
+	for i, j := range jobs {
+		j.ArrivalSec = 0
+		out[i] = j
+	}
+	return out
+}
+
+// TestArrivalStampingLeavesFeaturesUntouched pins the separate-RNG design:
+// turning the arrival rate on must not perturb a single sampled volume.
+func TestArrivalStampingLeavesFeaturesUntouched(t *testing.T) {
+	p := Default()
+	p.NumJobs = 300
+	p.Seed = 42
+	base, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ArrivalRate = 1200
+	stamped, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripArrival(stamped.Jobs), base.Jobs) {
+		t.Fatal("enabling ArrivalRate changed sampled features")
+	}
+	for i, j := range base.Jobs {
+		if j.ArrivalSec != 0 {
+			t.Fatalf("job %d stamped with rate disabled: %v", i, j.ArrivalSec)
+		}
+	}
+}
+
+// TestArrivalStampingMonotone checks Poisson stamps are strictly increasing
+// and deterministic for a fixed seed.
+func TestArrivalStampingMonotone(t *testing.T) {
+	p := Default()
+	p.NumJobs = 500
+	p.Seed = 7
+	p.ArrivalRate = 3600 // mean gap 1s
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, j := range a.Jobs {
+		if j.ArrivalSec <= prev {
+			t.Fatalf("job %d arrival %v not after %v", i, j.ArrivalSec, prev)
+		}
+		prev = j.ArrivalSec
+		if j.ArrivalSec != b.Jobs[i].ArrivalSec {
+			t.Fatalf("job %d arrival not deterministic: %v vs %v", i, j.ArrivalSec, b.Jobs[i].ArrivalSec)
+		}
+	}
+}
+
+// TestArrivalFixedInterval checks the fixed-interval mode stamps exactly
+// periodic times: job i arrives at (i+1) * 3600/rate seconds.
+func TestArrivalFixedInterval(t *testing.T) {
+	p := Default()
+	p.NumJobs = 100
+	p.ArrivalRate = 360 // gap 10s
+	p.ArrivalFixed = true
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range tr.Jobs {
+		want := float64(i+1) * 10
+		if j.ArrivalSec != want {
+			t.Fatalf("job %d arrival %v, want %v", i, j.ArrivalSec, want)
+		}
+	}
+}
+
+// TestArrivalReplayGetsFreshStamps checks distinct-prefix resubmissions keep
+// their features but arrive at later, fresh times.
+func TestArrivalReplayGetsFreshStamps(t *testing.T) {
+	p := Default()
+	p.NumJobs = 60
+	p.DistinctJobs = 20
+	p.ArrivalRate = 720
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < len(tr.Jobs); i++ {
+		orig, replay := tr.Jobs[i%20], tr.Jobs[i]
+		if replay.ArrivalSec <= orig.ArrivalSec {
+			t.Fatalf("replay %d arrival %v not after original %v", i, replay.ArrivalSec, orig.ArrivalSec)
+		}
+		orig.ArrivalSec, replay.ArrivalSec = 0, 0
+		if !reflect.DeepEqual(orig, replay) {
+			t.Fatalf("replay %d features drifted from original %d", i, i%20)
+		}
+	}
+}
+
+// TestArrivalFixedValidation pins the ArrivalFixed-without-rate and negative
+// rate parameter errors.
+func TestArrivalFixedValidation(t *testing.T) {
+	p := Default()
+	p.ArrivalFixed = true
+	if err := p.Validate(); err == nil {
+		t.Fatal("ArrivalFixed without ArrivalRate must not validate")
+	}
+	p = Default()
+	p.ArrivalRate = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative ArrivalRate must not validate")
+	}
+}
+
+// TestArrivalRoundTripsThroughNDJSON checks stamped records survive the
+// NDJSON codec — including the fast scanner — bit-exactly.
+func TestArrivalRoundTripsThroughNDJSON(t *testing.T) {
+	p := Default()
+	p.NumJobs = 200
+	p.ArrivalRate = 1800
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var f workload.Features
+		ok, err := fastDecodeRecord([]byte(line), &f)
+		if !ok || err != nil {
+			t.Fatalf("record %d left the fast subset (ok=%v err=%v): %s", i, ok, err, line)
+		}
+		if !reflect.DeepEqual(f, tr.Jobs[i]) {
+			t.Fatalf("record %d round-trip drift:\n got  %+v\n want %+v", i, f, tr.Jobs[i])
+		}
+	}
+	got, err := ReadNDJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Jobs, tr.Jobs) {
+		t.Fatal("ReadNDJSON drifted from generated jobs")
+	}
+}

@@ -79,6 +79,21 @@ func FuzzDecoderMatchesEncodingJSON(f *testing.F) {
 	}
 	f.Add(buf.Bytes())
 
+	// Arrival-stamped records (the arrival_sec field of the windowing
+	// service).
+	pa := Default()
+	pa.NumJobs = 8
+	pa.ArrivalRate = 600
+	tra, err := Generate(pa)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var bufa bytes.Buffer
+	if err := tra.WriteNDJSON(&bufa); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bufa.Bytes())
+
 	// Hand-picked boundary cases: field order, whitespace, duplicate keys,
 	// unknown keys, escapes, unicode, case-insensitive matching, exotic
 	// numbers, null, missing class, malformed syntax.
@@ -114,6 +129,10 @@ func FuzzDecoderMatchesEncodingJSON(f *testing.F) {
 		`{}`,
 		"\n\n" + `{"name":"n","class":"1w1g","c_nodes":1,"batch_size":2,"flops":3}` + "\n\n",
 		`{"name":"ok","class":"1w1g","c_nodes":1,"batch_size":2,"flops":3}` + "\n" + `{"broken`,
+		`{"name":"arr","class":"1w1g","c_nodes":1,"batch_size":2,"flops":3,"arrival_sec":12.5}`,
+		`{"name":"arr","class":"1w1g","c_nodes":1,"batch_size":2,"flops":3,"arrival_sec":-1}`,
+		`{"name":"arr","class":"1w1g","c_nodes":1,"batch_size":2,"flops":3,"arrival_sec":null}`,
+		`{"name":"arr","class":"1w1g","c_nodes":1,"batch_size":2,"flops":3,"arrival_sec":8.64e4}`,
 	} {
 		f.Add([]byte(seed))
 	}

@@ -27,6 +27,7 @@ type jobJSON struct {
 	DenseWeightBytes     float64 `json:"dense_weight_bytes"`
 	EmbeddingWeightBytes float64 `json:"embedding_weight_bytes"`
 	WeightTrafficBytes   float64 `json:"weight_traffic_bytes,omitempty"`
+	ArrivalSec           float64 `json:"arrival_sec,omitempty"`
 }
 
 var classFromName = func() map[string]workload.Class {
@@ -49,6 +50,7 @@ func recordFromFeatures(f workload.Features) jobJSON {
 		DenseWeightBytes:     f.DenseWeightBytes,
 		EmbeddingWeightBytes: f.EmbeddingWeightBytes,
 		WeightTrafficBytes:   f.WeightTrafficBytes,
+		ArrivalSec:           f.ArrivalSec,
 	}
 }
 
@@ -68,6 +70,7 @@ func featuresFromRecord(j jobJSON) (workload.Features, error) {
 		DenseWeightBytes:     j.DenseWeightBytes,
 		EmbeddingWeightBytes: j.EmbeddingWeightBytes,
 		WeightTrafficBytes:   j.WeightTrafficBytes,
+		ArrivalSec:           j.ArrivalSec,
 	}
 	if err := f.Validate(); err != nil {
 		return workload.Features{}, err

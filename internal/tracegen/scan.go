@@ -172,6 +172,8 @@ func (s *scanner) value(key string, f *workload.Features, classSet *bool) bool {
 		return s.floatField(&f.EmbeddingWeightBytes)
 	case "weight_traffic_bytes":
 		return s.floatField(&f.WeightTrafficBytes)
+	case "arrival_sec":
+		return s.floatField(&f.ArrivalSec)
 	default:
 		return false
 	}

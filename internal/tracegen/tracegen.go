@@ -47,6 +47,21 @@ type Params struct {
 	// statistics are those of the distinct prefix. The streaming Source
 	// retains the distinct prefix, so memory is O(DistinctJobs).
 	DistinctJobs int
+	// ArrivalRate, when positive, stamps each job's ArrivalSec with a
+	// submission time: arrivals form a Poisson process of this rate in
+	// jobs/hour (exponential inter-arrival gaps), or an exactly periodic
+	// sequence when ArrivalFixed is set. Zero (the default) leaves
+	// ArrivalSec at zero, matching traces generated before the field
+	// existed. Stamping draws from its own RNG stream, so the sampled
+	// feature volumes are bit-identical with the rate on or off, and
+	// resubmissions of a distinct-prefix job get fresh, monotonically
+	// increasing arrival times (same features, later submission).
+	ArrivalRate float64
+	// ArrivalFixed switches arrival stamping from Poisson to fixed-interval
+	// (every 3600/ArrivalRate seconds exactly) for deterministic window
+	// occupancy in tests.
+	ArrivalFixed bool
+
 	// Config is the hardware configuration volumes are back-solved against
 	// (Table I baseline in the paper).
 	Config hw.Config
@@ -158,6 +173,12 @@ func (p Params) Validate() error {
 	if p.DistinctJobs < 0 {
 		return fmt.Errorf("tracegen: DistinctJobs must be >= 0, got %d", p.DistinctJobs)
 	}
+	if p.ArrivalRate < 0 || math.IsNaN(p.ArrivalRate) || math.IsInf(p.ArrivalRate, 0) {
+		return fmt.Errorf("tracegen: ArrivalRate must be finite and >= 0, got %v", p.ArrivalRate)
+	}
+	if p.ArrivalFixed && p.ArrivalRate == 0 {
+		return errors.New("tracegen: ArrivalFixed requires ArrivalRate > 0")
+	}
 	if err := p.Config.Validate(); err != nil {
 		return err
 	}
@@ -250,6 +271,11 @@ type Source struct {
 	// distinct retains the freshly sampled prefix when DistinctJobs > 0,
 	// so later jobs replay it as exact resubmissions.
 	distinct []workload.Features
+	// arrivalRNG drives arrival stamping separately from feature sampling,
+	// so enabling ArrivalRate never perturbs the generated volumes; now is
+	// the running clock in seconds.
+	arrivalRNG *rng
+	now        float64
 }
 
 // NewSource validates the parameters and returns a streaming generator over
@@ -263,7 +289,29 @@ func NewSource(p Params) (*Source, error) {
 	for i, c := range classes {
 		weights[i] = p.ClassShares[c]
 	}
-	return &Source{p: p, r: newRNG(p.Seed), classes: classes, weights: weights}, nil
+	s := &Source{p: p, r: newRNG(p.Seed), classes: classes, weights: weights}
+	if p.ArrivalRate > 0 {
+		// Distinct salt from schedule.go's 0x5eed5eed so neither stream
+		// correlates with the other or with feature sampling.
+		s.arrivalRNG = newRNG(p.Seed ^ 0x4a771a1e)
+	}
+	return s, nil
+}
+
+// stampArrival advances the arrival clock and stamps the job, if stamping is
+// enabled. Gaps are exponential with mean 3600/rate (Poisson process) or
+// exactly that mean when ArrivalFixed is set.
+func (s *Source) stampArrival(f *workload.Features) {
+	if s.p.ArrivalRate <= 0 {
+		return
+	}
+	gap := 3600 / s.p.ArrivalRate
+	if s.p.ArrivalFixed {
+		s.now += gap
+	} else {
+		s.now += s.arrivalRNG.ExpFloat64() * gap
+	}
+	f.ArrivalSec = s.now
 }
 
 // Next returns the next generated job, or io.EOF once NumJobs have been
@@ -272,21 +320,25 @@ func (s *Source) Next() (workload.Features, error) {
 	if s.i >= s.p.NumJobs {
 		return workload.Features{}, io.EOF
 	}
+	var job workload.Features
 	if d := s.p.DistinctJobs; d > 0 && s.i >= d {
-		// Resubmission: replay the distinct prefix verbatim.
-		job := s.distinct[s.i%d]
-		s.i++
-		return job, nil
-	}
-	class := s.classes[s.r.pick(s.weights)]
-	job, err := s.p.generateJob(s.r, s.i, class)
-	if err != nil {
-		return workload.Features{}, fmt.Errorf("tracegen: job %d: %w", s.i, err)
-	}
-	if d := s.p.DistinctJobs; d > 0 && d < s.p.NumJobs {
-		s.distinct = append(s.distinct, job)
+		// Resubmission: replay the distinct prefix verbatim (value copy).
+		job = s.distinct[s.i%d]
+	} else {
+		class := s.classes[s.r.pick(s.weights)]
+		var err error
+		job, err = s.p.generateJob(s.r, s.i, class)
+		if err != nil {
+			return workload.Features{}, fmt.Errorf("tracegen: job %d: %w", s.i, err)
+		}
+		if d := s.p.DistinctJobs; d > 0 && d < s.p.NumJobs {
+			// Retain the job before stamping: a resubmission shares its
+			// features but arrives later, so each replay is stamped afresh.
+			s.distinct = append(s.distinct, job)
+		}
 	}
 	s.i++
+	s.stampArrival(&job)
 	return job, nil
 }
 

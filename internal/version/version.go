@@ -1,0 +1,78 @@
+// Package version derives build/version identification from the metadata the
+// Go toolchain stamps into every binary (debug.ReadBuildInfo), so all cmd/*
+// binaries and the paiserve /version endpoint report what they are without a
+// linker-flag build step.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info identifies one build of this module.
+type Info struct {
+	// Module is the main module path ("repro").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339), when stamped.
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted local modifications at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// Get reads the running binary's build metadata. It never fails: binaries
+// built without module support (e.g. some test harnesses) yield an Info with
+// only the Go version filled in.
+func Get() Info {
+	info := Info{Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print.
+func (i Info) String() string {
+	s := i.Module
+	if s == "" {
+		s = "unknown"
+	}
+	v := i.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	s += " " + v
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if i.Dirty {
+			s += "+dirty"
+		}
+	}
+	if i.Time != "" {
+		s += " " + i.Time
+	}
+	return fmt.Sprintf("%s (%s)", s, i.Go)
+}

@@ -1,0 +1,50 @@
+package version
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGetNeverEmpty(t *testing.T) {
+	i := Get()
+	if i.Go != runtime.Version() {
+		t.Fatalf("Go = %q, want %q", i.Go, runtime.Version())
+	}
+	s := i.String()
+	if !strings.Contains(s, i.Go) {
+		t.Fatalf("String() %q missing Go version", s)
+	}
+}
+
+func TestStringFallbacks(t *testing.T) {
+	s := Info{Go: "go1.22"}.String()
+	if !strings.HasPrefix(s, "unknown (devel)") {
+		t.Fatalf("zero-ish Info renders %q", s)
+	}
+	full := Info{Module: "repro", Version: "v1.2.3",
+		Revision: "0123456789abcdef", Dirty: true, Time: "2026-01-02T03:04:05Z", Go: "go1.22"}.String()
+	for _, want := range []string{"repro v1.2.3", "0123456789ab+dirty", "2026-01-02T03:04:05Z", "(go1.22)"} {
+		if !strings.Contains(full, want) {
+			t.Fatalf("String() %q missing %q", full, want)
+		}
+	}
+	if strings.Contains(full, "0123456789abc") {
+		t.Fatalf("revision not truncated in %q", full)
+	}
+}
+
+func TestInfoMarshalsToJSON(t *testing.T) {
+	b, err := json.Marshal(Get())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["go"]; !ok {
+		t.Fatalf("JSON %s missing go field", b)
+	}
+}

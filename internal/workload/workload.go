@@ -144,6 +144,12 @@ type Features struct {
 	// "Network Traffic" column of Table V). When zero, traffic is derived
 	// from weights and architecture by internal/arch.
 	WeightTrafficBytes float64
+
+	// ArrivalSec is the job's submission time in seconds from the trace
+	// window start. It routes records into time windows (internal/window)
+	// and never affects the modeled breakdown. Zero means unknown and lands
+	// in the first window.
+	ArrivalSec float64
 }
 
 // TotalWeightBytes is dense + embedding weight volume.
@@ -169,6 +175,7 @@ func (f Features) Validate() error {
 		{"DenseWeightBytes", f.DenseWeightBytes},
 		{"EmbeddingWeightBytes", f.EmbeddingWeightBytes},
 		{"WeightTrafficBytes", f.WeightTrafficBytes},
+		{"ArrivalSec", f.ArrivalSec},
 	} {
 		if err := nonneg(c.name, c.v); err != nil {
 			return err

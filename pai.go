@@ -47,6 +47,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/tracegen"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -184,6 +185,11 @@ type (
 	// DistributedRunner evaluates one shard assignment on the worker side,
 	// returning the filled sink, its provenance string, and the job count.
 	DistributedRunner = coord.Runner
+
+	// BuildInfo identifies one build of this module, derived from the
+	// metadata the Go toolchain stamps into every binary. All cmd/* binaries
+	// print it under -version and paiserve serves it at /version.
+	BuildInfo = version.Info
 )
 
 // Workload classes (Table II + PEARL).
@@ -367,6 +373,11 @@ func CoordinateShards(ctx context.Context, ln net.Listener, shards int, payload 
 func ServeShardWorker(ctx context.Context, addr string, run DistributedRunner) error {
 	return coord.Work(ctx, addr, run)
 }
+
+// Version reads the running binary's build metadata (module path, version,
+// VCS revision, toolchain). It never fails; unstamped builds report what the
+// toolchain recorded.
+func Version() BuildInfo { return version.Get() }
 
 // CaseStudies returns the six production case-study models (Tables IV-VI).
 func CaseStudies() map[string]CaseStudy { return workload.Zoo() }
