@@ -220,7 +220,7 @@ func BenchmarkEngineEvaluateStream(b *testing.B) {
 // BenchmarkAnalyticalBreakdown measures a single model evaluation — the
 // primitive every cluster-scale analysis runs per job.
 func BenchmarkAnalyticalBreakdown(b *testing.B) {
-	m, err := pai.NewModel(pai.BaselineConfig())
+	eng, err := pai.New(pai.WithConfig(pai.BaselineConfig()))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func BenchmarkAnalyticalBreakdown(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Breakdown(cs.Features); err != nil {
+		if _, err := eng.Evaluate(cs.Features); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,11 +27,12 @@
 // in addition to the baseline gates.
 //
 // Throughput gating is one-sided: running faster than baseline always
-// passes. The baseline's jobs_per_sec — and, since the hand-rolled NDJSON
-// scanner landed, codec_records_per_sec — are conservative floors chosen
-// to hold across CI runner generations; fidelity fields are deterministic
-// for a given seed and compared tightly. The codec gate only engages when
-// both result files carry the codec fields, so older baselines stay
+// passes. The baseline's jobs_per_sec — and the decode-speed fields
+// codec_records_per_sec (the hand-rolled NDJSON scanner) and
+// colbin_records_per_sec (the columnar block reader) — are conservative
+// floors chosen to hold across CI runner generations; fidelity fields are
+// deterministic for a given seed and compared tightly. Each codec gate only
+// engages when both result files carry its field, so older baselines stay
 // comparable.
 //
 // -fidelity-only skips the timing gates and compares only the
@@ -66,6 +67,9 @@ type result struct {
 	// CodecRecordsPerSec is the decode-only NDJSON codec speed; zero in
 	// result files predating the codec benchmark.
 	CodecRecordsPerSec float64 `json:"codec_records_per_sec"`
+	// ColbinRecordsPerSec is the decode-only columnar codec speed; zero in
+	// result files predating the colbin codec.
+	ColbinRecordsPerSec float64 `json:"colbin_records_per_sec"`
 	// CDF and Projection are the sketch-backed sections of -full/-merge
 	// runs; decoded generically and compared for exact equality when both
 	// sides carry them.
@@ -153,13 +157,19 @@ func run(args []string, stdout io.Writer) error {
 			"throughput: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
 			cur.JobsPerSec, base.JobsPerSec, floor, *maxRegress*100)
 
-		// NDJSON decode hot path, gated the same one-sided way once both
-		// results measure it.
+		// Decode hot paths (NDJSON scanner, columnar block reader), each
+		// gated the same one-sided way once both results measure it.
 		if base.CodecRecordsPerSec > 0 && cur.CodecRecordsPerSec > 0 {
 			codecFloor := base.CodecRecordsPerSec * (1 - *maxRegress)
 			check(cur.CodecRecordsPerSec >= codecFloor,
 				"codec: %.0f records/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
 				cur.CodecRecordsPerSec, base.CodecRecordsPerSec, codecFloor, *maxRegress*100)
+		}
+		if base.ColbinRecordsPerSec > 0 && cur.ColbinRecordsPerSec > 0 {
+			colbinFloor := base.ColbinRecordsPerSec * (1 - *maxRegress)
+			check(cur.ColbinRecordsPerSec >= colbinFloor,
+				"colbin: %.0f records/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
+				cur.ColbinRecordsPerSec, base.ColbinRecordsPerSec, colbinFloor, *maxRegress*100)
 		}
 	}
 

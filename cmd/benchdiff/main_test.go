@@ -153,6 +153,32 @@ func TestCodecFasterAlwaysPasses(t *testing.T) {
 	}
 }
 
+func TestColbinRegressionFails(t *testing.T) {
+	base := writeResult(t, "base.json", func(r *result) { r.ColbinRecordsPerSec = 10000000 })
+	cur := writeResult(t, "cur.json", func(r *result) { r.ColbinRecordsPerSec = 5000000 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("colbin regression should fail the gate")
+	}
+	if !strings.Contains(out.String(), "FAIL colbin") {
+		t.Errorf("output does not name the colbin gate:\n%s", out.String())
+	}
+}
+
+func TestColbinGateSkippedWhenAbsent(t *testing.T) {
+	// Baselines predating the columnar codec carry no colbin field; the
+	// gate must not engage.
+	base := writeResult(t, "base.json", nil)
+	cur := writeResult(t, "cur.json", func(r *result) { r.ColbinRecordsPerSec = 5000000 })
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("gate engaged without a baseline colbin figure: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "colbin") {
+		t.Errorf("colbin line emitted without baseline figure:\n%s", out.String())
+	}
+}
+
 func TestFidelityOnlySkipsTimingGates(t *testing.T) {
 	base := writeResult(t, "base.json", nil)
 	// A merged shard result: no timing fields at all.

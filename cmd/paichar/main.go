@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	paichar [-trace trace.json|trace.ndjson]... [-jobs N] [-class PS/Worker]
+//	paichar [-trace FILE]... [-format auto|json|ndjson|colbin] [-jobs N] [-class PS/Worker]
 //
 // Without -trace a calibrated synthetic trace of -jobs jobs is generated.
-// NDJSON traces (.ndjson/.jsonl, or -ndjson) are streamed through the
+// A trace file's codec is sniffed from its leading bytes (or forced with
+// -format): record-stream codecs (ndjson, colbin) are streamed through the
 // bounded pipeline instead of being materialized, so they can hold millions
 // of jobs. Streaming mode covers every report section: the whole
 // characterization — breakdown aggregates, CDF sketches, the projection
@@ -17,9 +18,9 @@
 // the q=0/1 boundaries, interior error under one bin, < 0.2% absolute for
 // fractions).
 //
-// -trace may repeat: multiple NDJSON traces are drained concurrently as
-// shards, each by its own worker set into its own sink, and folded with the
-// exact merge into one characterization (Engine.EvaluateSourcesInto).
+// -trace may repeat: multiple record-stream traces are drained concurrently
+// as shards, each by its own worker set into its own sink, and folded with
+// the exact merge into one characterization (Engine.EvaluateSourcesInto).
 // -cache N puts a content-keyed result cache in front of the backend
 // (-cache-bytes N for an adaptive byte budget instead), which pays off on
 // production-shaped traces where the same jobs recur. The cache covers the
@@ -63,8 +64,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("paichar", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var traces traceList
-	fs.Var(&traces, "trace", "trace file: whole-document JSON, or NDJSON (streamed; detected by .ndjson/.jsonl extension or -ndjson); repeat for sharded multi-trace evaluation (all NDJSON)")
-	ndjson := fs.Bool("ndjson", false, "treat -trace as NDJSON and stream it (constitution + breakdowns only)")
+	fs.Var(&traces, "trace", "trace file (codec sniffed, or forced with -format); repeat for sharded multi-trace evaluation (record-stream codecs only)")
+	format := fs.String("format", pai.TraceFormatAuto,
+		fmt.Sprintf("trace codec for -trace files, one of %v (auto = sniff each file's leading bytes)", pai.TraceFormats()))
 	jobs := fs.Int("jobs", 5000, "synthetic trace size when no -trace given")
 	sweepClass := fs.String("class", "PS/Worker", "class for the hardware sweep panel")
 	backendName := fs.String("backend", "analytical",
@@ -87,30 +89,43 @@ func run(args []string, stdout io.Writer) error {
 	}
 	engOpts := engineOptions(*backendName, *par, *cacheEntries, *cacheBytes)
 
-	if len(traces) > 1 {
-		for _, path := range traces {
-			if !*ndjson && !pai.IsNDJSONTracePath(path) {
-				return fmt.Errorf("multi-trace mode streams NDJSON only; %q is not (.ndjson/.jsonl or -ndjson)", path)
+	var trace *pai.Trace
+	if len(traces) > 0 {
+		// Resolve each trace file's codec — by sniffing its leading bytes
+		// unless -format forces one. Record-stream codecs feed the streaming
+		// pipeline; a whole-document JSON trace takes the in-memory path
+		// (and cannot shard, since it is not a record stream).
+		srcs := make([]pai.JobSource, len(traces))
+		for i, path := range traces {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			name, r := *format, io.Reader(f)
+			if name == pai.TraceFormatAuto || name == "" {
+				if name, r, err = pai.SniffTraceFormat(f); err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+			}
+			if name == "json" {
+				if len(traces) > 1 {
+					return fmt.Errorf("multi-trace mode streams record codecs only; %s is whole-document JSON (convert it with tracegen -convert)", path)
+				}
+				if trace, err = pai.ReadTrace(r); err != nil {
+					return err
+				}
+				break
+			}
+			if srcs[i], err = pai.OpenTraceSource(r, name); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
 			}
 		}
-		return runStreaming(traces, engOpts, target, stdout)
-	}
-	if len(traces) == 1 && (*ndjson || pai.IsNDJSONTracePath(traces[0])) {
-		return runStreaming(traces, engOpts, target, stdout)
-	}
-
-	var trace *pai.Trace
-	if len(traces) == 1 {
-		f, err := os.Open(traces[0])
-		if err != nil {
-			return err
+		if trace == nil {
+			return runStreaming(srcs, traces, engOpts, target, stdout)
 		}
-		defer f.Close()
-		trace, err = pai.ReadTrace(f)
-		if err != nil {
-			return err
-		}
-	} else {
+	}
+	if trace == nil {
 		p := pai.DefaultTraceParams()
 		p.NumJobs = *jobs
 		var err error
@@ -257,23 +272,15 @@ func renderBreakdowns(stdout io.Writer, rows []pai.BreakdownRow, overall map[pai
 	return err
 }
 
-// runStreaming characterizes one or more NDJSON traces through the
-// streaming pipeline: traces are never materialized, so they can be
-// arbitrarily large, and multiple traces drain concurrently as shards
-// folded with the exact merge. Every report section folds through one
-// MultiSink in a single pass — breakdown aggregates, CDF sketches, the
-// projection summary, and the hardware sweep for the chosen class.
-func runStreaming(paths []string, engOpts []pai.Option, target pai.Class, stdout io.Writer) error {
-	srcs := make([]pai.JobSource, len(paths))
-	for i, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		srcs[i] = pai.NewTraceDecoder(f)
-	}
-
+// runStreaming characterizes one or more record-stream traces (NDJSON or
+// colbin sources, already opened) through the streaming pipeline: traces
+// are never materialized, so they can be arbitrarily large, and multiple
+// traces drain concurrently as shards folded with the exact merge (columnar
+// sources ride the block-granular path automatically). Every report section
+// folds through one MultiSink in a single pass — breakdown aggregates, CDF
+// sketches, the projection summary, and the hardware sweep for the chosen
+// class.
+func runStreaming(srcs []pai.JobSource, paths []string, engOpts []pai.Option, target pai.Class, stdout io.Writer) error {
 	eng, err := pai.New(engOpts...)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -183,11 +184,73 @@ func TestStreamingMatchesInMemorySections(t *testing.T) {
 	}
 }
 
-// TestRunMultiTraceRejectsWholeDocument: sharded mode is NDJSON-only.
+// TestRunMultiTraceRejectsWholeDocument: sharded mode streams record
+// codecs only; a whole-document JSON shard is rejected by sniffed content,
+// not file extension (the extensions here are deliberately meaningless).
 func TestRunMultiTraceRejectsWholeDocument(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 60
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, emit func(w io.Writer) error) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := emit(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	nd := write("a.trace", tr.WriteNDJSON)
+	doc := write("b.trace", tr.WriteJSON)
 	var buf bytes.Buffer
-	err := run([]string{"-trace", "a.ndjson", "-trace", "b.json"}, &buf)
-	if err == nil || !strings.Contains(err.Error(), "NDJSON") {
-		t.Errorf("want NDJSON-only error, got %v", err)
+	err = run([]string{"-trace", nd, "-trace", doc}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "whole-document JSON") {
+		t.Errorf("want whole-document rejection, got %v", err)
+	}
+}
+
+// TestRunColbinTraceStreams: a columnar trace is sniffed (no telling
+// extension) and characterized through the streaming pipeline.
+func TestRunColbinTraceStreams(t *testing.T) {
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 500
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pai.NewTraceWriter(f, "colbin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if err := w.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "500 jobs, streamed") {
+		t.Errorf("colbin trace did not stream:\n%s", buf.String())
 	}
 }

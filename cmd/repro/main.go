@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-jobs N] [-trace trace.json|trace.ndjson] [-only "Fig. 9"] [-ext] [-list]
+//	repro [-jobs N] [-trace FILE] [-only "Fig. 9"] [-ext] [-list]
 package main
 
 import (
@@ -28,7 +28,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	jobs := fs.Int("jobs", 20000, "synthetic trace size")
-	tracePath := fs.String("trace", "", "evaluate a recorded trace instead of generating one (whole-document JSON, or NDJSON by .ndjson/.jsonl extension)")
+	tracePath := fs.String("trace", "", "evaluate a recorded trace instead of generating one (any registered codec, sniffed from the file's bytes)")
 	only := fs.String("only", "", "regenerate a single artifact (e.g. 'Fig. 9' or 'table1')")
 	ext := fs.Bool("ext", false, "also run the extension experiments (EXT-1..6)")
 	list := fs.Bool("list", false, "list artifact ids and exit")
@@ -95,16 +95,28 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// loadTrace reads a recorded trace, decoding NDJSON through the incremental
-// codec when the extension marks it as line-delimited.
+// loadTrace materializes a recorded trace in any registered codec, sniffed
+// from the file's leading bytes (the experiment suite needs the full trace
+// in memory).
 func loadTrace(path string) (*pai.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if pai.IsNDJSONTracePath(path) {
-		return pai.ReadTraceNDJSON(f)
+	src, err := pai.OpenTraceSource(f, pai.TraceFormatAuto)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return pai.ReadTrace(f)
+	tr := &pai.Trace{}
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		tr.Jobs = append(tr.Jobs, j)
+	}
 }

@@ -1,12 +1,16 @@
 // Command tracegen generates a synthetic PAI-style cluster trace calibrated
-// to the paper's published distributions and writes it as JSON.
+// to the paper's published distributions, or converts an existing trace
+// between the registered codecs (json, ndjson, colbin).
 //
 // Usage:
 //
-//	tracegen [-jobs N] [-seed S] [-rate R] [-o trace.json] [-ndjson] [-summary]
+//	tracegen [-jobs N] [-distinct N] [-seed S] [-rate R] [-o trace.json] [-format F] [-summary]
+//	tracegen -convert IN [-format F] [-o OUT]
 //
-// With -summary the generated trace is batch-evaluated through a default
-// Engine and the modeled mean step time is reported on stderr.
+// With -convert the input's format is sniffed and records stream straight
+// into the output codec, so multi-million-job traces convert in constant
+// memory. With -summary the generated trace is batch-evaluated through a
+// default Engine and the modeled mean step time is reported on stderr.
 package main
 
 import (
@@ -31,10 +35,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jobs := fs.Int("jobs", 20000, "number of jobs to generate")
+	distinct := fs.Int("distinct", 0,
+		"with positive N, make the trace production-repetitive: the first N jobs are fresh, the rest resubmit them (0 = every job distinct)")
 	seed := fs.Int64("seed", 1, "generation seed")
 	out := fs.String("o", "", "output file (default stdout)")
-	ndjson := fs.Bool("ndjson", false, "write NDJSON (one job per line) instead of a whole-trace document; generation streams, so -jobs can be millions")
-	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time (ignored with -ndjson)")
+	format := fs.String("format", "", fmt.Sprintf("output trace format, one of %v (default json)", pai.TraceFormats()))
+	ndjson := fs.Bool("ndjson", false, "shorthand for -format ndjson")
+	convert := fs.String("convert", "", "convert an existing trace file (input format sniffed) to -format instead of generating")
+	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time (json format only)")
 	rate := fs.Float64("rate", 0,
 		"stamp each job's arrival_sec with a Poisson arrival process of this rate in jobs/hour (0 = no stamping)")
 	fixedInterval := fs.Bool("fixed-interval", false,
@@ -48,18 +56,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	name := *format
+	switch {
+	case name == "auto":
+		return fmt.Errorf("-format auto only applies to reading; pick one of %v", pai.TraceFormats())
+	case *ndjson && name != "" && name != "ndjson":
+		return fmt.Errorf("-ndjson conflicts with -format %s", name)
+	case *ndjson:
+		name = "ndjson"
+	case name == "":
+		name = "json"
+	}
+
+	if *convert != "" {
+		return convertTrace(*convert, *out, name, stdout, stderr)
+	}
+
 	p := pai.DefaultTraceParams()
 	p.NumJobs = *jobs
+	p.DistinctJobs = *distinct
 	p.Seed = *seed
 	p.ArrivalRate = *rate
 	p.ArrivalFixed = *fixedInterval
 
 	// Validate parameters (and, for the in-memory path, generate) before
 	// creating -o, so a bad flag never truncates an existing trace file.
+	streamed := name != "json"
 	var src *pai.TraceSource
 	var tr *pai.Trace
 	var err error
-	if *ndjson {
+	if streamed {
 		src, err = pai.NewTraceSource(p)
 	} else {
 		tr, err = pai.GenerateTrace(p)
@@ -78,11 +104,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 
-	if *ndjson {
+	if streamed {
 		// Streaming path: jobs go straight from the generator to the
 		// encoder, so memory is independent of -jobs.
-		enc := pai.NewTraceEncoder(w)
-		var cNodes int
+		tw, err := pai.NewTraceWriter(w, name)
+		if err != nil {
+			return err
+		}
+		var n, cNodes int
 		for {
 			f, err := src.Next()
 			if err == io.EOF {
@@ -91,15 +120,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := enc.Encode(f); err != nil {
+			if err := tw.Write(f); err != nil {
 				return err
 			}
+			n++
 			cNodes += f.CNodes
 		}
-		if err := enc.Flush(); err != nil {
+		if err := tw.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "generated %d jobs (%d cNodes) with seed %d\n", enc.N(), cNodes, *seed)
+		fmt.Fprintf(stderr, "generated %d jobs (%d cNodes) with seed %d as %s\n", n, cNodes, *seed, name)
 		return nil
 	}
 
@@ -124,5 +154,52 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "modeled mean step time %.4fs over %d jobs (%s backend, %d workers)\n",
 			sum/float64(len(times)), len(times), eng.Backend(), eng.Parallelism())
 	}
+	return nil
+}
+
+// convertTrace streams records from the trace at inPath (format sniffed)
+// into outPath (stdout if empty) in the named output codec.
+func convertTrace(inPath, outPath, name string, stdout, stderr io.Writer) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	src, err := pai.OpenTraceSource(in, pai.TraceFormatAuto)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	tw, err := pai.NewTraceWriter(w, name)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := tw.Write(f); err != nil {
+			return err
+		}
+		n++
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "converted %d jobs from %s to %s\n", n, inPath, name)
 	return nil
 }

@@ -376,14 +376,42 @@ func (e *Engine) EvaluateStream(ctx context.Context, r io.Reader, fn func(Stream
 }
 
 // EvaluateSource is EvaluateStream over any job source — a streaming
-// synthetic-trace generator (NewTraceSource), an NDJSON decoder, or an
-// in-memory slice — instead of an NDJSON reader.
+// synthetic-trace generator (NewTraceSource), an NDJSON decoder, a columnar
+// reader (NewColumnReader), or an in-memory slice — instead of an NDJSON
+// reader. Sources that can hand over whole columnar blocks (BlockSource) are
+// automatically evaluated block-at-a-time.
 func (e *Engine) EvaluateSource(ctx context.Context, src JobSource, fn func(StreamResult) error) (int, error) {
 	ev, err := e.evaluator()
 	if err != nil {
 		return 0, err
 	}
 	return stream.Evaluate(ctx, ev, src, e.parallelism, fn)
+}
+
+// EvaluateTrace is EvaluateStream for any registered trace codec: format
+// selects one by name ("ndjson", "colbin", "json"), and "auto" (or empty)
+// sniffs the stream's leading bytes. Columnar input rides the block-granular
+// fast path.
+func (e *Engine) EvaluateTrace(ctx context.Context, r io.Reader, format string, fn func(StreamResult) error) (int, error) {
+	src, err := tracegen.OpenSource(r, format)
+	if err != nil {
+		return 0, err
+	}
+	return e.EvaluateSource(ctx, src, fn)
+}
+
+// EvaluateColumns evaluates whole structure-of-arrays blocks from src —
+// typically a colbin trace reader — through the engine's backend, one
+// backend call per block over []float64 columns, and calls fn once per
+// record in input order. This is the bulk calling convention: identical
+// delivery semantics (and byte-identical sink output) to EvaluateStream over
+// the same records, without per-job decode or dispatch overhead.
+func (e *Engine) EvaluateColumns(ctx context.Context, src BlockSource, fn func(StreamResult) error) (int, error) {
+	ev, err := e.evaluator()
+	if err != nil {
+		return 0, err
+	}
+	return stream.EvaluateBlocks(ctx, ev, src, e.parallelism, fn)
 }
 
 // StreamBreakdowns streams every job from src through the engine and folds

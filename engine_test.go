@@ -156,12 +156,20 @@ func TestZeroValueEngine(t *testing.T) {
 	}
 }
 
-func TestEngineMatchesLegacyModel(t *testing.T) {
+func TestEngineConstructionPathsAgree(t *testing.T) {
+	// The zero-value defaults and an engine built with every default spelled
+	// out must evaluate identically — a regression hook on config plumbing
+	// now that the pre-Engine free-function model path is gone.
 	e, err := pai.New()
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := pai.NewModel(pai.BaselineConfig())
+	d, err := pai.New(
+		pai.WithConfig(pai.BaselineConfig()),
+		pai.WithEfficiency(pai.DefaultEfficiency()),
+		pai.WithOverlap(pai.OverlapNone),
+		pai.WithBackend("analytical"),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,23 +178,23 @@ func TestEngineMatchesLegacyModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mt, err := m.Breakdown(job)
+	dt, err := d.Evaluate(job)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if et.Total() != mt.Total() {
-		t.Errorf("engine %v != legacy model %v", et.Total(), mt.Total())
+	if et.Total() != dt.Total() {
+		t.Errorf("engine breakdown differs across construction paths: %v vs %v", et.Total(), dt.Total())
 	}
 	eth, err := e.Throughput(job)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mth, err := m.Throughput(job)
+	dth, err := d.Throughput(job)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eth != mth {
-		t.Errorf("throughput mismatch: %v vs %v", eth, mth)
+	if eth != dth {
+		t.Errorf("throughput mismatch: %v vs %v", eth, dth)
 	}
 }
 

@@ -1,0 +1,63 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ColumnEvaluator is the batch calling convention beside Evaluator: one call
+// evaluates a whole structure-of-arrays block into a caller-owned times
+// slice. Backends implement it to claim the block-granular fast path
+// (per-block instead of per-record dispatch, no intermediate Features
+// buffering); everything else is served by the scalar fallback in
+// EvaluateColumns, which is also the oracle the fast path is tested against.
+type ColumnEvaluator interface {
+	// BreakdownColumns evaluates every record of c into out, which has
+	// length c.Len(). Results must be exactly what record-by-record
+	// Breakdown calls would produce.
+	BreakdownColumns(c *workload.Columns, out []core.Times) error
+}
+
+// EvaluateColumns evaluates a block through ev, using its ColumnEvaluator
+// fast path when implemented and the scalar Breakdown loop otherwise (for
+// example when a result cache wraps the backend). out must have length
+// c.Len().
+func EvaluateColumns(ev Evaluator, c *workload.Columns, out []core.Times) error {
+	if ev == nil {
+		return fmt.Errorf("backend: EvaluateColumns with nil evaluator")
+	}
+	n := c.Len()
+	if len(out) != n {
+		return fmt.Errorf("backend: EvaluateColumns: out has length %d, block has %d records", len(out), n)
+	}
+	if ce, ok := ev.(ColumnEvaluator); ok {
+		return ce.BreakdownColumns(c, out)
+	}
+	for i := 0; i < n; i++ {
+		f := c.Row(i)
+		t, err := ev.Breakdown(f)
+		if err != nil {
+			return fmt.Errorf("job %q: %w", f.Name, err)
+		}
+		out[i] = t
+	}
+	return nil
+}
+
+// BreakdownColumns implements ColumnEvaluator for the analytical backend:
+// the block loop calls the model directly, skipping one interface dispatch
+// per record. Output is identical to the scalar path by construction (same
+// model call per row), which the oracle test pins.
+func (a *analytical) BreakdownColumns(c *workload.Columns, out []core.Times) error {
+	for i := range out {
+		f := c.Row(i)
+		t, err := a.m.Breakdown(f)
+		if err != nil {
+			return fmt.Errorf("job %q: %w", f.Name, err)
+		}
+		out[i] = t
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+// scalarOnly hides a backend's ColumnEvaluator implementation so
+// EvaluateColumns takes the fallback loop.
+type scalarOnly struct{ ev Evaluator }
+
+func (s scalarOnly) Breakdown(f workload.Features) (core.Times, error) { return s.ev.Breakdown(f) }
+
+// TestColumnPathMatchesScalarOracle: a backend's BreakdownColumns fast path
+// must produce exactly what record-by-record Breakdown calls produce — the
+// scalar loop is the oracle.
+func TestColumnPathMatchesScalarOracle(t *testing.T) {
+	ev, err := New(AnalyticalName, DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ev.(ColumnEvaluator); !ok {
+		t.Fatal("analytical backend does not implement ColumnEvaluator")
+	}
+	p := tracegen.Default()
+	p.NumJobs = 1200
+	p.DistinctJobs = 40
+	tr, err := tracegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c workload.Columns
+	for _, f := range tr.Jobs {
+		c.Append(f)
+	}
+	fast := make([]core.Times, c.Len())
+	if err := EvaluateColumns(ev, &c, fast); err != nil {
+		t.Fatal(err)
+	}
+	slow := make([]core.Times, c.Len())
+	if err := EvaluateColumns(scalarOnly{ev}, &c, slow); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if !reflect.DeepEqual(fast[i], slow[i]) {
+			t.Fatalf("record %d: column path %+v != scalar path %+v", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestEvaluateColumnsShapeChecks(t *testing.T) {
+	ev, err := New(AnalyticalName, DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c workload.Columns
+	if err := EvaluateColumns(nil, &c, nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	if err := EvaluateColumns(ev, &c, make([]core.Times, 3)); err == nil {
+		t.Error("mismatched out length accepted")
+	}
+}

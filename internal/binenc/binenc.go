@@ -31,6 +31,11 @@ func NewWriter(capacity int) *Writer {
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset truncates the writer for reuse, keeping the allocated buffer — block
+// encoders (internal/colbin) re-fill one writer per block instead of
+// retiring a fresh buffer each time.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 
@@ -61,6 +66,15 @@ func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
 // F64s appends a uvarint length followed by every element's bits.
 func (w *Writer) F64s(vs []float64) {
 	w.Int(len(vs))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// F64Col appends every element's bits with no length prefix — the bulk
+// column encode paired with Reader.F64Col; the count travels separately in
+// the block header.
+func (w *Writer) F64Col(vs []float64) {
 	for _, v := range vs {
 		w.F64(v)
 	}
@@ -194,6 +208,70 @@ func (r *Reader) F64s() []float64 {
 		out[i] = r.F64()
 	}
 	return out
+}
+
+// F64Col reads exactly len(out) float64 values with no length prefix — the
+// bulk column decode: the caller already knows the record count from the
+// block header, so the column is a bare run of IEEE-754 bits. The whole run
+// is bounds-checked once, then decoded with raw offset math.
+func (r *Reader) F64Col(out []float64) {
+	if r.err != nil {
+		return
+	}
+	n := len(out)
+	if 8*n > r.Len() {
+		r.fail("float64 column of %d values exceeds %d remaining bytes", n, r.Len())
+		return
+	}
+	b := r.buf[r.off:]
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	r.off += 8 * n
+}
+
+// UvarintCol reads exactly len(out) uvarints with no length prefix — the
+// bulk column decode: the caller already knows the count from its own
+// header. The common single-byte encoding is read with one compare; the
+// sticky error is checked once up front instead of per value.
+func (r *Reader) UvarintCol(out []uint64) {
+	if r.err != nil {
+		return
+	}
+	b := r.buf
+	off := r.off
+	for i := range out {
+		if off < len(b) && b[off] < 0x80 {
+			out[i] = uint64(b[off])
+			off++
+			continue
+		}
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			r.off = off
+			r.fail("malformed uvarint")
+			return
+		}
+		out[i] = v
+		off += n
+	}
+	r.off = off
+}
+
+// U8Col returns the next n bytes as a subslice of the input (no copy, no
+// length prefix) — valid only while the input buffer is; callers that keep
+// the bytes must copy them out.
+func (r *Reader) U8Col(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Len() {
+		r.fail("byte column of %d values exceeds %d remaining bytes", n, r.Len())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
 }
 
 // Str reads a length-prefixed string.

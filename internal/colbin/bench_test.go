@@ -1,0 +1,114 @@
+package colbin
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkDecodeBlocks measures bulk block decode — the ingest rate the
+// >10M records/sec target (BENCH_BASELINE.json colbin floor) is about.
+func BenchmarkDecodeBlocks(b *testing.B) {
+	jobs := testJobs(b, 50000, 4096)
+	data := encodeAll(b, jobs, DefaultBlockRecords)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(data))
+		var c workload.Columns
+		n := 0
+		for {
+			err := r.NextBlock(&c)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += c.Len()
+		}
+		if n != len(jobs) {
+			b.Fatalf("decoded %d records, want %d", n, len(jobs))
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "records/op")
+}
+
+// BenchmarkDecodeBlocksRepetitive is DecodeBlocks over a production-shaped
+// trace — few distinct jobs re-spelled block after block, the case the
+// per-block dictionary and the reader's intern table are built for. This is
+// the shape the CI ingest gate (paibench on the repetitive 1M-job trace)
+// measures.
+func BenchmarkDecodeBlocksRepetitive(b *testing.B) {
+	jobs := testJobs(b, 50000, 128)
+	data := encodeAll(b, jobs, DefaultBlockRecords)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(data))
+		var c workload.Columns
+		n := 0
+		for {
+			err := r.NextBlock(&c)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += c.Len()
+		}
+		if n != len(jobs) {
+			b.Fatalf("decoded %d records, want %d", n, len(jobs))
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "records/op")
+}
+
+// BenchmarkDecodeRecords measures the record-at-a-time adapter (the
+// stream.Source convention) over the same data.
+func BenchmarkDecodeRecords(b *testing.B) {
+	jobs := testJobs(b, 50000, 4096)
+	data := encodeAll(b, jobs, DefaultBlockRecords)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(jobs) {
+			b.Fatalf("decoded %d records, want %d", n, len(jobs))
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "records/op")
+}
+
+// BenchmarkEncode measures columnar encoding throughput.
+func BenchmarkEncode(b *testing.B) {
+	jobs := testJobs(b, 50000, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, f := range jobs {
+			if err := w.Write(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package colbin
+
+import (
+	"io"
+
+	"repro/internal/tracegen"
+)
+
+// format plugs the columnar codec into the tracegen Format registry, so
+// every command's -format flag and input sniffing covers colbin alongside
+// ndjson and the legacy document. Importing this package (directly or via
+// the root pai package) is what registers it.
+type format struct{}
+
+func (format) Name() string { return "colbin" }
+
+func (format) Detect(prefix []byte) bool { return Detect(prefix) }
+
+func (format) NewSource(r io.Reader) (tracegen.RecordSource, error) {
+	return NewReader(r), nil
+}
+
+func (format) NewWriter(w io.Writer) tracegen.RecordWriter { return NewWriter(w) }
+
+func init() { tracegen.MustRegisterFormat(format{}) }

@@ -1,0 +1,120 @@
+package colbin
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+// FuzzReaderNoPanic: arbitrary bytes must never panic the reader, allocate
+// unboundedly, or loop forever — they fail with an error or end with io.EOF.
+func FuzzReaderNoPanic(f *testing.F) {
+	jobs := testJobs(f, 64, 7)
+	valid := encodeAll(f, jobs, 16)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("PAICB\x01"))
+	f.Add([]byte("PAICB\x02garbage"))
+	f.Add([]byte{})
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/3] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+			n++
+			if n > 1<<22 {
+				t.Fatal("decoded implausibly many records from fuzz input")
+			}
+		}
+		// Errors must be sticky.
+		if _, err := r.Next(); err == nil {
+			t.Fatal("reader kept going after a terminal error")
+		}
+	})
+}
+
+// FuzzRoundTripOracle: any record the validator accepts must round-trip
+// through colbin bit-exactly, and — for valid-UTF-8 names — decode to
+// exactly what the NDJSON codec produces for the same record, pinning the
+// two formats to one acceptance rule and one value semantics.
+func FuzzRoundTripOracle(f *testing.F) {
+	f.Add("job-1", uint8(0), 1, 32, 1e9, 2e6, 3e6, 4e6, 0.0, 0.0, 1.5)
+	f.Add("psjob", uint8(2), 8, 128, 5e10, 0.0, 1e7, 2e8, 3e9, 4e5, 3600.0)
+	f.Add("", uint8(5), 4, 1, 0.0, 7e3, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, name string, class uint8, cNodes, batch int,
+		flops, mem, input, dense, embed, traffic, arrival float64) {
+		cl := workload.Class(int(class) % (int(workload.PEARL) + 1))
+		rec := workload.Features{
+			Name:                 name,
+			Class:                cl,
+			CNodes:               cNodes,
+			BatchSize:            batch,
+			FLOPs:                flops,
+			MemAccessBytes:       mem,
+			InputBytes:           input,
+			DenseWeightBytes:     dense,
+			EmbeddingWeightBytes: embed,
+			WeightTrafficBytes:   traffic,
+			ArrivalSec:           arrival,
+		}
+		if rec.Validate() != nil {
+			t.Skip()
+		}
+		if len(name) > 1<<18 {
+			// Keep the NDJSON line under its decoder's 1 MiB record cap
+			// (escaping can double the name's size).
+			t.Skip()
+		}
+		var cb bytes.Buffer
+		w := NewWriter(&cb)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(bytes.NewReader(cb.Bytes())).Next()
+		if err != nil {
+			t.Fatalf("valid record failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("colbin round trip changed the record:\n got %+v\nwant %+v", got, rec)
+		}
+		// NDJSON oracle. encoding/json replaces invalid UTF-8 rather than
+		// preserving it, so the cross-codec comparison only holds for valid
+		// names; colbin itself is byte-exact either way (checked above).
+		if !utf8.ValidString(name) {
+			t.Skip()
+		}
+		var nd bytes.Buffer
+		enc := tracegen.NewEncoder(&nd)
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := tracegen.NewDecoder(bytes.NewReader(nd.Bytes())).Next()
+		if err != nil {
+			t.Fatalf("ndjson oracle rejected a record colbin accepted: %v", err)
+		}
+		if !reflect.DeepEqual(got, oracle) {
+			t.Fatalf("codecs disagree:\ncolbin %+v\nndjson %+v", got, oracle)
+		}
+		if _, err := tracegen.NewDecoder(bytes.NewReader(nd.Bytes())).Next(); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,10 +1,12 @@
 // Package serve is the HTTP layer of paiserve, the evaluation-as-a-service
-// daemon: it accepts streamed NDJSON trace uploads per tenant, folds every
-// evaluated job into a per-tenant sliding-window ring (internal/window), and
-// serves live reports, framed sink snapshots (paibench -merge interop) and
-// service metrics. Uploads stream record-by-record through the shared
-// engine and its result cache — a 1M-job upload holds one record plus the
-// fixed-size window sinks in memory, never the trace.
+// daemon: it accepts streamed trace uploads per tenant in any registered
+// codec (NDJSON or columnar colbin; Content-Type names the codec, anything
+// else is sniffed from the upload's leading bytes), folds every evaluated
+// job into a per-tenant sliding-window ring (internal/window), and serves
+// live reports, framed sink snapshots (paibench -merge interop) and service
+// metrics. Uploads stream through the shared engine and its result cache —
+// a 1M-job upload holds one record block plus the fixed-size window sinks
+// in memory, never the trace.
 package serve
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"mime"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/analyze"
+	_ "repro/internal/colbin" // register the columnar codec for sniffed uploads
 	"repro/internal/evalcache"
 	"repro/internal/project"
 	"repro/internal/stream"
@@ -225,9 +229,11 @@ type uploadResponse struct {
 	Windows int `json:"windows_occupied"`
 }
 
-// handleUpload streams one NDJSON trace through the engine into the
-// tenant's ring. The body is bounded by MaxUploadBytes and never buffered:
-// decode -> evaluate -> ring.Add runs record by record.
+// handleUpload streams one trace upload through the engine into the
+// tenant's ring. The codec comes from Content-Type (falling back to byte
+// sniffing, see formatFor), the body is bounded by MaxUploadBytes and never
+// buffered: decode -> evaluate -> ring.Add runs record by record (block by
+// block for columnar uploads).
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !validTenantID(id) {
@@ -256,8 +262,19 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// and parses the truncated tail), so the tracker records the limit hit
 	// at the read layer where it is unambiguous.
 	body := &limitTracker{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)}
-	dec := tracegen.NewDecoder(body)
-	n, err := s.cfg.Engine.EvaluateSource(r.Context(), dec, func(res stream.Result) error {
+	src, err := tracegen.OpenSource(body, formatFor(r.Header.Get("Content-Type")))
+	if err != nil {
+		s.rejected.Add(1)
+		var tooLarge *http.MaxBytesError
+		if body.hit || errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := s.cfg.Engine.EvaluateSource(r.Context(), src, func(res stream.Result) error {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		return t.ring.Add(res.Job, res.Times)
@@ -281,6 +298,23 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	t.mu.Unlock()
 	writeJSON(w, uploadResponse{Tenant: id, Jobs: n,
 		TenantJobs: st.Jobs, Windows: st.Occupied})
+}
+
+// formatFor maps an upload's Content-Type to a trace codec name, falling
+// back to byte sniffing. Naming the codec keeps NDJSON decode errors
+// line-numbered even for a malformed first record, which sniffing alone
+// cannot promise (a truncated JSON line is indistinguishable from the
+// whole-document format's opening brace).
+func formatFor(contentType string) string {
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return tracegen.FormatAuto
+	}
+	switch mt {
+	case "application/x-ndjson", "application/jsonl", "application/x-jsonlines":
+		return "ndjson"
+	}
+	return tracegen.FormatAuto
 }
 
 // foldTenant folds the newest lastN windows (<= 0 folds the whole ring)

@@ -82,6 +82,52 @@ func upload(t *testing.T, ts *httptest.Server, tenant string, body []byte) map[s
 	return out
 }
 
+// TestUploadColumnarTrace: a colbin-encoded upload under a generic
+// Content-Type is sniffed from its magic bytes and evaluated identically
+// to the same records uploaded as NDJSON.
+func TestUploadColumnarTrace(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	nd := stampedTrace(t, 300, 9)
+	src, err := pai.OpenTraceSource(bytes.NewReader(nd), "ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb bytes.Buffer
+	cw := pai.NewColumnWriter(&cb)
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/tenants/col/traces",
+		"application/octet-stream", bytes.NewReader(cb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("columnar upload: status %d: %s", resp.StatusCode, b)
+	}
+	var ack map[string]any
+	if err := json.Unmarshal(b, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack["jobs"].(float64) != 300 {
+		t.Fatalf("ack jobs = %v, want 300", ack["jobs"])
+	}
+}
+
 func get(t *testing.T, url string) (int, []byte) {
 	t.Helper()
 	resp, err := http.Get(url)

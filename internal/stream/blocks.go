@@ -1,0 +1,208 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// BlockSource yields whole structure-of-arrays blocks — the bulk calling
+// convention a columnar trace reader (internal/colbin) serves. NextBlock
+// resets c and fills it with the next block, returning io.EOF after the
+// last. Sources are consumed from a single goroutine.
+//
+// A source that implements both Source and BlockSource (colbin.Reader does)
+// is automatically upgraded by Evaluate to the block path, so every caller
+// of the streaming pipeline gets block-granular evaluation the moment its
+// input is columnar — no call-site changes.
+type BlockSource interface {
+	NextBlock(c *workload.Columns) error
+}
+
+type blockChunk struct {
+	seq  int
+	base int
+	cols *workload.Columns
+}
+
+type evaluatedBlock struct {
+	blockChunk
+	times []core.Times
+}
+
+// Block buffers recycle like the scalar path's chunk buffers; blocks are an
+// order of magnitude larger than scalar chunks (a columnar writer's default
+// is 4096 records), so recycling matters even more here.
+var (
+	colsPool = sync.Pool{New: func() any { return new(workload.Columns) }}
+
+	blockTimesPool = sync.Pool{New: func() any {
+		s := make([]core.Times, 0, 4096)
+		return &s
+	}}
+)
+
+// EvaluateBlocks is Evaluate over a block source: each block is one work
+// unit — decoded in bulk upstream, evaluated in one backend call
+// (backend.EvaluateColumns, which uses the backend's column fast path when
+// it has one), and delivered to fn record by record in input order. Peak
+// memory is O(parallelism) blocks. The semantics mirror Evaluate exactly:
+// delivered count, first error, cancellation, nil fn discarding results.
+func EvaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, parallelism int, fn func(Result) error) (int, error) {
+	if ev == nil {
+		return 0, fmt.Errorf("stream: EvaluateBlocks with nil evaluator")
+	}
+	if src == nil {
+		return 0, fmt.Errorf("stream: EvaluateBlocks with nil source")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	maxOutstanding := 2 * parallelism
+	tokens := make(chan struct{}, maxOutstanding)
+	work := make(chan blockChunk, parallelism)
+	done := make(chan evaluatedBlock, parallelism)
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Reader: pull blocks.
+	go func() {
+		defer close(work)
+		seq, base := 0, 0
+		for {
+			cols := colsPool.Get().(*workload.Columns)
+			cols.Reset()
+			err := src.NextBlock(cols)
+			if errors.Is(err, io.EOF) {
+				colsPool.Put(cols)
+				return
+			}
+			if err != nil {
+				colsPool.Put(cols)
+				fail(err)
+				return
+			}
+			if cols.Len() == 0 {
+				colsPool.Put(cols)
+				continue // tolerate empty blocks
+			}
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				fail(context.Cause(ctx))
+				return
+			}
+			select {
+			case work <- blockChunk{seq: seq, base: base, cols: cols}:
+			case <-ctx.Done():
+				fail(context.Cause(ctx))
+				return
+			}
+			base += cols.Len()
+			seq++
+		}
+	}()
+
+	// Workers: evaluate whole blocks.
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				if ctx.Err() != nil {
+					fail(context.Cause(ctx))
+					return
+				}
+				ts := *blockTimesPool.Get().(*[]core.Times)
+				if cap(ts) < c.cols.Len() {
+					ts = make([]core.Times, c.cols.Len())
+				}
+				ts = ts[:c.cols.Len()]
+				if err := backend.EvaluateColumns(ev, c.cols, ts); err != nil {
+					fail(fmt.Errorf("stream: %w", err))
+					return
+				}
+				select {
+				case done <- evaluatedBlock{blockChunk: c, times: ts}:
+				case <-ctx.Done():
+					fail(context.Cause(ctx))
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Collector (caller's goroutine): reorder and deliver.
+	var (
+		delivered int
+		next      int
+		pending   = make(map[int]evaluatedBlock, maxOutstanding)
+		failed    bool
+	)
+	for e := range done {
+		if !failed && ctx.Err() != nil {
+			fail(context.Cause(ctx))
+			failed = true
+		}
+		if failed {
+			<-tokens
+			continue
+		}
+		pending[e.seq] = e
+		for {
+			c, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			for i := 0; i < c.cols.Len(); i++ {
+				if fn != nil {
+					if err := fn(Result{Index: c.base + i, Job: c.cols.Row(i), Times: c.times[i]}); err != nil {
+						fail(fmt.Errorf("stream: sink: %w", err))
+						failed = true
+						break
+					}
+				}
+				delivered++
+			}
+			colsPool.Put(c.cols)
+			ts := c.times
+			blockTimesPool.Put(&ts)
+			<-tokens
+			next++
+			if failed {
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return delivered, firstErr
+	}
+	return delivered, nil
+}

@@ -106,6 +106,14 @@ func Evaluate(ctx context.Context, ev backend.Evaluator, src Source, parallelism
 	if src == nil {
 		return 0, fmt.Errorf("stream: Evaluate with nil source")
 	}
+	// A source that can hand over whole columnar blocks skips per-record
+	// chunking entirely: same contract, same delivery order, block-granular
+	// work units. This is what routes colbin traces onto the fast path in
+	// every pipeline built on Evaluate (folds, shards, the daemon) without
+	// call-site changes.
+	if bs, ok := src.(BlockSource); ok {
+		return EvaluateBlocks(ctx, ev, bs, parallelism, fn)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -1,0 +1,306 @@
+package tracegen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// RecordSource is the reading side of a trace codec: records one at a time,
+// io.EOF after the last. It is structurally identical to stream.Source, so
+// any opened source feeds the evaluation pipeline directly.
+type RecordSource interface {
+	Next() (workload.Features, error)
+}
+
+// RecordWriter is the writing side of a trace codec. Call Flush when done
+// and check its error; some codecs (the legacy whole-document JSON) buffer
+// everything until then.
+type RecordWriter interface {
+	Write(f workload.Features) error
+	Flush() error
+}
+
+// Format is one registered trace codec. NDJSON, the legacy whole-document
+// JSON, and the columnar binary format (internal/colbin) all register here,
+// so every command selects a codec the same way — by name, or by sniffing
+// the input's first bytes — instead of growing per-CLI flag conventions.
+type Format interface {
+	// Name is the format's registry key (what a -format flag accepts).
+	Name() string
+	// Detect reports whether prefix (up to sniffLen bytes of the input)
+	// begins a stream of this format. Formats are probed in registration
+	// order; the first match wins.
+	Detect(prefix []byte) bool
+	// NewSource returns a record source decoding r.
+	NewSource(r io.Reader) (RecordSource, error)
+	// NewWriter returns a record writer encoding to w.
+	NewWriter(w io.Writer) RecordWriter
+}
+
+// FormatAuto is the -format value (also the empty string's meaning) that
+// selects the codec by sniffing the input.
+const FormatAuto = "auto"
+
+// sniffLen is how many leading bytes DetectFormat may examine. One NDJSON
+// record is a few hundred bytes, and the colbin magic is six, so 4 KiB
+// leaves ample slack.
+const sniffLen = 4096
+
+var (
+	formatMu  sync.RWMutex
+	formats   = map[string]Format{}
+	formatSeq []Format // registration order = detection order
+)
+
+// RegisterFormat adds a codec to the registry. Duplicate names and the
+// reserved name "auto" error.
+func RegisterFormat(f Format) error {
+	if f == nil || f.Name() == "" {
+		return fmt.Errorf("tracegen: RegisterFormat with nil or unnamed format")
+	}
+	if f.Name() == FormatAuto {
+		return fmt.Errorf("tracegen: format name %q is reserved", FormatAuto)
+	}
+	formatMu.Lock()
+	defer formatMu.Unlock()
+	if _, dup := formats[f.Name()]; dup {
+		return fmt.Errorf("tracegen: format %q already registered", f.Name())
+	}
+	formats[f.Name()] = f
+	formatSeq = append(formatSeq, f)
+	return nil
+}
+
+// MustRegisterFormat is RegisterFormat, panicking on error (for package
+// init).
+func MustRegisterFormat(f Format) {
+	if err := RegisterFormat(f); err != nil {
+		panic(err)
+	}
+}
+
+// formatNamesLocked lists registered names sorted; callers hold formatMu.
+func formatNamesLocked() []string {
+	names := make([]string, 0, len(formats))
+	for n := range formats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatNames lists the registered codec names, sorted.
+func FormatNames() []string {
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	return formatNamesLocked()
+}
+
+// FormatByName returns a registered codec.
+func FormatByName(name string) (Format, error) {
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	f, ok := formats[name]
+	if !ok {
+		return nil, fmt.Errorf("tracegen: unknown trace format %q (have %v)", name, formatNamesLocked())
+	}
+	return f, nil
+}
+
+// DetectFormat sniffs the stream's leading bytes and returns the first
+// registered codec that claims them. The peeked bytes stay unread, so the
+// returned bufio.Reader can be handed straight to the codec.
+func DetectFormat(br *bufio.Reader) (Format, error) {
+	prefix, err := br.Peek(sniffLen)
+	if err != nil && len(prefix) == 0 {
+		return nil, fmt.Errorf("tracegen: sniff trace format: %w", err)
+	}
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	for _, f := range formatSeq {
+		if f.Detect(prefix) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("tracegen: unrecognized trace format (leading bytes match none of %v)", formatNamesLocked())
+}
+
+// SniffFormat identifies the codec claiming r's leading bytes without
+// committing to a source, for callers that pick a processing path by format
+// (say, streaming versus materializing). The returned reader replays the
+// sniffed bytes, so it — not r — must be handed to whatever reads next.
+func SniffFormat(r io.Reader) (Format, io.Reader, error) {
+	br := bufio.NewReaderSize(r, sniffLen)
+	f, err := DetectFormat(br)
+	return f, br, err
+}
+
+// OpenSource opens a record source over r using the named codec, or by
+// sniffing when name is "auto" or empty. This is the one entry point every
+// trace-reading command funnels through.
+func OpenSource(r io.Reader, name string) (RecordSource, error) {
+	if name == FormatAuto || name == "" {
+		br := bufio.NewReaderSize(r, sniffLen)
+		f, err := DetectFormat(br)
+		if err != nil {
+			return nil, err
+		}
+		return f.NewSource(br)
+	}
+	f, err := FormatByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.NewSource(r)
+}
+
+// NewFormatWriter returns a record writer encoding to w in the named codec
+// ("auto" is not a writable format).
+func NewFormatWriter(w io.Writer, name string) (RecordWriter, error) {
+	f, err := FormatByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.NewWriter(w), nil
+}
+
+// ReadAll drains a record source into a materialized trace.
+func ReadAll(src RecordSource) (*Trace, error) {
+	tr := &Trace{}
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Jobs = append(tr.Jobs, f)
+	}
+}
+
+// firstLine returns the first newline-terminated line of prefix, or nil if
+// prefix holds no complete line.
+func firstLine(prefix []byte) []byte {
+	for i, b := range prefix {
+		if b == '\n' {
+			return prefix[:i]
+		}
+	}
+	return nil
+}
+
+// ndjsonFormat is the streaming line-delimited codec.
+type ndjsonFormat struct{}
+
+func (ndjsonFormat) Name() string { return "ndjson" }
+
+// Detect accepts input whose first line is a complete JSON value. The
+// legacy whole-document trace also starts with '{' but its first line is a
+// bare "{", which is not valid JSON on its own, so the two disambiguate
+// without extensions. A first record longer than the sniff window (no
+// newline seen) is probed whole.
+func (ndjsonFormat) Detect(prefix []byte) bool {
+	i := 0
+	for i < len(prefix) && (prefix[i] == ' ' || prefix[i] == '\t' || prefix[i] == '\r' || prefix[i] == '\n') {
+		i++
+	}
+	if i == len(prefix) || prefix[i] != '{' {
+		return false
+	}
+	line := firstLine(prefix[i:])
+	if line == nil {
+		line = prefix[i:]
+	}
+	return json.Valid(line)
+}
+
+func (ndjsonFormat) NewSource(r io.Reader) (RecordSource, error) { return NewDecoder(r), nil }
+func (ndjsonFormat) NewWriter(w io.Writer) RecordWriter          { return NewEncoder(w) }
+
+// jsonFormat is the legacy whole-trace document ({"seed": ..., "jobs":
+// [...]}). It is not streamable: reading materializes the document and
+// writing buffers records until Flush.
+type jsonFormat struct{}
+
+func (jsonFormat) Name() string { return "json" }
+
+// Detect accepts any JSON-looking input NDJSON did not claim; jsonFormat
+// registers after ndjsonFormat, so ordering resolves the shared '{' prefix.
+func (jsonFormat) Detect(prefix []byte) bool {
+	for _, b := range prefix {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func (jsonFormat) NewSource(r io.Reader) (RecordSource, error) {
+	tr, err := ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return &traceSliceSource{jobs: tr.Jobs}, nil
+}
+
+func (jsonFormat) NewWriter(w io.Writer) RecordWriter { return &jsonDocWriter{w: w} }
+
+// traceSliceSource yields a materialized trace's jobs.
+type traceSliceSource struct {
+	jobs []workload.Features
+	i    int
+}
+
+func (s *traceSliceSource) Next() (workload.Features, error) {
+	if s.i >= len(s.jobs) {
+		return workload.Features{}, io.EOF
+	}
+	f := s.jobs[s.i]
+	s.i++
+	return f, nil
+}
+
+// jsonDocWriter buffers records and writes the whole legacy document on
+// Flush.
+type jsonDocWriter struct {
+	w    io.Writer
+	t    Trace
+	done bool
+}
+
+func (jw *jsonDocWriter) Write(f workload.Features) error {
+	if jw.done {
+		return fmt.Errorf("tracegen: json writer: Write after Flush")
+	}
+	jw.t.Jobs = append(jw.t.Jobs, f)
+	return nil
+}
+
+func (jw *jsonDocWriter) Flush() error {
+	if jw.done {
+		return nil
+	}
+	jw.done = true
+	return jw.t.WriteJSON(jw.w)
+}
+
+func init() {
+	// Registration order is detection order: NDJSON first (a complete JSON
+	// object on line one), then the legacy document as the '{' fallback.
+	// The colbin codec registers itself (its magic is probed before either,
+	// but magic bytes and '{' are disjoint so order does not matter there).
+	MustRegisterFormat(ndjsonFormat{})
+	MustRegisterFormat(jsonFormat{})
+}

@@ -7,8 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"path/filepath"
-	"strings"
 
 	"repro/internal/workload"
 )
@@ -158,6 +156,10 @@ func (e *Encoder) Encode(f workload.Features) error {
 	return nil
 }
 
+// Write is Encode under the name the RecordWriter interface uses, so the
+// NDJSON encoder plugs into the Format registry unchanged.
+func (e *Encoder) Write(f workload.Features) error { return e.Encode(f) }
+
 // N reports the number of records encoded so far.
 func (e *Encoder) N() int { return e.n }
 
@@ -253,17 +255,6 @@ func decodeRecordSlow(b []byte) (workload.Features, error) {
 
 // Line reports the number of lines consumed so far.
 func (d *Decoder) Line() int { return d.line }
-
-// IsNDJSONPath reports whether a trace file's extension marks it as
-// line-delimited JSON — the shared detection rule every CLI uses to decide
-// between the streaming and whole-document codecs.
-func IsNDJSONPath(path string) bool {
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".ndjson", ".jsonl":
-		return true
-	}
-	return false
-}
 
 // ReadNDJSON slurps an entire NDJSON stream into a trace (the convenience
 // counterpart of the streaming Decoder).

@@ -24,20 +24,25 @@
 //	suite, _ := pai.NewExperimentSuite(0)
 //	artifacts, _ := suite.RunAll()
 //
-// The free functions mirroring the Engine methods (NewModel, Breakdowns,
-// OverallBreakdown, HardwareSweep, NewProjector) predate the Engine and are
-// deprecated; they remain as thin shims.
+// Traces are read and written through registered codecs (TraceFormats):
+// streaming NDJSON, the legacy whole-trace JSON document, and the columnar
+// binary block format ("colbin") that decodes in bulk and rides the
+// block-granular evaluation path (Engine.EvaluateColumns). OpenTraceSource
+// selects a codec by name or by sniffing the input's first bytes.
+//
+// The free functions that predated the Engine (NewModel, Breakdowns,
+// OverallBreakdown, HardwareSweep, NewProjector) have been removed; see the
+// README migration table for the Engine equivalents.
 package pai
 
 import (
 	"context"
 	"io"
 	"net"
-	"runtime"
 
 	"repro/internal/analyze"
 	"repro/internal/arch"
-	"repro/internal/backend"
+	"repro/internal/colbin"
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/evalcache"
@@ -72,8 +77,6 @@ type (
 	// CaseStudy bundles Tables IV-VI for one production model.
 	CaseStudy = workload.CaseStudy
 
-	// Model is the analytical performance model (the paper's Sec. II-B).
-	Model = core.Model
 	// Times is a per-step execution-time breakdown.
 	Times = core.Times
 	// Component is one breakdown slice (data I/O, weights, compute).
@@ -129,6 +132,23 @@ type (
 	TraceDecoder = tracegen.Decoder
 	// TraceEncoder writes job records as NDJSON through a buffered writer.
 	TraceEncoder = tracegen.Encoder
+	// TraceFormat is one registered trace codec (ndjson, json, colbin):
+	// named selection, content sniffing, and source/writer construction.
+	TraceFormat = tracegen.Format
+	// TraceWriter is the codec-agnostic record-writing surface
+	// (Write + Flush) NewTraceFormatWriter returns.
+	TraceWriter = tracegen.RecordWriter
+	// Columns is a structure-of-arrays block of feature records — the unit
+	// the columnar codec decodes and the block evaluation path consumes.
+	Columns = workload.Columns
+	// BlockSource yields whole columnar blocks (io.EOF terminates); the
+	// block-granular input surface of Engine.EvaluateColumns.
+	BlockSource = stream.BlockSource
+	// ColumnReader decodes a colbin trace block by block; it also satisfies
+	// JobSource, so it drops in wherever an NDJSON decoder does.
+	ColumnReader = colbin.Reader
+	// ColumnWriter encodes job records into columnar colbin blocks.
+	ColumnWriter = colbin.Writer
 	// BreakdownAccumulator folds streamed evaluation results into the
 	// collective aggregates in O(1) memory per job; shard accumulators
 	// merge exactly.
@@ -255,13 +275,6 @@ func TestbedConfig() Config { return hw.Testbed() }
 // DefaultEfficiency returns the paper's blanket 70% assumption.
 func DefaultEfficiency() Efficiency { return workload.DefaultEfficiency() }
 
-// NewModel builds an analytical model over a configuration with the default
-// assumptions (70% efficiency, non-overlap, ring collectives).
-//
-// Deprecated: use New with WithConfig; the Engine subsumes direct model
-// construction and adds pluggable backends and batch evaluation.
-func NewModel(cfg Config) (*Model, error) { return core.New(cfg) }
-
 // DefaultTraceParams returns trace-generation parameters calibrated to the
 // paper's published aggregates.
 func DefaultTraceParams() TraceParams { return tracegen.Default() }
@@ -287,10 +300,6 @@ func ReadTrace(r io.Reader) (*Trace, error) { return tracegen.ReadJSON(r) }
 // use Engine.EvaluateStream or NewTraceDecoder.
 func ReadTraceNDJSON(r io.Reader) (*Trace, error) { return tracegen.ReadNDJSON(r) }
 
-// IsNDJSONTracePath reports whether a trace file's extension (.ndjson,
-// .jsonl) marks it as line-delimited JSON for the streaming codec.
-func IsNDJSONTracePath(path string) bool { return tracegen.IsNDJSONPath(path) }
-
 // NewTraceDecoder returns an incremental NDJSON trace decoder; decode
 // errors carry the 1-based line number of the offending record.
 func NewTraceDecoder(r io.Reader) *TraceDecoder { return tracegen.NewDecoder(r) }
@@ -298,6 +307,54 @@ func NewTraceDecoder(r io.Reader) *TraceDecoder { return tracegen.NewDecoder(r) 
 // NewTraceEncoder returns a buffered NDJSON trace encoder; call Flush when
 // done and check its error.
 func NewTraceEncoder(w io.Writer) *TraceEncoder { return tracegen.NewEncoder(w) }
+
+// TraceFormatAuto is the format name that selects a trace codec by sniffing
+// the input's leading bytes (reading only; it is not a writable format).
+const TraceFormatAuto = tracegen.FormatAuto
+
+// TraceFormats lists the registered trace codec names, sorted ("colbin",
+// "json", "ndjson").
+func TraceFormats() []string { return tracegen.FormatNames() }
+
+// SniffTraceFormat identifies the registered codec claiming r's leading
+// bytes, without committing to a source — for callers that pick a
+// processing path by format (say, streaming versus materializing). The
+// returned reader replays the sniffed bytes; hand it, not r, to ReadTrace
+// or OpenTraceSource.
+func SniffTraceFormat(r io.Reader) (format string, replay io.Reader, err error) {
+	f, replay, err := tracegen.SniffFormat(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return f.Name(), replay, nil
+}
+
+// OpenTraceSource opens a job source over r using the named trace codec;
+// "auto" (or empty) sniffs the stream's leading bytes. The returned source
+// feeds Engine.EvaluateSource directly, and columnar input automatically
+// rides the block-granular fast path there.
+func OpenTraceSource(r io.Reader, format string) (JobSource, error) {
+	src, err := tracegen.OpenSource(r, format)
+	if err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// NewTraceWriter returns a record writer encoding to w in the named trace
+// codec; call Flush when done and check its error.
+func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
+	return tracegen.NewFormatWriter(w, format)
+}
+
+// NewColumnReader returns a columnar (colbin) trace reader over r. It
+// serves both calling conventions: NextBlock for Engine.EvaluateColumns and
+// record-at-a-time Next for any JobSource consumer.
+func NewColumnReader(r io.Reader) *ColumnReader { return colbin.NewReader(r) }
+
+// NewColumnWriter returns a columnar (colbin) trace writer over w; call
+// Flush when done and check its error.
+func NewColumnWriter(w io.Writer) *ColumnWriter { return colbin.NewWriter(w) }
 
 // NewBreakdownAccumulator returns an empty streaming aggregate accumulator.
 func NewBreakdownAccumulator() *BreakdownAccumulator { return analyze.NewBreakdownAccumulator() }
@@ -388,12 +445,6 @@ func CaseStudyNames() []string { return workload.ZooNames() }
 // LookupCaseStudy returns one case study by name.
 func LookupCaseStudy(name string) (CaseStudy, error) { return workload.Lookup(name) }
 
-// NewProjector builds a projector over an analytical model (requires
-// NVLink in the configuration).
-//
-// Deprecated: use Engine.Projector, Engine.Project or Engine.ProjectAll.
-func NewProjector(m *Model) (*Projector, error) { return project.New(m) }
-
 // SummarizeProjection aggregates projection results the way Fig. 9 reports
 // them.
 func SummarizeProjection(rs []ProjectionResult) (ProjectionSummary, error) {
@@ -402,34 +453,6 @@ func SummarizeProjection(rs []ProjectionResult) (ProjectionSummary, error) {
 
 // Constitute computes the Fig. 5 workload composition of a trace.
 func Constitute(jobs []Features) (Constitution, error) { return analyze.Constitute(jobs) }
-
-// Breakdowns computes the Fig. 7 average breakdown rows over a trace.
-//
-// Deprecated: use Engine.Breakdowns, which takes a context and evaluates
-// over the engine's worker pool.
-func Breakdowns(m *Model, jobs []Features) ([]BreakdownRow, error) {
-	return analyze.Breakdowns(context.Background(), m, runtime.GOMAXPROCS(0), jobs)
-}
-
-// OverallBreakdown aggregates component shares over all jobs at one level
-// (the Sec. III-D headline numbers).
-//
-// Deprecated: use Engine.OverallBreakdown.
-func OverallBreakdown(m *Model, jobs []Features, lvl Level) (map[Component]float64, error) {
-	return analyze.OverallBreakdown(context.Background(), m, runtime.GOMAXPROCS(0), jobs, lvl)
-}
-
-// HardwareSweep evaluates the Table III grid over a job set (one Fig. 11
-// panel).
-//
-// Deprecated: use Engine.HardwareSweep.
-func HardwareSweep(m *Model, jobs []Features, label string) (SweepPanel, error) {
-	b, err := backend.FromModel(m)
-	if err != nil {
-		return SweepPanel{}, err
-	}
-	return analyze.HardwareSweep(context.Background(), b, runtime.GOMAXPROCS(0), jobs, label)
-}
 
 // FilterClass returns the jobs of one class.
 func FilterClass(jobs []Features, class Class) []Features { return analyze.Filter(jobs, class) }

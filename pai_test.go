@@ -2,14 +2,15 @@ package pai_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	pai "repro"
 )
 
 func TestFacadeEndToEnd(t *testing.T) {
-	cfg := pai.BaselineConfig()
-	model, err := pai.NewModel(cfg)
+	ctx := context.Background()
+	eng, err := pai.New(pai.WithConfig(pai.BaselineConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,14 +28,14 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if c.TotalJobs != 400 {
 		t.Errorf("TotalJobs = %d, want 400", c.TotalJobs)
 	}
-	rows, err := pai.Breakdowns(model, trace.Jobs)
+	rows, err := eng.Breakdowns(ctx, trace.Jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) == 0 {
 		t.Fatal("no breakdown rows")
 	}
-	overall, err := pai.OverallBreakdown(model, trace.Jobs, pai.CNodeLevel)
+	overall, err := eng.OverallBreakdown(ctx, trace.Jobs, pai.CNodeLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,12 +43,8 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Error("cNode-level weight share should be positive")
 	}
 	// Project.
-	pr, err := pai.NewProjector(model)
-	if err != nil {
-		t.Fatal(err)
-	}
 	ps := pai.FilterClass(trace.Jobs, pai.PSWorker)
-	results, err := pr.ProjectAll(ps, pai.ToAllReduceLocal)
+	results, err := eng.ProjectAll(ctx, ps, pai.ToAllReduceLocal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +56,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Errorf("projection covered %d jobs, want %d", sum.N, len(ps))
 	}
 	// Sweep.
-	panel, err := pai.HardwareSweep(model, ps, "PS/Worker")
+	panel, err := eng.HardwareSweep(ctx, ps, "PS/Worker")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +133,7 @@ func TestFacadeExperiments(t *testing.T) {
 }
 
 func TestFacadeZooBreakdown(t *testing.T) {
-	model, err := pai.NewModel(pai.TestbedConfig())
+	eng, err := pai.New(pai.WithConfig(pai.TestbedConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +142,7 @@ func TestFacadeZooBreakdown(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bd, err := model.Breakdown(cs.Features)
+		bd, err := eng.Evaluate(cs.Features)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
