@@ -27,13 +27,13 @@
 // in addition to the baseline gates.
 //
 // Throughput gating is one-sided: running faster than baseline always
-// passes. The baseline's jobs_per_sec — and the decode-speed fields
+// passes. The baseline's jobs_per_sec — the decode-speed fields
 // codec_records_per_sec (the hand-rolled NDJSON scanner) and
-// colbin_records_per_sec (the columnar block reader) — are conservative
-// floors chosen to hold across CI runner generations; fidelity fields are
-// deterministic for a given seed and compared tightly. Each codec gate only
-// engages when both result files carry its field, so older baselines stay
-// comparable.
+// colbin_records_per_sec (the columnar block reader) — and the columnar
+// end-to-end jobs_per_sec_columns are conservative floors chosen to hold
+// across CI runner generations; fidelity fields are deterministic for a
+// given seed and compared tightly. Each codec gate only engages when both
+// result files carry its field, so older baselines stay comparable.
 //
 // -fidelity-only skips the timing gates and compares only the
 // deterministic aggregates — the mode the distributed shard-merge smoke
@@ -70,6 +70,9 @@ type result struct {
 	// ColbinRecordsPerSec is the decode-only columnar codec speed; zero in
 	// result files predating the colbin codec.
 	ColbinRecordsPerSec float64 `json:"colbin_records_per_sec"`
+	// JobsPerSecColumns is the columnar end-to-end throughput (block decode
+	// through columnar sink fold); zero in result files predating it.
+	JobsPerSecColumns float64 `json:"jobs_per_sec_columns"`
 	// CDF and Projection are the sketch-backed sections of -full/-merge
 	// runs; decoded generically and compared for exact equality when both
 	// sides carry them.
@@ -170,6 +173,12 @@ func run(args []string, stdout io.Writer) error {
 			check(cur.ColbinRecordsPerSec >= colbinFloor,
 				"colbin: %.0f records/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
 				cur.ColbinRecordsPerSec, base.ColbinRecordsPerSec, colbinFloor, *maxRegress*100)
+		}
+		if base.JobsPerSecColumns > 0 && cur.JobsPerSecColumns > 0 {
+			columnsFloor := base.JobsPerSecColumns * (1 - *maxRegress)
+			check(cur.JobsPerSecColumns >= columnsFloor,
+				"columns: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
+				cur.JobsPerSecColumns, base.JobsPerSecColumns, columnsFloor, *maxRegress*100)
 		}
 	}
 

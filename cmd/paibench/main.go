@@ -100,6 +100,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -128,6 +129,12 @@ type Result struct {
 
 	ElapsedSec float64 `json:"elapsed_sec"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// JobsPerSecColumns is the columnar end-to-end figure: the shared
+	// repetitive colbin sample streamed through StreamColumnsInto (block
+	// decode → block evaluation → columnar sink fold) with the result cache
+	// on, snapshot-pinned byte-identical to record streaming. Gated
+	// one-sided by benchdiff.
+	JobsPerSecColumns float64 `json:"jobs_per_sec_columns,omitempty"`
 	// ShardJobsPerSec is each partition's delivered jobs over the wall
 	// clock of the whole run.
 	ShardJobsPerSec []float64 `json:"shard_jobs_per_sec,omitempty"`
@@ -142,6 +149,10 @@ type Result struct {
 	CacheEvictions     uint64  `json:"cache_evictions,omitempty"`
 	CacheTargetBytes   int64   `json:"cache_target_bytes,omitempty"`
 	CacheAvgEntryBytes float64 `json:"cache_avg_entry_bytes,omitempty"`
+	// Block-granular cache effectiveness on the column path (zero when the
+	// cache is off or the run never streams blocks).
+	CacheBlockHits   uint64 `json:"cache_block_hits,omitempty"`
+	CacheBlockMisses uint64 `json:"cache_block_misses,omitempty"`
 
 	AllocsPerJob  float64 `json:"allocs_per_job"`
 	BytesPerJob   float64 `json:"bytes_per_job"`
@@ -332,6 +343,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	retries := fs.Int("retries", 3,
 		"with -coordinate: per-shard assignment budget, first attempt included")
 	out := fs.String("o", "", "result JSON file (default stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -339,6 +352,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *showVersion {
 		fmt.Fprintln(stdout, version.Get())
 		return nil
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "paibench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not transients
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "paibench: -memprofile:", err)
+			}
+		}()
 	}
 	modes := 0
 	for _, on := range []bool{*merge, *emitShard != "", *coordinate != "", *workerAddr != ""} {
@@ -442,18 +480,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res.Codecs, err = benchCodecs(cfg)
+	var cbSample []byte
+	res.Codecs, cbSample, err = benchCodecs(cfg)
 	if err != nil {
 		return err
 	}
 	res.ColbinRecordsPerSec = res.Codecs["colbin"].RecordsPerSec
+	var blockHits, blockMisses uint64
+	res.JobsPerSecColumns, blockHits, blockMisses, err = benchColumns(cfg, cbSample)
+	if err != nil {
+		return err
+	}
 
 	if err := writeResult(res, *out, stdout); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "paibench: %d jobs in %.2fs — %.0f jobs/sec (%d shard(s)), %.1f allocs/job, peak heap %.1f MiB, cache hit rate %.1f%%, codec %.0f ns/record\n",
+	fmt.Fprintf(stderr, "paibench: %d jobs in %.2fs — %.0f jobs/sec (%d shard(s)), %.1f allocs/job, peak heap %.1f MiB, cache hit rate %.1f%%, codec %.0f ns/record, columnar %.0f jobs/sec (block cache %d/%d)\n",
 		res.Jobs, res.ElapsedSec, res.JobsPerSec, res.Shards, res.AllocsPerJob,
-		float64(res.PeakHeapBytes)/(1<<20), res.CacheHitRate*100, res.CodecNsPerRecord)
+		float64(res.PeakHeapBytes)/(1<<20), res.CacheHitRate*100, res.CodecNsPerRecord,
+		res.JobsPerSecColumns, blockHits, blockHits+blockMisses)
 	return nil
 }
 
@@ -570,6 +615,8 @@ func measure(eng *pai.Engine, cfg config) (*Result, error) {
 	res.CacheEvictions = st.Evictions
 	res.CacheTargetBytes = st.TargetBytes
 	res.CacheAvgEntryBytes = st.AvgEntryBytes
+	res.CacheBlockHits = st.BlockHits
+	res.CacheBlockMisses = st.BlockMisses
 	if cfg.full {
 		res.CDF, res.Projection, err = sketchSections(sink)
 		if err != nil {
@@ -1173,7 +1220,9 @@ func benchCodec(cfg config) (nsPerRecord, recordsPerSec float64, err error) {
 // shared repetitive sample (the production trace shape the columnar format
 // targets): NDJSON record-at-a-time, colbin block-at-a-time — each codec's
 // natural ingest loop. Reported per format so the two are never conflated.
-func benchCodecs(cfg config) (map[string]CodecStats, error) {
+// The encoded colbin sample is returned for the end-to-end columnar
+// benchmark to reuse, so both report on identical bytes.
+func benchCodecs(cfg config) (map[string]CodecStats, []byte, error) {
 	p := pai.DefaultTraceParams()
 	p.Seed = cfg.seed
 	// Fixed sample shape so the reported figure is comparable across runs
@@ -1184,16 +1233,16 @@ func benchCodecs(cfg config) (map[string]CodecStats, error) {
 	p.DistinctJobs = 512
 	src, err := pai.NewTraceSource(p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var nd, cb bytes.Buffer
 	ndw, err := pai.NewTraceWriter(&nd, "ndjson")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cbw, err := pai.NewTraceWriter(&cb, "colbin")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for {
 		f, err := src.Next()
@@ -1201,20 +1250,20 @@ func benchCodecs(cfg config) (map[string]CodecStats, error) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := ndw.Write(f); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := cbw.Write(f); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := ndw.Flush(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := cbw.Flush(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	stats := map[string]CodecStats{}
@@ -1232,7 +1281,7 @@ func benchCodecs(cfg config) (map[string]CodecStats, error) {
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	stats["ndjson"] = ndStats
 	cbStats, err := timeDecode(func() (int, error) {
@@ -1250,10 +1299,69 @@ func benchCodecs(cfg config) (map[string]CodecStats, error) {
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	stats["colbin"] = cbStats
-	return stats, nil
+	return stats, cb.Bytes(), nil
+}
+
+// benchColumns measures the columnar end-to-end pipeline — colbin block
+// decode → block evaluation → columnar sink fold — on the shared repetitive
+// sample, with the result cache enabled so the block-granular cache engages
+// on repeated blocks (the sample's 512-distinct cycle divides the block
+// size, so identical blocks recur). Every timed pass folds a fresh breakdown
+// accumulator whose snapshot is pinned byte-identical to the
+// record-streaming path over the same bytes, so the reported figure can
+// never drift from the scalar semantics.
+func benchColumns(cfg config, sample []byte) (jobsPerSec float64, blockHits, blockMisses uint64, err error) {
+	ecfg := cfg
+	if ecfg.cacheBytes == 0 && ecfg.cache <= 0 {
+		ecfg.cache = autoCacheEntries
+	}
+	ctx := context.Background()
+
+	// Record-streaming oracle: same engine parameterization, per-record
+	// delivery (the pre-columnar path).
+	recEng, err := newEngine(ecfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	recSink := pai.NewBreakdownAccumulator()
+	if _, err := recEng.EvaluateSource(ctx, pai.NewColumnReader(bytes.NewReader(sample)), func(r pai.StreamResult) error {
+		return recSink.Add(r.Job, r.Times)
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+	want, err := recSink.MarshalBinary()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	colEng, err := newEngine(ecfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	const minDuration = 200 * time.Millisecond
+	records := 0
+	start := time.Now()
+	for records == 0 || time.Since(start) < minDuration {
+		sink := pai.NewBreakdownAccumulator()
+		n, err := colEng.StreamColumnsInto(ctx, pai.NewColumnReader(bytes.NewReader(sample)), sink)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		got, err := sink.MarshalBinary()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if !bytes.Equal(got, want) {
+			return 0, 0, 0, fmt.Errorf("columnar snapshot diverges from the record-streaming path")
+		}
+		records += n
+	}
+	elapsed := time.Since(start)
+	st := colEng.CacheStats()
+	return float64(records) / elapsed.Seconds(), st.BlockHits, st.BlockMisses, nil
 }
 
 // timeDecode runs one full-sample decode pass repeatedly until enough time

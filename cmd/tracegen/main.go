@@ -42,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	format := fs.String("format", "", fmt.Sprintf("output trace format, one of %v (default json)", pai.TraceFormats()))
 	ndjson := fs.Bool("ndjson", false, "shorthand for -format ndjson")
 	convert := fs.String("convert", "", "convert an existing trace file (input format sniffed) to -format instead of generating")
+	blockSize := fs.Int("block-size", 0,
+		"records per block for block-structured output formats (colbin); 0 = codec default")
 	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time (json format only)")
 	rate := fs.Float64("rate", 0,
 		"stamp each job's arrival_sec with a Poisson arrival process of this rate in jobs/hour (0 = no stamping)")
@@ -69,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *convert != "" {
-		return convertTrace(*convert, *out, name, stdout, stderr)
+		return convertTrace(*convert, *out, name, *blockSize, stdout, stderr)
 	}
 
 	p := pai.DefaultTraceParams()
@@ -107,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if streamed {
 		// Streaming path: jobs go straight from the generator to the
 		// encoder, so memory is independent of -jobs.
-		tw, err := pai.NewTraceWriter(w, name)
+		tw, err := pai.NewTraceWriterBlockRecords(w, name, *blockSize)
 		if err != nil {
 			return err
 		}
@@ -159,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // convertTrace streams records from the trace at inPath (format sniffed)
 // into outPath (stdout if empty) in the named output codec.
-func convertTrace(inPath, outPath, name string, stdout, stderr io.Writer) error {
+func convertTrace(inPath, outPath, name string, blockSize int, stdout, stderr io.Writer) error {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -179,7 +181,7 @@ func convertTrace(inPath, outPath, name string, stdout, stderr io.Writer) error 
 		defer f.Close()
 		w = f
 	}
-	tw, err := pai.NewTraceWriter(w, name)
+	tw, err := pai.NewTraceWriterBlockRecords(w, name, blockSize)
 	if err != nil {
 		return err
 	}

@@ -523,6 +523,28 @@ func (e *Engine) StreamInto(ctx context.Context, src JobSource, sink Sink) (int,
 	return analyze.FoldInto(ctx, ev, e.parallelism, src, sink)
 }
 
+// StreamColumnsInto is StreamInto over a block source: whole evaluated
+// blocks are folded into sink via its columnar path (ColumnSink) when it has
+// one — no per-record Result is ever materialized, and times buffers recycle
+// per block — falling back to in-order record delivery otherwise. Both paths
+// produce byte-identical sink snapshots. It returns the number of records
+// folded.
+func (e *Engine) StreamColumnsInto(ctx context.Context, src BlockSource, sink Sink) (int, error) {
+	ev, err := e.evaluator()
+	if err != nil {
+		return 0, err
+	}
+	if sink == nil {
+		return 0, fmt.Errorf("pai: StreamColumnsInto with nil sink")
+	}
+	if cs, ok := sink.(analyze.ColumnSink); ok {
+		return stream.EvaluateBlocksInto(ctx, ev, src, e.parallelism, cs.AddColumns)
+	}
+	return stream.EvaluateBlocks(ctx, ev, src, e.parallelism, func(r StreamResult) error {
+		return sink.Add(r.Job, r.Times)
+	})
+}
+
 // EvaluateSourcesInto is the sharded StreamInto: every source is drained by
 // its own worker set into its own sink built by factory, and the per-shard
 // sinks are merged in shard order — exactly the merge a coordinator applies

@@ -371,9 +371,23 @@ func (a *BreakdownAccumulator) UnmarshalBinary(data []byte) error {
 // FoldInto streams every job from src through ev over the worker pool and
 // folds each result into sink — the generic core every analysis fold runs
 // through. It returns the number of jobs folded.
+//
+// When src yields whole blocks (stream.BlockSource) and sink folds them
+// (ColumnSink), blocks are delivered whole: no per-record Result is ever
+// materialized and the fold stays columnar end-to-end. Both paths produce
+// byte-identical sink snapshots — that is the ColumnSink contract.
 func FoldInto(ctx context.Context, ev backend.Evaluator, parallelism int, src stream.Source, sink Sink) (int, error) {
 	if sink == nil {
 		return 0, fmt.Errorf("analyze: FoldInto with nil sink")
+	}
+	if bs, ok := src.(stream.BlockSource); ok {
+		if cs, ok := sink.(ColumnSink); ok {
+			n, err := stream.EvaluateBlocksInto(ctx, ev, bs, parallelism, cs.AddColumns)
+			if err != nil {
+				return n, fmt.Errorf("analyze: %w", err)
+			}
+			return n, nil
+		}
 	}
 	n, err := stream.Evaluate(ctx, ev, src, parallelism, func(r stream.Result) error {
 		return sink.Add(r.Job, r.Times)

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/binenc"
 	"repro/internal/workload"
@@ -307,17 +308,17 @@ func (w *Writer) flushBlock() error {
 	return nil
 }
 
-// Reader decodes a colbin stream block by block. It serves both calling
+// Reader decodes a colbin stream block by block. It serves three calling
 // conventions: NextBlock fills a caller-owned Columns with a whole decoded
-// block (the bulk path stream.EvaluateBlocks rides), and Next yields one
-// record at a time (the stream.Source interface every record consumer
-// already speaks). Errors are sticky and carry the 1-based block number.
+// block (the bulk path stream.EvaluateBlocks rides), NextPayload hands the
+// checksummed payload off as a decode closure (the pipelined path, so column
+// decode can run on a worker while the reader fetches the next frame), and
+// Next yields one record at a time (the stream.Source interface every record
+// consumer already speaks). Errors are sticky and carry the 1-based block
+// number.
 type Reader struct {
 	rd       io.Reader // underlying reader, for bulk payload reads
 	br       *bufio.Reader
-	payload  []byte
-	dict     []string
-	uv       []uint64          // scratch for bulk uvarint columns
 	intern   map[string]string // cross-block name table, see maxInternNames
 	block    workload.Columns  // record-at-a-time staging for Next
 	row      int
@@ -325,6 +326,19 @@ type Reader struct {
 	readHdr  bool
 	err      error
 }
+
+// payloadState bundles one frame's buffers — the checksummed payload bytes,
+// the parsed name dictionary, and uvarint scratch. States recycle through a
+// pool because the pipelined path has several frames in flight at once, each
+// needing its own buffers (the sequential path simply gets the same state
+// back every block).
+type payloadState struct {
+	payload []byte
+	dict    []string
+	uv      []uint64
+}
+
+var payloadPool = sync.Pool{New: func() any { return new(payloadState) }}
 
 // NewReader returns a colbin reader over r. The header is checked on the
 // first read so construction never fails.
@@ -390,72 +404,95 @@ func (r *Reader) readHeader() error {
 // io.EOF at a clean end of stream; any other error is terminal and repeats.
 // Every decoded record has passed workload.Features.Validate.
 func (r *Reader) NextBlock(c *workload.Columns) error {
+	dec, _, err := r.NextPayload()
+	if err != nil {
+		return err
+	}
+	if err := dec(c); err != nil {
+		return r.fail(err)
+	}
+	return nil
+}
+
+// NextPayload reads, checksums, and prefix-parses the next block frame,
+// returning a single-use decode closure plus the block's record count. Only
+// the stages that must stay sequential run here — frame framing, the
+// checksum, and the name-dictionary parse (which feeds the cross-block
+// intern table); the returned closure decodes the remaining columns into a
+// caller-owned Columns and can run on any goroutine, which is what lets the
+// pipeline overlap decode of block N+1 with evaluation of block N.
+//
+// The closure must be called exactly once; dec(nil) releases the payload
+// without decoding. It returns io.EOF at a clean end of stream; frame and
+// decode errors are sticky on the Reader and carry the 1-based block number
+// (decode errors become sticky when the sequential NextBlock path reports
+// them; the pipelined caller cancels the whole pipeline instead).
+func (r *Reader) NextPayload() (func(c *workload.Columns) error, int, error) {
 	if r.err != nil {
-		return r.err
+		return nil, 0, r.err
 	}
 	if err := r.readHeader(); err != nil {
-		return err
+		return nil, 0, err
 	}
 	payloadLen, err := binary.ReadUvarint(r.br)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return r.fail(io.EOF) // clean end: no more blocks
+			return nil, 0, r.fail(io.EOF) // clean end: no more blocks
 		}
-		return r.fail(fmt.Errorf("colbin: block %d: frame length: %w", r.blockIdx+1, err))
+		return nil, 0, r.fail(fmt.Errorf("colbin: block %d: frame length: %w", r.blockIdx+1, err))
 	}
 	r.blockIdx++
 	if payloadLen == 0 || payloadLen > maxBlockBytes {
-		return r.fail(fmt.Errorf("colbin: block %d: implausible payload length %d", r.blockIdx, payloadLen))
+		return nil, 0, r.fail(fmt.Errorf("colbin: block %d: implausible payload length %d", r.blockIdx, payloadLen))
+	}
+	ps := payloadPool.Get().(*payloadState)
+	release := func(err error) (func(c *workload.Columns) error, int, error) {
+		payloadPool.Put(ps)
+		return nil, 0, r.fail(err)
 	}
 	// Grow the payload buffer as bytes actually arrive rather than trusting
 	// the claimed length up front: a corrupted frame can claim up to
 	// maxBlockBytes, and allocation must stay proportional to real input.
 	const payloadChunk = 1 << 20
 	need := int(payloadLen)
-	r.payload = r.payload[:0]
-	for len(r.payload) < need {
-		off := len(r.payload)
+	ps.payload = ps.payload[:0]
+	for len(ps.payload) < need {
+		off := len(ps.payload)
 		step := min(payloadChunk, need-off)
-		if cap(r.payload) < off+step {
-			grown := make([]byte, off+step, min(need, max(2*cap(r.payload), off+step)))
-			copy(grown, r.payload)
-			r.payload = grown
+		if cap(ps.payload) < off+step {
+			grown := make([]byte, off+step, min(need, max(2*cap(ps.payload), off+step)))
+			copy(grown, ps.payload)
+			ps.payload = grown
 		} else {
-			r.payload = r.payload[:off+step]
+			ps.payload = ps.payload[:off+step]
 		}
-		if err := r.readPayload(r.payload[off:]); err != nil {
-			return r.fail(fmt.Errorf("colbin: block %d: truncated payload: %w", r.blockIdx, err))
+		if err := r.readPayload(ps.payload[off:]); err != nil {
+			return release(fmt.Errorf("colbin: block %d: truncated payload: %w", r.blockIdx, err))
 		}
 	}
 	var sum [8]byte
 	if _, err := io.ReadFull(r.br, sum[:]); err != nil {
-		return r.fail(fmt.Errorf("colbin: block %d: truncated checksum: %w", r.blockIdx, err))
+		return release(fmt.Errorf("colbin: block %d: truncated checksum: %w", r.blockIdx, err))
 	}
-	if got, want := checksum(r.payload), binary.LittleEndian.Uint64(sum[:]); got != want {
-		return r.fail(fmt.Errorf("colbin: block %d: checksum mismatch (payload %#x, frame %#x)", r.blockIdx, got, want))
+	if got, want := checksum(ps.payload), binary.LittleEndian.Uint64(sum[:]); got != want {
+		return release(fmt.Errorf("colbin: block %d: checksum mismatch (payload %#x, frame %#x)", r.blockIdx, got, want))
 	}
-	if err := r.decodeBlock(c); err != nil {
-		return r.fail(fmt.Errorf("colbin: block %d: %w", r.blockIdx, err))
-	}
-	return nil
-}
 
-// decodeBlock parses the checksummed payload into c.
-func (r *Reader) decodeBlock(c *workload.Columns) error {
-	c.Reset()
-	rd := binenc.NewReader(r.payload)
+	// Sequential prefix: record count plus the name dictionary, whose
+	// interning shares the Reader's cross-block table.
+	rd := binenc.NewReader(ps.payload)
 	n := rd.Int()
 	if err := rd.Err(); err != nil {
-		return err
+		return release(fmt.Errorf("colbin: block %d: %w", r.blockIdx, err))
 	}
 	if n < 1 || n > maxBlockRecords {
-		return fmt.Errorf("implausible record count %d", n)
+		return release(fmt.Errorf("colbin: block %d: implausible record count %d", r.blockIdx, n))
 	}
 	d := rd.Int()
 	if rd.Err() == nil && (d < 1 || d > n) {
-		return fmt.Errorf("implausible dictionary size %d for %d records", d, n)
+		return release(fmt.Errorf("colbin: block %d: implausible dictionary size %d for %d records", r.blockIdx, d, n))
 	}
-	r.dict = r.dict[:0]
+	ps.dict = ps.dict[:0]
 	for i := 0; i < d; i++ {
 		nb := rd.Int()
 		b := rd.U8Col(nb)
@@ -470,19 +507,45 @@ func (r *Reader) decodeBlock(c *workload.Columns) error {
 			}
 			r.intern[s] = s
 		}
-		r.dict = append(r.dict, s)
+		ps.dict = append(ps.dict, s)
 	}
-	r.uv = grow(r.uv, n)
-	rd.UvarintCol(r.uv)
+	if err := rd.Err(); err != nil {
+		return release(fmt.Errorf("colbin: block %d: %w", r.blockIdx, err))
+	}
+
+	off := len(ps.payload) - rd.Len()
+	blockIdx := r.blockIdx
+	dec := func(c *workload.Columns) error {
+		defer payloadPool.Put(ps)
+		if c == nil {
+			return nil
+		}
+		if err := decodeRest(ps, n, off, c); err != nil {
+			return fmt.Errorf("colbin: block %d: %w", blockIdx, err)
+		}
+		return nil
+	}
+	return dec, n, nil
+}
+
+// decodeRest parses the column section of a prefix-parsed payload into c.
+// It touches only the payload state, so closures over different states run
+// concurrently.
+func decodeRest(ps *payloadState, n, off int, c *workload.Columns) error {
+	c.Reset()
+	d := len(ps.dict)
+	rd := binenc.NewReader(ps.payload[off:])
+	ps.uv = grow(ps.uv, n)
+	rd.UvarintCol(ps.uv)
 	if err := rd.Err(); err != nil {
 		return err
 	}
 	c.Name = grow(c.Name, n)
-	for i, v := range r.uv {
+	for i, v := range ps.uv {
 		if v >= uint64(d) {
 			return fmt.Errorf("record %d: name index %d out of range (dictionary has %d)", i, v, d)
 		}
-		c.Name[i] = r.dict[v]
+		c.Name[i] = ps.dict[v]
 	}
 	classes := rd.U8Col(n)
 	if err := rd.Err(); err != nil {
@@ -495,23 +558,23 @@ func (r *Reader) decodeBlock(c *workload.Columns) error {
 		}
 		c.Class[i] = workload.Class(b)
 	}
-	rd.UvarintCol(r.uv)
+	rd.UvarintCol(ps.uv)
 	if err := rd.Err(); err != nil {
 		return err
 	}
 	c.CNodes = grow(c.CNodes, n)
-	for i, v := range r.uv {
+	for i, v := range ps.uv {
 		if v > maxScaleValue {
 			return fmt.Errorf("record %d: implausible cNodes %d", i, v)
 		}
 		c.CNodes[i] = int(v)
 	}
-	rd.UvarintCol(r.uv)
+	rd.UvarintCol(ps.uv)
 	if err := rd.Err(); err != nil {
 		return err
 	}
 	c.BatchSize = grow(c.BatchSize, n)
-	for i, v := range r.uv {
+	for i, v := range ps.uv {
 		if v > maxScaleValue {
 			return fmt.Errorf("record %d: implausible batch size %d", i, v)
 		}

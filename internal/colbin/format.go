@@ -22,4 +22,8 @@ func (format) NewSource(r io.Reader) (tracegen.RecordSource, error) {
 
 func (format) NewWriter(w io.Writer) tracegen.RecordWriter { return NewWriter(w) }
 
+func (format) NewWriterBlockRecords(w io.Writer, blockRecords int) tracegen.RecordWriter {
+	return NewWriterBlockRecords(w, blockRecords)
+}
+
 func init() { tracegen.MustRegisterFormat(format{}) }

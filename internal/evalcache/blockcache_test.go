@@ -1,0 +1,143 @@
+package evalcache
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// blockOf builds a Columns block out of n generated records, cycling through
+// `distinct` distinct feature rows so repeated blocks are easy to construct.
+func blockOf(n, distinct, offset int) *workload.Columns {
+	c := &workload.Columns{}
+	for i := 0; i < n; i++ {
+		c.Append(job(offset + i%distinct))
+	}
+	return c
+}
+
+// TestBlockHitIdenticalToMiss is the block cache's correctness pin: a block
+// served from memory must return exactly the times the evaluated miss
+// produced, element by element, link maps included.
+func TestBlockHitIdenticalToMiss(t *testing.T) {
+	ev, spec := newCounting(t)
+	c, err := New(ev, spec, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := blockOf(200, 16, 0)
+	missTimes := make([]core.Times, block.Len())
+	if err := c.BreakdownColumns(block, missTimes); err != nil {
+		t.Fatal(err)
+	}
+	callsAfterMiss := ev.count()
+	hitTimes := make([]core.Times, block.Len())
+	if err := c.BreakdownColumns(block, hitTimes); err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.count(); got != callsAfterMiss {
+		t.Fatalf("block hit forwarded %d evaluations to the backend", got-callsAfterMiss)
+	}
+	if !reflect.DeepEqual(missTimes, hitTimes) {
+		t.Fatal("block hit returned times differing from the evaluated miss")
+	}
+	st := c.Stats()
+	if st.BlockMisses != 1 || st.BlockHits != 1 || st.BlockEntries != 1 {
+		t.Fatalf("stats = misses %d hits %d entries %d, want 1/1/1",
+			st.BlockMisses, st.BlockHits, st.BlockEntries)
+	}
+}
+
+// TestBlockCacheDistinguishesBlocks: numerically different blocks must never
+// answer for each other — including a difference only in the float bit
+// pattern (-0.0 vs 0.0), which == would conflate.
+func TestBlockCacheDistinguishesBlocks(t *testing.T) {
+	ev, spec := newCounting(t)
+	c, err := New(ev, spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := blockOf(50, 8, 0)
+	b := blockOf(50, 8, 100)
+	ta := make([]core.Times, a.Len())
+	tb := make([]core.Times, b.Len())
+	if err := c.BreakdownColumns(a, ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BreakdownColumns(b, tb); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.BlockMisses != 2 || st.BlockHits != 0 {
+		t.Fatalf("distinct blocks: misses %d hits %d, want 2/0", st.BlockMisses, st.BlockHits)
+	}
+	if reflect.DeepEqual(ta, tb) {
+		t.Fatal("distinct blocks produced identical times (generator broken)")
+	}
+
+	// Same block with one float flipped to the other zero: the bit pattern
+	// differs, so it must be keyed as a different block.
+	z := blockOf(50, 8, 0)
+	z.InputBytes[7] = 0
+	neg := blockOf(50, 8, 0)
+	neg.InputBytes[7] = negZero()
+	tz := make([]core.Times, z.Len())
+	tn := make([]core.Times, neg.Len())
+	if err := c.BreakdownColumns(z, tz); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := c.Stats().BlockHits
+	if err := c.BreakdownColumns(neg, tn); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().BlockHits; got != hitsBefore {
+		t.Fatal("-0.0 block served from the 0.0 block's entry")
+	}
+}
+
+// negZero builds -0.0 without tripping gofmt's constant folding.
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+// TestBlockCacheRotation: inserting past the byte budget rotates generations
+// instead of growing without bound.
+func TestBlockCacheRotation(t *testing.T) {
+	ev, spec := newCounting(t)
+	// A tiny byte budget: every block entry exceeds it, so each insert
+	// rotates and residency stays at two generations' worth.
+	c, err := NewBytes(ev, spec, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		b := blockOf(64, 64, i*1000)
+		out := make([]core.Times, b.Len())
+		if err := c.BreakdownColumns(b, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.BlockEntries > 4 {
+		t.Fatalf("block residency %d entries under a one-entry budget", st.BlockEntries)
+	}
+	if st.BlockMisses != 12 {
+		t.Fatalf("misses = %d, want 12", st.BlockMisses)
+	}
+}
+
+// TestBlockCacheLengthMismatch: a wrongly sized out slice must error rather
+// than truncate.
+func TestBlockCacheLengthMismatch(t *testing.T) {
+	ev, spec := newCounting(t)
+	c, err := New(ev, spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blockOf(10, 10, 0)
+	if err := c.BreakdownColumns(b, make([]core.Times, 9)); err == nil {
+		t.Fatal("mismatched out length accepted")
+	}
+}

@@ -137,6 +137,18 @@ type Cache struct {
 
 	hits, misses         atomic.Uint64
 	rotations, evictions atomic.Uint64
+
+	// Block-granular generation (blockcache.go): whole memoized blocks keyed
+	// by a single hash of the column bytes, byte-accounted because block
+	// entries dwarf record entries. One mutex rather than shards — a block
+	// lookup amortizes over thousands of records, so contention is negligible.
+	blockMu       sync.Mutex
+	blockCur      map[uint64]*blockEntry
+	blockPrev     map[uint64]*blockEntry
+	blockCurBytes int64
+	blockBudget   int64
+
+	blockHits, blockMisses atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the cache's effectiveness counters.
@@ -159,6 +171,12 @@ type Stats struct {
 	// AvgEntryBytes the measured average footprint the budget divides by.
 	TargetBytes   int64
 	AvgEntryBytes float64
+	// BlockHits and BlockMisses count whole-block lookups on the column path
+	// served from the block generation vs evaluated (a block miss still
+	// consults the per-record cache row by row). BlockEntries is the number
+	// of resident memoized blocks.
+	BlockHits, BlockMisses uint64
+	BlockEntries           int
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -216,6 +234,14 @@ func build(ev backend.Evaluator, spec backend.Spec, entries int, targetBytes int
 		n *= 2
 	}
 	perShard := (entries + n - 1) / n
+	// The block generation shares the cache's overall budget: the configured
+	// bytes in byte mode, the entry budget times the assumed footprint
+	// otherwise. Residency transiently reaches about twice this across the
+	// two generations, mirroring the record shards.
+	blockBudget := targetBytes
+	if blockBudget == 0 {
+		blockBudget = int64(entries) * assumedEntryBytes
+	}
 	return &Cache{
 		inner:       ev,
 		seed:        specSeed(spec),
@@ -223,6 +249,7 @@ func build(ev backend.Evaluator, spec backend.Spec, entries int, targetBytes int
 		mask:        uint64(n - 1),
 		shardCap:    perShard,
 		targetBytes: targetBytes,
+		blockBudget: blockBudget,
 	}
 }
 
@@ -369,7 +396,12 @@ func (c *Cache) Stats() Stats {
 		Evictions:   c.evictions.Load(),
 		Capacity:    c.capacity() * len(c.shards),
 		TargetBytes: c.targetBytes,
+		BlockHits:   c.blockHits.Load(),
+		BlockMisses: c.blockMisses.Load(),
 	}
+	c.blockMu.Lock()
+	st.BlockEntries = len(c.blockCur) + len(c.blockPrev)
+	c.blockMu.Unlock()
 	if n := c.footprintN.Load(); n > 0 {
 		st.AvgEntryBytes = float64(c.footprintSum.Load()) / float64(n)
 	}

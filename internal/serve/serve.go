@@ -451,6 +451,9 @@ type metricsResponse struct {
 	CacheEntries       int     `json:"cache_entries"`
 	CacheTargetBytes   int64   `json:"cache_target_bytes"`
 	CacheAvgEntryBytes float64 `json:"cache_avg_entry_bytes"`
+	CacheBlockHits     uint64  `json:"cache_block_hits"`
+	CacheBlockMisses   uint64  `json:"cache_block_misses"`
+	CacheBlockEntries  int     `json:"cache_block_entries"`
 
 	Tenants map[string]tenantMetrics `json:"tenants"`
 }
@@ -475,6 +478,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CacheEntries:       cs.Entries,
 		CacheTargetBytes:   cs.TargetBytes,
 		CacheAvgEntryBytes: cs.AvgEntryBytes,
+		CacheBlockHits:     cs.BlockHits,
+		CacheBlockMisses:   cs.BlockMisses,
+		CacheBlockEntries:  cs.BlockEntries,
 
 		Tenants: map[string]tenantMetrics{},
 	}

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/backend"
+	"repro/internal/colbin"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -25,10 +27,29 @@ type BlockSource interface {
 	NextBlock(c *workload.Columns) error
 }
 
+// PayloadSource is the pipelined handoff beside BlockSource: NextPayload
+// does only the work that must stay sequential — frame read, checksum,
+// name-dictionary interning — and returns a single-use decode closure plus
+// the block's record count. The pipeline runs the closure on a worker, so
+// decode of block N+1 overlaps evaluation of block N instead of serializing
+// behind it. The closure must be called exactly once; calling it with a nil
+// Columns releases the payload without decoding (the drain paths use that).
+//
+// colbin.Reader implements it; the block pipeline upgrades any BlockSource
+// that does.
+type PayloadSource interface {
+	NextPayload() (dec func(*workload.Columns) error, n int, err error)
+}
+
+// blockChunk is one in-flight block. In decoded form cols is set; in payload
+// form (PayloadSource upgrade) dec carries the pending decode and n the
+// record count, and the worker that picks the chunk up decodes it.
 type blockChunk struct {
 	seq  int
 	base int
 	cols *workload.Columns
+	dec  func(*workload.Columns) error
+	n    int
 }
 
 type evaluatedBlock struct {
@@ -37,16 +58,64 @@ type evaluatedBlock struct {
 }
 
 // Block buffers recycle like the scalar path's chunk buffers; blocks are an
-// order of magnitude larger than scalar chunks (a columnar writer's default
-// is 4096 records), so recycling matters even more here.
+// order of magnitude larger than scalar chunks (sized to the columnar
+// writer's default block), so recycling matters even more here.
 var (
 	colsPool = sync.Pool{New: func() any { return new(workload.Columns) }}
 
 	blockTimesPool = sync.Pool{New: func() any {
-		s := make([]core.Times, 0, 4096)
+		s := make([]core.Times, 0, colbin.DefaultBlockRecords)
 		return &s
 	}}
+
+	// colsBalance and timesBalance count pool gets minus puts. Both sit at
+	// zero whenever no block pipeline is running, which is exactly what the
+	// leak test asserts across every error and cancellation path: a buffer
+	// dropped instead of returned shows up as a positive residue.
+	colsBalance, timesBalance atomic.Int64
 )
+
+func getCols() *workload.Columns {
+	colsBalance.Add(1)
+	c := colsPool.Get().(*workload.Columns)
+	c.Reset()
+	return c
+}
+
+func putCols(c *workload.Columns) {
+	if c == nil {
+		return
+	}
+	colsBalance.Add(-1)
+	colsPool.Put(c)
+}
+
+func getTimes(n int) []core.Times {
+	timesBalance.Add(1)
+	ts := *blockTimesPool.Get().(*[]core.Times)
+	if cap(ts) < n {
+		ts = make([]core.Times, n)
+	}
+	return ts[:n]
+}
+
+func putTimes(ts []core.Times) {
+	if ts == nil {
+		return
+	}
+	timesBalance.Add(-1)
+	blockTimesPool.Put(&ts)
+}
+
+// releaseChunk returns whatever a chunk holds — an undecoded payload or a
+// pooled block — so drain paths can drop work without leaking buffers.
+func releaseChunk(c blockChunk) {
+	if c.dec != nil {
+		_ = c.dec(nil)
+		return
+	}
+	putCols(c.cols)
+}
 
 // EvaluateBlocks is Evaluate over a block source: each block is one work
 // unit — decoded in bulk upstream, evaluated in one backend call
@@ -55,6 +124,23 @@ var (
 // memory is O(parallelism) blocks. The semantics mirror Evaluate exactly:
 // delivered count, first error, cancellation, nil fn discarding results.
 func EvaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, parallelism int, fn func(Result) error) (int, error) {
+	return evaluateBlocks(ctx, ev, src, parallelism, fn, nil)
+}
+
+// EvaluateBlocksInto is EvaluateBlocks with block-granular delivery: blockFn
+// receives each whole evaluated block (columns plus times, parallel by
+// index) in input order instead of per-record Results, so a column-capable
+// sink folds one call per block and no Result is ever materialized. Both
+// buffers are owned by the pipeline and recycled after blockFn returns — do
+// not retain them. A nil blockFn discards results. The count returned is
+// records (not blocks), matching EvaluateBlocks.
+func EvaluateBlocksInto(ctx context.Context, ev backend.Evaluator, src BlockSource, parallelism int, blockFn func(*workload.Columns, []core.Times) error) (int, error) {
+	return evaluateBlocks(ctx, ev, src, parallelism, nil, blockFn)
+}
+
+// evaluateBlocks is the shared core of both block delivery modes; exactly
+// one of fn/blockFn is non-nil (both nil discards).
+func evaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, parallelism int, fn func(Result) error, blockFn func(*workload.Columns, []core.Times) error) (int, error) {
 	if ev == nil {
 		return 0, fmt.Errorf("stream: EvaluateBlocks with nil evaluator")
 	}
@@ -86,45 +172,67 @@ func EvaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, 
 		})
 	}
 
-	// Reader: pull blocks.
+	// Reader: pull blocks — whole decoded blocks from a plain BlockSource,
+	// or checksummed payload closures from a PayloadSource, so the decode
+	// itself lands on the worker pool and overlaps evaluation.
+	ps, pipelined := src.(PayloadSource)
 	go func() {
 		defer close(work)
 		seq, base := 0, 0
 		for {
-			cols := colsPool.Get().(*workload.Columns)
-			cols.Reset()
-			err := src.NextBlock(cols)
-			if errors.Is(err, io.EOF) {
-				colsPool.Put(cols)
-				return
-			}
-			if err != nil {
-				colsPool.Put(cols)
-				fail(err)
-				return
-			}
-			if cols.Len() == 0 {
-				colsPool.Put(cols)
-				continue // tolerate empty blocks
+			var c blockChunk
+			if pipelined {
+				dec, n, err := ps.NextPayload()
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				if n == 0 {
+					_ = dec(nil)
+					continue // tolerate empty blocks
+				}
+				c = blockChunk{seq: seq, base: base, dec: dec, n: n}
+			} else {
+				cols := getCols()
+				err := src.NextBlock(cols)
+				if errors.Is(err, io.EOF) {
+					putCols(cols)
+					return
+				}
+				if err != nil {
+					putCols(cols)
+					fail(err)
+					return
+				}
+				if cols.Len() == 0 {
+					putCols(cols)
+					continue // tolerate empty blocks
+				}
+				c = blockChunk{seq: seq, base: base, cols: cols, n: cols.Len()}
 			}
 			select {
 			case tokens <- struct{}{}:
 			case <-ctx.Done():
+				releaseChunk(c)
 				fail(context.Cause(ctx))
 				return
 			}
 			select {
-			case work <- blockChunk{seq: seq, base: base, cols: cols}:
+			case work <- c:
 			case <-ctx.Done():
+				releaseChunk(c)
 				fail(context.Cause(ctx))
 				return
 			}
-			base += cols.Len()
+			base += c.n
 			seq++
 		}
 	}()
 
-	// Workers: evaluate whole blocks.
+	// Workers: decode (payload mode) and evaluate whole blocks.
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
@@ -132,21 +240,32 @@ func EvaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, 
 			defer wg.Done()
 			for c := range work {
 				if ctx.Err() != nil {
+					releaseChunk(c)
 					fail(context.Cause(ctx))
 					return
 				}
-				ts := *blockTimesPool.Get().(*[]core.Times)
-				if cap(ts) < c.cols.Len() {
-					ts = make([]core.Times, c.cols.Len())
+				if c.dec != nil {
+					cols := getCols()
+					if err := c.dec(cols); err != nil {
+						putCols(cols)
+						fail(err)
+						return
+					}
+					c.dec = nil
+					c.cols = cols
 				}
-				ts = ts[:c.cols.Len()]
+				ts := getTimes(c.cols.Len())
 				if err := backend.EvaluateColumns(ev, c.cols, ts); err != nil {
+					putTimes(ts)
+					putCols(c.cols)
 					fail(fmt.Errorf("stream: %w", err))
 					return
 				}
 				select {
 				case done <- evaluatedBlock{blockChunk: c, times: ts}:
 				case <-ctx.Done():
+					putTimes(ts)
+					putCols(c.cols)
 					fail(context.Cause(ctx))
 					return
 				}
@@ -155,6 +274,12 @@ func EvaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, 
 	}
 	go func() {
 		wg.Wait()
+		// Workers that exited early leave queued chunks behind; drain them
+		// (the reader has closed work by now — any failure cancels it) so
+		// their buffers and payloads go back where they came from.
+		for c := range work {
+			releaseChunk(c)
+		}
 		close(done)
 	}()
 
@@ -171,6 +296,8 @@ func EvaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, 
 			failed = true
 		}
 		if failed {
+			putCols(e.cols)
+			putTimes(e.times)
 			<-tokens
 			continue
 		}
@@ -181,25 +308,38 @@ func EvaluateBlocks(ctx context.Context, ev backend.Evaluator, src BlockSource, 
 				break
 			}
 			delete(pending, next)
-			for i := 0; i < c.cols.Len(); i++ {
-				if fn != nil {
-					if err := fn(Result{Index: c.base + i, Job: c.cols.Row(i), Times: c.times[i]}); err != nil {
-						fail(fmt.Errorf("stream: sink: %w", err))
-						failed = true
-						break
-					}
+			if blockFn != nil {
+				if err := blockFn(c.cols, c.times); err != nil {
+					fail(fmt.Errorf("stream: sink: %w", err))
+					failed = true
+				} else {
+					delivered += c.cols.Len()
 				}
-				delivered++
+			} else {
+				for i := 0; i < c.cols.Len(); i++ {
+					if fn != nil {
+						if err := fn(Result{Index: c.base + i, Job: c.cols.Row(i), Times: c.times[i]}); err != nil {
+							fail(fmt.Errorf("stream: sink: %w", err))
+							failed = true
+							break
+						}
+					}
+					delivered++
+				}
 			}
-			colsPool.Put(c.cols)
-			ts := c.times
-			blockTimesPool.Put(&ts)
+			putCols(c.cols)
+			putTimes(c.times)
 			<-tokens
 			next++
 			if failed {
 				break
 			}
 		}
+	}
+	// A failure can leave reordered blocks parked; their buffers recycle too.
+	for _, e := range pending {
+		putCols(e.cols)
+		putTimes(e.times)
 	}
 	if firstErr != nil {
 		return delivered, firstErr

@@ -170,6 +170,33 @@ func NewFormatWriter(w io.Writer, name string) (RecordWriter, error) {
 	return f.NewWriter(w), nil
 }
 
+// BlockWriterFormat is the optional Format extension for block-structured
+// codecs whose block granularity is tunable at writer construction.
+type BlockWriterFormat interface {
+	// NewWriterBlockRecords returns a writer flushing a block every
+	// blockRecords records.
+	NewWriterBlockRecords(w io.Writer, blockRecords int) RecordWriter
+}
+
+// NewFormatWriterBlockRecords is NewFormatWriter with an explicit block
+// granularity: blockRecords <= 0 keeps the codec's default (any format
+// works), a positive value requires a block-structured codec
+// (BlockWriterFormat) and errors otherwise.
+func NewFormatWriterBlockRecords(w io.Writer, name string, blockRecords int) (RecordWriter, error) {
+	if blockRecords <= 0 {
+		return NewFormatWriter(w, name)
+	}
+	f, err := FormatByName(name)
+	if err != nil {
+		return nil, err
+	}
+	bf, ok := f.(BlockWriterFormat)
+	if !ok {
+		return nil, fmt.Errorf("tracegen: format %q has no tunable block size", name)
+	}
+	return bf.NewWriterBlockRecords(w, blockRecords), nil
+}
+
 // ReadAll drains a record source into a materialized trace.
 func ReadAll(src RecordSource) (*Trace, error) {
 	tr := &Trace{}

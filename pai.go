@@ -160,6 +160,10 @@ type (
 	// separate goroutines, processes or machines and merge at a
 	// coordinator.
 	Sink = analyze.Sink
+	// ColumnSink is the optional block-granular fold beside Sink.Add: one
+	// AddColumns call folds a whole evaluated block, byte-identical to the
+	// row-by-row reduction. Every built-in sink implements it.
+	ColumnSink = analyze.ColumnSink
 	// MultiSink fans one streamed pass over an ordered set of sinks and is
 	// itself a Sink, so a whole characterization snapshots as one unit.
 	MultiSink = analyze.MultiSink
@@ -347,6 +351,14 @@ func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
 	return tracegen.NewFormatWriter(w, format)
 }
 
+// NewTraceWriterBlockRecords is NewTraceWriter with an explicit block
+// granularity for block-structured codecs: blockRecords <= 0 keeps the
+// codec's default; a positive value on a codec without tunable blocks (say
+// ndjson) is an error.
+func NewTraceWriterBlockRecords(w io.Writer, format string, blockRecords int) (TraceWriter, error) {
+	return tracegen.NewFormatWriterBlockRecords(w, format, blockRecords)
+}
+
 // NewColumnReader returns a columnar (colbin) trace reader over r. It
 // serves both calling conventions: NextBlock for Engine.EvaluateColumns and
 // record-at-a-time Next for any JobSource consumer.
@@ -355,6 +367,12 @@ func NewColumnReader(r io.Reader) *ColumnReader { return colbin.NewReader(r) }
 // NewColumnWriter returns a columnar (colbin) trace writer over w; call
 // Flush when done and check its error.
 func NewColumnWriter(w io.Writer) *ColumnWriter { return colbin.NewWriter(w) }
+
+// NewColumnWriterBlockRecords is NewColumnWriter with an explicit block
+// granularity (records per block, clamped to the codec's valid range).
+func NewColumnWriterBlockRecords(w io.Writer, blockRecords int) *ColumnWriter {
+	return colbin.NewWriterBlockRecords(w, blockRecords)
+}
 
 // NewBreakdownAccumulator returns an empty streaming aggregate accumulator.
 func NewBreakdownAccumulator() *BreakdownAccumulator { return analyze.NewBreakdownAccumulator() }
