@@ -29,11 +29,12 @@
 // Throughput gating is one-sided: running faster than baseline always
 // passes. The baseline's jobs_per_sec — the decode-speed fields
 // codec_records_per_sec (the hand-rolled NDJSON scanner) and
-// colbin_records_per_sec (the columnar block reader) — and the columnar
-// end-to-end jobs_per_sec_columns are conservative floors chosen to hold
-// across CI runner generations; fidelity fields are deterministic for a
-// given seed and compared tightly. Each codec gate only engages when both
-// result files carry its field, so older baselines stay comparable.
+// colbin_records_per_sec (the columnar block reader) — the columnar
+// end-to-end jobs_per_sec_columns, and the file-parallel indexed decode
+// jobs_per_sec_parallel_file are conservative floors chosen to hold across
+// CI runner generations; fidelity fields are deterministic for a given seed
+// and compared tightly. Each codec gate only engages when both result files
+// carry its field, so older baselines stay comparable.
 //
 // -fidelity-only skips the timing gates and compares only the
 // deterministic aggregates — the mode the distributed shard-merge smoke
@@ -73,6 +74,10 @@ type result struct {
 	// JobsPerSecColumns is the columnar end-to-end throughput (block decode
 	// through columnar sink fold); zero in result files predating it.
 	JobsPerSecColumns float64 `json:"jobs_per_sec_columns"`
+	// JobsPerSecParallelFile is the file-parallel indexed decode throughput
+	// (seekable block index, 4 concurrent segment readers); zero in result
+	// files predating the block index.
+	JobsPerSecParallelFile float64 `json:"jobs_per_sec_parallel_file"`
 	// CDF and Projection are the sketch-backed sections of -full/-merge
 	// runs; decoded generically and compared for exact equality when both
 	// sides carry them.
@@ -179,6 +184,12 @@ func run(args []string, stdout io.Writer) error {
 			check(cur.JobsPerSecColumns >= columnsFloor,
 				"columns: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
 				cur.JobsPerSecColumns, base.JobsPerSecColumns, columnsFloor, *maxRegress*100)
+		}
+		if base.JobsPerSecParallelFile > 0 && cur.JobsPerSecParallelFile > 0 {
+			parFloor := base.JobsPerSecParallelFile * (1 - *maxRegress)
+			check(cur.JobsPerSecParallelFile >= parFloor,
+				"parallel-file: %.0f jobs/sec vs baseline %.0f (floor %.0f at -max-regress %.0f%%)",
+				cur.JobsPerSecParallelFile, base.JobsPerSecParallelFile, parFloor, *maxRegress*100)
 		}
 	}
 

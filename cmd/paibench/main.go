@@ -12,11 +12,15 @@
 //	         [-cache N] [-cache-bytes N] [-distinct N] [-codec] [-full]
 //	         [-o result.json]
 //	paibench -trace FILE [-format auto|json|ndjson|colbin] [flags]
+//	paibench -trace FILE -par-file N [-microshard G] [flags]
 //	paibench -emit-shard shard.snap -shards M -shard-index K [flags]
 //	paibench -merge [-o result.json] shard0.snap shard1.snap ...
 //	paibench -coordinate ADDR [-workers N] [-chaos N] [-shard-timeout D]
 //	         [-retries N] [flags]
+//	paibench -coordinate ADDR -trace FILE [-workers N] [-slow N]
+//	         [-slow-delay D] [-microshard G] [-shard-timeout D] [flags]
 //	paibench -worker HOST:PORT [-fail-after N]
+//	paibench -worker HOST:PORT -steal [-hint JOBS_PER_SEC] [-slow-delay D]
 //
 // With -shards N the trace is split into N generator partitions drained
 // concurrently by independent worker sets into per-shard accumulators and
@@ -69,6 +73,33 @@
 // with sink output byte-identical to the same records decoded from NDJSON,
 // which is what the convert→evaluate CI smoke pins with benchdiff
 // -fidelity-only.
+//
+// -par-file N decodes an index-bearing colbin -trace with N concurrent
+// segment readers: the file's block index is partitioned into micro-shard
+// cells of -microshard records (rounded to block boundaries), each cell
+// folds into its own sink, and the per-cell sinks merge in cell order.
+// Because the grid is a pure function of the file and the grain, the
+// merged snapshot is byte-identical for every N — compare -par-file 1
+// against -par-file 4 with benchdiff -fidelity-only. A file written
+// without the index footer falls back to the sequential scan with a
+// stderr note. The result carries jobs_per_sec_parallel_file (also
+// measured on a fixed sample in generated-trace runs, which is what the
+// golden baseline gates).
+//
+// -coordinate ADDR -trace FILE distributes the same partition grid over
+// work-stealing range workers (-worker HOST:PORT -steal): the coordinator
+// hands each worker a contiguous cell range sized by its advertised
+// -hint throughput (even split when any worker abstains), workers stream
+// one snapshot per cell back as it completes, and a worker that makes no
+// progress for -shard-timeout has its unfinished tail re-split and
+// reassigned to faster workers. At-most-once folding plus cell-order
+// merge keep the final result byte-identical to the single-process
+// -trace -par-file run at the same -microshard grain, no matter how
+// cells were distributed, stolen, or retried. -slow N makes N spawned
+// workers deliberate stragglers (sleeping -slow-delay before every cell
+// after their first) — the steal-injection smoke CI runs; the result
+// JSON reports micro_shards, micro_shard_assignments, stolen_cells,
+// resplits and coord_workers.
 //
 // With -codec the jobs additionally round-trip through the NDJSON
 // encoder/decoder over an in-process pipe (one pipe per shard), measuring
@@ -135,6 +166,13 @@ type Result struct {
 	// on, snapshot-pinned byte-identical to record streaming. Gated
 	// one-sided by benchdiff.
 	JobsPerSecColumns float64 `json:"jobs_per_sec_columns,omitempty"`
+	// JobsPerSecParallelFile is the file-parallel decode figure: the shared
+	// repetitive colbin sample evaluated through the seekable block index
+	// with 4 concurrent segment readers (Engine.EvaluateIndexedColumns),
+	// snapshot-pinned byte-identical to the one-consumer grid fold every
+	// pass. Gated one-sided by benchdiff. A -trace run with -par-file
+	// reports the real file's figure here instead.
+	JobsPerSecParallelFile float64 `json:"jobs_per_sec_parallel_file,omitempty"`
 	// ShardJobsPerSec is each partition's delivered jobs over the wall
 	// clock of the whole run.
 	ShardJobsPerSec []float64 `json:"shard_jobs_per_sec,omitempty"`
@@ -176,6 +214,16 @@ type Result struct {
 	// (instead of the generated synthetic trace).
 	TraceFile   string `json:"trace_file,omitempty"`
 	TraceFormat string `json:"trace_format,omitempty"`
+
+	// Work-stealing scheduler statistics (populated by -coordinate -trace):
+	// micro-shard grid size, range assignments sent, cells stolen from
+	// stragglers past the per-cell deadline, range re-splits, and workers
+	// admitted.
+	MicroShards           int `json:"micro_shards,omitempty"`
+	MicroShardAssignments int `json:"micro_shard_assignments,omitempty"`
+	StolenCells           int `json:"stolen_cells,omitempty"`
+	Resplits              int `json:"resplits,omitempty"`
+	CoordWorkers          int `json:"coord_workers,omitempty"`
 
 	Fidelity Fidelity `json:"fidelity"`
 
@@ -278,6 +326,11 @@ type config struct {
 	// generated synthetic trace (single-shard only).
 	tracePath   string
 	traceFormat string
+	// parFile > 0 decodes an index-bearing colbin -trace with that many
+	// concurrent segment readers over the deterministic partition grid;
+	// grain is the grid's cell size in records (-microshard).
+	parFile int
+	grain   int
 	// failAfter > 0 hard-exits the process (exit 137, like kill -9) after
 	// that many jobs of the first partition — the chaos injection the
 	// coordinator smoke uses to exercise the retry path.
@@ -308,8 +361,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "trace generation seed")
 	backendName := fs.String("backend", "analytical",
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
-	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
-	shards := fs.Int("shards", 1, "generator partitions drained concurrently (multi-trace sharding)")
+	par := fs.Int("par", 0, "evaluation worker-pool size (0 = all CPUs, runtime.NumCPU)")
+	shards := fs.Int("shards", 1, "generator partitions drained concurrently (multi-trace sharding; 0 = all CPUs, runtime.NumCPU)")
 	shardIndex := fs.Int("shard-index", -1,
 		"evaluate only this partition of the -shards grid (worker mode; requires -emit-shard)")
 	distinct := fs.Int("distinct", -1,
@@ -323,6 +376,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"evaluate this recorded trace file instead of generating (single shard; -jobs/-seed/-distinct ignored)")
 	traceFormat := fs.String("format", pai.TraceFormatAuto,
 		fmt.Sprintf("with -trace: the file's format, one of %v or %q to sniff", pai.TraceFormats(), pai.TraceFormatAuto))
+	parFile := fs.Int("par-file", 0,
+		"with a colbin -trace: decode the file with this many concurrent segment readers over its block index (0 = off; a file without an index falls back to sequential decode); the merged sink is byte-identical to one reader")
+	microshard := fs.Int("microshard", pai.DefaultGrainRecords,
+		"partition-grid cell size in records for -par-file and -coordinate -trace (a cell never splits a block)")
 	full := fs.Bool("full", false, "stream through the full report sink (breakdowns + CDF sketches + projection) and emit the cdf/projection sections")
 	emitShard := fs.String("emit-shard", "",
 		"worker mode: write this process's full-sink snapshot to the given file instead of a result JSON")
@@ -336,10 +393,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"with -coordinate -workers: give this many spawned workers -fail-after, so they die mid-shard (failure-injection smoke)")
 	workerAddr := fs.String("worker", "",
 		"network worker mode: connect to a coordinator at HOST:PORT and evaluate assigned shards until the run completes")
+	steal := fs.Bool("steal", false,
+		"with -worker: serve work-stealing micro-shard range assignments (the worker half of -coordinate -trace; implied for its spawned local workers)")
+	hint := fs.Float64("hint", 0,
+		"with -worker -steal: advertised jobs/sec throughput for capacity-weighted range sizing (0 = unknown, even split)")
+	slow := fs.Int("slow", 0,
+		"with -coordinate -trace -workers: make this many spawned workers deliberate stragglers (-slow-delay before every cell after their first), so their in-flight ranges are stolen (steal-injection smoke)")
+	slowDelay := fs.Duration("slow-delay", 0,
+		"with -worker -steal: sleep this long before every cell after the process's first (deliberate straggler); with -coordinate -trace, the delay handed to -slow workers (default 2s)")
 	failAfter := fs.Int("fail-after", 0,
 		"with -worker: hard-exit (code 137, like kill -9) after evaluating this many jobs of an assignment; with -coordinate, the value handed to -chaos workers (default 500)")
 	shardTimeout := fs.Duration("shard-timeout", 2*time.Minute,
-		"with -coordinate: per-shard attempt deadline before the shard is requeued to another worker (0 = none)")
+		"with -coordinate: per-shard attempt deadline before the shard is requeued to another worker; with -coordinate -trace, the per-cell progress deadline before a straggler's in-flight tail is re-split and stolen (0 = none)")
 	retries := fs.Int("retries", 3,
 		"with -coordinate: per-shard assignment budget, first attempt included")
 	out := fs.String("o", "", "result JSON file (default stdout)")
@@ -391,7 +456,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if fs.NArg() > 0 {
 			return fmt.Errorf("unexpected arguments %q in worker mode", fs.Args())
 		}
+		if *steal {
+			return runRangeWorkerMode(*workerAddr, *hint, *slowDelay, stderr)
+		}
 		return runWorkerMode(*workerAddr, *failAfter, stderr)
+	}
+	if *steal {
+		return fmt.Errorf("-steal is worker mode; it requires -worker")
 	}
 	if *merge {
 		return runMerge(fs.Args(), *seed, *out, stdout, stderr)
@@ -402,11 +473,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *jobs < 1 {
 		return fmt.Errorf("-jobs must be positive, got %d", *jobs)
 	}
+	// 0 means "use every CPU" for the process-level concurrency knobs, so
+	// scripts can say "saturate this machine" without probing its shape.
+	if *par == 0 {
+		*par = runtime.NumCPU()
+	}
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be positive, got %d", *shards)
 	}
 	if *shards > *jobs {
 		return fmt.Errorf("-shards %d exceeds -jobs %d", *shards, *jobs)
+	}
+	if *parFile < 0 {
+		return fmt.Errorf("-par-file must be non-negative, got %d", *parFile)
+	}
+	if *parFile > 0 && *tracePath == "" {
+		return fmt.Errorf("-par-file decodes a recorded file; it requires a colbin -trace")
+	}
+	if *microshard < 1 {
+		return fmt.Errorf("-microshard must be positive, got %d", *microshard)
 	}
 	if *shardIndex >= 0 && *emitShard == "" {
 		return fmt.Errorf("-shard-index is worker mode; it requires -emit-shard")
@@ -415,8 +503,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-shard-index %d out of range for -shards %d", *shardIndex, *shards)
 	}
 	if *tracePath != "" {
-		if *shards > 1 || *shardIndex >= 0 || *emitShard != "" || *coordinate != "" || *codec {
-			return fmt.Errorf("-trace is single-process, single-shard evaluation; it excludes -shards, -emit-shard, -coordinate and -codec")
+		if *shards > 1 || *shardIndex >= 0 || *emitShard != "" || *codec {
+			return fmt.Errorf("-trace evaluates one recorded file; it excludes -shards, -emit-shard and -codec")
 		}
 	}
 	cfg := config{
@@ -425,6 +513,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		par: *par, backendName: *backendName,
 		codec: *codec, full: *full || *emitShard != "",
 		tracePath: *tracePath, traceFormat: *traceFormat,
+		parFile: *parFile, grain: *microshard,
 	}
 	if cfg.distinct < 0 {
 		if cfg.shards > 1 {
@@ -451,11 +540,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *retries < 1 {
 			return fmt.Errorf("-retries %d: every shard needs at least one attempt", *retries)
 		}
+		if cfg.tracePath != "" {
+			if *slow < 0 || *slow > *workers {
+				return fmt.Errorf("-slow %d must be between 0 and -workers %d", *slow, *workers)
+			}
+			if *chaos > 0 {
+				return fmt.Errorf("-chaos is shard-mode failure injection; -coordinate -trace uses -slow")
+			}
+			d := *slowDelay
+			if *slow > 0 && d <= 0 {
+				d = defaultSlowDelay
+			}
+			return runCoordinateTrace(cfg, *coordinate, *workers, *slow, d, *shardTimeout, *retries, *out, stdout, stderr)
+		}
+		if *slow > 0 {
+			return fmt.Errorf("-slow injects stragglers into the work-stealing mode; it requires -coordinate -trace")
+		}
 		chaosFailAfter := *failAfter
 		if chaosFailAfter <= 0 {
 			chaosFailAfter = defaultChaosFailAfter
 		}
 		return runCoordinate(cfg, *coordinate, *workers, *chaos, chaosFailAfter, *shardTimeout, *retries, *out, stdout, stderr)
+	}
+	if *slow > 0 {
+		return fmt.Errorf("-slow requires -coordinate -trace")
 	}
 
 	eng, err := newEngine(cfg)
@@ -467,7 +575,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runEmitShard(eng, cfg, *emitShard, stderr)
 	}
 
-	res, err := measure(eng, cfg)
+	res, err := measure(eng, cfg, stderr)
 	if err != nil {
 		return err
 	}
@@ -490,6 +598,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	res.JobsPerSecColumns, blockHits, blockMisses, err = benchColumns(cfg, cbSample)
 	if err != nil {
 		return err
+	}
+	if cfg.tracePath == "" {
+		// The sample-based figure feeds the baseline gate; a -trace -par-file
+		// run already reported the real file's figure from measure().
+		res.JobsPerSecParallelFile, err = benchParallelFile(cfg, cbSample)
+		if err != nil {
+			return err
+		}
 	}
 
 	if err := writeResult(res, *out, stdout); err != nil {
@@ -547,7 +663,7 @@ func shardParams(cfg config) []pai.TraceParams {
 
 // measure streams the parameterized trace through the engine, sampling the
 // heap as it goes, and assembles the result.
-func measure(eng *pai.Engine, cfg config) (*Result, error) {
+func measure(eng *pai.Engine, cfg config, stderr io.Writer) (*Result, error) {
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -557,7 +673,7 @@ func measure(eng *pai.Engine, cfg config) (*Result, error) {
 	peak := newPeakSampler(5 * time.Millisecond)
 
 	start := time.Now()
-	sink, counts, err := stream(eng, cfg)
+	sink, counts, fileParallel, err := stream(eng, cfg, stderr)
 	elapsed := time.Since(start)
 	peak.stop()
 	if err != nil {
@@ -600,6 +716,11 @@ func measure(eng *pai.Engine, cfg config) (*Result, error) {
 		res.TraceFile = cfg.tracePath
 		res.TraceFormat = cfg.traceFormat
 	}
+	if fileParallel {
+		// The main evaluation was the indexed grid decode with cfg.parFile
+		// segment readers; mirror it into the field benchdiff gates.
+		res.JobsPerSecParallelFile = res.JobsPerSec
+	}
 	if cfg.shards > 1 {
 		res.ShardJobsPerSec = make([]float64, len(counts))
 		for i, c := range counts {
@@ -640,22 +761,45 @@ func sinkFactory(eng *pai.Engine, cfg config) func() (pai.Sink, error) {
 // through the NDJSON codec over its own in-process pipe — into the merged
 // sink, returning per-shard delivered counts. Worker mode (shardIndex >= 0)
 // evaluates exactly one partition of the same grid, so per-process runs
-// compose into the identical merged state.
-func stream(eng *pai.Engine, cfg config) (pai.Sink, []int, error) {
+// compose into the identical merged state. fileParallel reports whether the
+// indexed file-parallel path actually ran (-par-file on an index-bearing
+// colbin trace, no fallback).
+func stream(eng *pai.Engine, cfg config, stderr io.Writer) (sink pai.Sink, counts []int, fileParallel bool, err error) {
 	if cfg.tracePath != "" {
 		// Recorded-trace mode: one source straight off the file. A columnar
 		// trace automatically rides the block-granular fast path inside the
 		// pipeline; the sink bytes are identical either way.
 		f, err := os.Open(cfg.tracePath)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		defer f.Close()
+		if cfg.parFile > 0 {
+			// File-parallel mode: serve disjoint segments of the block index
+			// to cfg.parFile concurrent readers. A file written without the
+			// index falls back to the sequential scan below, as the format
+			// promises.
+			st, err := f.Stat()
+			if err != nil {
+				return nil, nil, false, err
+			}
+			ir, err := pai.NewIndexedColumnReader(f, st.Size())
+			switch {
+			case err == nil:
+				sink, counts, err := eng.EvaluateIndexedColumns(context.Background(), ir, cfg.grain, cfg.parFile, sinkFactory(eng, cfg))
+				return sink, counts, true, err
+			case errors.Is(err, pai.ErrNoColumnIndex):
+				fmt.Fprintf(stderr, "paibench: %s carries no block index; -par-file %d falls back to sequential decode\n", cfg.tracePath, cfg.parFile)
+			default:
+				return nil, nil, false, fmt.Errorf("-par-file: %w", err)
+			}
+		}
 		src, err := pai.OpenTraceSource(f, cfg.traceFormat)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
-		return eng.EvaluateSourcesInto(context.Background(), sinkFactory(eng, cfg), src)
+		sink, counts, err := eng.EvaluateSourcesInto(context.Background(), sinkFactory(eng, cfg), src)
+		return sink, counts, false, err
 	}
 	params := shardParams(cfg)
 	if cfg.shardIndex >= 0 {
@@ -671,7 +815,7 @@ func stream(eng *pai.Engine, cfg config) (pai.Sink, []int, error) {
 	for i, p := range params {
 		src, err := pai.NewTraceSource(p)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		if !cfg.codec {
 			srcs[i] = src
@@ -712,11 +856,11 @@ func stream(eng *pai.Engine, cfg config) (pai.Sink, []int, error) {
 		// Chaos injection: die abruptly partway into the first partition.
 		srcs[0] = &killSource{src: srcs[0], after: cfg.failAfter}
 	}
-	sink, counts, err := eng.EvaluateSourcesInto(context.Background(), sinkFactory(eng, cfg), srcs...)
-	if err != nil {
-		return nil, counts, err
+	fsink, fcounts, ferr := eng.EvaluateSourcesInto(context.Background(), sinkFactory(eng, cfg), srcs...)
+	if ferr != nil {
+		return nil, fcounts, false, ferr
 	}
-	return sink, counts, nil
+	return fsink, fcounts, false, nil
 }
 
 // killSource models a worker lost to kill -9: after yielding `after` jobs
@@ -826,7 +970,7 @@ func shardMeta(cfg config) string {
 // parameters so the coordinator can refuse foreign shards.
 func runEmitShard(eng *pai.Engine, cfg config, path string, stderr io.Writer) error {
 	start := time.Now()
-	sink, counts, err := stream(eng, cfg)
+	sink, counts, _, err := stream(eng, cfg, stderr)
 	if err != nil {
 		return err
 	}
@@ -1045,7 +1189,7 @@ func runWorkerMode(addr string, failAfter int, stderr io.Writer) error {
 			return nil, "", 0, err
 		}
 		start := time.Now()
-		sink, counts, err := stream(eng, cfg)
+		sink, counts, _, err := stream(eng, cfg, stderr)
 		if err != nil {
 			return nil, "", 0, err
 		}
@@ -1156,6 +1300,236 @@ func runCoordinate(cfg config, addr string, workers, chaos, chaosFailAfter int, 
 	}
 	fmt.Fprintf(sw, "paibench: coordinated %d shard(s), %d jobs in %.2fs\n",
 		cfg.shards, res.Jobs, time.Since(start).Seconds())
+	return nil
+}
+
+// coordTracePayloadVersion tags the range-assignment payload of the
+// work-stealing trace mode; workers from a different release (or handed a
+// static-shard payload) refuse the run.
+const coordTracePayloadVersion = "paibench/coord-trace/1"
+
+// defaultSlowDelay is the straggler injection handed to -slow workers when
+// -slow-delay is not given: long enough to trip any CI-sized -shard-timeout.
+const defaultSlowDelay = 2 * time.Second
+
+// traceMetaBase is the run-identifying provenance base of a work-stealing
+// trace run: everything that changes the partition grid or the per-cell
+// folds. Every cell snapshot of one run must carry it.
+func traceMetaBase(cfg config) string {
+	return fmt.Sprintf("paibench trace=%s microshard=%d backend=%s",
+		cfg.tracePath, cfg.grain, cfg.backendName)
+}
+
+// encodeTracePayload renders the work-stealing run description a range
+// worker needs: the trace file, the grid grain, and the engine
+// parameterization. Fields are space-separated key=value pairs, so the
+// trace path must not contain spaces (the coordinator rejects one).
+func encodeTracePayload(cfg config) []byte {
+	return []byte(fmt.Sprintf("%s trace=%s microshard=%d cache=%d cache-bytes=%d par=%d backend=%s",
+		coordTracePayloadVersion, cfg.tracePath, cfg.grain,
+		cfg.cache, cfg.cacheBytes, cfg.par, cfg.backendName))
+}
+
+// parseTracePayload is the worker-side inverse of encodeTracePayload.
+func parseTracePayload(p []byte) (config, error) {
+	fields := strings.Fields(string(p))
+	if len(fields) == 0 || fields[0] != coordTracePayloadVersion {
+		return config{}, fmt.Errorf("range payload is not %q", coordTracePayloadVersion)
+	}
+	cfg := config{shardIndex: -1, shards: 1, full: true}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return config{}, fmt.Errorf("malformed payload field %q", f)
+		}
+		var err error
+		switch key {
+		case "trace":
+			cfg.tracePath = val
+		case "microshard":
+			cfg.grain, err = strconv.Atoi(val)
+		case "cache":
+			cfg.cache, err = strconv.Atoi(val)
+		case "cache-bytes":
+			cfg.cacheBytes, err = strconv.ParseInt(val, 10, 64)
+		case "par":
+			cfg.par, err = strconv.Atoi(val)
+		case "backend":
+			cfg.backendName = val
+		default:
+			return config{}, fmt.Errorf("unknown payload field %q", key)
+		}
+		if err != nil {
+			return config{}, fmt.Errorf("payload field %q: %w", f, err)
+		}
+	}
+	if cfg.tracePath == "" || cfg.grain < 1 || cfg.backendName == "" {
+		return config{}, fmt.Errorf("payload %q names no runnable trace evaluation", p)
+	}
+	return cfg, nil
+}
+
+// openIndexedTrace opens an index-bearing colbin trace for grid evaluation.
+// The caller closes the returned file after it is done with the reader.
+func openIndexedTrace(path string) (*os.File, *pai.ColumnIndexedReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	ir, err := pai.NewIndexedColumnReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		if errors.Is(err, pai.ErrNoColumnIndex) {
+			return nil, nil, fmt.Errorf("%s carries no block index (rewrite it with tracegen or convert to current colbin): %w", path, err)
+		}
+		return nil, nil, err
+	}
+	return f, ir, nil
+}
+
+// runRangeWorkerMode is the work-stealing worker (-worker ADDR -steal):
+// connect, advertise the throughput hint, and for every assigned cell range
+// fold each cell of the trace's partition grid into its own full report
+// sink, streaming one snapshot per cell back the moment it completes.
+// slowDelay > 0 makes this worker a deliberate straggler: it sleeps that
+// long before every cell after the process's first, so the coordinator's
+// per-cell deadline steals its in-flight tail (the e2e steal smoke).
+func runRangeWorkerMode(addr string, hint float64, slowDelay time.Duration, stderr io.Writer) error {
+	sawFirst := false
+	runner := func(ctx context.Context, a pai.MicroShardAssignment, emit func(cell int, sink pai.Sink, meta string, jobs int) error) error {
+		cfg, err := parseTracePayload(a.Payload)
+		if err != nil {
+			return err
+		}
+		eng, err := newEngine(cfg)
+		if err != nil {
+			return err
+		}
+		f, ir, err := openIndexedTrace(cfg.tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if n := len(ir.Index().Partition(cfg.grain)); n != a.Cells {
+			return fmt.Errorf("%s yields a %d-cell grid at grain %d, assignment names %d", cfg.tracePath, n, cfg.grain, a.Cells)
+		}
+		base := traceMetaBase(cfg)
+		factory := func() (pai.Sink, error) { return eng.NewReportSink(pai.ToAllReduceLocal) }
+		for cell := a.Lo; cell < a.Hi; cell++ {
+			if slowDelay > 0 && sawFirst {
+				time.Sleep(slowDelay)
+			}
+			sawFirst = true
+			start := time.Now()
+			sink, n, err := eng.EvaluateIndexedCell(ctx, ir, cfg.grain, cell, factory)
+			if err != nil {
+				return err
+			}
+			if err := emit(cell, sink, pai.ShardSnapshotMeta(base, cell), n); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "paibench worker: cell %d/%d attempt %d: %d jobs in %.2fs\n",
+				cell, a.Cells, a.Attempt, n, time.Since(start).Seconds())
+		}
+		return nil
+	}
+	fmt.Fprintf(stderr, "paibench: range worker connecting to %s\n", addr)
+	return pai.ServeMicroShardWorker(context.Background(), addr, hint, runner)
+}
+
+// runCoordinateTrace is the work-stealing coordinator (-coordinate -trace):
+// partition the trace's block index into micro-shard cells, serve
+// capacity-sized cell ranges to range workers, steal stalled tails past the
+// per-cell deadline, and fold the per-cell snapshots in cell order — the
+// merged result is byte-identical to the single-process
+// `-trace FILE -par-file N` run over the same grain, no matter how cells
+// were distributed, stolen, or retried.
+func runCoordinateTrace(cfg config, addr string, workers, slow int, slowDelay time.Duration, cellTimeout time.Duration, retries int, out string, stdout, stderr io.Writer) error {
+	if strings.ContainsAny(cfg.tracePath, " \t") {
+		return fmt.Errorf("-coordinate -trace: path %q contains whitespace, which the payload encoding cannot carry", cfg.tracePath)
+	}
+	sw := &syncWriter{w: stderr}
+	f, ir, err := openIndexedTrace(cfg.tracePath)
+	if err != nil {
+		return err
+	}
+	cells := len(ir.Index().Partition(cfg.grain))
+	f.Close() // the coordinator folds snapshots; it never reads the trace body
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(sw, "paibench: coordinating %d micro-shard(s) of %s on %s (%d local worker(s), %d slow)\n",
+		cells, cfg.tracePath, ln.Addr(), workers, slow)
+
+	var cmds []*exec.Cmd
+	if workers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < workers; i++ {
+			wargs := []string{"-worker", ln.Addr().String(), "-steal"}
+			if i < slow {
+				wargs = append(wargs, "-slow-delay", slowDelay.String())
+			}
+			cmd := exec.Command(exe, wargs...)
+			cmd.Stderr = sw
+			cmd.Env = append(os.Environ(), "PAIBENCH_EXEC_WORKER=1")
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("spawn worker %d: %w", i, err)
+			}
+			cmds = append(cmds, cmd)
+		}
+	}
+	defer func() {
+		for _, cmd := range cmds {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return err
+	}
+	opts := pai.MicroShardOptions{
+		CellTimeout:   cellTimeout,
+		MaxAttempts:   retries,
+		Provenance:    traceMetaBase(cfg),
+		ExpectWorkers: workers > 0,
+		NewSink:       func() (pai.Sink, error) { return eng.NewReportSink(pai.ToAllReduceLocal) },
+		Logf:          func(format string, args ...any) { fmt.Fprintf(sw, format+"\n", args...) },
+	}
+	start := time.Now()
+	sink, _, stats, err := pai.CoordinateMicroShards(context.Background(), ln, cells, encodeTracePayload(cfg), opts)
+	if err != nil {
+		return err
+	}
+	res := &Result{
+		Seed:                  cfg.seed,
+		Backend:               cfg.backendName,
+		Shards:                1,
+		TraceFile:             cfg.tracePath,
+		TraceFormat:           cfg.traceFormat,
+		MicroShards:           cells,
+		MicroShardAssignments: stats.Assignments,
+		StolenCells:           stats.StolenCells,
+		Resplits:              stats.Resplits,
+		CoordWorkers:          stats.Workers,
+		Note:                  fmt.Sprintf("work-stealing coordination over %d micro-shard(s); timing fields not populated", cells),
+	}
+	if err := finishFoldedResult(sink, res, out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(sw, "paibench: coordinated %d micro-shard(s), %d jobs in %.2fs (%d assignment(s), %d stolen cell(s), %d re-split(s))\n",
+		cells, res.Jobs, time.Since(start).Seconds(), stats.Assignments, stats.StolenCells, stats.Resplits)
 	return nil
 }
 
@@ -1362,6 +1736,70 @@ func benchColumns(cfg config, sample []byte) (jobsPerSec float64, blockHits, blo
 	elapsed := time.Since(start)
 	st := colEng.CacheStats()
 	return float64(records) / elapsed.Seconds(), st.BlockHits, st.BlockMisses, nil
+}
+
+// benchParallelFile measures the file-parallel decode path on the shared
+// repetitive colbin sample: the seekable block index partitioned at
+// one-block grain and served to 4 concurrent segment readers
+// (Engine.EvaluateIndexedColumns). Every timed pass's snapshot is pinned
+// bytes.Equal to the one-consumer grid fold over the same bytes, so the
+// reported figure can never drift from the sequential semantics.
+func benchParallelFile(cfg config, sample []byte) (float64, error) {
+	const (
+		// sampleGrain matches the colbin writer's default block size, so the
+		// 50k-record sample yields enough cells to keep 4 readers busy.
+		sampleGrain = 4096
+		consumers   = 4
+	)
+	ecfg := cfg
+	if ecfg.cacheBytes == 0 && ecfg.cache <= 0 {
+		ecfg.cache = autoCacheEntries
+	}
+	ctx := context.Background()
+	factory := func() (pai.Sink, error) { return pai.NewBreakdownAccumulator(), nil }
+
+	seqEng, err := newEngine(ecfg)
+	if err != nil {
+		return 0, err
+	}
+	ir, err := pai.NewIndexedColumnReader(bytes.NewReader(sample), int64(len(sample)))
+	if err != nil {
+		return 0, err
+	}
+	seqSink, _, err := seqEng.EvaluateIndexedColumns(ctx, ir, sampleGrain, 1, factory)
+	if err != nil {
+		return 0, err
+	}
+	want, err := seqSink.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+
+	parEng, err := newEngine(ecfg)
+	if err != nil {
+		return 0, err
+	}
+	const minDuration = 200 * time.Millisecond
+	records := 0
+	start := time.Now()
+	for records == 0 || time.Since(start) < minDuration {
+		sink, counts, err := parEng.EvaluateIndexedColumns(ctx, ir, sampleGrain, consumers, factory)
+		if err != nil {
+			return 0, err
+		}
+		got, err := sink.MarshalBinary()
+		if err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(got, want) {
+			return 0, fmt.Errorf("parallel-file snapshot diverges from the one-consumer grid fold")
+		}
+		for _, c := range counts {
+			records += c
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(records) / elapsed.Seconds(), nil
 }
 
 // timeDecode runs one full-sample decode pass repeatedly until enough time

@@ -11,6 +11,8 @@
 // into the output codec, so multi-million-job traces convert in constant
 // memory. With -summary the generated trace is batch-evaluated through a
 // default Engine and the modeled mean step time is reported on stderr.
+// Colbin output carries the seekable block-index footer by default (the
+// input of paibench -par-file and -coordinate -trace); -no-index omits it.
 package main
 
 import (
@@ -44,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	convert := fs.String("convert", "", "convert an existing trace file (input format sniffed) to -format instead of generating")
 	blockSize := fs.Int("block-size", 0,
 		"records per block for block-structured output formats (colbin); 0 = codec default")
+	noIndex := fs.Bool("no-index", false,
+		"omit the colbin block-index footer; the file loses seekable parallel decode and always falls back to the sequential scan (colbin output only)")
 	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time (json format only)")
 	rate := fs.Float64("rate", 0,
 		"stamp each job's arrival_sec with a Poisson arrival process of this rate in jobs/hour (0 = no stamping)")
@@ -71,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *convert != "" {
-		return convertTrace(*convert, *out, name, *blockSize, stdout, stderr)
+		return convertTrace(*convert, *out, name, *blockSize, *noIndex, stdout, stderr)
 	}
 
 	p := pai.DefaultTraceParams()
@@ -111,6 +115,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// encoder, so memory is independent of -jobs.
 		tw, err := pai.NewTraceWriterBlockRecords(w, name, *blockSize)
 		if err != nil {
+			return err
+		}
+		if err := applyNoIndex(tw, *noIndex, name); err != nil {
 			return err
 		}
 		var n, cNodes int
@@ -159,9 +166,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// applyNoIndex disables the block-index footer on writers that carry one
+// (colbin); asking for it on any other codec is a flag error, not a no-op,
+// so scripts notice the option did nothing.
+func applyNoIndex(tw pai.TraceWriter, noIndex bool, name string) error {
+	if !noIndex {
+		return nil
+	}
+	oi, ok := tw.(interface{ OmitIndex() })
+	if !ok {
+		return fmt.Errorf("-no-index applies to colbin output, not %s", name)
+	}
+	oi.OmitIndex()
+	return nil
+}
+
 // convertTrace streams records from the trace at inPath (format sniffed)
 // into outPath (stdout if empty) in the named output codec.
-func convertTrace(inPath, outPath, name string, blockSize int, stdout, stderr io.Writer) error {
+func convertTrace(inPath, outPath, name string, blockSize int, noIndex bool, stdout, stderr io.Writer) error {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -183,6 +205,9 @@ func convertTrace(inPath, outPath, name string, blockSize int, stdout, stderr io
 	}
 	tw, err := pai.NewTraceWriterBlockRecords(w, name, blockSize)
 	if err != nil {
+		return err
+	}
+	if err := applyNoIndex(tw, noIndex, name); err != nil {
 		return err
 	}
 	n := 0

@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	pai "repro"
 )
 
 func TestRunToStdout(t *testing.T) {
@@ -41,5 +46,61 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-jobs", "5", "-o", "/nonexistent-dir/x.json"}, &out, &errw); err == nil {
 		t.Error("expected error for unwritable output")
+	}
+	if err := run([]string{"-jobs", "5", "-format", "ndjson", "-no-index"}, &out, &errw); err == nil {
+		t.Error("expected error for -no-index on a non-colbin codec")
+	}
+}
+
+// TestNoIndexOmitsFooter: -no-index must produce a colbin file without the
+// seekable footer (indexed opens fail with ErrNoColumnIndex), while the
+// default keeps it; both files stay sequentially decodable.
+func TestNoIndexOmitsFooter(t *testing.T) {
+	dir := t.TempDir()
+	indexed := filepath.Join(dir, "indexed.colbin")
+	plain := filepath.Join(dir, "plain.colbin")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-jobs", "200", "-seed", "2", "-format", "colbin", "-o", indexed}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-jobs", "200", "-seed", "2", "-format", "colbin", "-no-index", "-o", plain}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for path, wantIndex := range map[string]bool{indexed: true, plain: false} {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = pai.NewIndexedColumnReader(f, st.Size())
+		if wantIndex && err != nil {
+			t.Errorf("%s: indexed open failed: %v", path, err)
+		}
+		if !wantIndex && !errors.Is(err, pai.ErrNoColumnIndex) {
+			t.Errorf("%s: indexed open of a -no-index file returned %v, want ErrNoColumnIndex", path, err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		src, err := pai.OpenTraceSource(f, "colbin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := src.Next(); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				t.Fatalf("%s: sequential decode: %v", path, err)
+			}
+			n++
+		}
+		if n != 200 {
+			t.Errorf("%s: sequential decode yielded %d records, want 200", path, n)
+		}
+		f.Close()
 	}
 }

@@ -442,6 +442,62 @@ func (e *Engine) EvaluateSources(ctx context.Context, srcs ...JobSource) (*Break
 	return analyze.FoldSources(ctx, ev, e.parallelism, srcs)
 }
 
+// EvaluateIndexedColumns is the file-parallel StreamColumnsInto: `consumers`
+// concurrent block pipelines pull disjoint segments of one index-bearing
+// colbin file from ir and fold each into its own sink built by factory, and
+// the per-cell sinks merge in cell order. The cells are the deterministic
+// partition grid Index.Partition(grainRecords) — a pure function of the
+// trace and the grain — so the merged sink's snapshot is byte-identical to
+// a sequential run (consumers=1) and to a distributed run over the same
+// grid, even for statistics whose merge rounds. grainRecords <= 0 uses
+// DefaultGrainRecords; consumers <= 0 uses the engine's parallelism. It
+// returns the merged sink and per-cell record counts.
+func (e *Engine) EvaluateIndexedColumns(ctx context.Context, ir *ColumnIndexedReader, grainRecords, consumers int, factory func() (Sink, error)) (Sink, []int, error) {
+	ev, err := e.evaluator()
+	if err != nil {
+		return nil, nil, err
+	}
+	if ir == nil {
+		return nil, nil, fmt.Errorf("pai: EvaluateIndexedColumns with nil indexed reader")
+	}
+	if grainRecords <= 0 {
+		grainRecords = DefaultGrainRecords
+	}
+	if consumers <= 0 {
+		consumers = e.parallelism
+	}
+	cells := ir.Index().Partition(grainRecords)
+	open := func(cell int) (stream.BlockSource, error) {
+		return ir.Range(cells[cell].Lo, cells[cell].Hi), nil
+	}
+	return analyze.FoldRanges(ctx, ev, e.parallelism, consumers, len(cells), open, factory)
+}
+
+// EvaluateIndexedCell folds exactly one cell of the grainRecords partition
+// grid into a fresh factory sink — the worker-side unit of the distributed
+// work-stealing mode. Its sink is bit-identical to the per-cell sink
+// EvaluateIndexedColumns folds in process, so a coordinator that merges
+// remote cell snapshots in cell order reconstructs the single-process
+// aggregate byte for byte. It returns the filled sink and the cell's record
+// count.
+func (e *Engine) EvaluateIndexedCell(ctx context.Context, ir *ColumnIndexedReader, grainRecords, cell int, factory func() (Sink, error)) (Sink, int, error) {
+	ev, err := e.evaluator()
+	if err != nil {
+		return nil, 0, err
+	}
+	if ir == nil {
+		return nil, 0, fmt.Errorf("pai: EvaluateIndexedCell with nil indexed reader")
+	}
+	if grainRecords <= 0 {
+		grainRecords = DefaultGrainRecords
+	}
+	cells := ir.Index().Partition(grainRecords)
+	if cell < 0 || cell >= len(cells) {
+		return nil, 0, fmt.Errorf("pai: cell %d outside the %d-cell partition grid", cell, len(cells))
+	}
+	return analyze.FoldRange(ctx, ev, e.parallelism, ir.Range(cells[cell].Lo, cells[cell].Hi), factory)
+}
+
 // CacheStats snapshots the result cache's hit/miss counters and residency.
 // Without WithCache it returns zero stats.
 func (e *Engine) CacheStats() CacheStats {

@@ -1,0 +1,185 @@
+package pai_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	pai "repro"
+)
+
+// indexedTestTrace builds one stamped trace encoded as an index-bearing
+// colbin stream with small blocks, so even a modest job count splits into
+// many partition cells.
+func indexedTestTrace(t *testing.T, n, blockRecords int) []byte {
+	t.Helper()
+	p := pai.DefaultTraceParams()
+	p.NumJobs = n
+	p.DistinctJobs = 50
+	p.ArrivalRate = 1800
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb bytes.Buffer
+	w := pai.NewColumnWriterBlockRecords(&cb, blockRecords)
+	for _, f := range tr.Jobs {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes()
+}
+
+// parFileSnapshot folds the indexed trace with the given consumer count and
+// returns the merged sink's snapshot plus the total records folded.
+func parFileSnapshot(t *testing.T, eng *pai.Engine, cb []byte, grain, consumers int, factory func() pai.Sink) ([]byte, int) {
+	t.Helper()
+	ir, err := pai.NewIndexedColumnReader(bytes.NewReader(cb), int64(len(cb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, counts, err := eng.EvaluateIndexedColumns(context.Background(), ir, grain, consumers, func() (pai.Sink, error) {
+		return factory(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	raw, err := sink.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, total
+}
+
+// TestEvaluateIndexedColumnsByteIdenticalPerSinkKind pins the parallel
+// segment decode to the sequential reduction for every built-in sink kind:
+// with the partition grid fixed, folding the cells with four concurrent
+// consumers must leave snapshot bytes identical to folding them one at a
+// time — the property that makes -par-file results trustworthy.
+func TestEvaluateIndexedColumnsByteIdenticalPerSinkKind(t *testing.T) {
+	const jobs = 5000
+	cb := indexedTestTrace(t, jobs, 64)
+	eng, err := pai.New(pai.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]func() pai.Sink{
+		"breakdown":     func() pai.Sink { return pai.NewBreakdownAccumulator() },
+		"component-cdf": func() pai.Sink { return pai.NewComponentCDFSink() },
+		"hardware-cdf":  func() pai.Sink { return pai.NewHardwareCDFSink() },
+		"projection": func() pai.Sink {
+			s, err := eng.NewProjectionSink(pai.ToAllReduceLocal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"sweep": func() pai.Sink {
+			s, err := eng.NewSweepSink(pai.PSWorker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"multi": func() pai.Sink {
+			s, err := eng.NewReportSink(pai.ToAllReduceLocal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for kind, factory := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			seq, nSeq := parFileSnapshot(t, eng, cb, 256, 1, factory)
+			par, nPar := parFileSnapshot(t, eng, cb, 256, 4, factory)
+			if nSeq != jobs || nPar != jobs {
+				t.Fatalf("folded %d sequential / %d parallel records, want %d", nSeq, nPar, jobs)
+			}
+			if !bytes.Equal(seq, par) {
+				t.Fatalf("%s: parallel snapshot (%d bytes) differs from sequential reduction (%d bytes)",
+					kind, len(par), len(seq))
+			}
+		})
+	}
+}
+
+// TestEvaluateIndexedColumnsCellCounts: per-cell record counts must match
+// the partition grid exactly, for any consumer count.
+func TestEvaluateIndexedColumnsCellCounts(t *testing.T) {
+	cb := indexedTestTrace(t, 1000, 32)
+	eng, err := pai.New(pai.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := pai.NewIndexedColumnReader(bytes.NewReader(cb), int64(len(cb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := ir.Index().Partition(100)
+	if len(cells) < 5 {
+		t.Fatalf("partition produced only %d cells", len(cells))
+	}
+	_, counts, err := eng.EvaluateIndexedColumns(context.Background(), ir, 100, 3, func() (pai.Sink, error) {
+		return pai.NewBreakdownAccumulator(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != len(cells) {
+		t.Fatalf("%d counts for %d cells", len(counts), len(cells))
+	}
+	for i, c := range cells {
+		if counts[i] != c.Records {
+			t.Fatalf("cell %d folded %d records, index says %d", i, counts[i], c.Records)
+		}
+	}
+}
+
+// TestIndexedReaderFallback: an index-less file opens only through the
+// sequential scan, and the error identifies itself for errors.Is dispatch.
+func TestIndexedReaderFallback(t *testing.T) {
+	var cb bytes.Buffer
+	w := pai.NewColumnWriter(&cb)
+	w.OmitIndex()
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 10
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tr.Jobs {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pai.NewIndexedColumnReader(bytes.NewReader(cb.Bytes()), int64(cb.Len())); !errors.Is(err, pai.ErrNoColumnIndex) {
+		t.Fatalf("index-less open = %v, want ErrNoColumnIndex", err)
+	}
+	// The same bytes still decode sequentially.
+	n := 0
+	r := pai.NewColumnReader(bytes.NewReader(cb.Bytes()))
+	for {
+		_, err := r.Next()
+		if err != nil {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("sequential fallback decoded %d records, want 10", n)
+	}
+}

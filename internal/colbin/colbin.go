@@ -9,12 +9,24 @@
 // On-disk layout (all integers little-endian, counts as uvarints, floats as
 // raw IEEE-754 bits via internal/binenc):
 //
-//	file    := magic version block*
+//	file    := magic version block* footer?
 //	magic   := "PAICB" (5 bytes)
 //	version := 0x01
 //	block   := uvarint(len(payload)) payload u64(checksum of payload)
 //	                                 // checksum: FNV-64a folded over 64-bit
 //	                                 // little-endian words, byte-wise tail
+//	footer  := 0x00                  // sentinel: a zero frame length, which
+//	                                 // no real block can carry
+//	           uvarint(len(index)) index u64(checksum of index)
+//	           u64le(footer offset)  // byte offset of the sentinel
+//	           "PAICBIX1" (8 bytes)  // trailing index magic
+//	index   := uvarint 1                  // index layout version
+//	           uvarint nBlocks
+//	           nBlocks * (uvarint offset delta  // first entry: from file start
+//	                      uvarint records
+//	                      f64 min arrival_sec
+//	                      f64 max arrival_sec)
+//	           uvarint total records
 //	payload := uvarint n                 // records in this block, n >= 1
 //	           uvarint d                 // name-dictionary entries, d <= n
 //	           d * (uvarint len, bytes)  // dictionary strings, first-use order
@@ -36,6 +48,19 @@
 // The per-block checksum plus binenc's bounds-checked reads mean truncated
 // or corrupted input fails with a block-numbered error instead of panicking
 // or allocating what a corrupted length field claims.
+//
+// The footer is the seekable block index (per-block byte offset, record
+// count, and arrival-time bounds), written by default since it costs ~20
+// bytes per block; OmitIndex turns it off. It is framed and checksummed
+// exactly like a block payload, behind a zero frame length no real block can
+// produce, so a sequential reader that predates (or ignores) the index
+// treats the sentinel as end-of-data, drains the remainder, and reports a
+// clean EOF — index-less files and index-bearing files decode identically.
+// Seekable opens go through ReadIndex, which locates the footer via the
+// fixed-size trailer at the end of the file and falls back (ErrNoIndex) when
+// the trailer, checksum, or index contents fail validation, so a corrupted
+// or truncated footer degrades to the sequential scan instead of failing the
+// file.
 //
 // Decoded records pass the same workload.Features.Validate acceptance rule
 // as the NDJSON decoder, so a colbin trace admits exactly the records its
@@ -86,7 +111,17 @@ const (
 	// the cap keeps an adversarial many-distinct-names stream from pinning
 	// unbounded memory (the table is dropped and restarted when full).
 	maxInternNames = 1 << 16
+
+	// headerLen is the fixed stream prefix: magic plus version byte. The
+	// first block always starts here, which the index validator pins.
+	headerLen = len(magic) + 1
 )
+
+// ErrTruncatedTrace reports a colbin stream that ends mid-frame — inside a
+// frame length, payload, checksum, or the header itself — as opposed to the
+// clean end-of-stream io.EOF at a block boundary. Reader errors wrap it (test
+// with errors.Is) and carry the 1-based block position in their message.
+var ErrTruncatedTrace = errors.New("truncated trace (ends mid-frame)")
 
 // Detect reports whether prefix begins a colbin stream. Any version is
 // detected — an unsupported version should surface as a colbin version
@@ -145,6 +180,15 @@ type Writer struct {
 	wroteHeader  bool
 	n            int
 	err          error
+
+	// Block-index bookkeeping for the footer: off tracks the byte position
+	// of the next write, blocks the per-block entries. Flush emits the index
+	// footer unless OmitIndex was called; wroteFooter makes Flush idempotent
+	// (the footer must be the last bytes of the file).
+	off         int64
+	blocks      []BlockInfo
+	noIndex     bool
+	wroteFooter bool
 }
 
 // NewWriter returns a colbin writer over w with the default block size.
@@ -169,10 +213,19 @@ func NewWriterBlockRecords(w io.Writer, blockRecords int) *Writer {
 	}
 }
 
+// OmitIndex disables the block-index footer for this writer, producing the
+// pre-index byte stream (a header and blocks, nothing after the last block).
+// Mainly for tests and for appenders that frame blocks themselves.
+func (w *Writer) OmitIndex() { w.noIndex = true }
+
 // Write appends one job record, flushing a block when the target size is
 // reached. Write errors are sticky.
 func (w *Writer) Write(f workload.Features) error {
 	if w.err != nil {
+		return w.err
+	}
+	if w.wroteFooter {
+		w.err = fmt.Errorf("colbin: Write after Flush (the index footer is already written)")
 		return w.err
 	}
 	w.block.Append(f)
@@ -201,10 +254,16 @@ func (w *Writer) WriteColumns(c *workload.Columns) error {
 func (w *Writer) N() int { return w.n }
 
 // Flush writes the pending partial block (and the stream header, so even an
-// empty stream is a valid zero-record file) and drains the buffered writer.
+// empty stream is a valid zero-record file), appends the block-index footer
+// (unless OmitIndex), and drains the buffered writer. Flush is terminal: the
+// footer must stay the last bytes of the file, so a second Flush is a no-op
+// and a Write after Flush fails.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
+	}
+	if w.wroteFooter {
+		return w.bw.Flush()
 	}
 	if err := w.flushBlock(); err != nil {
 		return err
@@ -212,10 +271,65 @@ func (w *Writer) Flush() error {
 	if err := w.writeHeader(); err != nil {
 		return err
 	}
+	if !w.noIndex {
+		if err := w.writeFooter(); err != nil {
+			return err
+		}
+	}
+	w.wroteFooter = true
 	if err := w.bw.Flush(); err != nil {
 		w.err = err
 		return err
 	}
+	return nil
+}
+
+// writeFooter emits the seekable block index: the zero-length sentinel, the
+// index payload framed and checksummed exactly like a block, and the fixed
+// 16-byte trailer (sentinel offset + index magic) seekable opens locate it
+// by.
+func (w *Writer) writeFooter() error {
+	footerOff := w.off
+	enc := w.enc
+	enc.Reset()
+	enc.Uvarint(indexVersion)
+	enc.Uvarint(uint64(len(w.blocks)))
+	prev := int64(0)
+	total := 0
+	for _, b := range w.blocks {
+		enc.Uvarint(uint64(b.Offset - prev))
+		prev = b.Offset
+		enc.Uvarint(uint64(b.Records))
+		enc.F64(b.MinArrival)
+		enc.F64(b.MaxArrival)
+		total += b.Records
+	}
+	enc.Uvarint(uint64(total))
+	index := enc.Bytes()
+
+	if err := w.bw.WriteByte(0); err != nil {
+		w.err = err
+		return err
+	}
+	var frame [binary.MaxVarintLen64]byte
+	fn := binary.PutUvarint(frame[:], uint64(len(index)))
+	if _, err := w.bw.Write(frame[:fn]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(index); err != nil {
+		w.err = err
+		return err
+	}
+	var tail [8 + 8 + len(indexMagic)]byte
+	binary.LittleEndian.PutUint64(tail[:8], checksum(index))
+	binary.LittleEndian.PutUint64(tail[8:16], uint64(footerOff))
+	copy(tail[16:], indexMagic)
+	if _, err := w.bw.Write(tail[:]); err != nil {
+		w.err = err
+		return err
+	}
+	w.off += int64(1 + fn + len(index) + len(tail))
 	return nil
 }
 
@@ -232,6 +346,7 @@ func (w *Writer) writeHeader() error {
 		w.err = err
 		return err
 	}
+	w.off += int64(headerLen)
 	return nil
 }
 
@@ -288,6 +403,12 @@ func (w *Writer) flushBlock() error {
 	if err := w.writeHeader(); err != nil {
 		return err
 	}
+	info := BlockInfo{Offset: w.off, Records: n}
+	info.MinArrival, info.MaxArrival = w.block.ArrivalSec[0], w.block.ArrivalSec[0]
+	for _, v := range w.block.ArrivalSec[1:] {
+		info.MinArrival = min(info.MinArrival, v)
+		info.MaxArrival = max(info.MaxArrival, v)
+	}
 	var frame [binary.MaxVarintLen64]byte
 	fn := binary.PutUvarint(frame[:], uint64(len(payload)))
 	if _, err := w.bw.Write(frame[:fn]); err != nil {
@@ -304,6 +425,8 @@ func (w *Writer) flushBlock() error {
 		w.err = err
 		return err
 	}
+	w.off += int64(fn + len(payload) + len(sum))
+	w.blocks = append(w.blocks, info)
 	w.block.Reset()
 	return nil
 }
@@ -379,14 +502,24 @@ func (r *Reader) fail(err error) error {
 	return r.err
 }
 
+// truncated upgrades an end-of-input error to the ErrTruncatedTrace sentinel
+// (a frame was cut short mid-read); genuine I/O errors pass through
+// unchanged.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %w", ErrTruncatedTrace, err)
+	}
+	return err
+}
+
 func (r *Reader) readHeader() error {
 	if r.readHdr {
 		return nil
 	}
-	var hdr [len(magic) + 1]byte
+	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return r.fail(fmt.Errorf("colbin: truncated or missing header"))
+			return r.fail(fmt.Errorf("colbin: truncated or missing header: %w", ErrTruncatedTrace))
 		}
 		return r.fail(fmt.Errorf("colbin: read header: %w", err))
 	}
@@ -439,10 +572,20 @@ func (r *Reader) NextPayload() (func(c *workload.Columns) error, int, error) {
 		if errors.Is(err, io.EOF) {
 			return nil, 0, r.fail(io.EOF) // clean end: no more blocks
 		}
-		return nil, 0, r.fail(fmt.Errorf("colbin: block %d: frame length: %w", r.blockIdx+1, err))
+		return nil, 0, r.fail(fmt.Errorf("colbin: block %d: frame length: %w", r.blockIdx+1, truncated(err)))
+	}
+	if payloadLen == 0 {
+		// The index-footer sentinel: no real block frames a zero-length
+		// payload, so everything from here on is the seekable block index
+		// (see the package comment). Sequential readers don't need it —
+		// drain the remainder and report a clean end of stream, so
+		// index-bearing and index-less files decode identically.
+		io.Copy(io.Discard, r.br)
+		io.Copy(io.Discard, r.rd)
+		return nil, 0, r.fail(io.EOF)
 	}
 	r.blockIdx++
-	if payloadLen == 0 || payloadLen > maxBlockBytes {
+	if payloadLen > maxBlockBytes {
 		return nil, 0, r.fail(fmt.Errorf("colbin: block %d: implausible payload length %d", r.blockIdx, payloadLen))
 	}
 	ps := payloadPool.Get().(*payloadState)
@@ -467,12 +610,12 @@ func (r *Reader) NextPayload() (func(c *workload.Columns) error, int, error) {
 			ps.payload = ps.payload[:off+step]
 		}
 		if err := r.readPayload(ps.payload[off:]); err != nil {
-			return release(fmt.Errorf("colbin: block %d: truncated payload: %w", r.blockIdx, err))
+			return release(fmt.Errorf("colbin: block %d: truncated payload: %w", r.blockIdx, truncated(err)))
 		}
 	}
 	var sum [8]byte
 	if _, err := io.ReadFull(r.br, sum[:]); err != nil {
-		return release(fmt.Errorf("colbin: block %d: truncated checksum: %w", r.blockIdx, err))
+		return release(fmt.Errorf("colbin: block %d: truncated checksum: %w", r.blockIdx, truncated(err)))
 	}
 	if got, want := checksum(ps.payload), binary.LittleEndian.Uint64(sum[:]); got != want {
 		return release(fmt.Errorf("colbin: block %d: checksum mismatch (payload %#x, frame %#x)", r.blockIdx, got, want))

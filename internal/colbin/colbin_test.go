@@ -145,12 +145,36 @@ func TestEmptyStream(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream Next = %v, want io.EOF", err)
+	}
+	// Even an empty file carries a (zero-block) index.
+	ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Blocks() != 0 || ix.Records() != 0 {
+		t.Fatalf("empty stream index: %d blocks, %d records", ix.Blocks(), ix.Records())
+	}
+}
+
+func TestEmptyStreamOmitIndex(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.OmitIndex()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if buf.Len() != 6 {
-		t.Fatalf("empty stream should be the 6-byte header, got %d bytes", buf.Len())
+		t.Fatalf("empty index-less stream should be the 6-byte header, got %d bytes", buf.Len())
 	}
 	r := NewReader(bytes.NewReader(buf.Bytes()))
 	if _, err := r.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("empty stream Next = %v, want io.EOF", err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(buf.Bytes()), 6); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("ReadIndex on index-less stream = %v, want ErrNoIndex", err)
 	}
 }
 

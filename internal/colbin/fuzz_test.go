@@ -25,6 +25,17 @@ func FuzzReaderNoPanic(f *testing.F) {
 	corrupt := append([]byte{}, valid...)
 	corrupt[len(corrupt)/3] ^= 0x40
 	f.Add(corrupt)
+	// Footer-focused seeds: corrupted trailer magic, corrupted index payload,
+	// a footer truncated mid-frame, and a file cut right after the sentinel —
+	// the seekable open must fall back (or fail cleanly), never panic.
+	badMagic := append([]byte{}, valid...)
+	badMagic[len(badMagic)-1] ^= 0xff
+	f.Add(badMagic)
+	badIndex := append([]byte{}, valid...)
+	badIndex[len(badIndex)-trailerLen-3] ^= 0x10
+	f.Add(badIndex)
+	f.Add(valid[:len(valid)-trailerLen])
+	f.Add(valid[:len(valid)-trailerLen-7])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		n := 0
@@ -41,6 +52,21 @@ func FuzzReaderNoPanic(f *testing.F) {
 		// Errors must be sticky.
 		if _, err := r.Next(); err == nil {
 			t.Fatal("reader kept going after a terminal error")
+		}
+		// The seekable open must fall back or fail with an error — never
+		// panic — and an index it does accept must serve every block range
+		// without panicking.
+		ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		for _, c := range ir.Index().Partition(16) {
+			seg := ir.Range(c.Lo, c.Hi)
+			for i := 0; i <= c.Records; i++ {
+				if _, err := seg.Next(); err != nil {
+					break
+				}
+			}
 		}
 	})
 }

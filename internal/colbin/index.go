@@ -1,0 +1,257 @@
+package colbin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/binenc"
+)
+
+// indexMagic closes an index-bearing colbin file; ReadIndex looks for it in
+// the fixed-size trailer at the very end. indexVersion is the index payload
+// layout revision (independent of the stream Version: the footer is purely
+// additive, so the stream revision did not move).
+const (
+	indexMagic   = "PAICBIX1"
+	indexVersion = 1
+
+	// trailerLen is the fixed suffix after the index payload: the u64le
+	// sentinel offset plus the index magic.
+	trailerLen = 8 + len(indexMagic)
+
+	// maxIndexBytes bounds the footer region ReadIndex will buffer: ~20
+	// bytes per block means this covers three million blocks, while a
+	// corrupted trailer offset cannot drive an unbounded allocation.
+	maxIndexBytes = 1 << 26
+)
+
+// ErrNoIndex reports a colbin file without a usable block index — written
+// before the index existed, written with OmitIndex, or carrying a footer
+// that fails validation (truncated, checksum-corrupt, or inconsistent).
+// Callers fall back to the sequential scan; errors.Is tests for it.
+var ErrNoIndex = errors.New("colbin: no usable block index")
+
+// BlockInfo is one block's entry in the seekable index: where its frame
+// starts, how many records it decodes to, and the arrival-time range those
+// records span (for time-window pruning without decoding).
+type BlockInfo struct {
+	Offset     int64 // byte offset of the block's frame (uvarint length)
+	Records    int
+	MinArrival float64
+	MaxArrival float64
+}
+
+// Index is a decoded block index: the frame layout of every block plus
+// where the data region ends (the footer sentinel), which is what turns
+// "block range" into "byte range".
+type Index struct {
+	blocks  []BlockInfo
+	dataEnd int64 // offset of the footer sentinel: end of the last frame
+	records int
+}
+
+// Blocks reports the number of blocks in the file.
+func (ix *Index) Blocks() int { return len(ix.blocks) }
+
+// Records reports the total record count across all blocks.
+func (ix *Index) Records() int { return ix.records }
+
+// Block returns block i's entry.
+func (ix *Index) Block(i int) BlockInfo { return ix.blocks[i] }
+
+// end returns the byte offset one past block i's frame.
+func (ix *Index) end(i int) int64 {
+	if i+1 < len(ix.blocks) {
+		return ix.blocks[i+1].Offset
+	}
+	return ix.dataEnd
+}
+
+// Range is a contiguous half-open block span [Lo, Hi) — one micro-shard of
+// the partition grid — plus the record count it decodes to.
+type Range struct {
+	Lo, Hi  int
+	Records int
+}
+
+// Partition carves the file into contiguous block ranges of at least
+// grainRecords records each (the last may be smaller; a range never splits
+// a block). The partition is a pure function of the index and the grain —
+// every consumer of the same file and grain derives the identical grid,
+// which is what lets sequential, in-process-parallel, and distributed runs
+// fold cell-by-cell to byte-identical results.
+func (ix *Index) Partition(grainRecords int) []Range {
+	if grainRecords < 1 {
+		grainRecords = 1
+	}
+	var out []Range
+	for lo := 0; lo < len(ix.blocks); {
+		hi, records := lo, 0
+		for hi < len(ix.blocks) && records < grainRecords {
+			records += ix.blocks[hi].Records
+			hi++
+		}
+		out = append(out, Range{Lo: lo, Hi: hi, Records: records})
+		lo = hi
+	}
+	return out
+}
+
+// ReadIndex reads and validates the block index of a colbin file served by
+// ra (size is the file's total length). It returns ErrNoIndex when the file
+// carries no index or the footer fails any validation — wrong trailer magic,
+// checksum mismatch, offsets that don't land inside the data region, or
+// record counts that disagree — so callers degrade to the sequential scan
+// rather than trusting corrupt seek offsets. A file that isn't colbin at all
+// fails with a non-ErrNoIndex error.
+func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
+	var hdr [headerLen]byte
+	if size < int64(headerLen) {
+		return nil, fmt.Errorf("colbin: %d-byte input is shorter than the header", size)
+	}
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("colbin: read header: %w", err)
+	}
+	if !Detect(hdr[:]) {
+		return nil, fmt.Errorf("colbin: bad magic %q", hdr[:len(magic)])
+	}
+	if v := hdr[len(magic)]; v != Version {
+		return nil, fmt.Errorf("colbin: unsupported version %d (want %d)", v, Version)
+	}
+
+	if size < int64(headerLen)+int64(trailerLen)+2 {
+		return nil, fmt.Errorf("%w: no room for a footer", ErrNoIndex)
+	}
+	var trailer [trailerLen]byte
+	if _, err := ra.ReadAt(trailer[:], size-int64(trailerLen)); err != nil {
+		return nil, fmt.Errorf("colbin: read trailer: %w", err)
+	}
+	if string(trailer[8:]) != indexMagic {
+		return nil, fmt.Errorf("%w: no index magic at end of file", ErrNoIndex)
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if footerOff < int64(headerLen) || footerOff >= size-int64(trailerLen) {
+		return nil, fmt.Errorf("%w: footer offset %d outside the file", ErrNoIndex, footerOff)
+	}
+	region := size - int64(trailerLen) - footerOff
+	if region > maxIndexBytes {
+		return nil, fmt.Errorf("%w: %d-byte footer region exceeds the %d-byte bound", ErrNoIndex, region, maxIndexBytes)
+	}
+	buf := make([]byte, region)
+	if _, err := ra.ReadAt(buf, footerOff); err != nil {
+		return nil, fmt.Errorf("colbin: read footer: %w", err)
+	}
+	if buf[0] != 0 {
+		return nil, fmt.Errorf("%w: footer does not start with the zero-length sentinel", ErrNoIndex)
+	}
+	idxLen, n := binary.Uvarint(buf[1:])
+	if n <= 0 || idxLen > maxIndexBytes || int64(1+n)+int64(idxLen)+8 != region {
+		return nil, fmt.Errorf("%w: index frame does not fill the footer region", ErrNoIndex)
+	}
+	payload := buf[1+n : 1+n+int(idxLen)]
+	sum := binary.LittleEndian.Uint64(buf[1+n+int(idxLen):])
+	if got := checksum(payload); got != sum {
+		return nil, fmt.Errorf("%w: index checksum mismatch (payload %#x, frame %#x)", ErrNoIndex, got, sum)
+	}
+
+	rd := binenc.NewReader(payload)
+	if v := rd.Uvarint(); v != indexVersion {
+		return nil, fmt.Errorf("%w: index version %d (want %d)", ErrNoIndex, v, indexVersion)
+	}
+	nBlocks := rd.Uvarint()
+	// Each entry is at least 18 bytes (two one-byte uvarints, two f64s), so
+	// a corrupted count fails here instead of sizing a giant slice.
+	if nBlocks > uint64(len(payload)/18) {
+		return nil, fmt.Errorf("%w: implausible block count %d", ErrNoIndex, nBlocks)
+	}
+	ix := &Index{
+		blocks:  make([]BlockInfo, 0, nBlocks),
+		dataEnd: footerOff,
+	}
+	prev, total := int64(0), 0
+	for i := uint64(0); i < nBlocks; i++ {
+		b := BlockInfo{
+			Offset:     prev + int64(rd.Uvarint()),
+			Records:    int(rd.Uvarint()),
+			MinArrival: rd.F64(),
+			MaxArrival: rd.F64(),
+		}
+		if rd.Err() != nil {
+			break
+		}
+		if b.Offset < int64(headerLen) || b.Offset <= prev && i > 0 || b.Offset >= footerOff {
+			return nil, fmt.Errorf("%w: block %d offset %d outside the data region", ErrNoIndex, i+1, b.Offset)
+		}
+		if b.Records < 1 || b.Records > maxBlockRecords {
+			return nil, fmt.Errorf("%w: block %d claims %d records", ErrNoIndex, i+1, b.Records)
+		}
+		if !(b.MinArrival <= b.MaxArrival) {
+			return nil, fmt.Errorf("%w: block %d arrival range [%v, %v]", ErrNoIndex, i+1, b.MinArrival, b.MaxArrival)
+		}
+		prev = b.Offset
+		total += b.Records
+		ix.blocks = append(ix.blocks, b)
+	}
+	claimed := rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoIndex, err)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the index", ErrNoIndex, rd.Len())
+	}
+	if claimed != uint64(total) {
+		return nil, fmt.Errorf("%w: index total %d does not match the %d records its blocks claim", ErrNoIndex, claimed, total)
+	}
+	ix.records = total
+	return ix, nil
+}
+
+// IndexedReader serves disjoint block ranges of one index-bearing colbin
+// file to concurrent segment readers: each Range call returns an
+// independent sequential Reader positioned at the range's first frame and
+// bounded at its last, so N goroutines decode N byte-ranges of the same
+// file with no shared NextPayload sequence to contend on. The underlying
+// ReaderAt must support concurrent ReadAt (os.File and bytes.Reader do).
+type IndexedReader struct {
+	ra io.ReaderAt
+	ix *Index
+}
+
+// NewIndexedReader opens ra (a colbin file of the given size) for seekable
+// range reads. It fails with ErrNoIndex when the file has no usable block
+// index — callers fall back to NewReader's sequential scan.
+func NewIndexedReader(ra io.ReaderAt, size int64) (*IndexedReader, error) {
+	ix, err := ReadIndex(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexedReader{ra: ra, ix: ix}, nil
+}
+
+// Index returns the decoded block index.
+func (ir *IndexedReader) Index() *Index { return ir.ix }
+
+// Range returns a fresh sequential Reader over blocks [lo, hi). Errors from
+// the returned reader carry absolute 1-based block numbers, as if the whole
+// file were being scanned. Readers from disjoint ranges are safe to drive
+// concurrently; each keeps its own intern table so decoded names never
+// share state across goroutines.
+func (ir *IndexedReader) Range(lo, hi int) *Reader {
+	if lo < 0 || hi > len(ir.ix.blocks) || lo > hi {
+		r := &Reader{}
+		r.fail(fmt.Errorf("colbin: block range [%d, %d) outside the %d-block index", lo, hi, len(ir.ix.blocks)))
+		return r
+	}
+	if lo == hi {
+		r := &Reader{}
+		r.fail(io.EOF)
+		return r
+	}
+	start := ir.ix.blocks[lo].Offset
+	r := NewReader(io.NewSectionReader(ir.ra, start, ir.ix.end(hi-1)-start))
+	r.readHdr = true // the section starts at a frame, not the file header
+	r.blockIdx = lo  // absolute block numbers in errors
+	return r
+}

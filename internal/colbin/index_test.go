@@ -1,0 +1,318 @@
+package colbin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	jobs := testJobs(t, 1000, 37)
+	data := encodeAll(t, jobs, 128)
+	ix, err := ReadIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Blocks() != 8 {
+		t.Fatalf("1000 records at 128/block should be 8 blocks, got %d", ix.Blocks())
+	}
+	if ix.Records() != len(jobs) {
+		t.Fatalf("index records = %d, want %d", ix.Records(), len(jobs))
+	}
+
+	// The index's offsets must agree with a manual scan of the frames, and
+	// its record counts and arrival bounds with the decoded blocks.
+	off := int64(headerLen)
+	row := 0
+	for i := 0; i < ix.Blocks(); i++ {
+		b := ix.Block(i)
+		if b.Offset != off {
+			t.Fatalf("block %d offset %d, want %d", i, b.Offset, off)
+		}
+		payloadLen, n := binary.Uvarint(data[off:])
+		off += int64(n) + int64(payloadLen) + 8
+		lo, hi := jobs[row].ArrivalSec, jobs[row].ArrivalSec
+		for _, f := range jobs[row+1 : row+b.Records] {
+			if f.ArrivalSec < lo {
+				lo = f.ArrivalSec
+			}
+			if f.ArrivalSec > hi {
+				hi = f.ArrivalSec
+			}
+		}
+		if b.MinArrival != lo || b.MaxArrival != hi {
+			t.Fatalf("block %d arrival range [%v, %v], want [%v, %v]", i, b.MinArrival, b.MaxArrival, lo, hi)
+		}
+		row += b.Records
+	}
+	if row != len(jobs) {
+		t.Fatalf("blocks cover %d records, want %d", row, len(jobs))
+	}
+	// The data region ends exactly where the footer begins.
+	if data[off] != 0 {
+		t.Fatalf("no sentinel at offset %d", off)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	jobs := testJobs(t, 1000, 11)
+	data := encodeAll(t, jobs, 64)
+	ix, err := ReadIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grain := range []int{1, 63, 64, 100, 256, 1000, 1 << 20} {
+		cells := ix.Partition(grain)
+		lo, records := 0, 0
+		for _, c := range cells {
+			if c.Lo != lo || c.Hi <= c.Lo {
+				t.Fatalf("grain %d: cell %+v does not continue at block %d", grain, c, lo)
+			}
+			n := 0
+			for b := c.Lo; b < c.Hi; b++ {
+				n += ix.Block(b).Records
+			}
+			if n != c.Records {
+				t.Fatalf("grain %d: cell %+v claims %d records, blocks hold %d", grain, c, c.Records, n)
+			}
+			// Every cell but the last reaches the grain.
+			if c.Hi < ix.Blocks() && c.Records < grain {
+				t.Fatalf("grain %d: interior cell %+v below grain", grain, c)
+			}
+			lo = c.Hi
+			records += c.Records
+		}
+		if lo != ix.Blocks() || records != ix.Records() {
+			t.Fatalf("grain %d: partition covers %d blocks / %d records, want %d / %d",
+				grain, lo, records, ix.Blocks(), ix.Records())
+		}
+	}
+}
+
+// TestRangeSegmentsMatchSequential: concatenating the records of every
+// partition cell, decoded through independent Range readers, must reproduce
+// the sequential scan exactly.
+func TestRangeSegmentsMatchSequential(t *testing.T) {
+	jobs := testJobs(t, 777, 13)
+	data := encodeAll(t, jobs, 32)
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := 0
+	for _, c := range ir.Index().Partition(100) {
+		r := ir.Range(c.Lo, c.Hi)
+		n := 0
+		for {
+			f, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(f, jobs[row]) {
+				t.Fatalf("record %d differs through segment [%d, %d)", row, c.Lo, c.Hi)
+			}
+			row++
+			n++
+		}
+		if n != c.Records {
+			t.Fatalf("segment [%d, %d) decoded %d records, cell claims %d", c.Lo, c.Hi, n, c.Records)
+		}
+	}
+	if row != len(jobs) {
+		t.Fatalf("segments decoded %d records, want %d", row, len(jobs))
+	}
+	// Empty and out-of-bounds ranges.
+	if _, err := ir.Range(2, 2).Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty range Next = %v, want io.EOF", err)
+	}
+	if _, err := ir.Range(0, ir.Index().Blocks()+1).Next(); err == nil {
+		t.Fatal("out-of-bounds range decoded")
+	}
+}
+
+// TestRangeErrorsCarryAbsoluteBlocks: a corrupted block reached through a
+// segment reader must be reported under its absolute block number, as if
+// the whole file were scanned.
+func TestRangeErrorsCarryAbsoluteBlocks(t *testing.T) {
+	jobs := testJobs(t, 256, 5)
+	data := encodeAll(t, jobs, 32)
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte inside block 5 (0-based index 4).
+	target := ir.Index().Block(4)
+	bad := append([]byte{}, data...)
+	bad[target.Offset+4] ^= 0xff
+	// Reopen over the corrupted bytes: same index, corrupted frame.
+	ir2, err := NewIndexedReader(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ir2.Range(4, 6)
+	var decodeErr error
+	for decodeErr == nil {
+		_, decodeErr = r.Next()
+	}
+	if errors.Is(decodeErr, io.EOF) || !strings.Contains(decodeErr.Error(), "block 5") {
+		t.Fatalf("segment error %q does not carry absolute block 5", decodeErr)
+	}
+}
+
+// TestCorruptedFooterFallsBack: every way a footer can rot must yield
+// ErrNoIndex from the seekable open while the sequential scan still decodes
+// every record — the fallback the index contract promises.
+func TestCorruptedFooterFallsBack(t *testing.T) {
+	jobs := testJobs(t, 300, 7)
+	data := encodeAll(t, jobs, 64)
+	sentinel := -1
+	ix, err := ReadIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel = int(ix.dataEnd)
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			b := f(append([]byte{}, data...))
+			if _, err := ReadIndex(bytes.NewReader(b), int64(len(b))); !errors.Is(err, ErrNoIndex) {
+				t.Fatalf("ReadIndex = %v, want ErrNoIndex", err)
+			}
+			got := decodeAll(t, b)
+			if len(got) != len(jobs) {
+				t.Fatalf("sequential fallback decoded %d records, want %d", len(got), len(jobs))
+			}
+		})
+	}
+
+	mutate("trailer-magic", func(b []byte) []byte {
+		b[len(b)-1] ^= 0xff
+		return b
+	})
+	mutate("index-checksum", func(b []byte) []byte {
+		// Flip a byte inside the index payload (between sentinel and trailer).
+		b[(sentinel+2+len(b)-trailerLen)/2] ^= 0x01
+		return b
+	})
+	mutate("footer-offset", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[len(b)-trailerLen:], uint64(len(b)))
+		return b
+	})
+	mutate("offset-zero", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[len(b)-trailerLen:], 0)
+		return b
+	})
+	mutate("truncated-footer-keeps-magic", func(b []byte) []byte {
+		// Drop bytes from the middle of the footer but keep the trailer:
+		// the frame no longer fills the region.
+		cut := append(b[:sentinel+3], b[sentinel+9:]...)
+		return cut
+	})
+
+	// A footer truncated without its trailer (file cut mid-footer) is not
+	// even detectable: ErrNoIndex, and the sequential scan drains cleanly.
+	t.Run("truncated-footer", func(t *testing.T) {
+		b := data[:sentinel+5]
+		if _, err := ReadIndex(bytes.NewReader(b), int64(len(b))); !errors.Is(err, ErrNoIndex) {
+			t.Fatalf("ReadIndex = %v, want ErrNoIndex", err)
+		}
+		got := decodeAll(t, b)
+		if len(got) != len(jobs) {
+			t.Fatalf("sequential fallback decoded %d records, want %d", len(got), len(jobs))
+		}
+	})
+
+	// OmitIndex writes the pre-index stream: no footer at all.
+	t.Run("omit-index", func(t *testing.T) {
+		var buf bytes.Buffer
+		w := NewWriterBlockRecords(&buf, 64)
+		w.OmitIndex()
+		for _, f := range jobs {
+			if err := w.Write(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len())); !errors.Is(err, ErrNoIndex) {
+			t.Fatalf("ReadIndex = %v, want ErrNoIndex", err)
+		}
+		got := decodeAll(t, buf.Bytes())
+		if len(got) != len(jobs) {
+			t.Fatalf("decoded %d records, want %d", len(got), len(jobs))
+		}
+	})
+
+	// Not colbin at all: a real error, not ErrNoIndex.
+	t.Run("not-colbin", func(t *testing.T) {
+		if _, err := ReadIndex(strings.NewReader("{\"not\":\"colbin\"}"), 16); err == nil || errors.Is(err, ErrNoIndex) {
+			t.Fatalf("ReadIndex on JSON = %v, want a non-ErrNoIndex error", err)
+		}
+	})
+}
+
+// TestTruncatedTraceError: a file cut mid-frame surfaces ErrTruncatedTrace
+// with the block position, distinct from the clean io.EOF at a boundary.
+func TestTruncatedTraceError(t *testing.T) {
+	jobs := testJobs(t, 64, 7)
+	var buf bytes.Buffer
+	w := NewWriterBlockRecords(&buf, 16)
+	w.OmitIndex() // cut points below land inside data frames, not the footer
+	for _, f := range jobs {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	withFooter := encodeAll(t, jobs, 16)
+	ix, err := ReadIndex(bytes.NewReader(withFooter), int64(len(withFooter)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	block3 := ix.Block(2) // offsets are identical with or without the footer
+
+	drain := func(b []byte) error {
+		r := NewReader(bytes.NewReader(b))
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		return err
+	}
+
+	// Mid-payload of block 3.
+	err = drain(data[:block3.Offset+10])
+	if !errors.Is(err, ErrTruncatedTrace) || !strings.Contains(err.Error(), "block 3") {
+		t.Fatalf("mid-payload cut: err = %v, want ErrTruncatedTrace naming block 3", err)
+	}
+	// Mid-header.
+	if err := drain(data[:3]); !errors.Is(err, ErrTruncatedTrace) {
+		t.Fatalf("mid-header cut: err = %v, want ErrTruncatedTrace", err)
+	}
+	// Clean boundary cut: io.EOF, not ErrTruncatedTrace.
+	if err := drain(data[:block3.Offset]); !errors.Is(err, io.EOF) || errors.Is(err, ErrTruncatedTrace) {
+		t.Fatalf("boundary cut: err = %v, want bare io.EOF", err)
+	}
+	// Every mid-frame prefix of every frame must be ErrTruncatedTrace.
+	for cut := headerLen + 1; cut < len(data); cut++ {
+		err := drain(data[:cut])
+		if errors.Is(err, io.EOF) {
+			continue // block boundary: a valid shorter stream
+		}
+		if !errors.Is(err, ErrTruncatedTrace) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncatedTrace", cut, err)
+		}
+	}
+}

@@ -434,7 +434,11 @@ func (st *runState) serve(conn net.Conn) {
 
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	typ, p, err := readFrameCapped(conn, maxHelloFrame)
-	if err != nil || typ != msgHello || decodeHello(p) != nil {
+	if err != nil || typ != msgHello {
+		st.opts.Logf("coord: %s: handshake rejected", conn.RemoteAddr())
+		return
+	}
+	if _, herr := decodeHello(p); herr != nil {
 		st.opts.Logf("coord: %s: handshake rejected", conn.RemoteAddr())
 		return
 	}

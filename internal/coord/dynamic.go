@@ -1,0 +1,569 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/analyze"
+)
+
+// DynamicOptions tunes a work-stealing (RunDynamic) run. The zero value is
+// usable: no per-cell deadline, DefaultMaxAttempts attempts per cell, no
+// span cap, provenance bases required to agree but not pinned.
+type DynamicOptions struct {
+	// CellTimeout is the per-cell progress deadline: a worker that delivers
+	// neither a cell result nor a failure within it is abandoned, and the
+	// un-received tail of its range is re-split and requeued for other
+	// workers to steal. It also arms the stall detector (see
+	// Options.ShardTimeout). Zero disables both.
+	CellTimeout time.Duration
+	// MaxAttempts bounds assignments per cell (first included). Zero means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// ExpectWorkers arms the stall detector from the start (spawn-local
+	// mode); see Options.ExpectWorkers.
+	ExpectWorkers bool
+	// Provenance, when non-empty, pins the run base every cell snapshot must
+	// carry; see Options.Provenance.
+	Provenance string
+	// NewSink builds the empty fold base; see Options.NewSink.
+	NewSink func() (analyze.Sink, error)
+	// MaxSpan caps the number of cells in one assignment regardless of the
+	// capacity weighting. Zero means no cap.
+	MaxSpan int
+	// Logf receives steal/requeue diagnostics. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// DynamicStats reports what the scheduler did during one RunDynamic.
+type DynamicStats struct {
+	// Workers is the number of connections that completed the handshake.
+	Workers int
+	// Assignments is the number of range assignments sent.
+	Assignments int
+	// StolenCells counts cells reassigned away from a straggler: they were
+	// in flight on a connection when its per-cell deadline expired, and
+	// another worker folded them instead.
+	StolenCells int
+	// Resplits counts the range splits performed when requeueing stolen
+	// tails, so multiple workers can absorb one straggler's backlog.
+	Resplits int
+}
+
+// span is one contiguous queue entry of un-folded cells [lo, hi).
+type span struct{ lo, hi int }
+
+// RunDynamic coordinates one work-stealing evaluation over a `cells`-wide
+// micro-shard grid: workers pull contiguous cell ranges sized by their
+// advertised throughput (halved against the pending backlog so late joiners
+// and stragglers leave work to steal), stream one snapshot per cell back,
+// and cells that stall past opts.CellTimeout are re-split and requeued for
+// other workers. The per-cell snapshots fold in cell order with the exact
+// analyze merge, so the result is byte-identical to a single-process run
+// over the same grid no matter how the cells were distributed, stolen, or
+// retried. It returns the merged sink, per-cell job counts, and scheduler
+// statistics; the listener is closed on return.
+func RunDynamic(ctx context.Context, ln net.Listener, cells int, payload []byte, opts DynamicOptions) (analyze.Sink, []int, DynamicStats, error) {
+	if ln == nil {
+		return nil, nil, DynamicStats{}, fmt.Errorf("coord: RunDynamic with nil listener")
+	}
+	if cells < 1 {
+		ln.Close()
+		return nil, nil, DynamicStats{}, fmt.Errorf("coord: RunDynamic with %d cells", cells)
+	}
+	st := newDynState(ctx, cells, payload, opts)
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-st.done:
+				default:
+					st.finish(fmt.Errorf("coord: accept: %w", err))
+				}
+				return
+			}
+			if !st.beginHandler(conn) {
+				conn.Close()
+				continue
+			}
+			go st.serve(conn)
+		}
+	}()
+
+	if opts.CellTimeout > 0 {
+		go func() {
+			period := opts.CellTimeout / 4
+			if period < 10*time.Millisecond {
+				period = 10 * time.Millisecond
+			}
+			t := time.NewTicker(period)
+			defer t.Stop()
+			for {
+				select {
+				case <-st.done:
+					return
+				case <-t.C:
+					st.checkStalled(opts.CellTimeout)
+				}
+			}
+		}()
+	}
+
+	select {
+	case <-st.done:
+	case <-ctx.Done():
+		st.finish(ctx.Err())
+	}
+	ln.Close()
+	st.closeConns()
+	st.handlers.Wait()
+
+	st.mu.Lock()
+	failure := st.failure
+	stats := st.stats
+	st.mu.Unlock()
+	if failure != nil {
+		return nil, nil, stats, failure
+	}
+	sink, counts, err := st.fold()
+	return sink, counts, stats, err
+}
+
+// dynState is the shared coordination state of one RunDynamic.
+type dynState struct {
+	ctx     context.Context
+	cells   int
+	payload []byte
+	opts    DynamicOptions
+
+	// work holds pending disjoint cell spans. Spans are non-empty and
+	// disjoint, so there can never be more than `cells` of them: sends
+	// never block.
+	work chan span
+	done chan struct{}
+
+	handlers sync.WaitGroup
+
+	mu        sync.Mutex
+	conns     map[net.Conn]connState
+	hints     map[net.Conn]float64
+	attempts  []int
+	sinks     []analyze.Sink
+	counts    []int
+	remaining int
+	base      string
+	baseSet   bool
+	finished  bool
+	failure   error
+	stats     DynamicStats
+
+	everConnected bool
+	lastProgress  time.Time
+}
+
+func newDynState(ctx context.Context, cells int, payload []byte, opts DynamicOptions) *dynState {
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	st := &dynState{
+		ctx:       ctx,
+		cells:     cells,
+		payload:   payload,
+		opts:      opts,
+		work:      make(chan span, cells),
+		done:      make(chan struct{}),
+		conns:     map[net.Conn]connState{},
+		hints:     map[net.Conn]float64{},
+		attempts:  make([]int, cells),
+		sinks:     make([]analyze.Sink, cells),
+		counts:    make([]int, cells),
+		remaining: cells,
+		base:      opts.Provenance,
+		baseSet:   opts.Provenance != "",
+
+		everConnected: opts.ExpectWorkers,
+		lastProgress:  time.Now(),
+	}
+	st.work <- span{0, cells}
+	return st
+}
+
+func (st *dynState) finish(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.finishLocked(err)
+}
+
+func (st *dynState) finishLocked(err error) {
+	if st.finished {
+		return
+	}
+	st.finished = true
+	st.failure = err
+	close(st.done)
+}
+
+func (st *dynState) beginHandler(conn net.Conn) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished {
+		return false
+	}
+	st.conns[conn] = connHandshake
+	st.handlers.Add(1)
+	st.everConnected = true
+	st.lastProgress = time.Now()
+	return true
+}
+
+func (st *dynState) untrack(conn net.Conn) {
+	st.mu.Lock()
+	delete(st.conns, conn)
+	delete(st.hints, conn)
+	st.mu.Unlock()
+	conn.Close()
+}
+
+func (st *dynState) setIdle(conn net.Conn) {
+	st.mu.Lock()
+	if _, ok := st.conns[conn]; ok {
+		st.conns[conn] = connIdle
+	}
+	st.mu.Unlock()
+}
+
+func (st *dynState) setBusy(conn net.Conn) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished {
+		return false
+	}
+	if _, ok := st.conns[conn]; ok {
+		st.conns[conn] = connBusy
+	}
+	return true
+}
+
+func (st *dynState) closeConns() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for conn, state := range st.conns {
+		if state != connIdle {
+			conn.Close()
+		}
+	}
+}
+
+// admit records a completed handshake and the worker's throughput hint.
+func (st *dynState) admit(conn net.Conn, hint float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.hints[conn] = hint
+	st.stats.Workers++
+	st.lastProgress = time.Now()
+}
+
+// target computes how many cells conn's next assignment should carry:
+// the pending backlog scaled by the worker's capacity share, halved so half
+// the backlog always stays behind for other (and future) workers to pull or
+// steal. Share comes from the handshake throughput hints when every live
+// worker advertised one, and falls back to an even split otherwise — a
+// worker twice as fast gets ranges twice as long, so the straggler's tail
+// shrinks instead of growing.
+func (st *dynState) target(conn net.Conn) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	share := 0.0
+	sum := 0.0
+	allHinted := len(st.hints) > 0
+	for _, h := range st.hints {
+		if h <= 0 {
+			allHinted = false
+			break
+		}
+		sum += h
+	}
+	if allHinted && sum > 0 {
+		share = st.hints[conn] / sum
+	} else if n := len(st.hints); n > 0 {
+		share = 1 / float64(n)
+	} else {
+		share = 1
+	}
+	t := int(math.Ceil(float64(st.remaining) * share / 2))
+	if t < 1 {
+		t = 1
+	}
+	if st.opts.MaxSpan > 0 && t > st.opts.MaxSpan {
+		t = st.opts.MaxSpan
+	}
+	return t
+}
+
+// beginSpan charges one attempt for every cell of [lo, hi) and returns the
+// highest per-cell attempt number — or an error when some cell's budget is
+// already spent, which fails the run.
+func (st *dynState) beginSpan(lo, hi int) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	maxAttempt := 0
+	for i := lo; i < hi; i++ {
+		if st.attempts[i] >= st.opts.MaxAttempts {
+			st.finishLocked(fmt.Errorf("coord: cell %d failed %d attempt(s), budget spent", i, st.attempts[i]))
+			return 0, st.failure
+		}
+		st.attempts[i]++
+		if st.attempts[i] > maxAttempt {
+			maxAttempt = st.attempts[i]
+		}
+	}
+	st.stats.Assignments++
+	st.lastProgress = time.Now()
+	return maxAttempt, nil
+}
+
+// requeue returns the un-folded cells of [lo, hi) to the work queue. stolen
+// marks the cells as stolen from a straggler (deadline expiry, as opposed
+// to a reported failure or a vanished worker), and split re-splits the span
+// in half so two workers can absorb the backlog.
+func (st *dynState) requeue(lo, hi int, stolen, split bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Trim cells already folded (a duplicate delivery race can fold a
+	// prefix); only un-folded cells go back.
+	for lo < hi && st.sinks[lo] != nil {
+		lo++
+	}
+	if lo >= hi || st.finished {
+		return
+	}
+	if stolen {
+		st.stats.StolenCells += hi - lo
+	}
+	st.lastProgress = time.Now()
+	if split && hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		st.stats.Resplits++
+		st.work <- span{lo, mid}
+		st.work <- span{mid, hi}
+		return
+	}
+	st.work <- span{lo, hi}
+}
+
+// offer validates and records one cell snapshot; the fold is at-most-once
+// per cell (ErrDuplicateShard on a repeat).
+func (st *dynState) offer(cell int, snapshot []byte, jobs int) error {
+	sink, meta, err := analyze.ReadSnapshotMeta(bytes.NewReader(snapshot))
+	if err != nil {
+		return err
+	}
+	mi, ok := analyze.MetaShardIndex(meta)
+	if !ok || mi != cell {
+		return fmt.Errorf("coord: snapshot provenance %q does not name cell %d", meta, cell)
+	}
+	base := analyze.MetaBase(meta)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.baseSet && base != st.base {
+		return fmt.Errorf("coord: cell %d from a different run (provenance %q, want base %q)", cell, base, st.base)
+	}
+	if st.sinks[cell] != nil {
+		return fmt.Errorf("%w: cell %d (provenance %q)", ErrDuplicateShard, cell, meta)
+	}
+	if !st.baseSet {
+		st.base, st.baseSet = base, true
+	}
+	st.sinks[cell] = sink
+	st.counts[cell] = jobs
+	st.remaining--
+	st.lastProgress = time.Now()
+	if st.remaining == 0 {
+		st.finishLocked(nil)
+	}
+	return nil
+}
+
+func (st *dynState) checkStalled(timeout time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished || st.remaining == 0 || !st.everConnected {
+		return
+	}
+	for _, state := range st.conns {
+		if state == connBusy {
+			return
+		}
+	}
+	if idle := time.Since(st.lastProgress); idle > timeout {
+		st.finishLocked(fmt.Errorf("coord: %d cell(s) pending with no active workers for %v (all workers lost?)", st.remaining, idle.Round(time.Millisecond)))
+	}
+}
+
+// serve drives one work-stealing worker connection: handshake, then assign
+// capacity-sized spans and collect per-cell results until the run completes.
+func (st *dynState) serve(conn net.Conn) {
+	defer st.handlers.Done()
+	defer st.untrack(conn)
+
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	typ, p, err := readFrameCapped(conn, maxHelloFrame)
+	if err != nil || typ != msgHello {
+		st.opts.Logf("coord: %s: handshake rejected", conn.RemoteAddr())
+		return
+	}
+	hint, herr := decodeHello(p)
+	if herr != nil {
+		st.opts.Logf("coord: %s: handshake rejected (%v)", conn.RemoteAddr(), herr)
+		return
+	}
+	if err := writeFrame(conn, msgHello, encodeHello()); err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	st.admit(conn, hint)
+
+	for {
+		st.setIdle(conn)
+		var s span
+		select {
+		case s = <-st.work:
+			if !st.setBusy(conn) {
+				st.requeue(s.lo, s.hi, false, false)
+				return
+			}
+		case <-st.done:
+			st.mu.Lock()
+			failure := st.failure
+			st.mu.Unlock()
+			if failure != nil {
+				writeFrame(conn, msgAbort, encodeAbort(failure.Error()))
+			} else {
+				writeFrame(conn, msgDone, nil)
+			}
+			return
+		case <-st.ctx.Done():
+			return
+		}
+		// Trim the span to the worker's capacity-weighted target, leaving
+		// the rest queued for others.
+		if t := st.target(conn); s.hi-s.lo > t {
+			st.requeue(s.lo+t, s.hi, false, false)
+			s.hi = s.lo + t
+		}
+		attempt, err := st.beginSpan(s.lo, s.hi)
+		if err != nil {
+			return
+		}
+		a := RangeAssignment{
+			Cells:      st.cells,
+			Lo:         s.lo,
+			Hi:         s.hi,
+			Attempt:    attempt,
+			Provenance: st.opts.Provenance,
+			Payload:    st.payload,
+		}
+		if err := writeFrame(conn, msgRange, encodeRange(a)); err != nil {
+			st.opts.Logf("coord: cells [%d, %d): send to %s failed (%v); requeueing", s.lo, s.hi, conn.RemoteAddr(), err)
+			st.requeue(s.lo, s.hi, false, false)
+			return
+		}
+		// Collect one frame per cell, resetting the progress deadline after
+		// each — a straggler is detected per cell, not per range.
+		next := s.lo
+	collect:
+		for next < s.hi {
+			if st.opts.CellTimeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(st.opts.CellTimeout))
+			}
+			typ, p, err := readFrame(conn)
+			if err != nil {
+				stolen := false
+				if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+					stolen = true
+					st.opts.Logf("coord: cells [%d, %d) stalled on %s (%v); re-splitting for other workers", next, s.hi, conn.RemoteAddr(), err)
+				} else {
+					st.opts.Logf("coord: worker %s lost with cells [%d, %d) in flight (%v); requeueing", conn.RemoteAddr(), next, s.hi, err)
+				}
+				st.requeue(next, s.hi, stolen, true)
+				return
+			}
+			switch typ {
+			case msgResult:
+				cell, _, jobs, snapshot, derr := decodeResult(p)
+				if derr != nil || cell != next {
+					st.opts.Logf("coord: bad result from %s (%v, cell %d, expected %d); requeueing tail", conn.RemoteAddr(), derr, cell, next)
+					st.requeue(next, s.hi, false, true)
+					return
+				}
+				if err := st.offer(cell, snapshot, jobs); err != nil {
+					st.opts.Logf("coord: cell %d snapshot from %s rejected (%v); requeueing tail", cell, conn.RemoteAddr(), err)
+					st.requeue(next, s.hi, false, true)
+					return
+				}
+				next++
+			case msgFail:
+				failCell, _, msg, derr := decodeFail(p)
+				if derr != nil || failCell < next || failCell >= s.hi {
+					if derr == nil {
+						derr = fmt.Errorf("failure names cell %d outside [%d, %d)", failCell, next, s.hi)
+					}
+					st.opts.Logf("coord: bad failure report from %s (%v); requeueing tail", conn.RemoteAddr(), derr)
+					st.requeue(next, s.hi, false, true)
+					return
+				}
+				st.opts.Logf("coord: worker %s reports at cell %d: %s; requeueing [%d, %d)", conn.RemoteAddr(), failCell, msg, failCell, s.hi)
+				st.requeue(failCell, s.hi, false, false)
+				// The worker is alive and spoke the protocol; pause briefly
+				// before it pulls again so another parked worker can take
+				// the requeued span first.
+				conn.SetReadDeadline(time.Time{})
+				select {
+				case <-st.done:
+				case <-time.After(failedShardBackoff):
+				}
+				break collect
+			default:
+				st.opts.Logf("coord: unexpected %q frame from %s; requeueing tail", typ, conn.RemoteAddr())
+				st.requeue(next, s.hi, false, true)
+				return
+			}
+		}
+		conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// fold merges the per-cell sinks in cell order — the identical fold shape
+// (and bytes) of the single-process partition-grid run.
+func (st *dynState) fold() (analyze.Sink, []int, error) {
+	var total analyze.Sink
+	start := 0
+	if st.opts.NewSink != nil {
+		s, err := st.opts.NewSink()
+		if err != nil {
+			return nil, nil, fmt.Errorf("coord: %w", err)
+		}
+		total = s
+	} else {
+		total = st.sinks[0]
+		start = 1
+	}
+	for i := start; i < st.cells; i++ {
+		if err := total.Merge(st.sinks[i]); err != nil {
+			return nil, nil, fmt.Errorf("coord: fold cell %d: %w", i, err)
+		}
+	}
+	counts := make([]int, st.cells)
+	copy(counts, st.counts)
+	return total, counts, nil
+}

@@ -43,6 +43,7 @@ import (
 const (
 	msgHello  byte = 'H'
 	msgAssign byte = 'A'
+	msgRange  byte = 'G'
 	msgResult byte = 'R'
 	msgFail   byte = 'F'
 	msgDone   byte = 'D'
@@ -118,27 +119,48 @@ func readFrameCapped(r io.Reader, max uint32) (byte, []byte, error) {
 
 // encodeHello builds the handshake payload.
 func encodeHello() []byte {
-	w := binenc.NewWriter(16)
+	return encodeHelloHint(0)
+}
+
+// encodeHelloHint builds a handshake payload carrying the sender's
+// throughput hint (jobs/sec a worker expects to sustain; zero means
+// unknown). The hint rides after the fixed fields, where pre-hint peers
+// never look — decodeHello has always tolerated trailing bytes — so the
+// protocol version did not move.
+func encodeHelloHint(hint float64) []byte {
+	w := binenc.NewWriter(24)
 	w.Str(protoMagic)
 	w.U8(protoVersion)
+	if hint > 0 {
+		w.F64(hint)
+	}
 	return w.Bytes()
 }
 
-// decodeHello verifies a handshake payload.
-func decodeHello(p []byte) error {
+// decodeHello verifies a handshake payload and returns the peer's
+// throughput hint (zero when absent or meaningless — a hello without the
+// trailing field is a valid pre-hint peer).
+func decodeHello(p []byte) (float64, error) {
 	r := binenc.NewReader(p)
 	magic := r.Str()
 	version := r.U8()
 	if err := r.Err(); err != nil {
-		return fmt.Errorf("coord: malformed hello: %w", err)
+		return 0, fmt.Errorf("coord: malformed hello: %w", err)
 	}
 	if magic != protoMagic {
-		return fmt.Errorf("coord: not a coordinator/worker peer (magic %q)", magic)
+		return 0, fmt.Errorf("coord: not a coordinator/worker peer (magic %q)", magic)
 	}
 	if version != protoVersion {
-		return fmt.Errorf("coord: protocol version %d, want %d", version, protoVersion)
+		return 0, fmt.Errorf("coord: protocol version %d, want %d", version, protoVersion)
 	}
-	return nil
+	var hint float64
+	if r.Len() >= 8 {
+		hint = r.F64()
+	}
+	if r.Err() != nil || hint < 0 || hint != hint {
+		hint = 0
+	}
+	return hint, nil
 }
 
 // Assignment is one unit of work a coordinator hands a worker: evaluate
@@ -181,6 +203,52 @@ func decodeAssign(p []byte) (Assignment, error) {
 	}
 	if a.Shards < 1 || a.Index < 0 || a.Index >= a.Shards {
 		return Assignment{}, fmt.Errorf("coord: assignment names shard %d of %d", a.Index, a.Shards)
+	}
+	return a, nil
+}
+
+// RangeAssignment is one micro-shard of the work-stealing mode: evaluate
+// the contiguous cell span [Lo, Hi) of a Cells-wide partition grid and
+// stream one result frame per cell, in cell order. Payload and Provenance
+// mean what they do in Assignment; Attempt is the highest per-cell attempt
+// number the span carries (every cell's attempt was charged when the span
+// was assigned).
+type RangeAssignment struct {
+	Cells      int
+	Lo, Hi     int
+	Attempt    int
+	Provenance string
+	Payload    []byte
+}
+
+// encodeRange builds a range-assign payload.
+func encodeRange(a RangeAssignment) []byte {
+	w := binenc.NewWriter(40 + len(a.Provenance) + len(a.Payload))
+	w.Int(a.Cells)
+	w.Int(a.Lo)
+	w.Int(a.Hi)
+	w.Int(a.Attempt)
+	w.Str(a.Provenance)
+	w.Raw(a.Payload)
+	return w.Bytes()
+}
+
+// decodeRange parses a range-assign payload.
+func decodeRange(p []byte) (RangeAssignment, error) {
+	r := binenc.NewReader(p)
+	a := RangeAssignment{
+		Cells:   r.Int(),
+		Lo:      r.Int(),
+		Hi:      r.Int(),
+		Attempt: r.Int(),
+	}
+	a.Provenance = r.Str()
+	a.Payload = r.Raw()
+	if err := r.Err(); err != nil {
+		return RangeAssignment{}, fmt.Errorf("coord: malformed range assignment: %w", err)
+	}
+	if a.Cells < 1 || a.Lo < 0 || a.Lo >= a.Hi || a.Hi > a.Cells {
+		return RangeAssignment{}, fmt.Errorf("coord: range assignment names cells [%d, %d) of %d", a.Lo, a.Hi, a.Cells)
 	}
 	return a, nil
 }

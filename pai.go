@@ -149,6 +149,17 @@ type (
 	ColumnReader = colbin.Reader
 	// ColumnWriter encodes job records into columnar colbin blocks.
 	ColumnWriter = colbin.Writer
+	// ColumnIndexedReader serves disjoint block ranges of one index-bearing
+	// colbin file to concurrent segment readers — the seekable counterpart
+	// of ColumnReader's sequential scan.
+	ColumnIndexedReader = colbin.IndexedReader
+	// ColumnIndex is a decoded colbin block index: per-block byte offsets,
+	// record counts and arrival-time ranges, plus the deterministic
+	// Partition grid parallel and distributed folds share.
+	ColumnIndex = colbin.Index
+	// BlockRange is one contiguous half-open block span of a partition
+	// grid — the micro-shard unit of parallel and distributed decode.
+	BlockRange = colbin.Range
 	// BreakdownAccumulator folds streamed evaluation results into the
 	// collective aggregates in O(1) memory per job; shard accumulators
 	// merge exactly.
@@ -209,6 +220,22 @@ type (
 	// DistributedRunner evaluates one shard assignment on the worker side,
 	// returning the filled sink, its provenance string, and the job count.
 	DistributedRunner = coord.Runner
+
+	// MicroShardAssignment is one work-stealing range assignment: evaluate
+	// the contiguous cell span [Lo, Hi) of a Cells-wide partition grid and
+	// emit one snapshot per cell, in cell order.
+	MicroShardAssignment = coord.RangeAssignment
+	// MicroShardOptions tunes a work-stealing run: per-cell progress
+	// deadline (stalled tails are re-split and stolen), per-cell attempt
+	// budget, span cap, provenance base, fold-base factory.
+	MicroShardOptions = coord.DynamicOptions
+	// MicroShardStats reports what the work-stealing scheduler did: workers
+	// admitted, range assignments sent, cells stolen from stragglers, range
+	// re-splits.
+	MicroShardStats = coord.DynamicStats
+	// MicroShardRunner evaluates one range assignment on the worker side,
+	// emitting each cell's sink the moment it is folded.
+	MicroShardRunner = coord.RangeRunner
 
 	// BuildInfo identifies one build of this module, derived from the
 	// metadata the Go toolchain stamps into every binary. All cmd/* binaries
@@ -374,6 +401,42 @@ func NewColumnWriterBlockRecords(w io.Writer, blockRecords int) *ColumnWriter {
 	return colbin.NewWriterBlockRecords(w, blockRecords)
 }
 
+// ErrNoColumnIndex reports a colbin file without a usable block index —
+// written before the index footer existed, written with
+// ColumnWriter.OmitIndex, or carrying a footer that fails validation.
+// Callers fall back to the sequential scan (NewColumnReader); test with
+// errors.Is.
+var ErrNoColumnIndex = colbin.ErrNoIndex
+
+// ErrTruncatedTrace reports a colbin file that ends in the middle of a
+// frame — a truncated copy or interrupted write, as opposed to the clean
+// io.EOF a complete stream ends with. The error message carries the
+// 1-based block position of the cut; test with errors.Is.
+var ErrTruncatedTrace = colbin.ErrTruncatedTrace
+
+// DefaultGrainRecords is the default micro-shard grain of the partition
+// grid (records per cell): small enough that a skewed file still splits
+// into many cells for stealing and large enough that per-cell sink-merge
+// overhead stays negligible.
+const DefaultGrainRecords = 1 << 16
+
+// NewIndexedColumnReader opens a colbin file of the given size for seekable
+// block-range reads — the input of Engine.EvaluateIndexedColumns and the
+// distributed micro-shard fold. It fails with ErrNoColumnIndex when the
+// file carries no usable index; callers degrade to NewColumnReader's
+// sequential scan. The ReaderAt must support concurrent ReadAt calls
+// (os.File and bytes.Reader do).
+func NewIndexedColumnReader(ra io.ReaderAt, size int64) (*ColumnIndexedReader, error) {
+	return colbin.NewIndexedReader(ra, size)
+}
+
+// ReadColumnIndex reads and validates just the block index of a colbin
+// file, without constructing range readers — for planners that only need
+// the partition grid or the per-block arrival-time bounds.
+func ReadColumnIndex(ra io.ReaderAt, size int64) (*ColumnIndex, error) {
+	return colbin.ReadIndex(ra, size)
+}
+
 // NewBreakdownAccumulator returns an empty streaming aggregate accumulator.
 func NewBreakdownAccumulator() *BreakdownAccumulator { return analyze.NewBreakdownAccumulator() }
 
@@ -447,6 +510,27 @@ func CoordinateShards(ctx context.Context, ln net.Listener, shards int, payload 
 // Engine can use Engine.DistributedWorker instead).
 func ServeShardWorker(ctx context.Context, addr string, run DistributedRunner) error {
 	return coord.Work(ctx, addr, run)
+}
+
+// CoordinateMicroShards runs the work-stealing coordinator: workers that
+// connect to ln pull contiguous cell ranges of a cells-wide partition grid,
+// sized by their advertised throughput and halved against the pending
+// backlog; a worker that stalls past the per-cell deadline has its
+// in-flight tail re-split and requeued for other workers to steal. Per-cell
+// snapshots fold in cell order, so the merged sink is byte-identical to the
+// single-process Engine.EvaluateIndexedColumns run over the same grid no
+// matter how cells were distributed, stolen, or retried. It returns the
+// merged sink, per-cell job counts, and scheduler statistics.
+func CoordinateMicroShards(ctx context.Context, ln net.Listener, cells int, payload []byte, opts MicroShardOptions) (Sink, []int, MicroShardStats, error) {
+	return coord.RunDynamic(ctx, ln, cells, payload, opts)
+}
+
+// ServeMicroShardWorker dials a work-stealing coordinator and serves range
+// assignments with run until the run completes — the worker half of
+// CoordinateMicroShards. hint advertises this worker's expected jobs/sec
+// throughput for capacity-weighted range sizing (0 = unknown).
+func ServeMicroShardWorker(ctx context.Context, addr string, hint float64, run MicroShardRunner) error {
+	return coord.WorkDynamic(ctx, addr, hint, run)
 }
 
 // Version reads the running binary's build metadata (module path, version,
