@@ -13,6 +13,9 @@
 //	         [-o result.json]
 //	paibench -trace FILE [-format auto|json|ndjson|colbin] [flags]
 //	paibench -trace FILE -par-file N [-microshard G] [flags]
+//	paibench -trace FILE -replay [-policy P] [-servers N] [-queue-limit Q]
+//	         [-straggler-frac F] [-straggler-mult M] [-replay-steps S]
+//	         [-replay-snapshot FILE] [flags]
 //	paibench -emit-shard shard.snap -shards M -shard-index K [flags]
 //	paibench -merge [-o result.json] shard0.snap shard1.snap ...
 //	paibench -coordinate ADDR [-workers N] [-chaos N] [-shard-timeout D]
@@ -100,6 +103,16 @@
 // after their first) — the steal-injection smoke CI runs; the result
 // JSON reports micro_shards, micro_shard_assignments, stolen_cells,
 // resplits and coord_workers.
+//
+// -replay switches from infinite-capacity evaluation to discrete-event
+// cluster replay: the -trace stream is scheduled onto -servers servers under
+// a registered policy (-policy, default fifo), per-job occupancy comes from
+// the engine's backend, and the result JSON gains a replay section (admission
+// counters, makespan, utilization, queue-delay quantiles) that benchdiff
+// -smoke gates. -replay-snapshot additionally writes the merged fleet-sink
+// snapshot; because the replay event loop is deterministic, two runs over the
+// same trace and parameters produce byte-identical snapshot files at any
+// -par (the replay smoke CI compares them with cmp).
 //
 // With -codec the jobs additionally round-trip through the NDJSON
 // encoder/decoder over an in-process pipe (one pipe per shard), measuring
@@ -232,6 +245,11 @@ type Result struct {
 	CDF        *CDFSection  `json:"cdf,omitempty"`
 	Projection *ProjSection `json:"projection,omitempty"`
 
+	// Replay reports the discrete-event cluster replay (-replay): the -trace
+	// stream scheduled onto a finite GPU inventory instead of evaluated at
+	// infinite capacity.
+	Replay *ReplaySection `json:"replay,omitempty"`
+
 	Note string `json:"note,omitempty"`
 }
 
@@ -268,6 +286,34 @@ type ProjSection struct {
 	MeanThroughputSpeedup float64 `json:"mean_throughput_speedup"`
 	NodeSpeedupP50        float64 `json:"node_speedup_p50"`
 	NodeSpeedupP99        float64 `json:"node_speedup_p99"`
+}
+
+// ReplaySection is the fleet-level summary of one -replay run: admission
+// and completion counters, the schedule's makespan against the arrival
+// horizon, aggregate and peak-window GPU utilization, and queue-delay
+// quantiles from the per-class CDF sink — the numbers the replay smoke CI
+// asserts with benchdiff -smoke.
+type ReplaySection struct {
+	Policy     string `json:"policy"`
+	Servers    int    `json:"servers"`
+	GPUs       int    `json:"gpus"`
+	Submitted  int    `json:"submitted"`
+	Completed  int    `json:"completed"`
+	Rejected   int    `json:"rejected"`
+	Stragglers int    `json:"stragglers"`
+
+	MakespanSec float64 `json:"makespan_sec"`
+	HorizonSec  float64 `json:"horizon_sec"`
+	GPUSeconds  float64 `json:"gpu_seconds"`
+	// Utilization is GPUSeconds / (GPUs x Makespan); PeakWindowUtilization
+	// is the busiest utilization-sink window.
+	Utilization           float64 `json:"utilization"`
+	PeakWindowUtilization float64 `json:"peak_window_utilization"`
+
+	MeanQueueDelaySec float64 `json:"mean_queue_delay_sec"`
+	QueueDelayP50     float64 `json:"queue_delay_p50"`
+	QueueDelayP99     float64 `json:"queue_delay_p99"`
+	MaxQueueDepth     int     `json:"max_queue_depth"`
 }
 
 // Fidelity holds the streamed trace's collective aggregates next to the
@@ -381,6 +427,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	microshard := fs.Int("microshard", pai.DefaultGrainRecords,
 		"partition-grid cell size in records for -par-file and -coordinate -trace (a cell never splits a block)")
 	full := fs.Bool("full", false, "stream through the full report sink (breakdowns + CDF sketches + projection) and emit the cdf/projection sections")
+	replayMode := fs.Bool("replay", false,
+		"discrete-event cluster replay: schedule the -trace stream onto a finite GPU inventory and report the fleet-level replay section instead of the streaming benchmark")
+	policy := fs.String("policy", "",
+		"with -replay: scheduling policy ("+strings.Join(pai.SchedulerPolicies(), ", ")+"; default fifo)")
+	servers := fs.Int("servers", pai.DefaultReplayServers,
+		"with -replay: cluster capacity in servers (GPUs = servers x the config's GPUs per server)")
+	queueLimit := fs.Int("queue-limit", 0,
+		"with -replay: reject arrivals while the pending queue holds this many jobs (0 = unbounded)")
+	stragglerFrac := fs.Float64("straggler-frac", 0,
+		"with -replay: fraction of jobs sampled (deterministically in -seed) as stragglers")
+	stragglerMult := fs.Float64("straggler-mult", 2,
+		"with -replay -straggler-frac: occupancy multiplier (>= 1) applied to sampled stragglers")
+	replaySteps := fs.Int("replay-steps", 1,
+		"with -replay: steps every job runs for (occupancy = steps x modeled step time)")
+	replaySnapshot := fs.String("replay-snapshot", "",
+		"with -replay: write the merged fleet-sink snapshot (counters + queue-delay CDFs + utilization timeline) to this file; byte-identical across runs and -par values")
 	emitShard := fs.String("emit-shard", "",
 		"worker mode: write this process's full-sink snapshot to the given file instead of a result JSON")
 	merge := fs.Bool("merge", false,
@@ -444,13 +506,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 	modes := 0
-	for _, on := range []bool{*merge, *emitShard != "", *coordinate != "", *workerAddr != ""} {
+	for _, on := range []bool{*merge, *emitShard != "", *coordinate != "", *workerAddr != "", *replayMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-merge, -emit-shard, -coordinate and -worker are mutually exclusive")
+		return fmt.Errorf("-merge, -emit-shard, -coordinate, -worker and -replay are mutually exclusive")
 	}
 	if *workerAddr != "" {
 		if fs.NArg() > 0 {
@@ -505,6 +567,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *tracePath != "" {
 		if *shards > 1 || *shardIndex >= 0 || *emitShard != "" || *codec {
 			return fmt.Errorf("-trace evaluates one recorded file; it excludes -shards, -emit-shard and -codec")
+		}
+	}
+	if *replayMode {
+		if *tracePath == "" {
+			return fmt.Errorf("-replay schedules a recorded submission stream; it requires -trace")
+		}
+		if *parFile > 0 || *full {
+			return fmt.Errorf("-replay has its own fleet sinks; it excludes -par-file and -full")
+		}
+	} else {
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "policy", "servers", "queue-limit", "straggler-frac",
+				"straggler-mult", "replay-steps", "replay-snapshot":
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("%s require(s) -replay", strings.Join(stray, ", "))
 		}
 	}
 	cfg := config{
@@ -575,6 +657,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runEmitShard(eng, cfg, *emitShard, stderr)
 	}
 
+	if *replayMode {
+		return runReplay(eng, cfg, replayParams{
+			policy: *policy, servers: *servers, queueLimit: *queueLimit,
+			stragglerFrac: *stragglerFrac, stragglerMult: *stragglerMult,
+			steps: *replaySteps, snapshotPath: *replaySnapshot,
+		}, *out, stdout, stderr)
+	}
+
 	res, err := measure(eng, cfg, stderr)
 	if err != nil {
 		return err
@@ -615,6 +705,120 @@ func run(args []string, stdout, stderr io.Writer) error {
 		res.Jobs, res.ElapsedSec, res.JobsPerSec, res.Shards, res.AllocsPerJob,
 		float64(res.PeakHeapBytes)/(1<<20), res.CacheHitRate*100, res.CodecNsPerRecord,
 		res.JobsPerSecColumns, blockHits, blockHits+blockMisses)
+	return nil
+}
+
+// replayParams is the -replay parameterization: the scheduling policy,
+// the cluster inventory, admission control, and straggler injection.
+type replayParams struct {
+	policy        string
+	servers       int
+	queueLimit    int
+	stragglerFrac float64
+	stragglerMult float64
+	steps         int
+	snapshotPath  string
+}
+
+// runReplay is -replay mode: stream the recorded -trace through the
+// discrete-event replay engine against a finite cluster, emit a result JSON
+// whose replay section carries the fleet-level summary, and optionally write
+// the merged fleet-sink snapshot for byte-identity checks. Replay is
+// deterministic — the same trace and parameters produce byte-identical
+// snapshots at any -par.
+func runReplay(eng *pai.Engine, cfg config, rp replayParams, out string, stdout, stderr io.Writer) error {
+	f, err := os.Open(cfg.tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := pai.OpenTraceSource(f, cfg.traceFormat)
+	if err != nil {
+		return fmt.Errorf("%s: %w", cfg.tracePath, err)
+	}
+
+	opts := []pai.ReplayOption{
+		pai.WithReplayServers(rp.servers),
+		pai.WithReplayStragglerSeed(cfg.seed),
+	}
+	if rp.policy != "" {
+		opts = append(opts, pai.WithReplayPolicy(rp.policy))
+	}
+	if rp.queueLimit > 0 {
+		opts = append(opts, pai.WithReplayQueueLimit(rp.queueLimit))
+	}
+	if rp.stragglerFrac > 0 {
+		opts = append(opts, pai.WithReplayStragglers(rp.stragglerFrac, rp.stragglerMult))
+	}
+	if rp.steps > 1 {
+		opts = append(opts, pai.WithReplaySteps(rp.steps))
+	}
+
+	start := time.Now()
+	rr, err := eng.Replay(context.Background(), src, opts...)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	st := rr.Stats
+	sec := &ReplaySection{
+		Policy:                st.Policy,
+		Servers:               st.Servers,
+		GPUs:                  st.GPUs,
+		Submitted:             st.Submitted,
+		Completed:             st.Completed,
+		Rejected:              st.Rejected,
+		Stragglers:            st.Stragglers,
+		MakespanSec:           st.Makespan,
+		HorizonSec:            st.Horizon,
+		GPUSeconds:            st.GPUSeconds,
+		Utilization:           st.Utilization,
+		PeakWindowUtilization: rr.Utilization.Peak(),
+		MeanQueueDelaySec:     st.MeanQueueDelay(),
+		MaxQueueDepth:         st.MaxQueueDepth,
+	}
+	if ov := rr.QueueDelay.Overall(); ov.Weight() > 0 {
+		sec.QueueDelayP50 = ov.Quantile(0.50)
+		sec.QueueDelayP99 = ov.Quantile(0.99)
+	}
+
+	if rp.snapshotPath != "" {
+		sf, err := os.Create(rp.snapshotPath)
+		if err != nil {
+			return err
+		}
+		meta := fmt.Sprintf("replay policy=%s servers=%d seed=%d trace=%s",
+			st.Policy, st.Servers, cfg.seed, cfg.tracePath)
+		if err := pai.WriteSinkSnapshotMeta(sf, rr.Sinks, meta); err != nil {
+			sf.Close()
+			return fmt.Errorf("-replay-snapshot: %w", err)
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+	}
+
+	res := &Result{
+		Schema:      "paibench/1",
+		Jobs:        st.Submitted,
+		Seed:        cfg.seed,
+		Backend:     eng.Backend(),
+		Workers:     eng.Parallelism(),
+		Shards:      1,
+		ElapsedSec:  elapsed,
+		JobsPerSec:  float64(st.Submitted) / elapsed,
+		TraceFile:   cfg.tracePath,
+		TraceFormat: cfg.traceFormat,
+		Replay:      sec,
+	}
+	if err := writeResult(res, out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "paibench: replayed %d jobs on %d servers (%d GPUs, policy %s) in %.2fs — %d completed, %d rejected, %d stragglers, makespan %.0fs, utilization %.1f%%, mean wait %.1fs\n",
+		st.Submitted, st.Servers, st.GPUs, st.Policy, elapsed,
+		st.Completed, st.Rejected, st.Stragglers, st.Makespan,
+		st.Utilization*100, st.MeanQueueDelay())
 	return nil
 }
 

@@ -34,6 +34,8 @@ func run(args []string, stdout io.Writer) error {
 	list := fs.Bool("list", false, "list artifact ids and exit")
 	backendName := fs.String("backend", "analytical",
 		"evaluation backend ("+strings.Join(pai.Backends(), ", ")+")")
+	replayPolicy := fs.String("replay-policy", "",
+		"scheduling policy for the cluster-replay extension ("+strings.Join(pai.SchedulerPolicies(), ", ")+"; default fifo)")
 	par := fs.Int("par", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	showVersion := fs.Bool("version", false, "print build/version information and exit")
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	suite.ReplayPolicy = *replayPolicy
 	if *only != "" {
 		a, err := suite.Run(*only)
 		if err != nil {

@@ -50,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"omit the colbin block-index footer; the file loses seekable parallel decode and always falls back to the sequential scan (colbin output only)")
 	summary := fs.Bool("summary", false, "batch-evaluate the trace and report mean step time (json format only)")
 	rate := fs.Float64("rate", 0,
-		"stamp each job's arrival_sec with a Poisson arrival process of this rate in jobs/hour (0 = no stamping)")
+		"stamp each job's arrival_sec with a Poisson arrival process of this rate in jobs/hour (must be positive when given; omit for no stamping)")
 	fixedInterval := fs.Bool("fixed-interval", false,
 		"with -rate: stamp exactly periodic arrivals (every 3600/rate seconds) instead of Poisson gaps")
 	showVersion := fs.Bool("version", false, "print build/version information and exit")
@@ -60,6 +60,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *showVersion {
 		fmt.Fprintln(stdout, version.Get())
 		return nil
+	}
+
+	// An explicit -rate must stamp arrivals: a non-positive value would
+	// silently produce an unstamped trace that replay later refuses
+	// (ErrNoArrivals), so refuse it here with the fix in hand.
+	rateSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "rate" {
+			rateSet = true
+		}
+	})
+	if rateSet && *rate <= 0 {
+		return fmt.Errorf("-rate %v: arrival rate must be positive (jobs/hour); "+
+			"omit -rate entirely for an unstamped trace", *rate)
+	}
+	if rateSet && *convert != "" {
+		return fmt.Errorf("-rate applies to generation, not -convert (arrival stamps pass through conversion unchanged)")
 	}
 
 	name := *format

@@ -52,6 +52,37 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRateValidation: an explicit non-positive -rate is a flag error — it
+// would otherwise silently produce an unstamped trace that replay later
+// refuses with ErrNoArrivals — and -rate cannot combine with -convert
+// (stamps pass through conversion unchanged).
+func TestRateValidation(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, rate := range []string{"0", "-3"} {
+		if err := run([]string{"-jobs", "5", "-rate", rate}, &out, &errw); err == nil {
+			t.Errorf("expected error for -rate %s", rate)
+		} else if !strings.Contains(err.Error(), "must be positive") {
+			t.Errorf("-rate %s: error %q should name the positivity requirement", rate, err)
+		}
+	}
+	in := filepath.Join(t.TempDir(), "in.json")
+	if err := run([]string{"-jobs", "5", "-o", in}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-convert", in, "-rate", "100"}, &out, &errw); err == nil {
+		t.Error("expected error for -rate with -convert")
+	}
+	// A positive rate stamps arrivals: every job after the first carries a
+	// strictly positive arrival_sec.
+	var stamped, errw2 bytes.Buffer
+	if err := run([]string{"-jobs", "50", "-rate", "3600"}, &stamped, &errw2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stamped.String(), "\"arrival_sec\"") {
+		t.Error("-rate trace should carry arrival_sec stamps")
+	}
+}
+
 // TestNoIndexOmitsFooter: -no-index must produce a colbin file without the
 // seekable footer (indexed opens fail with ErrNoColumnIndex), while the
 // default keeps it; both files stay sequentially decodable.

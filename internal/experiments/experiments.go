@@ -43,6 +43,9 @@ type Suite struct {
 	Backend backend.Backend
 	// Parallelism caps the per-job evaluation worker pool.
 	Parallelism int
+	// ReplayPolicy names the scheduling policy the cluster-replay extension
+	// (EXT-6) runs under; empty selects FIFO (see sched.PolicyNames).
+	ReplayPolicy string
 }
 
 // NewSuite generates the default calibrated trace and model. Pass numJobs <=

@@ -2,16 +2,19 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/analyze"
 	"repro/internal/arch"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/project"
+	"repro/internal/replay"
 	"repro/internal/report"
-	"repro/internal/sched"
 	"repro/internal/simnet"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -57,7 +60,7 @@ func (s *Suite) Ext1ResourceSavings() (Artifact, error) {
 	if len(ps) == 0 {
 		return Artifact{}, fmt.Errorf("no PS jobs in trace")
 	}
-	var before, after []sched.Job
+	var before, after []workload.Features
 	for _, f := range ps {
 		if len(before) >= maxJobs {
 			break
@@ -66,18 +69,32 @@ func (s *Suite) Ext1ResourceSavings() (Artifact, error) {
 		if f.CNodes > numServers {
 			continue
 		}
-		before = append(before, sched.Job{Features: f, Steps: steps})
 		mapped, err := project.Map(f, project.ToAllReduceLocal, s.Config.GPUsPerServer)
 		if err != nil {
 			return Artifact{}, err
 		}
-		after = append(after, sched.Job{Features: mapped, Steps: steps})
+		// Batch replay: every job submitted at t=0, so the comparison
+		// isolates placement pressure from the arrival process.
+		f.ArrivalSec, mapped.ArrivalSec = 0, 0
+		before = append(before, f)
+		after = append(after, mapped)
 	}
-	resBefore, err := sched.SimulateWith(s.Backend, s.Config, numServers, before)
+	cl, err := cluster.New(s.Config, numServers)
 	if err != nil {
 		return Artifact{}, err
 	}
-	resAfter, err := sched.SimulateWith(s.Backend, s.Config, numServers, after)
+	cfg := replay.Config{
+		Cluster:        cl,
+		AllowUnstamped: true,
+		Steps:          func(int, workload.Features) int { return steps },
+	}
+	resBefore, err := replay.Run(context.Background(), s.Backend, s.Parallelism,
+		stream.NewSliceSource(before), cfg, nil)
+	if err != nil {
+		return Artifact{}, err
+	}
+	resAfter, err := replay.Run(context.Background(), s.Backend, s.Parallelism,
+		stream.NewSliceSource(after), cfg, nil)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -89,9 +106,9 @@ func (s *Suite) Ext1ResourceSavings() (Artifact, error) {
 		t.AddRow(name, fmt.Sprintf("%.1f%s", b, unit), fmt.Sprintf("%.1f%s", a, unit),
 			fmt.Sprintf("%+.1f%%", 100*(a-b)/b))
 	}
-	row("GPU-seconds", resBefore.TotalGPUSeconds, resAfter.TotalGPUSeconds, "")
+	row("GPU-seconds", resBefore.GPUSeconds, resAfter.GPUSeconds, "")
 	row("makespan", resBefore.Makespan, resAfter.Makespan, "s")
-	row("mean wait", resBefore.MeanWait, resAfter.MeanWait, "s")
+	row("mean wait", resBefore.MeanQueueDelay(), resAfter.MeanQueueDelay(), "s")
 	var buf bytes.Buffer
 	if err := t.Render(&buf); err != nil {
 		return Artifact{}, err

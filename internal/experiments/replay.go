@@ -2,19 +2,23 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
+	"repro/internal/cluster"
+	"repro/internal/replay"
 	"repro/internal/report"
-	"repro/internal/sched"
+	"repro/internal/stream"
 	"repro/internal/tracegen"
 	"repro/internal/workload"
 )
 
 // Ext6ClusterReplay replays a Poisson submission stream (the synthetic
 // analogue of the paper's Dec 2018 – Jan 2019 window) through the
-// discrete-event scheduler and reports cluster utilization, queueing and
+// discrete-event replay engine and reports cluster utilization, queueing and
 // per-class waiting — the operational view behind the paper's resource-share
-// statistics.
+// statistics. The scheduling policy follows Suite.ReplayPolicy (FIFO when
+// empty).
 func (s *Suite) Ext6ClusterReplay() (Artifact, error) {
 	const numServers = 128
 	const numJobs = 1500
@@ -29,64 +33,55 @@ func (s *Suite) Ext6ClusterReplay() (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	var jobs []sched.Job
-	var skipped int
-	for _, j := range schedTrace.Jobs {
-		// The replay cluster can never host PS jobs wider than its server
-		// count; the real cluster is far larger.
-		if j.Features.Class == workload.PSWorker && j.Features.CNodes > numServers {
-			skipped++
-			continue
-		}
+	feats := make([]workload.Features, len(schedTrace.Jobs))
+	steps := make([]int, len(schedTrace.Jobs))
+	for i, j := range schedTrace.Jobs {
+		f := j.Features
+		f.ArrivalSec = j.Arrival
+		feats[i] = f
 		// Bound runtimes so the replay terminates quickly while keeping the
 		// arrival process intact.
-		steps := j.Steps
-		if steps > 500 {
-			steps = 500
+		steps[i] = j.Steps
+		if steps[i] > 500 {
+			steps[i] = 500
 		}
-		jobs = append(jobs, sched.Job{Features: j.Features, Arrival: j.Arrival, Steps: steps})
 	}
-	res, err := sched.SimulateWith(s.Backend, s.Config, numServers, jobs)
+	cl, err := cluster.New(s.Config, numServers)
+	if err != nil {
+		return Artifact{}, err
+	}
+	counters := replay.NewCounterSink()
+	res, err := replay.Run(context.Background(), s.Backend, s.Parallelism,
+		stream.NewSliceSource(feats), replay.Config{
+			Cluster: cl,
+			Policy:  s.ReplayPolicy,
+			Steps:   func(i int, f workload.Features) int { return steps[i] },
+		}, counters)
 	if err != nil {
 		return Artifact{}, err
 	}
 
-	// Per-class occupancy and waiting.
-	type agg struct {
-		jobs    int
-		gpuSec  float64
-		waitSum float64
-	}
-	byClass := map[workload.Class]*agg{}
-	for _, r := range res.Records {
-		a := byClass[r.Class]
-		if a == nil {
-			a = &agg{}
-			byClass[r.Class] = a
-		}
-		a.jobs++
-		a.gpuSec += r.GPUSeconds()
-		a.waitSum += r.Wait()
-	}
+	// PS jobs wider than the server count are refused admission (the real
+	// cluster is far larger than the replay inventory).
 	t := &report.Table{Title: fmt.Sprintf(
-		"Cluster replay: %d jobs on %d servers (Poisson arrivals, %d skipped as oversized)",
-		len(jobs), numServers, skipped),
+		"Cluster replay: %d jobs on %d servers (Poisson arrivals, policy %s, %d rejected as oversized)",
+		res.Completed, numServers, res.Policy, res.Rejected),
 		Headers: []string{"class", "jobs", "GPU-second share", "mean wait"}}
 	for _, class := range classOrder() {
-		a := byClass[class]
-		if a == nil {
+		c := counters.Class(class)
+		if c.Completed == 0 {
 			continue
 		}
-		t.AddRow(class.String(), fmt.Sprintf("%d", a.jobs),
-			report.Pct(a.gpuSec/res.TotalGPUSeconds),
-			fmt.Sprintf("%.1fs", a.waitSum/float64(a.jobs)))
+		t.AddRow(class.String(), fmt.Sprintf("%d", c.Completed),
+			report.Pct(c.GPUSeconds/res.GPUSeconds),
+			fmt.Sprintf("%.1fs", c.MeanQueueDelay()))
 	}
 	var buf bytes.Buffer
 	if err := t.Render(&buf); err != nil {
 		return Artifact{}, err
 	}
 	fmt.Fprintf(&buf, "makespan %.0fs (arrival horizon %.0fs), utilization %s, mean wait %.1fs\n",
-		res.Makespan, schedTrace.Horizon, report.Pct(res.Utilization), res.MeanWait)
+		res.Makespan, schedTrace.Horizon, report.Pct(res.Utilization), res.MeanQueueDelay())
 	fmt.Fprintln(&buf, "the GPU-second shares mirror Fig. 5's cNode shares: PS/Worker jobs dominate")
 	fmt.Fprintln(&buf, "occupied resources despite being a minority of submissions")
 	return Artifact{ID: "EXT-6", Title: "Cluster replay under a Poisson submission stream",

@@ -1,0 +1,396 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/backend"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func testEvaluator(t *testing.T) backend.Evaluator {
+	t.Helper()
+	ev, err := backend.New(backend.AnalyticalName, backend.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func testCluster(t *testing.T, servers int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(hw.Baseline(), servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// quickJob is a 1w1g record whose step time is dominated by a single compute
+// term: 7.7e12 FLOPs at 11 TFLOPS x 70% = exactly 1 second per step.
+func quickJob(name string, arrival float64) workload.Features {
+	return workload.Features{
+		Name: name, Class: workload.OneWorkerOneGPU, CNodes: 1, BatchSize: 8,
+		FLOPs: 7.7e12, ArrivalSec: arrival,
+	}
+}
+
+func psJob(name string, workers int, arrival float64) workload.Features {
+	return workload.Features{
+		Name: name, Class: workload.PSWorker, CNodes: workers, BatchSize: 8,
+		FLOPs: 7.7e12, MemAccessBytes: 1e6, InputBytes: 1e3,
+		DenseWeightBytes: 1e6, ArrivalSec: arrival,
+	}
+}
+
+// captureSink records every outcome in dispatch order.
+type captureSink struct {
+	outcomes []Outcome
+}
+
+func (c *captureSink) Kind() string                                { return "test-capture" }
+func (c *captureSink) Add(f workload.Features, t core.Times) error { return nil }
+func (c *captureSink) Merge(analyze.Sink) error                    { return nil }
+func (c *captureSink) AddOutcome(o Outcome) error                  { c.outcomes = append(c.outcomes, o); return nil }
+func (c *captureSink) MarshalBinary() ([]byte, error)              { return nil, nil }
+func (c *captureSink) UnmarshalBinary([]byte) error                { return nil }
+
+// plainCountSink counts plain Add calls — the view a breakdown accumulator
+// would get.
+type plainCountSink struct {
+	adds int
+}
+
+func (p *plainCountSink) Kind() string                                { return "test-plain" }
+func (p *plainCountSink) Add(f workload.Features, t core.Times) error { p.adds++; return nil }
+func (p *plainCountSink) Merge(analyze.Sink) error                    { return nil }
+func (p *plainCountSink) MarshalBinary() ([]byte, error)              { return nil, nil }
+func (p *plainCountSink) UnmarshalBinary([]byte) error                { return nil }
+
+func runReplay(t *testing.T, jobs []workload.Features, cfg Config, sink analyze.Sink) Result {
+	t.Helper()
+	res, err := Run(context.Background(), testEvaluator(t), 2, stream.NewSliceSource(jobs), cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	ev := testEvaluator(t)
+	ctx := context.Background()
+	src := func() stream.Source { return stream.NewSliceSource([]workload.Features{quickJob("a", 0)}) }
+	cl := testCluster(t, 1)
+
+	if _, err := Run(ctx, ev, 1, src(), Config{}, nil); err == nil {
+		t.Error("expected error for nil cluster")
+	}
+	for _, frac := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := Run(ctx, ev, 1, src(), Config{Cluster: cl, StragglerFraction: frac}, nil); err == nil {
+			t.Errorf("expected error for straggler fraction %v", frac)
+		}
+	}
+	if _, err := Run(ctx, ev, 1, src(), Config{Cluster: cl, StragglerFraction: 0.5, StragglerFactor: math.Inf(1)}, nil); err == nil {
+		t.Error("expected error for infinite straggler factor")
+	}
+	if _, err := Run(ctx, ev, 1, src(), Config{Cluster: cl, Policy: "no-such-policy"}, nil); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+	badSteps := Config{Cluster: cl, AllowUnstamped: true,
+		Steps: func(int, workload.Features) int { return 0 }}
+	if _, err := Run(ctx, ev, 1, src(), badSteps, nil); err == nil {
+		t.Error("expected error for non-positive steps")
+	}
+}
+
+func TestUnstampedTraceRefused(t *testing.T) {
+	ev := testEvaluator(t)
+	ctx := context.Background()
+	cl := testCluster(t, 1)
+	jobs := []workload.Features{quickJob("a", 0), quickJob("b", 0)}
+
+	_, err := Run(ctx, ev, 1, stream.NewSliceSource(jobs), Config{Cluster: cl}, nil)
+	if !errors.Is(err, ErrNoArrivals) {
+		t.Errorf("unstamped multi-job trace: err = %v, want ErrNoArrivals", err)
+	}
+	// A single job carries no arrival process; it replays without stamps.
+	if _, err := Run(ctx, ev, 1, stream.NewSliceSource(jobs[:1]), Config{Cluster: cl}, nil); err != nil {
+		t.Errorf("single unstamped job should replay: %v", err)
+	}
+	// AllowUnstamped opts into batch replay.
+	res, err := Run(ctx, ev, 1, stream.NewSliceSource(jobs), Config{Cluster: cl, AllowUnstamped: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Errorf("batch replay completed %d, want 2", res.Completed)
+	}
+}
+
+func TestUnsortedArrivalsRefused(t *testing.T) {
+	ev := testEvaluator(t)
+	jobs := []workload.Features{quickJob("a", 5), quickJob("b", 3)}
+	_, err := Run(context.Background(), ev, 1, stream.NewSliceSource(jobs),
+		Config{Cluster: testCluster(t, 1)}, nil)
+	if !errors.Is(err, ErrUnsortedArrivals) {
+		t.Errorf("err = %v, want ErrUnsortedArrivals", err)
+	}
+}
+
+// TestQueueingWhenFull mirrors the sched package's canonical scenario on the
+// replay engine: one 8-GPU server, nine 10-second 1-GPU jobs submitted at
+// t=0 — the ninth waits exactly one service time.
+func TestQueueingWhenFull(t *testing.T) {
+	jobs := make([]workload.Features, 9)
+	for i := range jobs {
+		jobs[i] = quickJob("j", 0)
+	}
+	cap := &captureSink{}
+	res := runReplay(t, jobs, Config{
+		Cluster:        testCluster(t, 1),
+		AllowUnstamped: true,
+		Steps:          func(int, workload.Features) int { return 10 },
+	}, cap)
+
+	if res.Completed != 9 || res.Rejected != 0 {
+		t.Fatalf("completed/rejected = %d/%d, want 9/0", res.Completed, res.Rejected)
+	}
+	if math.Abs(res.Makespan-20) > 1e-9 {
+		t.Errorf("makespan = %v, want 20", res.Makespan)
+	}
+	if math.Abs(res.TotalQueueDelay-10) > 1e-9 {
+		t.Errorf("total queue delay = %v, want 10", res.TotalQueueDelay)
+	}
+	if math.Abs(res.GPUSeconds-90) > 1e-9 {
+		t.Errorf("GPU-seconds = %v, want 90", res.GPUSeconds)
+	}
+	// 90 GPU-seconds over 8 GPUs x 20s.
+	if math.Abs(res.Utilization-90.0/160) > 1e-9 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+	if res.MaxQueueDepth != 1 {
+		t.Errorf("max queue depth = %d, want 1", res.MaxQueueDepth)
+	}
+	waited := 0
+	for _, o := range cap.outcomes {
+		if o.Wait() > 1e-9 {
+			waited++
+			if math.Abs(o.Wait()-10) > 1e-9 {
+				t.Errorf("waiting job waited %v, want 10", o.Wait())
+			}
+		}
+	}
+	if waited != 1 {
+		t.Errorf("%d jobs waited, want 1", waited)
+	}
+}
+
+// TestAdmissionRejections: jobs the cluster can never host are rejected and
+// reach OutcomeSinks but never plain sinks.
+func TestAdmissionRejections(t *testing.T) {
+	// A 4-worker PS job needs 4 distinct servers; the cluster has 2.
+	jobs := []workload.Features{quickJob("ok", 0), psJob("wide", 4, 1)}
+	cap := &captureSink{}
+	plain := &plainCountSink{}
+	res := runReplay(t, jobs, Config{Cluster: testCluster(t, 2)},
+		analyze.NewMultiSink(cap, plain))
+
+	if res.Completed != 1 || res.Rejected != 1 {
+		t.Fatalf("completed/rejected = %d/%d, want 1/1", res.Completed, res.Rejected)
+	}
+	var rej *Outcome
+	for i := range cap.outcomes {
+		if cap.outcomes[i].Rejected {
+			rej = &cap.outcomes[i]
+		}
+	}
+	if rej == nil {
+		t.Fatal("no rejected outcome dispatched")
+	}
+	if rej.Reason == "" {
+		t.Error("rejected outcome should carry a reason")
+	}
+	if rej.Start != rej.Arrival || rej.Finish != rej.Arrival {
+		t.Error("rejected outcome should carry Start = Finish = Arrival")
+	}
+	if rej.GPUSeconds() != 0 || rej.Wait() != 0 {
+		t.Error("rejected outcome should carry zero occupancy and wait")
+	}
+	if plain.adds != 1 {
+		t.Errorf("plain sink saw %d adds, want 1 (rejected jobs never ran)", plain.adds)
+	}
+}
+
+func TestNVLinkRejection(t *testing.T) {
+	cl, err := cluster.New(hw.BaselineNoNVLink(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := workload.Features{
+		Name: "ar", Class: workload.AllReduceLocal, CNodes: 4, BatchSize: 8,
+		FLOPs: 7.7e12, DenseWeightBytes: 1e6,
+	}
+	res := runReplay(t, []workload.Features{ar},
+		Config{Cluster: cl, AllowUnstamped: true}, nil)
+	if res.Rejected != 1 {
+		t.Errorf("AllReduce on a no-NVLink cluster: rejected = %d, want 1", res.Rejected)
+	}
+}
+
+func TestQueueLimitRejects(t *testing.T) {
+	// Fill the single server with eight long jobs, then submit two more:
+	// the first queues (depth 1), the second finds the queue full.
+	var jobs []workload.Features
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, quickJob("blocker", 0))
+	}
+	jobs = append(jobs, quickJob("queued", 1), quickJob("over", 2))
+	res := runReplay(t, jobs, Config{
+		Cluster:    testCluster(t, 1),
+		QueueLimit: 1,
+		Steps:      func(int, workload.Features) int { return 100 },
+	}, nil)
+	if res.Completed != 9 || res.Rejected != 1 {
+		t.Errorf("completed/rejected = %d/%d, want 9/1", res.Completed, res.Rejected)
+	}
+}
+
+// TestPolicyOrdersDispatch: with the cluster blocked until t=100 and a long
+// job queued before a short one, FIFO starts the earlier arrival first and
+// SJF the shorter job first. Both released at the same instant, the policies
+// differ exactly in dispatch order.
+func TestPolicyOrdersDispatch(t *testing.T) {
+	var jobs []workload.Features
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, quickJob("blocker", 0))
+	}
+	jobs = append(jobs, quickJob("long", 1), quickJob("short", 2))
+	steps := func(index int, f workload.Features) int {
+		switch f.Name {
+		case "blocker":
+			return 100
+		case "long":
+			return 5
+		default:
+			return 1
+		}
+	}
+
+	order := func(policy string) []string {
+		cap := &captureSink{}
+		res := runReplay(t, jobs, Config{
+			Cluster: testCluster(t, 1), Policy: policy, Steps: steps,
+		}, cap)
+		if res.Completed != 10 {
+			t.Fatalf("%s: completed %d, want 10", policy, res.Completed)
+		}
+		var names []string
+		for _, o := range cap.outcomes {
+			if o.Job.Name != "blocker" {
+				names = append(names, o.Job.Name)
+				if math.Abs(o.Start-100) > 1e-9 {
+					t.Errorf("%s: %s started at %v, want 100", policy, o.Job.Name, o.Start)
+				}
+			}
+		}
+		return names
+	}
+
+	if got := order(sched.FIFOName); got[0] != "long" || got[1] != "short" {
+		t.Errorf("fifo dispatch order = %v, want [long short]", got)
+	}
+	if got := order(sched.SJFName); got[0] != "short" || got[1] != "long" {
+		t.Errorf("sjf dispatch order = %v, want [short long]", got)
+	}
+}
+
+// TestStragglers: fraction 1 marks every completed job, the factor scales
+// Duration but never Times, and the sample is a pure function of (seed,
+// index).
+func TestStragglers(t *testing.T) {
+	jobs := []workload.Features{quickJob("a", 0), quickJob("b", 1)}
+	cap := &captureSink{}
+	res := runReplay(t, jobs, Config{
+		Cluster:           testCluster(t, 1),
+		StragglerFraction: 1,
+		StragglerFactor:   3,
+	}, cap)
+	if res.Stragglers != 2 {
+		t.Fatalf("stragglers = %d, want 2", res.Stragglers)
+	}
+	for _, o := range cap.outcomes {
+		if !o.Straggler {
+			t.Error("every job should be sampled at fraction 1")
+		}
+		want := o.Times.Total() * float64(o.Steps) * 3
+		if math.Abs(o.Duration-want) > 1e-9 {
+			t.Errorf("duration = %v, want %v (3x the model's runtime)", o.Duration, want)
+		}
+	}
+
+	for _, seed := range []int64{0, 1, 42} {
+		for index := 0; index < 100; index++ {
+			a := sampleStraggler(seed, index, 0.3)
+			b := sampleStraggler(seed, index, 0.3)
+			if a != b {
+				t.Fatalf("sampleStraggler(%d, %d) not deterministic", seed, index)
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossParallelism pins the replay determinism contract:
+// the same congested trace replayed at parallelism 1 and 8 produces
+// byte-identical snapshots of all three fleet sinks.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	var jobs []workload.Features
+	for i := 0; i < 300; i++ {
+		arrival := float64(i) * 0.05
+		if i%7 == 3 {
+			jobs = append(jobs, psJob("ps", 1+i%2, arrival))
+		} else {
+			jobs = append(jobs, quickJob("w", arrival))
+		}
+	}
+	ev := testEvaluator(t)
+
+	snapshot := func(parallelism int) []byte {
+		cl := testCluster(t, 2)
+		util, err := NewUtilizationSink(10, cl.NumGPUs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := analyze.NewMultiSink(NewCounterSink(), NewQueueDelaySink(), util)
+		_, err = Run(context.Background(), ev, parallelism, stream.NewSliceSource(jobs), Config{
+			Cluster:           cl,
+			Steps:             func(int, workload.Features) int { return 40 },
+			StragglerFraction: 0.25,
+			StragglerFactor:   2,
+			StragglerSeed:     7,
+		}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := analyze.WriteSnapshot(&buf, sink); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	base := snapshot(1)
+	for _, par := range []int{2, 8} {
+		if !bytes.Equal(base, snapshot(par)) {
+			t.Errorf("parallelism %d produced a different fleet snapshot", par)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// QueuedJob is the scheduler-visible view of one pending submission — the
+// only information a Policy may order the queue by. Index is the job's
+// position in the submission stream and is unique, so it serves as the final
+// deterministic tiebreak.
+type QueuedJob struct {
+	// Index is the job's 0-based position in the submission stream.
+	Index int
+	// Arrival is the submission time in seconds.
+	Arrival float64
+	// Duration is the model-predicted runtime in seconds (step time x steps,
+	// straggler-adjusted).
+	Duration float64
+	// GPUs is the job's total GPU demand.
+	GPUs int
+}
+
+// Policy orders the pending queue of the discrete-event replay scheduler:
+// the queue head under Less is always the next placement attempt, and the
+// queue blocks on it when it does not fit (head-of-line blocking). Keeping
+// the blocking rule fixed across policies is what keeps every replay
+// deterministic — a Policy chooses the order, never the mechanism.
+//
+// Less must be a strict weak ordering. Ties are broken by Index by the
+// scheduler, so a policy that considers two jobs equal still yields a
+// deterministic queue.
+type Policy interface {
+	// Name returns the policy's registered name.
+	Name() string
+	// Less reports whether a should be scheduled before b.
+	Less(a, b QueuedJob) bool
+}
+
+// PolicyFactory builds a fresh policy instance for one replay run.
+type PolicyFactory func() Policy
+
+// Registered policy names.
+const (
+	// FIFOName is the default policy: first-come-first-served by arrival
+	// time, ties by submission order.
+	FIFOName = "fifo"
+	// SJFName schedules the shortest predicted job first, ties by
+	// submission order.
+	SJFName = "sjf"
+)
+
+// policyRegistry mirrors the backend registry: named factories, duplicate
+// registration refused, sorted name listing.
+var policyRegistry = struct {
+	sync.RWMutex
+	m map[string]PolicyFactory
+}{m: map[string]PolicyFactory{}}
+
+// RegisterPolicy makes a scheduler policy constructible by name.
+// Registering an empty name, a nil factory, or a duplicate name is an
+// error.
+func RegisterPolicy(name string, f PolicyFactory) error {
+	if name == "" {
+		return fmt.Errorf("sched: RegisterPolicy with empty name")
+	}
+	if f == nil {
+		return fmt.Errorf("sched: RegisterPolicy %q with nil factory", name)
+	}
+	policyRegistry.Lock()
+	defer policyRegistry.Unlock()
+	if _, dup := policyRegistry.m[name]; dup {
+		return fmt.Errorf("sched: policy %q already registered", name)
+	}
+	policyRegistry.m[name] = f
+	return nil
+}
+
+// MustRegisterPolicy is RegisterPolicy that panics on error, for package
+// init blocks.
+func MustRegisterPolicy(name string, f PolicyFactory) {
+	if err := RegisterPolicy(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// NewPolicy builds a registered policy by name; the empty name selects the
+// FIFO default.
+func NewPolicy(name string) (Policy, error) {
+	if name == "" {
+		name = FIFOName
+	}
+	policyRegistry.RLock()
+	f, ok := policyRegistry.m[name]
+	policyRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return f(), nil
+}
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string {
+	policyRegistry.RLock()
+	defer policyRegistry.RUnlock()
+	out := make([]string, 0, len(policyRegistry.m))
+	for name := range policyRegistry.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	MustRegisterPolicy(FIFOName, func() Policy { return fifoPolicy{} })
+	MustRegisterPolicy(SJFName, func() Policy { return sjfPolicy{} })
+}
+
+// fifoPolicy is first-come-first-served: earlier arrival first, ties by
+// submission order.
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string { return FIFOName }
+
+func (fifoPolicy) Less(a, b QueuedJob) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.Index < b.Index
+}
+
+// sjfPolicy is shortest-predicted-job-first: the backend's predicted
+// runtime orders the queue, ties by submission order.
+type sjfPolicy struct{}
+
+func (sjfPolicy) Name() string { return SJFName }
+
+func (sjfPolicy) Less(a, b QueuedJob) bool {
+	if a.Duration != b.Duration {
+		return a.Duration < b.Duration
+	}
+	return a.Index < b.Index
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyRegistry pins the registry contract the replay engine depends
+// on: both built-in policies resolve by name, the empty name selects FIFO,
+// unknown names fail with the available set, and duplicate/empty/nil
+// registrations are refused.
+func TestPolicyRegistry(t *testing.T) {
+	names := PolicyNames()
+	for _, want := range []string{FIFOName, SJFName} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("PolicyNames() = %v, missing %q", names, want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("PolicyNames() not sorted: %v", names)
+		}
+	}
+
+	p, err := NewPolicy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != FIFOName {
+		t.Errorf("NewPolicy(\"\") = %q, want the FIFO default", p.Name())
+	}
+	if _, err := NewPolicy("no-such-policy"); err == nil {
+		t.Error("NewPolicy of an unknown name should fail")
+	} else if !strings.Contains(err.Error(), FIFOName) {
+		t.Errorf("unknown-policy error %q should list the registered names", err)
+	}
+
+	if err := RegisterPolicy("", func() Policy { return fifoPolicy{} }); err == nil {
+		t.Error("RegisterPolicy with empty name should fail")
+	}
+	if err := RegisterPolicy("nil-factory", nil); err == nil {
+		t.Error("RegisterPolicy with nil factory should fail")
+	}
+	if err := RegisterPolicy(FIFOName, func() Policy { return fifoPolicy{} }); err == nil {
+		t.Error("duplicate RegisterPolicy should fail")
+	}
+}
+
+// TestPolicyOrdering pins the two built-in orderings: FIFO by arrival, SJF
+// by predicted duration, both falling back to the submission index so equal
+// jobs still order deterministically.
+func TestPolicyOrdering(t *testing.T) {
+	early := QueuedJob{Index: 3, Arrival: 10, Duration: 500}
+	late := QueuedJob{Index: 1, Arrival: 20, Duration: 5}
+
+	fifo, err := NewPolicy(FIFOName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fifo.Less(early, late) || fifo.Less(late, early) {
+		t.Error("fifo should order by arrival time")
+	}
+	sjf, err := NewPolicy(SJFName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sjf.Less(late, early) || sjf.Less(early, late) {
+		t.Error("sjf should order by predicted duration")
+	}
+
+	a := QueuedJob{Index: 0, Arrival: 10, Duration: 5}
+	b := QueuedJob{Index: 1, Arrival: 10, Duration: 5}
+	for _, p := range []Policy{fifo, sjf} {
+		if !p.Less(a, b) || p.Less(b, a) {
+			t.Errorf("%s: equal jobs should break ties by index", p.Name())
+		}
+	}
+}

@@ -51,39 +51,63 @@ func (j Job) Validate() error {
 	return nil
 }
 
-// Placement describes the GPUs a job needs.
-type placement struct {
-	// gangs[i] is the number of GPUs required together on one server.
-	gangs []int
-	// distinct requires each gang on a different server when true.
-	distinct bool
-	// needsNVLink restricts candidate servers to NVLink ones.
-	needsNVLink bool
+// Placement describes the GPUs a job needs, as derived from its workload
+// class by the Table II placement rules. It is the shared vocabulary between
+// this package's batch simulator and the streaming replay engine
+// (internal/replay).
+type Placement struct {
+	// Gangs[i] is the number of GPUs required together on one server.
+	Gangs []int
+	// Distinct requires each gang on a different server when true.
+	Distinct bool
+	// NeedsNVLink restricts candidate servers to NVLink ones.
+	NeedsNVLink bool
 }
 
-// placementFor derives the placement from the class (see package comment).
-func placementFor(f workload.Features, gpusPerServer int) (placement, error) {
+// GPUs is the job's total GPU demand across all gangs.
+func (p Placement) GPUs() int {
+	n := 0
+	for _, g := range p.Gangs {
+		n += g
+	}
+	return n
+}
+
+// Servers is the number of distinct servers the placement needs: one per
+// gang when Distinct, otherwise at least one.
+func (p Placement) Servers() int {
+	if p.Distinct {
+		return len(p.Gangs)
+	}
+	if len(p.Gangs) == 0 {
+		return 0
+	}
+	return 1
+}
+
+// PlacementFor derives the placement from the class (see package comment).
+func PlacementFor(f workload.Features, gpusPerServer int) (Placement, error) {
 	switch f.Class {
 	case workload.OneWorkerOneGPU:
-		return placement{gangs: []int{1}}, nil
+		return Placement{Gangs: []int{1}}, nil
 	case workload.OneWorkerNGPU:
 		if f.CNodes > gpusPerServer {
-			return placement{}, fmt.Errorf("sched: 1wng job needs %d GPUs on one server (max %d)",
+			return Placement{}, fmt.Errorf("sched: 1wng job needs %d GPUs on one server (max %d)",
 				f.CNodes, gpusPerServer)
 		}
-		return placement{gangs: []int{f.CNodes}}, nil
+		return Placement{Gangs: []int{f.CNodes}}, nil
 	case workload.AllReduceLocal:
 		if f.CNodes > gpusPerServer {
-			return placement{}, fmt.Errorf("sched: AllReduce-Local job needs %d GPUs on one server (max %d)",
+			return Placement{}, fmt.Errorf("sched: AllReduce-Local job needs %d GPUs on one server (max %d)",
 				f.CNodes, gpusPerServer)
 		}
-		return placement{gangs: []int{f.CNodes}, needsNVLink: true}, nil
+		return Placement{Gangs: []int{f.CNodes}, NeedsNVLink: true}, nil
 	case workload.PSWorker:
 		gangs := make([]int, f.CNodes)
 		for i := range gangs {
 			gangs[i] = 1
 		}
-		return placement{gangs: gangs, distinct: true}, nil
+		return Placement{Gangs: gangs, Distinct: true}, nil
 	case workload.AllReduceCluster, workload.PEARL:
 		var gangs []int
 		rest := f.CNodes
@@ -95,9 +119,9 @@ func placementFor(f workload.Features, gpusPerServer int) (placement, error) {
 			gangs = append(gangs, g)
 			rest -= g
 		}
-		return placement{gangs: gangs, distinct: true, needsNVLink: true}, nil
+		return Placement{Gangs: gangs, Distinct: true, NeedsNVLink: true}, nil
 	default:
-		return placement{}, fmt.Errorf("sched: unknown class %v", f.Class)
+		return Placement{}, fmt.Errorf("sched: unknown class %v", f.Class)
 	}
 }
 
@@ -140,6 +164,13 @@ type Evaluator interface {
 // Simulate runs the job list on numServers identical servers under the
 // model's configuration. Jobs are scheduled FIFO by arrival time (ties by
 // input order).
+//
+// Simulate and SimulateWith are the low-level, materialized entry: they take
+// an in-memory []Job slice, evaluate serially, and keep every JobRecord.
+// Trace-scale replays go through internal/replay (surfaced as
+// pai.Engine.Replay), which streams any trace source through the same
+// placement rules with parallel evaluation, pluggable policies, admission
+// control and fleet-level sinks.
 func Simulate(m *core.Model, numServers int, jobs []Job) (Result, error) {
 	if m == nil {
 		return Result{}, fmt.Errorf("sched: nil model")
@@ -148,7 +179,8 @@ func Simulate(m *core.Model, numServers int, jobs []Job) (Result, error) {
 }
 
 // SimulateWith runs the job list under any step-time evaluator and an
-// explicit cluster configuration (the Engine path).
+// explicit cluster configuration. Like Simulate it is the low-level
+// materialized entry; see internal/replay for the streaming path.
 func SimulateWith(ev Evaluator, cfg hw.Config, numServers int, jobs []Job) (Result, error) {
 	if ev == nil {
 		return Result{}, fmt.Errorf("sched: nil evaluator")
@@ -162,7 +194,7 @@ func SimulateWith(ev Evaluator, cfg hw.Config, numServers int, jobs []Job) (Resu
 	type pending struct {
 		idx      int
 		job      Job
-		place    placement
+		place    Placement
 		duration float64
 	}
 	queue := make([]pending, 0, len(jobs))
@@ -170,11 +202,11 @@ func SimulateWith(ev Evaluator, cfg hw.Config, numServers int, jobs []Job) (Resu
 		if err := j.Validate(); err != nil {
 			return Result{}, fmt.Errorf("sched: job %d: %w", i, err)
 		}
-		place, err := placementFor(j.Features, gpusPerServer)
+		place, err := PlacementFor(j.Features, gpusPerServer)
 		if err != nil {
 			return Result{}, fmt.Errorf("sched: job %q: %w", j.Features.Name, err)
 		}
-		if place.needsNVLink && !hasNVLink {
+		if place.NeedsNVLink && !hasNVLink {
 			return Result{}, fmt.Errorf("sched: job %q requires NVLink servers", j.Features.Name)
 		}
 		bd, err := ev.Breakdown(j.Features)
@@ -201,7 +233,7 @@ func SimulateWith(ev Evaluator, cfg hw.Config, numServers int, jobs []Job) (Resu
 	var totalGPUSec, totalWait float64
 	var makespan float64
 
-	tryPlace := func(p placement) (map[int]int, bool) {
+	tryPlace := func(p Placement) (map[int]int, bool) {
 		// Greedy: sort server indices by free GPUs descending for gangs.
 		order := make([]int, numServers)
 		for i := range order {
@@ -209,12 +241,12 @@ func SimulateWith(ev Evaluator, cfg hw.Config, numServers int, jobs []Job) (Resu
 		}
 		sort.SliceStable(order, func(a, b int) bool { return free[order[a]] > free[order[b]] })
 		alloc := map[int]int{}
-		gangs := append([]int(nil), p.gangs...)
+		gangs := append([]int(nil), p.Gangs...)
 		sort.Sort(sort.Reverse(sort.IntSlice(gangs)))
 		for _, g := range gangs {
 			placed := false
 			for _, s := range order {
-				if p.distinct && alloc[s] > 0 {
+				if p.Distinct && alloc[s] > 0 {
 					continue
 				}
 				if free[s]-alloc[s] >= g {
@@ -243,10 +275,7 @@ func SimulateWith(ev Evaluator, cfg hw.Config, numServers int, jobs []Job) (Resu
 			for s, g := range alloc {
 				free[s] -= g
 			}
-			gpus := 0
-			for _, g := range p.place.gangs {
-				gpus += g
-			}
+			gpus := p.place.GPUs()
 			start := now
 			finish := start + p.duration
 			records[p.idx] = JobRecord{

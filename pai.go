@@ -49,6 +49,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/project"
+	"repro/internal/replay"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/tracegen"
@@ -237,11 +238,56 @@ type (
 	// emitting each cell's sink the moment it is folded.
 	MicroShardRunner = coord.RangeRunner
 
+	// ReplayStats is the scalar fleet summary of one discrete-event cluster
+	// replay (Engine.Replay / Engine.ReplayInto): capacity, admission and
+	// completion counts, makespan, utilization, queueing aggregates.
+	ReplayStats = replay.Result
+	// ReplayOutcome is one job's scheduling outcome: the evaluated record
+	// plus arrival/start/finish times, allocation, and the admission
+	// decision.
+	ReplayOutcome = replay.Outcome
+	// ReplayOutcomeSink is the fleet-level fold surface: sinks implementing
+	// it receive full scheduling outcomes from a replay instead of plain
+	// Add(Features, Times) calls.
+	ReplayOutcomeSink = replay.OutcomeSink
+	// ReplayCounterSink tallies admissions, completions, rejections,
+	// stragglers, GPU-seconds and waiting time, in total and per class.
+	ReplayCounterSink = replay.CounterSink
+	// ReplayCounters is one population's admission/completion tally.
+	ReplayCounters = replay.Counters
+	// QueueDelaySink folds per-class queue-delay CDF sketches from a replay.
+	QueueDelaySink = replay.QueueDelaySink
+	// UtilizationSink folds a windowed GPU-occupancy timeline from a replay.
+	UtilizationSink = replay.UtilizationSink
+
 	// BuildInfo identifies one build of this module, derived from the
 	// metadata the Go toolchain stamps into every binary. All cmd/* binaries
 	// print it under -version and paiserve serves it at /version.
 	BuildInfo = version.Info
 )
+
+// ErrNoArrivals reports a replayed trace without arrival stamps: every
+// record's arrival_sec is zero or absent. Regenerate the trace with
+// `tracegen -rate R`, or opt into a batch replay with WithReplayUnstamped;
+// test with errors.Is.
+var ErrNoArrivals = replay.ErrNoArrivals
+
+// ErrUnsortedArrivals reports a replayed trace whose arrival stamps are not
+// in nondecreasing order; test with errors.Is.
+var ErrUnsortedArrivals = replay.ErrUnsortedArrivals
+
+// NewReplayCounterSink returns an empty admission/completion counter sink.
+func NewReplayCounterSink() *ReplayCounterSink { return replay.NewCounterSink() }
+
+// NewQueueDelaySink returns an empty per-class queue-delay CDF sink.
+func NewQueueDelaySink() *QueueDelaySink { return replay.NewQueueDelaySink() }
+
+// NewUtilizationSink returns an empty windowed GPU-occupancy timeline sink:
+// windowSec <= 0 selects the one-hour default; capacityGPUs normalizes
+// occupancy into utilization (0 records the timeline without normalizing).
+func NewUtilizationSink(windowSec float64, capacityGPUs int) (*UtilizationSink, error) {
+	return replay.NewUtilizationSink(windowSec, capacityGPUs)
+}
 
 // Workload classes (Table II + PEARL).
 const (

@@ -1,0 +1,234 @@
+package pai_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	pai "repro"
+)
+
+// stampedTrace generates a calibrated trace with Poisson arrival stamps.
+func stampedTrace(t *testing.T, n int, ratePerHour float64) []pai.Features {
+	t.Helper()
+	p := pai.DefaultTraceParams()
+	p.NumJobs = n
+	p.ArrivalRate = ratePerHour
+	tr, err := pai.GenerateTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Jobs
+}
+
+// encodeTrace writes jobs in the named codec and returns the file bytes.
+func encodeTrace(t *testing.T, jobs []pai.Features, format string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := pai.NewTraceWriterBlockRecords(&buf, format, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range jobs {
+		if err := tw.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayInfiniteCapacityMatchesStreaming pins the API-redesign
+// acceptance criterion: with capacity at least the trace's peak concurrency
+// and the FIFO policy, replay dispatches the exact Add sequence the
+// streaming evaluation path produces, so plain breakdown/CDF sink snapshots
+// are byte-identical to Engine.StreamInto over the same records — from both
+// the NDJSON and the columnar codec.
+func TestReplayInfiniteCapacityMatchesStreaming(t *testing.T) {
+	eng, err := pai.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stampedTrace(t, 1200, 36000)
+	ctx := context.Background()
+
+	for _, format := range []string{"ndjson", "colbin"} {
+		encoded := encodeTrace(t, jobs, format)
+
+		streamed := pai.NewMultiSink(pai.NewBreakdownAccumulator(), pai.NewComponentCDFSink())
+		src, err := pai.OpenTraceSource(bytes.NewReader(encoded), format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.StreamInto(ctx, src, streamed); err != nil {
+			t.Fatal(err)
+		}
+
+		replayed := pai.NewMultiSink(pai.NewBreakdownAccumulator(), pai.NewComponentCDFSink())
+		src, err = pai.OpenTraceSource(bytes.NewReader(encoded), format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.ReplayInto(ctx, src, replayed, pai.WithReplayServers(4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rejected != 0 {
+			t.Fatalf("%s: %d rejections on an infinite-capacity replay", format, stats.Rejected)
+		}
+		if stats.Completed != len(jobs) {
+			t.Fatalf("%s: completed %d of %d", format, stats.Completed, len(jobs))
+		}
+		if stats.MaxQueueDepth > 1 {
+			t.Fatalf("%s: queueing engaged (depth %d) — capacity is not infinite for this trace", format, stats.MaxQueueDepth)
+		}
+
+		var want, got bytes.Buffer
+		if err := pai.WriteSinkSnapshot(&want, streamed); err != nil {
+			t.Fatal(err)
+		}
+		if err := pai.WriteSinkSnapshot(&got, replayed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("%s: infinite-capacity replay sink state differs from StreamInto", format)
+		}
+	}
+}
+
+// TestReplayDeterministicAcrossEngines: a congested replay with stragglers
+// produces byte-identical fleet snapshots from engines at parallelism 1 and
+// 4 — the determinism contract the CI smoke gates with cmp.
+func TestReplayDeterministicAcrossEngines(t *testing.T) {
+	jobs := stampedTrace(t, 800, 360000)
+	ctx := context.Background()
+
+	snapshot := func(parallelism int) []byte {
+		eng, err := pai.New(pai.WithParallelism(parallelism))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Replay(ctx, pai.NewSliceJobSource(jobs),
+			pai.WithReplayServers(16),
+			pai.WithReplayStragglers(0.2, 3),
+			pai.WithReplayStragglerSeed(11),
+			pai.WithReplaySteps(50),
+			pai.WithReplayUtilizationWindow(30),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Completed == 0 {
+			t.Fatal("nothing completed")
+		}
+		var buf bytes.Buffer
+		if err := pai.WriteSinkSnapshot(&buf, res.Sinks); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	if !bytes.Equal(snapshot(1), snapshot(4)) {
+		t.Error("replay snapshots differ across engine parallelism")
+	}
+}
+
+// TestReplayResultSurface: Engine.Replay wires all three fleet sinks and the
+// scalar stats coherently.
+func TestReplayResultSurface(t *testing.T) {
+	eng, err := pai.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stampedTrace(t, 300, 36000)
+	res, err := eng.Replay(context.Background(), pai.NewSliceJobSource(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Submitted != len(jobs) || st.Submitted != st.Completed+st.Rejected {
+		t.Errorf("stats don't add up: %+v", st)
+	}
+	if st.Servers != pai.DefaultReplayServers {
+		t.Errorf("servers = %d, want the %d default", st.Servers, pai.DefaultReplayServers)
+	}
+	if got := res.Counters.Total(); int(got.Completed) != st.Completed || int(got.Rejected) != st.Rejected {
+		t.Errorf("counter sink disagrees with stats: %+v vs %+v", got, st)
+	}
+	if got := res.QueueDelay.Overall().Weight(); int(got) != st.Completed {
+		t.Errorf("queue-delay population = %v, want %d", got, st.Completed)
+	}
+	if st.Utilization > 0 && res.Utilization.Peak() <= 0 {
+		t.Error("utilization timeline empty despite occupancy")
+	}
+	if st.Utilization < 0 || st.Utilization > 1 {
+		t.Errorf("utilization = %v outside [0, 1]", st.Utilization)
+	}
+}
+
+// TestReplayOptionValidation: every functional option rejects out-of-domain
+// values at Replay time.
+func TestReplayOptionValidation(t *testing.T) {
+	eng, err := pai.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	jobs := stampedTrace(t, 2, 36000)
+	for name, opt := range map[string]pai.ReplayOption{
+		"zero servers":         pai.WithReplayServers(0),
+		"empty policy":         pai.WithReplayPolicy(""),
+		"unknown policy":       pai.WithReplayPolicy("no-such-policy"),
+		"negative queue limit": pai.WithReplayQueueLimit(-1),
+		"fraction > 1":         pai.WithReplayStragglers(1.5, 2),
+		"factor < 1":           pai.WithReplayStragglers(0.5, 0.5),
+		"zero steps":           pai.WithReplaySteps(0),
+		"nil steps func":       pai.WithReplayStepsFunc(nil),
+		"zero window":          pai.WithReplayUtilizationWindow(0),
+	} {
+		if _, err := eng.Replay(ctx, pai.NewSliceJobSource(jobs), opt); err == nil {
+			t.Errorf("%s: expected an option error", name)
+		}
+	}
+}
+
+// TestReplayUnstampedRefusedPublicly: the sentinel error crosses the public
+// API and WithReplayUnstamped opts into batch replay.
+func TestReplayUnstampedRefusedPublicly(t *testing.T) {
+	eng, err := pai.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pai.DefaultTraceParams()
+	p.NumJobs = 10
+	tr, err := pai.GenerateTrace(p) // no ArrivalRate: unstamped
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, err = eng.Replay(ctx, pai.NewSliceJobSource(tr.Jobs))
+	if !errors.Is(err, pai.ErrNoArrivals) {
+		t.Errorf("err = %v, want ErrNoArrivals", err)
+	}
+	res, err := eng.Replay(ctx, pai.NewSliceJobSource(tr.Jobs), pai.WithReplayUnstamped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed+res.Stats.Rejected != 10 {
+		t.Errorf("batch replay processed %d jobs, want 10", res.Stats.Completed+res.Stats.Rejected)
+	}
+}
+
+func TestSchedulerPolicies(t *testing.T) {
+	names := pai.SchedulerPolicies()
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	if !seen["fifo"] || !seen["sjf"] {
+		t.Errorf("SchedulerPolicies() = %v, want fifo and sjf", names)
+	}
+}
